@@ -1,0 +1,208 @@
+//! Criterion benchmarks: one group per reproduced table/figure.
+//!
+//! These measure the *wall-clock cost of the reproduction code* —
+//! simulator throughput, middleware hot paths — while the simulated
+//! bandwidth/goodput numbers themselves are printed by the `repro`
+//! binary (simulated time is deterministic and not a wall-clock
+//! quantity). Each figure/table has a bench target here so regressions
+//! in any experiment's machinery are caught.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use diskmodel::{profiles, BlockDevice, DevOp};
+use pfs::ClusterConfig;
+use plfs::simadapter::{run_direct, run_plfs, PlfsSimOptions};
+use simkit::units::{KIB, MIB};
+use simkit::Rng;
+use workloads::AppProfile;
+
+fn bench_fig2_s3d(c: &mut Criterion) {
+    let s3d = AppProfile::by_name("S3D").unwrap();
+    let pattern = s3d.pattern(128);
+    c.bench_function("fig2_s3d_weak_scaling_sim", |b| {
+        b.iter(|| run_direct(ClusterConfig::lustre_like(16, MIB), black_box(&pattern)))
+    });
+}
+
+fn bench_fig3_fsstats(c: &mut Criterion) {
+    c.bench_function("fig3_fsstats_survey", |b| {
+        b.iter(|| {
+            let s = pfs::fsstats::Survey::synthesize(&pfs::fsstats::SITE_PROFILES[0], 1);
+            black_box(s.count_cdf().median())
+        })
+    });
+}
+
+fn bench_fig4_fig5_models(c: &mut Criterion) {
+    c.bench_function("fig4_failure_fit", |b| {
+        b.iter(|| reliability::fit_rate_vs_chips(&reliability::lanl_like_fleet(), 2.0, 1))
+    });
+    c.bench_function("fig5_utilization_mc", |b| {
+        let m = reliability::CheckpointModel::report_baseline();
+        b.iter(|| reliability::simulate_utilization(&m, 6.0 * 3600.0, 3600.0, 1.0e7, 1))
+    });
+}
+
+fn bench_fig7_giga(c: &mut Criterion) {
+    c.bench_function("fig7_giga_metarates_8srv", |b| {
+        b.iter(|| {
+            giga::run_metarates(&giga::MetaratesConfig::new(
+                32,
+                200,
+                8,
+                giga::Scheme::GigaPlus,
+            ))
+        })
+    });
+    c.bench_function("giga_directory_insert_10k", |b| {
+        b.iter_batched(
+            || giga::GigaDirectory::new(8, 256),
+            |mut d| {
+                for i in 0..10_000 {
+                    d.insert(black_box(&format!("f{i}")));
+                }
+                d
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_fig8_plfs(c: &mut Criterion) {
+    let flash = AppProfile::by_name("FLASH-IO").unwrap();
+    let pattern = flash.pattern(64);
+    let opt = PlfsSimOptions::default();
+    c.bench_function("fig8_direct_n1_sim", |b| {
+        b.iter(|| run_direct(ClusterConfig::lustre_like(8, MIB), black_box(&pattern)))
+    });
+    c.bench_function("fig8_plfs_sim", |b| {
+        b.iter(|| run_plfs(ClusterConfig::lustre_like(8, MIB), black_box(&pattern), &opt))
+    });
+    // The real middleware write path (not simulated): MemBackend.
+    c.bench_function("plfs_write_path_4k_records", |b| {
+        use plfs::backend::{Backend, MemBackend};
+        use std::sync::Arc;
+        b.iter_batched(
+            || {
+                let be = Arc::new(MemBackend::new()) as Arc<dyn Backend>;
+                plfs::Plfs::new(be, plfs::PlfsConfig::default())
+            },
+            |fs| {
+                let mut w = fs.open_writer("/f", 0).unwrap();
+                let buf = vec![7u8; 4096];
+                for i in 0..512u64 {
+                    w.write_at(i * 8192, &buf).unwrap();
+                }
+                w.close().unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_fig9_incast(c: &mut Criterion) {
+    c.bench_function("fig9_incast_16way_1ms", |b| {
+        b.iter(|| {
+            netsim::run_incast(&netsim::IncastConfig::gbe(16, netsim::RtoPolicy::hires_1ms()))
+        })
+    });
+}
+
+fn bench_fig10_argon(c: &mut Criterion) {
+    c.bench_function("fig10_argon_timesliced", |b| {
+        let cfg = argon::InsulationConfig {
+            duration: simkit::SimDuration::from_secs(5),
+            ..Default::default()
+        };
+        b.iter(|| argon::run_insulation(&cfg, argon::Policy::TimeSliced { coordinated: true }))
+    });
+}
+
+fn bench_fig11_tab1_fig14_flash(c: &mut Criterion) {
+    c.bench_function("tab1_flash_random_read_1k_ops", |b| {
+        let h = profiles::flash_by_name("x25").unwrap();
+        b.iter_batched(
+            || (h.device(16 * MIB), Rng::new(1)),
+            |(mut d, mut rng)| {
+                let pages = 16 * MIB / 4096;
+                for _ in 0..1000 {
+                    d.service(DevOp::read(rng.below(pages) * 4096, 4096));
+                }
+                d.stats().busy
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("fig14_ftl_sustained_writes", |b| {
+        let h = profiles::flash_by_name("x25").unwrap();
+        b.iter_batched(
+            || (h.device(16 * MIB), Rng::new(2)),
+            |(mut d, mut rng)| {
+                let pages = 16 * MIB / 4096;
+                for _ in 0..2 * pages {
+                    d.service(DevOp::write(rng.below(pages) * 4096, 4096));
+                }
+                d.ftl_stats().write_amplification()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_fig13_miniio(c: &mut Criterion) {
+    let w = miniio::FormattedWorkload::chombo(64);
+    let cfg = ClusterConfig::lustre_like(8, MIB);
+    c.bench_function("fig13_optimization_ladder", |b| {
+        b.iter(|| miniio::optimization_ladder(black_box(&w), &cfg))
+    });
+}
+
+fn bench_fig15_ninjat(c: &mut Criterion) {
+    let p = AppProfile::by_name("FLASH-IO").unwrap().pattern(16);
+    let t = workloads::Trace::from_pattern("FLASH-IO", &p);
+    c.bench_function("fig15_ninjat_render", |b| {
+        b.iter(|| workloads::render(black_box(&t), 76, 20))
+    });
+}
+
+fn bench_index_ablation(c: &mut Criterion) {
+    // PLFS extension ablation: raw vs pattern-compressed index encode,
+    // decode, and merge.
+    use plfs::index::{decode, encode_compressed, encode_raw, IndexEntry, IndexMap};
+    let entries: Vec<IndexEntry> = (0..100_000u64)
+        .map(|i| IndexEntry {
+            logical_offset: i * 48 * KIB,
+            length: 47 * KIB,
+            physical_offset: i * 47 * KIB,
+            writer: (i % 64) as u32,
+            timestamp: i,
+        })
+        .collect();
+    c.bench_function("index_encode_raw_100k", |b| b.iter(|| encode_raw(black_box(&entries))));
+    c.bench_function("index_encode_compressed_100k", |b| {
+        b.iter(|| encode_compressed(black_box(&entries)))
+    });
+    let raw = encode_raw(&entries);
+    c.bench_function("index_decode_100k", |b| b.iter(|| decode(black_box(&raw)).unwrap()));
+    c.bench_function("index_map_merge_100k", |b| {
+        b.iter_batched(|| entries.clone(), IndexMap::build, BatchSize::LargeInput)
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2_s3d,
+        bench_fig3_fsstats,
+        bench_fig4_fig5_models,
+        bench_fig7_giga,
+        bench_fig8_plfs,
+        bench_fig9_incast,
+        bench_fig10_argon,
+        bench_fig11_tab1_fig14_flash,
+        bench_fig13_miniio,
+        bench_fig15_ninjat,
+        bench_index_ablation
+);
+criterion_main!(figures);

@@ -1,0 +1,39 @@
+//! `repro` — regenerate the PDSI report's figures and tables.
+//!
+//! ```text
+//! repro               # list experiments
+//! repro fig8          # one experiment
+//! repro all           # everything (what EXPERIMENTS.md records)
+//! ```
+
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if args.is_empty() {
+        let _ = writeln!(out, "usage: repro <experiment-id>|all\n\nexperiments:");
+        for (id, desc) in pdsi_bench::EXPERIMENTS {
+            let _ = writeln!(out, "  {id:<10} {desc}");
+        }
+        return;
+    }
+    for arg in &args {
+        if arg == "all" {
+            for (id, _) in pdsi_bench::EXPERIMENTS {
+                let _ = write!(out, "{}", pdsi_bench::run(id).unwrap());
+            }
+        } else {
+            match pdsi_bench::run(arg) {
+                Some(report) => {
+                    let _ = write!(out, "{report}");
+                }
+                None => {
+                    eprintln!("unknown experiment {arg:?}; run with no args for the list");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+}

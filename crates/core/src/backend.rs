@@ -1,0 +1,359 @@
+//! Storage backends PLFS stacks on.
+//!
+//! PLFS is *middleware*: it reorganizes the application's I/O and hands
+//! the result to an underlying file system. The original ran over PanFS,
+//! Lustre, and GPFS through FUSE or MPI-IO; here the underlying store is
+//! anything implementing [`Backend`] — an in-memory map for tests, a
+//! real local directory ([`DirBackend`]) for actual use, or the
+//! `pfs`-simulated cluster for performance experiments (see
+//! `simadapter`).
+//!
+//! The trait is deliberately narrow: PLFS only ever *creates*,
+//! *appends*, *reads*, and *lists* — the whole point of the log-structured
+//! container is that the backing store never sees an overwrite or a
+//! concurrent shared-file write.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// A minimal flat file-store interface.
+pub trait Backend: Send + Sync {
+    /// Create all directories along `path`.
+    fn mkdir_all(&self, path: &str) -> io::Result<()>;
+
+    /// Create an empty file (truncating any existing one).
+    fn create(&self, path: &str) -> io::Result<()>;
+
+    /// Append `data` to `path` (creating it if missing); returns the
+    /// offset at which the data landed.
+    fn append(&self, path: &str, data: &[u8]) -> io::Result<u64>;
+
+    /// Read up to `buf.len()` bytes at `off`. Short reads at EOF are
+    /// normal; reads past EOF return 0.
+    fn read_at(&self, path: &str, off: u64, buf: &mut [u8]) -> io::Result<usize>;
+
+    /// Length of a file.
+    fn len(&self, path: &str) -> io::Result<u64>;
+
+    /// Names (not paths) of entries directly under `dir`.
+    fn list(&self, dir: &str) -> io::Result<Vec<String>>;
+
+    fn exists(&self, path: &str) -> bool;
+
+    /// Remove a file.
+    fn remove(&self, path: &str) -> io::Result<()>;
+
+    /// Remove a directory tree.
+    fn remove_dir_all(&self, path: &str) -> io::Result<()>;
+
+    /// Read a whole file.
+    fn read_all(&self, path: &str) -> io::Result<Vec<u8>> {
+        let n = self.len(path)? as usize;
+        let mut buf = vec![0u8; n];
+        let got = self.read_at(path, 0, &mut buf)?;
+        buf.truncate(got);
+        Ok(buf)
+    }
+}
+
+fn not_found(path: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::NotFound, format!("no such path: {path}"))
+}
+
+/// In-memory backend for tests and fast experiments.
+#[derive(Default)]
+pub struct MemBackend {
+    inner: Mutex<MemState>,
+}
+
+#[derive(Default)]
+struct MemState {
+    files: HashMap<String, Vec<u8>>,
+    dirs: HashMap<String, ()>,
+}
+
+fn norm(path: &str) -> String {
+    let mut out = String::with_capacity(path.len());
+    for comp in path.split('/').filter(|c| !c.is_empty() && *c != ".") {
+        out.push('/');
+        out.push_str(comp);
+    }
+    if out.is_empty() {
+        out.push('/');
+    }
+    out
+}
+
+impl MemBackend {
+    pub fn new() -> Self {
+        MemBackend::default()
+    }
+
+    /// Total bytes stored (test introspection).
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.lock().files.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Number of files stored.
+    pub fn file_count(&self) -> usize {
+        self.inner.lock().files.len()
+    }
+}
+
+impl Backend for MemBackend {
+    fn mkdir_all(&self, path: &str) -> io::Result<()> {
+        let mut st = self.inner.lock();
+        let p = norm(path);
+        let mut acc = String::new();
+        for comp in p.split('/').filter(|c| !c.is_empty()) {
+            acc.push('/');
+            acc.push_str(comp);
+            st.dirs.insert(acc.clone(), ());
+        }
+        Ok(())
+    }
+
+    fn create(&self, path: &str) -> io::Result<()> {
+        self.inner.lock().files.insert(norm(path), Vec::new());
+        Ok(())
+    }
+
+    fn append(&self, path: &str, data: &[u8]) -> io::Result<u64> {
+        let mut st = self.inner.lock();
+        let f = st.files.entry(norm(path)).or_default();
+        let off = f.len() as u64;
+        f.extend_from_slice(data);
+        Ok(off)
+    }
+
+    fn read_at(&self, path: &str, off: u64, buf: &mut [u8]) -> io::Result<usize> {
+        let st = self.inner.lock();
+        let f = st.files.get(&norm(path)).ok_or_else(|| not_found(path))?;
+        let off = off as usize;
+        if off >= f.len() {
+            return Ok(0);
+        }
+        let n = buf.len().min(f.len() - off);
+        buf[..n].copy_from_slice(&f[off..off + n]);
+        Ok(n)
+    }
+
+    fn len(&self, path: &str) -> io::Result<u64> {
+        let st = self.inner.lock();
+        st.files
+            .get(&norm(path))
+            .map(|f| f.len() as u64)
+            .ok_or_else(|| not_found(path))
+    }
+
+    fn list(&self, dir: &str) -> io::Result<Vec<String>> {
+        let st = self.inner.lock();
+        let prefix = {
+            let mut p = norm(dir);
+            if !p.ends_with('/') {
+                p.push('/');
+            }
+            p
+        };
+        let mut names: Vec<String> = st
+            .files
+            .keys()
+            .chain(st.dirs.keys())
+            .filter_map(|k| {
+                let rest = k.strip_prefix(&prefix)?;
+                let first = rest.split('/').next()?;
+                if first.is_empty() {
+                    None
+                } else {
+                    Some(first.to_string())
+                }
+            })
+            .collect();
+        names.sort();
+        names.dedup();
+        Ok(names)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        let st = self.inner.lock();
+        let p = norm(path);
+        st.files.contains_key(&p) || st.dirs.contains_key(&p)
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        let mut st = self.inner.lock();
+        st.files.remove(&norm(path)).map(|_| ()).ok_or_else(|| not_found(path))
+    }
+
+    fn remove_dir_all(&self, path: &str) -> io::Result<()> {
+        let mut st = self.inner.lock();
+        let p = norm(path);
+        let prefix = format!("{p}/");
+        st.files.retain(|k, _| k != &p && !k.starts_with(&prefix));
+        st.dirs.retain(|k, _| k != &p && !k.starts_with(&prefix));
+        Ok(())
+    }
+}
+
+/// A backend over a real directory on the local file system — PLFS
+/// actually running as middleware, as in the original FUSE deployment.
+pub struct DirBackend {
+    root: PathBuf,
+    /// Serializes append length-lookups with the writes themselves.
+    append_lock: Mutex<()>,
+}
+
+impl DirBackend {
+    pub fn new<P: AsRef<Path>>(root: P) -> io::Result<Self> {
+        fs::create_dir_all(root.as_ref())?;
+        Ok(DirBackend { root: root.as_ref().to_path_buf(), append_lock: Mutex::new(()) })
+    }
+
+    fn abs(&self, path: &str) -> PathBuf {
+        let rel = norm(path);
+        self.root.join(rel.trim_start_matches('/'))
+    }
+}
+
+impl Backend for DirBackend {
+    fn mkdir_all(&self, path: &str) -> io::Result<()> {
+        fs::create_dir_all(self.abs(path))
+    }
+
+    fn create(&self, path: &str) -> io::Result<()> {
+        fs::File::create(self.abs(path)).map(|_| ())
+    }
+
+    fn append(&self, path: &str, data: &[u8]) -> io::Result<u64> {
+        let _g = self.append_lock.lock();
+        let mut f = fs::OpenOptions::new().create(true).append(true).open(self.abs(path))?;
+        let off = f.seek(SeekFrom::End(0))?;
+        f.write_all(data)?;
+        Ok(off)
+    }
+
+    fn read_at(&self, path: &str, off: u64, buf: &mut [u8]) -> io::Result<usize> {
+        let mut f = fs::File::open(self.abs(path))?;
+        f.seek(SeekFrom::Start(off))?;
+        let mut total = 0;
+        while total < buf.len() {
+            match f.read(&mut buf[total..])? {
+                0 => break,
+                n => total += n,
+            }
+        }
+        Ok(total)
+    }
+
+    fn len(&self, path: &str) -> io::Result<u64> {
+        Ok(fs::metadata(self.abs(path))?.len())
+    }
+
+    fn list(&self, dir: &str) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for e in fs::read_dir(self.abs(dir))? {
+            names.push(e?.file_name().to_string_lossy().into_owned());
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.abs(path).exists()
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        fs::remove_file(self.abs(path))
+    }
+
+    fn remove_dir_all(&self, path: &str) -> io::Result<()> {
+        fs::remove_dir_all(self.abs(path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(b: &dyn Backend) {
+        b.mkdir_all("/cp/hostdir.0").unwrap();
+        assert!(b.exists("/cp/hostdir.0"));
+        let o1 = b.append("/cp/hostdir.0/data.0", b"hello ").unwrap();
+        let o2 = b.append("/cp/hostdir.0/data.0", b"world").unwrap();
+        assert_eq!((o1, o2), (0, 6));
+        assert_eq!(b.len("/cp/hostdir.0/data.0").unwrap(), 11);
+        let mut buf = [0u8; 5];
+        let n = b.read_at("/cp/hostdir.0/data.0", 6, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"world");
+        // Read past EOF.
+        assert_eq!(b.read_at("/cp/hostdir.0/data.0", 100, &mut buf).unwrap(), 0);
+        // Listing.
+        b.append("/cp/hostdir.0/index.0", b"x").unwrap();
+        let names = b.list("/cp/hostdir.0").unwrap();
+        assert_eq!(names, vec!["data.0".to_string(), "index.0".to_string()]);
+        // Whole-file read.
+        assert_eq!(b.read_all("/cp/hostdir.0/data.0").unwrap(), b"hello world");
+        // Removal.
+        b.remove("/cp/hostdir.0/index.0").unwrap();
+        assert!(!b.exists("/cp/hostdir.0/index.0"));
+        b.remove_dir_all("/cp").unwrap();
+        assert!(!b.exists("/cp/hostdir.0/data.0"));
+    }
+
+    #[test]
+    fn mem_backend_contract() {
+        exercise(&MemBackend::new());
+    }
+
+    #[test]
+    fn dir_backend_contract() {
+        let dir = std::env::temp_dir().join(format!("plfs-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let b = DirBackend::new(&dir).unwrap();
+        exercise(&b);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_path_normalization() {
+        let b = MemBackend::new();
+        b.append("a//b/./c", b"x").unwrap();
+        assert_eq!(b.len("/a/b/c").unwrap(), 1);
+        assert!(b.exists("a/b/c"));
+    }
+
+    #[test]
+    fn list_is_direct_children_only() {
+        let b = MemBackend::new();
+        b.append("/d/x/deep", b"1").unwrap();
+        b.append("/d/y", b"2").unwrap();
+        b.mkdir_all("/d/z").unwrap();
+        assert_eq!(b.list("/d").unwrap(), vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn concurrent_appends_do_not_interleave_within_a_call() {
+        use std::sync::Arc;
+        let b = Arc::new(MemBackend::new());
+        let mut handles = Vec::new();
+        for t in 0..8u8 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    b.append("/f", &[t; 16]).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let data = b.read_all("/f").unwrap();
+        assert_eq!(data.len(), 8 * 100 * 16);
+        for chunk in data.chunks(16) {
+            assert!(chunk.iter().all(|&x| x == chunk[0]), "append torn");
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! PLFS container layout.
+//!
+//! A PLFS "file" is secretly a directory (the *container*) on the
+//! backing store. Inside it:
+//!
+//! ```text
+//! checkpoint1/                 <- logical file name
+//!   access                     <- marker: this directory is a container
+//!   openhosts/                 <- one dropping per open writer session
+//!   meta/                      <- per-writer summaries written on close
+//!   hostdir.0/                 <- data+index droppings, spread over
+//!   hostdir.1/                    subdirs to dodge directory hotspots
+//!     data.<rank>              <- that rank's write log (append-only)
+//!     index.<rank>             <- that rank's index log (append-only)
+//! ```
+//!
+//! `hostdir` spreading mirrors the original PLFS: backends whose
+//! directories serialize concurrent creates (most parallel file
+//! systems) see the container's per-rank file creates fan out over
+//! several subdirectories.
+
+use crate::backend::Backend;
+use std::io;
+
+/// Marker file name inside every container.
+pub const ACCESS: &str = "access";
+/// Subdirectory holding open-session droppings.
+pub const OPENHOSTS: &str = "openhosts";
+/// Subdirectory holding close-time metadata droppings.
+pub const META: &str = "meta";
+
+/// Static naming helpers for a container rooted at `base`.
+#[derive(Debug, Clone)]
+pub struct ContainerPaths {
+    base: String,
+    hostdirs: u32,
+}
+
+impl ContainerPaths {
+    pub fn new(base: &str, hostdirs: u32) -> Self {
+        assert!(hostdirs > 0, "need at least one hostdir");
+        ContainerPaths { base: base.trim_end_matches('/').to_string(), hostdirs }
+    }
+
+    pub fn base(&self) -> &str {
+        &self.base
+    }
+
+    pub fn hostdir_count(&self) -> u32 {
+        self.hostdirs
+    }
+
+    pub fn access(&self) -> String {
+        format!("{}/{ACCESS}", self.base)
+    }
+
+    pub fn openhosts_dir(&self) -> String {
+        format!("{}/{OPENHOSTS}", self.base)
+    }
+
+    pub fn meta_dir(&self) -> String {
+        format!("{}/{META}", self.base)
+    }
+
+    pub fn hostdir(&self, rank: u32) -> String {
+        format!("{}/hostdir.{}", self.base, rank % self.hostdirs)
+    }
+
+    pub fn data_dropping(&self, rank: u32) -> String {
+        format!("{}/data.{rank}", self.hostdir(rank))
+    }
+
+    pub fn index_dropping(&self, rank: u32) -> String {
+        format!("{}/index.{rank}", self.hostdir(rank))
+    }
+
+    pub fn open_dropping(&self, rank: u32, session: u64) -> String {
+        format!("{}/host.{rank}.{session}", self.openhosts_dir())
+    }
+
+    pub fn meta_dropping(&self, rank: u32, eof: u64, bytes: u64, max_ts: u64) -> String {
+        format!("{}/{rank}.{eof}.{bytes}.{max_ts}", self.meta_dir())
+    }
+}
+
+/// Summary parsed back out of a metadata dropping's name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaDropping {
+    pub rank: u32,
+    pub eof: u64,
+    pub bytes: u64,
+    pub max_ts: u64,
+}
+
+impl MetaDropping {
+    pub fn parse(name: &str) -> Option<Self> {
+        let mut it = name.split('.');
+        let rank = it.next()?.parse().ok()?;
+        let eof = it.next()?.parse().ok()?;
+        let bytes = it.next()?.parse().ok()?;
+        let max_ts = it.next()?.parse().ok()?;
+        if it.next().is_some() {
+            return None;
+        }
+        Some(MetaDropping { rank, eof, bytes, max_ts })
+    }
+}
+
+/// Create a fresh container (idempotent).
+pub fn create_container(backend: &dyn Backend, paths: &ContainerPaths) -> io::Result<()> {
+    backend.mkdir_all(paths.base())?;
+    backend.mkdir_all(&paths.openhosts_dir())?;
+    backend.mkdir_all(&paths.meta_dir())?;
+    for h in 0..paths.hostdir_count() {
+        backend.mkdir_all(&format!("{}/hostdir.{h}", paths.base()))?;
+    }
+    if !backend.exists(&paths.access()) {
+        backend.create(&paths.access())?;
+    }
+    Ok(())
+}
+
+/// Is `base` a PLFS container?
+pub fn is_container(backend: &dyn Backend, base: &str) -> bool {
+    backend.exists(&format!("{}/{ACCESS}", base.trim_end_matches('/')))
+}
+
+/// Enumerate `(rank, index_path, data_path)` for every writer that left
+/// droppings in the container.
+pub fn discover_droppings(
+    backend: &dyn Backend,
+    paths: &ContainerPaths,
+) -> io::Result<Vec<(u32, String, String)>> {
+    let mut out = Vec::new();
+    for entry in backend.list(paths.base())? {
+        if !entry.starts_with("hostdir.") {
+            continue;
+        }
+        let dir = format!("{}/{entry}", paths.base());
+        for name in backend.list(&dir)? {
+            if let Some(rank) = name.strip_prefix("index.").and_then(|r| r.parse::<u32>().ok()) {
+                out.push((rank, format!("{dir}/{name}"), format!("{dir}/data.{rank}")));
+            }
+        }
+    }
+    out.sort_by_key(|(r, _, _)| *r);
+    Ok(out)
+}
+
+/// Read all metadata droppings.
+pub fn read_meta(backend: &dyn Backend, paths: &ContainerPaths) -> io::Result<Vec<MetaDropping>> {
+    let mut out = Vec::new();
+    if let Ok(names) = backend.list(&paths.meta_dir()) {
+        for n in names {
+            if let Some(m) = MetaDropping::parse(&n) {
+                out.push(m);
+            }
+        }
+    }
+    out.sort_by_key(|m| m.rank);
+    Ok(out)
+}
+
+/// Sessions recorded so far (open droppings + meta droppings): used to
+/// build monotonically increasing timestamp epochs across re-opens.
+pub fn session_count(backend: &dyn Backend, paths: &ContainerPaths) -> u64 {
+    let opens = backend.list(&paths.openhosts_dir()).map(|v| v.len()).unwrap_or(0);
+    let metas = backend.list(&paths.meta_dir()).map(|v| v.len()).unwrap_or(0);
+    (opens + metas) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    #[test]
+    fn create_then_detect() {
+        let b = MemBackend::new();
+        let p = ContainerPaths::new("/ckpt/step1", 4);
+        create_container(&b, &p).unwrap();
+        assert!(is_container(&b, "/ckpt/step1"));
+        assert!(!is_container(&b, "/ckpt/step2"));
+        // Idempotent.
+        create_container(&b, &p).unwrap();
+    }
+
+    #[test]
+    fn hostdir_spreading_is_stable() {
+        let p = ContainerPaths::new("/f", 4);
+        assert_eq!(p.data_dropping(0), "/f/hostdir.0/data.0");
+        assert_eq!(p.data_dropping(5), "/f/hostdir.1/data.5");
+        assert_eq!(p.index_dropping(5), "/f/hostdir.1/index.5");
+    }
+
+    #[test]
+    fn discover_finds_all_writers() {
+        let b = MemBackend::new();
+        let p = ContainerPaths::new("/f", 3);
+        create_container(&b, &p).unwrap();
+        for rank in [0u32, 1, 2, 7, 9] {
+            b.append(&p.index_dropping(rank), b"i").unwrap();
+            b.append(&p.data_dropping(rank), b"d").unwrap();
+        }
+        let found = discover_droppings(&b, &p).unwrap();
+        let ranks: Vec<u32> = found.iter().map(|(r, _, _)| *r).collect();
+        assert_eq!(ranks, vec![0, 1, 2, 7, 9]);
+        for (rank, idx, data) in &found {
+            assert!(idx.contains(&format!("index.{rank}")));
+            assert!(data.contains(&format!("data.{rank}")));
+        }
+    }
+
+    #[test]
+    fn meta_dropping_roundtrip() {
+        let m = MetaDropping::parse("12.1048576.524288.99").unwrap();
+        assert_eq!(m, MetaDropping { rank: 12, eof: 1048576, bytes: 524288, max_ts: 99 });
+        assert!(MetaDropping::parse("garbage").is_none());
+        assert!(MetaDropping::parse("1.2.3.4.5").is_none());
+    }
+
+    #[test]
+    fn session_count_tracks_opens_and_closes() {
+        let b = MemBackend::new();
+        let p = ContainerPaths::new("/f", 2);
+        create_container(&b, &p).unwrap();
+        assert_eq!(session_count(&b, &p), 0);
+        b.create(&p.open_dropping(0, 0)).unwrap();
+        assert_eq!(session_count(&b, &p), 1);
+        b.create(&p.meta_dropping(0, 10, 10, 5)).unwrap();
+        assert_eq!(session_count(&b, &p), 2);
+    }
+}

@@ -1,0 +1,249 @@
+//! Container integrity checking (`plfs_check` in the original tools).
+//!
+//! A PLFS container is many independent droppings; partial writes,
+//! truncated logs, or lost index records after a crash show up as
+//! specific, locally-detectable inconsistencies. `fsck` verifies:
+//!
+//! 1. the container skeleton (access marker, openhosts/meta dirs);
+//! 2. every index dropping decodes cleanly;
+//! 3. every index entry's physical extent lies within its data
+//!    dropping (no dangling pointers);
+//! 4. data droppings have no unindexed tail beyond the highest indexed
+//!    byte (orphaned bytes — harmless but reported);
+//! 5. writers that left data but no index (unreadable data), and
+//!    stale `openhosts` droppings from sessions that never closed.
+
+use crate::backend::Backend;
+use crate::container::{discover_droppings, is_container, ContainerPaths};
+use crate::index::decode;
+use std::io;
+
+/// One detected problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsckError {
+    NotAContainer,
+    /// Index dropping failed to decode (offset of failure unknown —
+    /// the tail after the last good record is unreadable).
+    CorruptIndex { rank: u32, detail: String },
+    /// An index entry points outside its data dropping.
+    DanglingExtent { rank: u32, physical_end: u64, data_len: u64 },
+    /// Data bytes beyond anything the index references.
+    OrphanedData { rank: u32, orphaned_bytes: u64 },
+    /// A data dropping exists with no index dropping at all.
+    MissingIndex { rank: u32 },
+    /// An openhosts dropping from a session that never closed.
+    StaleOpenSession { name: String },
+}
+
+/// The full report.
+#[derive(Debug, Clone, Default)]
+pub struct FsckReport {
+    pub writers: usize,
+    pub entries: usize,
+    pub logical_eof: u64,
+    pub errors: Vec<FsckError>,
+}
+
+impl FsckReport {
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Errors that make some logical bytes unreadable (vs. cosmetic).
+    pub fn fatal_count(&self) -> usize {
+        self.errors
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    FsckError::NotAContainer
+                        | FsckError::CorruptIndex { .. }
+                        | FsckError::DanglingExtent { .. }
+                        | FsckError::MissingIndex { .. }
+                )
+            })
+            .count()
+    }
+}
+
+/// Check a container.
+pub fn fsck(backend: &dyn Backend, logical: &str, hostdirs: u32) -> io::Result<FsckReport> {
+    let mut report = FsckReport::default();
+    if !is_container(backend, logical) {
+        report.errors.push(FsckError::NotAContainer);
+        return Ok(report);
+    }
+    let paths = ContainerPaths::new(logical, hostdirs);
+
+    // Stale open sessions.
+    if let Ok(names) = backend.list(&paths.openhosts_dir()) {
+        for name in names {
+            report.errors.push(FsckError::StaleOpenSession { name });
+        }
+    }
+
+    // Index/data cross-checks.
+    let droppings = discover_droppings(backend, &paths)?;
+    report.writers = droppings.len();
+    let mut indexed_ranks = std::collections::HashSet::new();
+    for (rank, idx_path, data_path) in &droppings {
+        indexed_ranks.insert(*rank);
+        let blob = backend.read_all(idx_path)?;
+        let entries = match decode(&blob) {
+            Ok(e) => e,
+            Err(err) => {
+                report
+                    .errors
+                    .push(FsckError::CorruptIndex { rank: *rank, detail: err.to_string() });
+                continue;
+            }
+        };
+        report.entries += entries.len();
+        let data_len = backend.len(data_path).unwrap_or(0);
+        let mut highest_physical = 0u64;
+        for e in &entries {
+            let phys_end = e.physical_offset + e.length;
+            highest_physical = highest_physical.max(phys_end);
+            report.logical_eof = report.logical_eof.max(e.logical_offset + e.length);
+            if phys_end > data_len {
+                report.errors.push(FsckError::DanglingExtent {
+                    rank: *rank,
+                    physical_end: phys_end,
+                    data_len,
+                });
+            }
+        }
+        if data_len > highest_physical {
+            report.errors.push(FsckError::OrphanedData {
+                rank: *rank,
+                orphaned_bytes: data_len - highest_physical,
+            });
+        }
+    }
+
+    // Data droppings with no index at all.
+    for entry in backend.list(paths.base())? {
+        if !entry.starts_with("hostdir.") {
+            continue;
+        }
+        let dir = format!("{}/{entry}", paths.base());
+        for name in backend.list(&dir)? {
+            if let Some(rank) = name.strip_prefix("data.").and_then(|r| r.parse::<u32>().ok()) {
+                if !indexed_ranks.contains(&rank) {
+                    report.errors.push(FsckError::MissingIndex { rank });
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use crate::filesystem::{Plfs, PlfsConfig};
+    use std::sync::Arc;
+
+    fn setup() -> (Plfs, Arc<MemBackend>) {
+        let b = Arc::new(MemBackend::new());
+        let fs = Plfs::new(
+            b.clone() as Arc<dyn Backend>,
+            PlfsConfig { hostdirs: 4, ..Default::default() },
+        );
+        (fs, b)
+    }
+
+    fn healthy(fs: &Plfs) {
+        for rank in 0..3 {
+            let mut w = fs.open_writer("/f", rank).unwrap();
+            w.write_at(rank as u64 * 1000, &[rank as u8; 1000]).unwrap();
+            w.close().unwrap();
+        }
+    }
+
+    #[test]
+    fn clean_container_passes() {
+        let (fs, b) = setup();
+        healthy(&fs);
+        let rep = fsck(b.as_ref(), "/f", 4).unwrap();
+        assert!(rep.is_clean(), "{:?}", rep.errors);
+        assert_eq!(rep.writers, 3);
+        assert_eq!(rep.entries, 3);
+        assert_eq!(rep.logical_eof, 3000);
+    }
+
+    #[test]
+    fn not_a_container_detected() {
+        let (_, b) = setup();
+        let rep = fsck(b.as_ref(), "/nope", 4).unwrap();
+        assert_eq!(rep.errors, vec![FsckError::NotAContainer]);
+        assert_eq!(rep.fatal_count(), 1);
+    }
+
+    #[test]
+    fn truncated_index_detected() {
+        let (fs, b) = setup();
+        healthy(&fs);
+        // Chop the last byte off rank 1's index dropping.
+        let p = crate::container::ContainerPaths::new("/f", 4).index_dropping(1);
+        let blob = b.read_all(&p).unwrap();
+        b.remove(&p).unwrap();
+        b.append(&p, &blob[..blob.len() - 1]).unwrap();
+        let rep = fsck(b.as_ref(), "/f", 4).unwrap();
+        assert!(rep.errors.iter().any(|e| matches!(e, FsckError::CorruptIndex { rank: 1, .. })));
+        assert!(rep.fatal_count() >= 1);
+    }
+
+    #[test]
+    fn truncated_data_is_a_dangling_extent() {
+        let (fs, b) = setup();
+        healthy(&fs);
+        let p = crate::container::ContainerPaths::new("/f", 4).data_dropping(2);
+        let blob = b.read_all(&p).unwrap();
+        b.remove(&p).unwrap();
+        b.append(&p, &blob[..500]).unwrap();
+        let rep = fsck(b.as_ref(), "/f", 4).unwrap();
+        assert!(rep
+            .errors
+            .iter()
+            .any(|e| matches!(e, FsckError::DanglingExtent { rank: 2, data_len: 500, .. })));
+    }
+
+    #[test]
+    fn unindexed_tail_is_orphaned_data() {
+        let (fs, b) = setup();
+        healthy(&fs);
+        let p = crate::container::ContainerPaths::new("/f", 4).data_dropping(0);
+        b.append(&p, &[0u8; 77]).unwrap();
+        let rep = fsck(b.as_ref(), "/f", 4).unwrap();
+        assert!(rep
+            .errors
+            .iter()
+            .any(|e| matches!(e, FsckError::OrphanedData { rank: 0, orphaned_bytes: 77 })));
+        // Orphans are not fatal: the logical file still reads.
+        assert_eq!(rep.fatal_count(), 0);
+    }
+
+    #[test]
+    fn data_without_index_detected() {
+        let (fs, b) = setup();
+        healthy(&fs);
+        let paths = crate::container::ContainerPaths::new("/f", 4);
+        b.append(&paths.data_dropping(9), b"lost").unwrap();
+        let rep = fsck(b.as_ref(), "/f", 4).unwrap();
+        assert!(rep.errors.contains(&FsckError::MissingIndex { rank: 9 }));
+    }
+
+    #[test]
+    fn crashed_session_leaves_stale_openhosts() {
+        let (fs, b) = setup();
+        let mut w = fs.open_writer("/f", 0).unwrap();
+        w.write_at(0, &[1; 10]).unwrap();
+        w.sync().unwrap();
+        std::mem::forget(w); // simulate a crash: no close, no cleanup
+        let rep = fsck(b.as_ref(), "/f", 4).unwrap();
+        assert!(rep.errors.iter().any(|e| matches!(e, FsckError::StaleOpenSession { .. })));
+        assert_eq!(rep.fatal_count(), 0, "data is all indexed, just unclosed");
+    }
+}

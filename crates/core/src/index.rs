@@ -1,0 +1,448 @@
+//! The PLFS index: mapping logical file extents to log-file extents.
+//!
+//! Every write a rank performs appends its bytes to that rank's *data
+//! dropping* and appends one fixed-size record here describing where
+//! those bytes logically belong. The "impact" of the concurrent writes
+//! — what the single logical file actually contains — is resolved only
+//! at read time by merging every rank's index (SC09 §3).
+//!
+//! Two encodings are implemented:
+//! - **raw**: one 48-byte record per write;
+//! - **pattern-compressed**: arithmetic-progression runs (the strided
+//!   N-1 checkpoint pattern) collapse into one record per run — the
+//!   index-compression extension the report lists among post-PDSI PLFS
+//!   work (§1.1, item 5).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io;
+
+/// One write's worth of mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Offset in the logical file.
+    pub logical_offset: u64,
+    /// Length of the write.
+    pub length: u64,
+    /// Offset within the writer's data dropping.
+    pub physical_offset: u64,
+    /// Which writer (rank) produced it — identifies the data dropping.
+    pub writer: u32,
+    /// Global write ordering stamp; larger wins on overlap.
+    pub timestamp: u64,
+}
+
+/// Size of one raw record on the wire.
+pub const RAW_RECORD_BYTES: usize = 8 + 8 + 8 + 4 + 8;
+
+const TAG_RAW: u8 = 1;
+const TAG_PATTERN: u8 = 2;
+
+/// A compressed run: `count` writes of `length` bytes, logical offsets
+/// advancing by `logical_stride`, physical offsets advancing by
+/// `length` (logs are dense), timestamps advancing by 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternEntry {
+    pub logical_start: u64,
+    pub length: u64,
+    pub logical_stride: u64,
+    pub count: u32,
+    pub physical_start: u64,
+    pub writer: u32,
+    pub timestamp_start: u64,
+}
+
+impl PatternEntry {
+    /// Expand back into raw entries.
+    pub fn expand(&self) -> impl Iterator<Item = IndexEntry> + '_ {
+        (0..self.count as u64).map(move |i| IndexEntry {
+            logical_offset: self.logical_start + i * self.logical_stride,
+            length: self.length,
+            physical_offset: self.physical_start + i * self.length,
+            writer: self.writer,
+            timestamp: self.timestamp_start + i,
+        })
+    }
+}
+
+/// Encode a batch of entries, raw.
+pub fn encode_raw(entries: &[IndexEntry]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(entries.len() * (RAW_RECORD_BYTES + 1));
+    for e in entries {
+        buf.put_u8(TAG_RAW);
+        buf.put_u64_le(e.logical_offset);
+        buf.put_u64_le(e.length);
+        buf.put_u64_le(e.physical_offset);
+        buf.put_u32_le(e.writer);
+        buf.put_u64_le(e.timestamp);
+    }
+    buf.freeze()
+}
+
+/// Encode a batch of entries with pattern compression: maximal
+/// arithmetic-progression runs become [`PatternEntry`] records.
+pub fn encode_compressed(entries: &[IndexEntry]) -> Bytes {
+    let mut buf = BytesMut::new();
+    let mut i = 0;
+    while i < entries.len() {
+        // Try to grow a run starting at i.
+        let run = run_length(&entries[i..]);
+        if run >= 3 {
+            let e0 = entries[i];
+            let stride = entries[i + 1].logical_offset - e0.logical_offset;
+            buf.put_u8(TAG_PATTERN);
+            buf.put_u64_le(e0.logical_offset);
+            buf.put_u64_le(e0.length);
+            buf.put_u64_le(stride);
+            buf.put_u32_le(run as u32);
+            buf.put_u64_le(e0.physical_offset);
+            buf.put_u32_le(e0.writer);
+            buf.put_u64_le(e0.timestamp);
+            i += run;
+        } else {
+            let e = entries[i];
+            buf.put_u8(TAG_RAW);
+            buf.put_u64_le(e.logical_offset);
+            buf.put_u64_le(e.length);
+            buf.put_u64_le(e.physical_offset);
+            buf.put_u32_le(e.writer);
+            buf.put_u64_le(e.timestamp);
+            i += 1;
+        }
+    }
+    buf.freeze()
+}
+
+/// Longest prefix of `entries` forming a compressible run.
+fn run_length(entries: &[IndexEntry]) -> usize {
+    if entries.len() < 2 {
+        return entries.len().min(1);
+    }
+    let e0 = entries[0];
+    let e1 = entries[1];
+    if e1.length != e0.length
+        || e1.writer != e0.writer
+        || e1.logical_offset <= e0.logical_offset
+        || e1.physical_offset != e0.physical_offset + e0.length
+        || e1.timestamp != e0.timestamp + 1
+    {
+        return 1;
+    }
+    let stride = e1.logical_offset - e0.logical_offset;
+    let mut n = 2;
+    while n < entries.len() {
+        let prev = entries[n - 1];
+        let cur = entries[n];
+        let fits = cur.length == e0.length
+            && cur.writer == e0.writer
+            && cur.logical_offset == prev.logical_offset + stride
+            && cur.physical_offset == prev.physical_offset + prev.length
+            && cur.timestamp == prev.timestamp + 1;
+        if !fits {
+            break;
+        }
+        n += 1;
+    }
+    n
+}
+
+/// Decode a dropping (either encoding) back into raw entries.
+pub fn decode(mut data: &[u8]) -> io::Result<Vec<IndexEntry>> {
+    let mut out = Vec::new();
+    while data.has_remaining() {
+        if data.remaining() < 1 {
+            break;
+        }
+        let tag = data.get_u8();
+        match tag {
+            TAG_RAW => {
+                if data.remaining() < RAW_RECORD_BYTES {
+                    return Err(truncated());
+                }
+                out.push(IndexEntry {
+                    logical_offset: data.get_u64_le(),
+                    length: data.get_u64_le(),
+                    physical_offset: data.get_u64_le(),
+                    writer: data.get_u32_le(),
+                    timestamp: data.get_u64_le(),
+                });
+            }
+            TAG_PATTERN => {
+                if data.remaining() < 8 + 8 + 8 + 4 + 8 + 4 + 8 {
+                    return Err(truncated());
+                }
+                let p = PatternEntry {
+                    logical_start: data.get_u64_le(),
+                    length: data.get_u64_le(),
+                    logical_stride: data.get_u64_le(),
+                    count: data.get_u32_le(),
+                    physical_start: data.get_u64_le(),
+                    writer: data.get_u32_le(),
+                    timestamp_start: data.get_u64_le(),
+                };
+                out.extend(p.expand());
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad index record tag {other}"),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn truncated() -> io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, "truncated index dropping")
+}
+
+/// An extent of the assembled logical file: `[start, end)` served from
+/// `writer`'s dropping at `physical`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    pub start: u64,
+    pub end: u64,
+    pub physical: u64,
+    pub writer: u32,
+}
+
+/// The merged, overlap-resolved view of a container's index: a flat
+/// sorted list of disjoint extents (last-writer-wins by timestamp).
+#[derive(Debug, Clone, Default)]
+pub struct IndexMap {
+    extents: Vec<Extent>,
+    entries_seen: usize,
+}
+
+impl IndexMap {
+    /// Build from entries in any order; overlaps resolved by timestamp
+    /// (ties by writer id, which cannot collide for distinct writes of
+    /// the same writer since their timestamps differ).
+    pub fn build(mut entries: Vec<IndexEntry>) -> Self {
+        let n = entries.len();
+        entries.sort_by_key(|e| (e.timestamp, e.writer));
+        let mut map = IndexMap { extents: Vec::with_capacity(n), entries_seen: n };
+        for e in entries {
+            map.insert(e);
+        }
+        map
+    }
+
+    /// Overlay one entry (later call wins over earlier, so callers must
+    /// insert in timestamp order — `build` does).
+    fn insert(&mut self, e: IndexEntry) {
+        if e.length == 0 {
+            return;
+        }
+        let (start, end) = (e.logical_offset, e.logical_offset + e.length);
+        // Find the range of existing extents overlapping [start, end).
+        let lo = self.extents.partition_point(|x| x.end <= start);
+        let mut hi = lo;
+        while hi < self.extents.len() && self.extents[hi].start < end {
+            hi += 1;
+        }
+        let mut replacement = Vec::with_capacity(2 + 1);
+        if lo < hi {
+            // Possibly keep a head fragment of the first overlapped
+            // extent and a tail fragment of the last.
+            let first = self.extents[lo];
+            if first.start < start {
+                replacement.push(Extent { start: first.start, end: start, ..first });
+            }
+        }
+        replacement.push(Extent { start, end, physical: e.physical_offset, writer: e.writer });
+        if lo < hi {
+            let last = self.extents[hi - 1];
+            if last.end > end {
+                let delta = end - last.start;
+                replacement.push(Extent {
+                    start: end,
+                    end: last.end,
+                    physical: last.physical + delta,
+                    writer: last.writer,
+                });
+            }
+        }
+        self.extents.splice(lo..hi, replacement);
+    }
+
+    /// Number of raw entries merged in.
+    pub fn entries_seen(&self) -> usize {
+        self.entries_seen
+    }
+
+    /// Disjoint extents in logical order.
+    pub fn extents(&self) -> &[Extent] {
+        &self.extents
+    }
+
+    /// Logical EOF: one past the last mapped byte (0 if empty).
+    pub fn eof(&self) -> u64 {
+        self.extents.last().map(|e| e.end).unwrap_or(0)
+    }
+
+    /// Resolve `[offset, offset+len)` into `(logical_start, extent)`
+    /// pieces plus implicit holes. Pieces are returned in logical
+    /// order; holes are represented by `None` extents.
+    pub fn lookup(&self, offset: u64, len: u64) -> Vec<(u64, u64, Option<Extent>)> {
+        let mut out = Vec::new();
+        if len == 0 {
+            return out;
+        }
+        let end = offset + len;
+        let mut pos = offset;
+        let mut i = self.extents.partition_point(|x| x.end <= offset);
+        while pos < end {
+            if i >= self.extents.len() || self.extents[i].start >= end {
+                out.push((pos, end - pos, None));
+                break;
+            }
+            let x = self.extents[i];
+            if x.start > pos {
+                out.push((pos, x.start - pos, None));
+                pos = x.start;
+            }
+            let take_end = x.end.min(end);
+            let delta = pos - x.start;
+            out.push((
+                pos,
+                take_end - pos,
+                Some(Extent { start: pos, end: take_end, physical: x.physical + delta, writer: x.writer }),
+            ));
+            pos = take_end;
+            i += 1;
+        }
+        out
+    }
+
+    /// Self-check: extents sorted, disjoint, non-empty.
+    pub fn check_invariants(&self) {
+        for w in self.extents.windows(2) {
+            assert!(w[0].start < w[0].end, "empty extent");
+            assert!(w[0].end <= w[1].start, "overlapping extents");
+        }
+        if let Some(last) = self.extents.last() {
+            assert!(last.start < last.end);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(lo: u64, len: u64, phys: u64, writer: u32, ts: u64) -> IndexEntry {
+        IndexEntry { logical_offset: lo, length: len, physical_offset: phys, writer, timestamp: ts }
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let entries = vec![e(0, 10, 0, 0, 1), e(10, 20, 10, 1, 2), e(5, 5, 30, 2, 3)];
+        let enc = encode_raw(&entries);
+        assert_eq!(decode(&enc).unwrap(), entries);
+    }
+
+    #[test]
+    fn compressed_roundtrip_strided() {
+        // Classic N-1 strided pattern from one rank.
+        let entries: Vec<_> = (0..100)
+            .map(|i| e(i * 4096 * 8, 4096, i * 4096, 3, 100 + i))
+            .collect();
+        let enc = encode_compressed(&entries);
+        assert_eq!(decode(&enc).unwrap(), entries);
+        // One pattern record instead of 100 raw: big compression.
+        let raw = encode_raw(&entries);
+        assert!(enc.len() * 10 < raw.len(), "compressed {} vs raw {}", enc.len(), raw.len());
+    }
+
+    #[test]
+    fn compressed_handles_irregular_tail() {
+        let mut entries: Vec<_> = (0..10).map(|i| e(i * 100, 10, i * 10, 0, i)).collect();
+        entries.push(e(5000, 7, 100, 0, 50));
+        entries.push(e(6000, 9, 107, 1, 51));
+        let enc = encode_compressed(&entries);
+        assert_eq!(decode(&enc).unwrap(), entries);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(&[9, 9, 9]).is_err());
+        let good = encode_raw(&[e(0, 1, 0, 0, 0)]);
+        assert!(decode(&good[..good.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn map_non_overlapping() {
+        let m = IndexMap::build(vec![e(0, 10, 0, 0, 1), e(20, 10, 10, 1, 2)]);
+        m.check_invariants();
+        assert_eq!(m.eof(), 30);
+        assert_eq!(m.extents().len(), 2);
+    }
+
+    #[test]
+    fn later_write_wins_overlap() {
+        let m = IndexMap::build(vec![e(0, 100, 0, 0, 1), e(25, 50, 0, 1, 2)]);
+        m.check_invariants();
+        let x = m.extents();
+        assert_eq!(x.len(), 3);
+        assert_eq!((x[0].start, x[0].end, x[0].writer), (0, 25, 0));
+        assert_eq!((x[1].start, x[1].end, x[1].writer), (25, 75, 1));
+        assert_eq!((x[2].start, x[2].end, x[2].writer), (75, 100, 0));
+        // Tail fragment physical offset advanced by the cut.
+        assert_eq!(x[2].physical, 75);
+    }
+
+    #[test]
+    fn earlier_write_loses_even_if_inserted_later() {
+        // build() sorts by timestamp, so insertion order must not matter.
+        let m1 = IndexMap::build(vec![e(0, 100, 0, 0, 2), e(25, 50, 0, 1, 1)]);
+        let m2 = IndexMap::build(vec![e(25, 50, 0, 1, 1), e(0, 100, 0, 0, 2)]);
+        assert_eq!(m1.extents(), m2.extents());
+        assert_eq!(m1.extents().len(), 1);
+        assert_eq!(m1.extents()[0].writer, 0);
+    }
+
+    #[test]
+    fn lookup_with_holes() {
+        let m = IndexMap::build(vec![e(10, 10, 0, 0, 1), e(30, 10, 10, 0, 2)]);
+        let pieces = m.lookup(0, 50);
+        // hole [0,10), data [10,20), hole [20,30), data [30,40), hole [40,50)
+        assert_eq!(pieces.len(), 5);
+        assert!(pieces[0].2.is_none());
+        assert_eq!(pieces[1].2.unwrap().physical, 0);
+        assert!(pieces[2].2.is_none());
+        assert_eq!(pieces[3].2.unwrap().physical, 10);
+        assert!(pieces[4].2.is_none());
+        let total: u64 = pieces.iter().map(|p| p.1).sum();
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn lookup_mid_extent_adjusts_physical() {
+        let m = IndexMap::build(vec![e(0, 100, 1000, 7, 1)]);
+        let pieces = m.lookup(40, 20);
+        assert_eq!(pieces.len(), 1);
+        let x = pieces[0].2.unwrap();
+        assert_eq!(x.physical, 1040);
+        assert_eq!(pieces[0].1, 20);
+    }
+
+    #[test]
+    fn strided_interleaving_resolves_fully() {
+        // 4 ranks, strided 1 KiB records: rank r writes records r, r+4, ...
+        let mut entries = Vec::new();
+        let mut ts = 0;
+        for rec in 0..64u64 {
+            let rank = (rec % 4) as u32;
+            let phys = (rec / 4) * 1024;
+            entries.push(e(rec * 1024, 1024, phys, rank, ts));
+            ts += 1;
+        }
+        let m = IndexMap::build(entries);
+        m.check_invariants();
+        assert_eq!(m.eof(), 64 * 1024);
+        // Fully covered: single lookup has no holes.
+        let pieces = m.lookup(0, 64 * 1024);
+        assert!(pieces.iter().all(|p| p.2.is_some()));
+    }
+}

@@ -1,0 +1,299 @@
+//! The PLFS read path.
+//!
+//! Reading is where the deferred work happens: every writer's index
+//! dropping is fetched and decoded (in parallel — the "parallelize index
+//! redistribution" extension of report §1.1 item 5), merged into one
+//! overlap-resolved [`IndexMap`], and then `read_at` scatter-gathers
+//! from the per-rank data droppings. Unwritten holes read as zeros,
+//! POSIX-style.
+
+use crate::backend::Backend;
+use crate::container::{discover_droppings, ContainerPaths};
+use crate::index::{decode, IndexEntry, IndexMap};
+use std::io;
+use std::sync::Arc;
+
+/// Statistics about an assembled container index.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReadStats {
+    pub writers: usize,
+    pub raw_entries: usize,
+    pub merged_extents: usize,
+    pub index_bytes: u64,
+}
+
+/// An open read handle on a container.
+pub struct Reader {
+    backend: Arc<dyn Backend>,
+    paths: ContainerPaths,
+    map: IndexMap,
+    stats: ReadStats,
+}
+
+impl Reader {
+    /// Open the container: discover droppings, decode all indices
+    /// (parallel when more than one), merge.
+    pub(crate) fn open(backend: Arc<dyn Backend>, paths: ContainerPaths) -> io::Result<Self> {
+        let droppings = discover_droppings(backend.as_ref(), &paths)?;
+        let mut index_bytes = 0u64;
+        let blobs: Vec<(u32, Vec<u8>)> = droppings
+            .iter()
+            .map(|(rank, idx_path, _)| {
+                let blob = backend.read_all(idx_path)?;
+                index_bytes += blob.len() as u64;
+                Ok((*rank, blob))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        let entries = decode_all(&blobs)?;
+        let raw_entries = entries.len();
+        let map = IndexMap::build(entries);
+        Ok(Reader {
+            backend,
+            paths,
+            stats: ReadStats {
+                writers: droppings.len(),
+                raw_entries,
+                merged_extents: map.extents().len(),
+                index_bytes,
+            },
+            map,
+        })
+    }
+
+    pub fn stats(&self) -> ReadStats {
+        self.stats
+    }
+
+    /// Logical file size.
+    pub fn size(&self) -> u64 {
+        self.map.eof()
+    }
+
+    /// The merged index (for flattening and analysis).
+    pub fn index(&self) -> &IndexMap {
+        &self.map
+    }
+
+    /// Read into `buf` at `offset`. Returns bytes read (short at EOF);
+    /// holes within the file read as zeros.
+    pub fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        let eof = self.map.eof();
+        if offset >= eof {
+            return Ok(0);
+        }
+        let want = (buf.len() as u64).min(eof - offset);
+        for (piece_off, piece_len, extent) in self.map.lookup(offset, want) {
+            let dst = (piece_off - offset) as usize;
+            let dst_end = dst + piece_len as usize;
+            match extent {
+                None => {
+                    buf[dst..dst_end].fill(0);
+                }
+                Some(x) => {
+                    let data_path = self.paths.data_dropping(x.writer);
+                    let got =
+                        self.backend.read_at(&data_path, x.physical, &mut buf[dst..dst_end])?;
+                    if got < piece_len as usize {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            format!(
+                                "data dropping {data_path} truncated: wanted {piece_len} at {}, got {got}",
+                                x.physical
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(want as usize)
+    }
+
+    /// Read the whole logical file (convenience for flatten/tests).
+    pub fn read_all(&self) -> io::Result<Vec<u8>> {
+        let mut out = vec![0u8; self.size() as usize];
+        let n = self.read_at(0, &mut out)?;
+        out.truncate(n);
+        Ok(out)
+    }
+}
+
+/// Decode many index droppings, using scoped threads when there are
+/// enough to benefit.
+fn decode_all(blobs: &[(u32, Vec<u8>)]) -> io::Result<Vec<IndexEntry>> {
+    if blobs.len() <= 2 {
+        let mut all = Vec::new();
+        for (_, blob) in blobs {
+            all.extend(decode(blob)?);
+        }
+        return Ok(all);
+    }
+    let results: Vec<io::Result<Vec<IndexEntry>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = blobs
+            .iter()
+            .map(|(_, blob)| s.spawn(move || decode(blob)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("decoder panicked")).collect()
+    });
+    let mut all = Vec::new();
+    for r in results {
+        all.extend(r?);
+    }
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use crate::container::{create_container, ContainerPaths};
+    use crate::write::{Writer, WriterConfig};
+    use std::sync::atomic::AtomicU64;
+
+    fn setup(hostdirs: u32) -> (Arc<MemBackend>, ContainerPaths, Arc<AtomicU64>) {
+        let b = Arc::new(MemBackend::new());
+        let p = ContainerPaths::new("/f", hostdirs);
+        create_container(b.as_ref(), &p).unwrap();
+        (b, p, Arc::new(AtomicU64::new(0)))
+    }
+
+    fn mkwriter(
+        b: &Arc<MemBackend>,
+        p: &ContainerPaths,
+        clock: &Arc<AtomicU64>,
+        rank: u32,
+    ) -> Writer {
+        Writer::new(
+            b.clone() as Arc<dyn Backend>,
+            p.clone(),
+            WriterConfig::default(),
+            rank,
+            clock.clone(),
+            0,
+        )
+        .unwrap()
+    }
+
+    fn reader(b: &Arc<MemBackend>, p: &ContainerPaths) -> Reader {
+        Reader::open(b.clone() as Arc<dyn Backend>, p.clone()).unwrap()
+    }
+
+    #[test]
+    fn single_writer_roundtrip() {
+        let (b, p, clock) = setup(2);
+        let mut w = mkwriter(&b, &p, &clock, 0);
+        w.write_at(0, b"hello ").unwrap();
+        w.write_at(6, b"world").unwrap();
+        w.close().unwrap();
+        let r = reader(&b, &p);
+        assert_eq!(r.size(), 11);
+        assert_eq!(r.read_all().unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn n1_strided_reassembles() {
+        // 8 ranks write a strided N-1 checkpoint of 64 records.
+        let (b, p, clock) = setup(4);
+        let ranks = 8u32;
+        let rec = 1000usize;
+        let total_recs = 64u64;
+        let mut writers: Vec<Writer> = (0..ranks).map(|r| mkwriter(&b, &p, &clock, r)).collect();
+        for record in 0..total_recs {
+            let rank = (record % ranks as u64) as usize;
+            let fill = (record % 251) as u8;
+            writers[rank].write_at(record * rec as u64, &vec![fill; rec]).unwrap();
+        }
+        for w in writers {
+            w.close().unwrap();
+        }
+        let r = reader(&b, &p);
+        assert_eq!(r.size(), total_recs * rec as u64);
+        let data = r.read_all().unwrap();
+        for record in 0..total_recs {
+            let fill = (record % 251) as u8;
+            let s = record as usize * rec;
+            assert!(data[s..s + rec].iter().all(|&x| x == fill), "record {record} corrupt");
+        }
+        assert_eq!(r.stats().writers, ranks as usize);
+        assert_eq!(r.stats().raw_entries, total_recs as usize);
+    }
+
+    #[test]
+    fn holes_read_as_zeros() {
+        let (b, p, clock) = setup(1);
+        let mut w = mkwriter(&b, &p, &clock, 0);
+        w.write_at(100, b"xx").unwrap();
+        w.close().unwrap();
+        let r = reader(&b, &p);
+        assert_eq!(r.size(), 102);
+        let data = r.read_all().unwrap();
+        assert!(data[..100].iter().all(|&x| x == 0));
+        assert_eq!(&data[100..], b"xx");
+    }
+
+    #[test]
+    fn read_past_eof_is_short() {
+        let (b, p, clock) = setup(1);
+        let mut w = mkwriter(&b, &p, &clock, 0);
+        w.write_at(0, b"abc").unwrap();
+        w.close().unwrap();
+        let r = reader(&b, &p);
+        let mut buf = [0u8; 10];
+        assert_eq!(r.read_at(0, &mut buf).unwrap(), 3);
+        assert_eq!(r.read_at(3, &mut buf).unwrap(), 0);
+        assert_eq!(r.read_at(999, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn overwrite_last_writer_wins() {
+        let (b, p, clock) = setup(2);
+        let mut w0 = mkwriter(&b, &p, &clock, 0);
+        let mut w1 = mkwriter(&b, &p, &clock, 1);
+        w0.write_at(0, &[b'a'; 100]).unwrap();
+        w1.write_at(50, &[b'b'; 100]).unwrap();
+        w0.close().unwrap();
+        w1.close().unwrap();
+        let r = reader(&b, &p);
+        let data = r.read_all().unwrap();
+        assert_eq!(data.len(), 150);
+        assert!(data[..50].iter().all(|&x| x == b'a'));
+        assert!(data[50..].iter().all(|&x| x == b'b'));
+    }
+
+    #[test]
+    fn many_writers_parallel_decode_path() {
+        let (b, p, clock) = setup(8);
+        for rank in 0..16u32 {
+            let mut w = mkwriter(&b, &p, &clock, rank);
+            w.write_at(rank as u64 * 10, &[rank as u8; 10]).unwrap();
+            w.close().unwrap();
+        }
+        let r = reader(&b, &p);
+        assert_eq!(r.stats().writers, 16);
+        let data = r.read_all().unwrap();
+        for rank in 0..16usize {
+            assert!(data[rank * 10..(rank + 1) * 10].iter().all(|&x| x == rank as u8));
+        }
+    }
+
+    #[test]
+    fn unaligned_reads_cross_extents() {
+        let (b, p, clock) = setup(2);
+        let mut w0 = mkwriter(&b, &p, &clock, 0);
+        let mut w1 = mkwriter(&b, &p, &clock, 1);
+        // Alternating 10-byte records from two ranks.
+        for i in 0..10u64 {
+            let (w, fill) = if i % 2 == 0 { (&mut w0, b'e') } else { (&mut w1, b'o') };
+            w.write_at(i * 10, &[fill; 10]).unwrap();
+        }
+        w0.close().unwrap();
+        w1.close().unwrap();
+        let r = reader(&b, &p);
+        let mut buf = [0u8; 25];
+        let n = r.read_at(5, &mut buf).unwrap();
+        assert_eq!(n, 25);
+        assert_eq!(&buf[..5], b"eeeee");
+        assert_eq!(&buf[5..15], b"oooooooooo");
+        assert_eq!(&buf[15..25], b"eeeeeeeeee");
+    }
+}

@@ -1,0 +1,267 @@
+//! Bridge from PLFS to the `pfs` cluster simulator — the performance
+//! half of the reproduction.
+//!
+//! Functional correctness of PLFS runs over real backends
+//! ([`crate::backend::DirBackend`]); *bandwidth* numbers (Fig. 8, the
+//! 5×–100× speedup table) come from replaying the same application
+//! write pattern through the simulated parallel file system two ways:
+//!
+//! - **direct**: all ranks write the one shared file, exactly as the
+//!   application intended — strided small writes, lock false sharing,
+//!   the works;
+//! - **through PLFS**: each rank writes its private data dropping
+//!   sequentially, plus its index dropping appends, plus the container's
+//!   metadata creates — everything PLFS actually does, including its
+//!   overheads.
+
+use pfs::{Cluster, ClusterConfig, Op, PhaseReport};
+
+/// A logical-file write pattern: per-rank lists of `(offset, len)`.
+pub type Pattern = Vec<Vec<(u64, u64)>>;
+
+/// File id used for the shared logical file in direct mode.
+const SHARED_FILE: u64 = 0;
+
+/// Byte cost of one raw index record on the wire (see `index.rs`).
+const INDEX_RECORD: u64 = crate::index::RAW_RECORD_BYTES as u64 + 1;
+
+/// Knobs for the PLFS-mode replay.
+#[derive(Debug, Clone)]
+pub struct PlfsSimOptions {
+    /// Writers buffer data and emit appends of at most this size
+    /// (mirrors `WriterConfig::data_buffer`; 0 = one append per write).
+    pub data_buffer: u64,
+    /// Index entries buffered per index append.
+    pub index_flush_every: u64,
+    /// Pattern-compress the index (shrinks index appends for strided
+    /// patterns).
+    pub compress_index: bool,
+    /// hostdir spread (container subdirectory creates).
+    pub hostdirs: u32,
+}
+
+impl Default for PlfsSimOptions {
+    fn default() -> Self {
+        PlfsSimOptions {
+            data_buffer: 1 << 20,
+            index_flush_every: 4096,
+            compress_index: true,
+            hostdirs: 32,
+        }
+    }
+}
+
+/// Replay `pattern` as the application would: one shared file.
+pub fn run_direct(cluster_cfg: ClusterConfig, pattern: &Pattern) -> PhaseReport {
+    let streams: Vec<Vec<Op>> = pattern
+        .iter()
+        .map(|ops| {
+            let mut v = Vec::with_capacity(ops.len() + 1);
+            v.push(Op::Open(SHARED_FILE));
+            v.extend(
+                ops.iter().map(|&(offset, len)| Op::Write { file: SHARED_FILE, offset, len }),
+            );
+            v
+        })
+        .collect();
+    let mut cluster = Cluster::new(cluster_cfg);
+    cluster.run_phase(&streams)
+}
+
+/// Replay `pattern` as PLFS transforms it: per-rank logs + index
+/// droppings + container metadata.
+///
+/// Container droppings are created with stripe count 1 (the PLFS
+/// deployment default): each rank's log lives wholly on one object
+/// server, assigned round-robin by file id, so every server sees a few
+/// purely sequential streams instead of slivers of every file.
+pub fn run_plfs(
+    mut cluster_cfg: ClusterConfig,
+    pattern: &Pattern,
+    opt: &PlfsSimOptions,
+) -> PhaseReport {
+    // Stripe count 1: a stripe unit larger than any dropping keeps each
+    // log file wholly on the server its id round-robins to.
+    cluster_cfg.layout =
+        pfs::Layout::new(1 << 30, pfs::Placement::RoundRobin, cluster_cfg.layout.servers);
+    let streams: Vec<Vec<Op>> = pattern
+        .iter()
+        .enumerate()
+        .map(|(rank, ops)| {
+            // File ids: rank's data dropping and index dropping.
+            let data_file = 1 + 2 * rank as u64;
+            let index_file = 2 + 2 * rank as u64;
+            let mut v = Vec::with_capacity(ops.len() / 4 + 4);
+            // Rank 0 creates the container skeleton (hostdirs); every
+            // rank creates its two droppings. Hostdir creates are
+            // directory ops charged at the MDS like creates.
+            if rank == 0 {
+                for _ in 0..opt.hostdirs.min(8) {
+                    v.push(Op::Create(u64::MAX - 1)); // container subdirs
+                }
+            }
+            v.push(Op::Create(data_file));
+            v.push(Op::Create(index_file));
+
+            // Data: writes become appends at the rank's private log
+            // cursor, coalesced into buffer-sized appends.
+            let mut cursor = 0u64;
+            let mut buffered = 0u64;
+            let mut index_entries = 0u64;
+            let mut index_appends = 0u64;
+            for &(_, len) in ops {
+                buffered += len;
+                index_entries += 1;
+                if opt.data_buffer == 0 {
+                    v.push(Op::Write { file: data_file, offset: cursor, len });
+                    cursor += len;
+                    buffered = 0;
+                } else if buffered >= opt.data_buffer {
+                    v.push(Op::Write { file: data_file, offset: cursor, len: buffered });
+                    cursor += buffered;
+                    buffered = 0;
+                }
+                if index_entries >= opt.index_flush_every {
+                    index_appends += 1;
+                    index_entries = 0;
+                }
+            }
+            if buffered > 0 {
+                v.push(Op::Write { file: data_file, offset: cursor, len: buffered });
+            }
+            if index_entries > 0 {
+                index_appends += 1;
+            }
+            // Index appends: tiny sequential writes to the index file.
+            // Pattern compression collapses a whole strided run into a
+            // handful of records.
+            let entries_total = ops.len() as u64;
+            let index_bytes = if opt.compress_index {
+                // one pattern record (~49B) per flush, conservatively x4.
+                index_appends * 4 * INDEX_RECORD
+            } else {
+                entries_total * INDEX_RECORD
+            };
+            let mut ipos = 0u64;
+            let per_append = (index_bytes / index_appends.max(1)).max(1);
+            for _ in 0..index_appends.max(1) {
+                v.push(Op::Write { file: index_file, offset: ipos, len: per_append });
+                ipos += per_append;
+            }
+            v
+        })
+        .collect();
+    let mut cluster = Cluster::new(cluster_cfg);
+    cluster.run_phase(&streams)
+}
+
+/// Convenience: run both modes on fresh clusters and return
+/// `(direct, plfs, speedup)` for the durable write bandwidth.
+pub fn compare(
+    cluster_cfg: ClusterConfig,
+    pattern: &Pattern,
+    opt: &PlfsSimOptions,
+) -> (PhaseReport, PhaseReport, f64) {
+    let direct = run_direct(cluster_cfg.clone(), pattern);
+    let plfs = run_plfs(cluster_cfg, pattern, opt);
+    let speedup = plfs.write_bandwidth() / direct.write_bandwidth();
+    (direct, plfs, speedup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mpiio::{segmented_n1_pattern, strided_n1_pattern};
+    use simkit::units::{KIB, MIB};
+
+    /// Not a correctness test: prints the speedup landscape so the
+    /// thresholds in the real tests can be set honestly.
+    /// Run with: cargo test -p plfs probe_speedups -- --ignored --nocapture
+    #[test]
+    #[ignore]
+    fn probe_speedups() {
+        for &servers in &[8usize, 16, 32] {
+            for &ranks in &[8u32, 32, 128, 512] {
+                let pattern = strided_n1_pattern(ranks, 64, 47 * KIB);
+                let cfg = ClusterConfig::lustre_like(servers, MIB);
+                let (d, p, s) = compare(cfg, &pattern, &PlfsSimOptions::default());
+                println!(
+                    "servers={servers:3} ranks={ranks:4}: direct {:8.1} MB/s  plfs {:8.1} MB/s  speedup {s:6.2}x (revocations {})",
+                    d.write_bandwidth() / 1e6,
+                    p.write_bandwidth() / 1e6,
+                    d.lock_stats.revocations,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plfs_dominates_on_small_strided_lustre_like() {
+        // The win grows with job size (as in the report); at 512 ranks
+        // over 16 servers the simulated gap is ~8x.
+        let pattern = strided_n1_pattern(512, 64, 47 * KIB);
+        let cfg = ClusterConfig::lustre_like(16, MIB);
+        let (direct, plfs, speedup) = compare(cfg, &pattern, &PlfsSimOptions::default());
+        assert!(direct.bytes_written <= plfs.bytes_written + plfs.bytes_written / 2);
+        assert!(
+            speedup > 5.5,
+            "expected order-of-magnitude PLFS win, got {speedup:.1}x \
+             (direct {:.1} MB/s, plfs {:.1} MB/s)",
+            direct.write_bandwidth() / 1e6,
+            plfs.write_bandwidth() / 1e6
+        );
+    }
+
+    #[test]
+    fn plfs_roughly_neutral_on_large_segmented() {
+        // Well-formed I/O: PLFS shouldn't hurt much (report: helps most
+        // for unaligned/strided, neutral for friendly patterns).
+        let pattern = segmented_n1_pattern(16, 64 * MIB, 4 * MIB);
+        let cfg = ClusterConfig::lustre_like(8, MIB);
+        let (_, _, speedup) = compare(cfg, &pattern, &PlfsSimOptions::default());
+        assert!(
+            speedup > 0.5 && speedup < 6.0,
+            "segmented speedup should be modest, got {speedup:.2}x"
+        );
+    }
+
+    #[test]
+    fn plfs_write_volume_includes_index_overhead() {
+        let pattern = strided_n1_pattern(4, 16, 64 * KIB);
+        let cfg = ClusterConfig::lustre_like(4, MIB);
+        let app_bytes: u64 = pattern.iter().flatten().map(|&(_, l)| l).sum();
+        let rep = run_plfs(cfg, &pattern, &PlfsSimOptions::default());
+        assert!(rep.bytes_written >= app_bytes, "lost data bytes");
+        assert!(
+            rep.bytes_written < app_bytes + app_bytes / 10,
+            "index overhead should be tiny: {} vs {app_bytes}",
+            rep.bytes_written
+        );
+    }
+
+    #[test]
+    fn uncompressed_index_costs_more() {
+        let pattern = strided_n1_pattern(8, 256, 4 * KIB);
+        let cfg = ClusterConfig::lustre_like(4, MIB);
+        let comp = run_plfs(cfg.clone(), &pattern, &PlfsSimOptions::default());
+        let raw = run_plfs(
+            cfg,
+            &pattern,
+            &PlfsSimOptions { compress_index: false, ..Default::default() },
+        );
+        assert!(raw.bytes_written > comp.bytes_written);
+    }
+
+    #[test]
+    fn plfs_wins_grow_with_scale() {
+        let cfg = || ClusterConfig::lustre_like(16, MIB);
+        let small =
+            compare(cfg(), &strided_n1_pattern(32, 64, 47 * KIB), &PlfsSimOptions::default()).2;
+        let large =
+            compare(cfg(), &strided_n1_pattern(512, 64, 47 * KIB), &PlfsSimOptions::default()).2;
+        assert!(
+            large > 1.5 * small,
+            "N-1 pain (and the PLFS win) should grow with ranks: {small:.1}x -> {large:.1}x"
+        );
+    }
+}

@@ -1,0 +1,322 @@
+//! The PLFS write path.
+//!
+//! Each writing process gets a [`Writer`]: every `write_at` appends the
+//! bytes to the rank's private data dropping and queues one index
+//! entry. Nothing is ever overwritten and no two processes touch the
+//! same backing file — the transformation that turns an N-1 strided
+//! checkpoint into N independent sequential streams.
+//!
+//! Small-write batching (a post-PDSI PLFS extension, report §1.1 item 4)
+//! is built in: data is staged in a local buffer and appended to the
+//! backing store in large chunks; correctness is unaffected because
+//! physical offsets are assigned from the writer's private cursor.
+
+use crate::backend::Backend;
+use crate::container::ContainerPaths;
+use crate::index::{encode_compressed, encode_raw, IndexEntry};
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Writer-side knobs.
+#[derive(Debug, Clone)]
+pub struct WriterConfig {
+    /// Stage data locally and append in chunks of this size (0 =
+    /// write-through).
+    pub data_buffer: usize,
+    /// Use pattern compression when persisting the index.
+    pub compress_index: bool,
+    /// Flush the in-memory index every N entries (it always flushes on
+    /// sync/close).
+    pub index_flush_every: usize,
+}
+
+impl Default for WriterConfig {
+    fn default() -> Self {
+        WriterConfig { data_buffer: 1 << 20, compress_index: true, index_flush_every: 4096 }
+    }
+}
+
+/// Per-writer cumulative counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WriterStats {
+    pub writes: u64,
+    pub bytes: u64,
+    pub data_appends: u64,
+    pub index_appends: u64,
+    pub index_bytes: u64,
+}
+
+/// An open write handle for one rank on one container.
+pub struct Writer {
+    backend: Arc<dyn Backend>,
+    paths: ContainerPaths,
+    cfg: WriterConfig,
+    rank: u32,
+    /// Shared monotone stamp source (one per `Plfs` instance).
+    clock: Arc<AtomicU64>,
+    /// Next physical offset in the data dropping.
+    cursor: u64,
+    max_logical: u64,
+    buf: Vec<u8>,
+    /// Physical offset of buf[0].
+    buf_base: u64,
+    pending_index: Vec<IndexEntry>,
+    stats: WriterStats,
+    open_dropping: String,
+    closed: bool,
+}
+
+impl Writer {
+    pub(crate) fn new(
+        backend: Arc<dyn Backend>,
+        paths: ContainerPaths,
+        cfg: WriterConfig,
+        rank: u32,
+        clock: Arc<AtomicU64>,
+        session: u64,
+    ) -> io::Result<Self> {
+        let open_dropping = paths.open_dropping(rank, session);
+        backend.create(&open_dropping)?;
+        // Appending to an existing dropping resumes at its tail.
+        let cursor = backend.len(&paths.data_dropping(rank)).unwrap_or(0);
+        Ok(Writer {
+            backend,
+            paths,
+            cfg,
+            rank,
+            clock,
+            cursor,
+            max_logical: 0,
+            buf: Vec::new(),
+            buf_base: cursor,
+            pending_index: Vec::new(),
+            stats: WriterStats::default(),
+            open_dropping,
+            closed: false,
+        })
+    }
+
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    pub fn stats(&self) -> WriterStats {
+        self.stats
+    }
+
+    /// Write `data` at logical offset `offset` — O(1) regardless of the
+    /// logical layout: one log append plus one index record.
+    pub fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
+        assert!(!self.closed, "write on closed Writer");
+        if data.is_empty() {
+            return Ok(());
+        }
+        let ts = self.clock.fetch_add(1, Ordering::Relaxed);
+        self.pending_index.push(IndexEntry {
+            logical_offset: offset,
+            length: data.len() as u64,
+            physical_offset: self.cursor,
+            writer: self.rank,
+            timestamp: ts,
+        });
+        self.cursor += data.len() as u64;
+        self.max_logical = self.max_logical.max(offset + data.len() as u64);
+        self.stats.writes += 1;
+        self.stats.bytes += data.len() as u64;
+
+        if self.cfg.data_buffer == 0 {
+            let off = self.backend.append(&self.paths.data_dropping(self.rank), data)?;
+            debug_assert_eq!(off + data.len() as u64, self.cursor, "cursor drift");
+            self.stats.data_appends += 1;
+        } else {
+            self.buf.extend_from_slice(data);
+            if self.buf.len() >= self.cfg.data_buffer {
+                self.flush_data()?;
+            }
+        }
+        if self.pending_index.len() >= self.cfg.index_flush_every {
+            self.flush_index()?;
+        }
+        Ok(())
+    }
+
+    fn flush_data(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let off = self.backend.append(&self.paths.data_dropping(self.rank), &self.buf)?;
+        debug_assert_eq!(off, self.buf_base, "another writer touched this rank's dropping");
+        self.buf_base += self.buf.len() as u64;
+        self.buf.clear();
+        self.stats.data_appends += 1;
+        Ok(())
+    }
+
+    fn flush_index(&mut self) -> io::Result<()> {
+        if self.pending_index.is_empty() {
+            return Ok(());
+        }
+        let encoded = if self.cfg.compress_index {
+            encode_compressed(&self.pending_index)
+        } else {
+            encode_raw(&self.pending_index)
+        };
+        self.backend.append(&self.paths.index_dropping(self.rank), &encoded)?;
+        self.stats.index_appends += 1;
+        self.stats.index_bytes += encoded.len() as u64;
+        self.pending_index.clear();
+        Ok(())
+    }
+
+    /// Flush everything to the backing store.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.flush_data()?;
+        self.flush_index()
+    }
+
+    /// Close the handle: flush, drop the openhosts dropping, and leave
+    /// a metadata summary so later opens can shortcut stat calls.
+    pub fn close(mut self) -> io::Result<WriterStats> {
+        self.sync()?;
+        let max_ts = self.clock.load(Ordering::Relaxed);
+        let meta = self
+            .paths
+            .meta_dropping(self.rank, self.max_logical, self.stats.bytes, max_ts);
+        self.backend.create(&meta)?;
+        let _ = self.backend.remove(&self.open_dropping);
+        self.closed = true;
+        Ok(self.stats)
+    }
+}
+
+impl Drop for Writer {
+    fn drop(&mut self) {
+        if !self.closed {
+            // Best-effort flush; errors surface on explicit sync/close.
+            let _ = self.sync();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use crate::container::{create_container, ContainerPaths};
+    use crate::index::decode;
+
+    fn setup() -> (Arc<MemBackend>, ContainerPaths, Arc<AtomicU64>) {
+        let b = Arc::new(MemBackend::new());
+        let p = ContainerPaths::new("/f", 2);
+        create_container(b.as_ref(), &p).unwrap();
+        (b, p, Arc::new(AtomicU64::new(0)))
+    }
+
+    fn writer(
+        b: &Arc<MemBackend>,
+        p: &ContainerPaths,
+        clock: &Arc<AtomicU64>,
+        rank: u32,
+        cfg: WriterConfig,
+    ) -> Writer {
+        Writer::new(b.clone() as Arc<dyn Backend>, p.clone(), cfg, rank, clock.clone(), 0).unwrap()
+    }
+
+    #[test]
+    fn writes_append_sequentially_to_log() {
+        let (b, p, clock) = setup();
+        let mut w = writer(&b, &p, &clock, 0, WriterConfig { data_buffer: 0, ..Default::default() });
+        // Wildly scattered logical offsets...
+        w.write_at(1_000_000, b"aaa").unwrap();
+        w.write_at(0, b"bb").unwrap();
+        w.write_at(500, b"cccc").unwrap();
+        w.sync().unwrap();
+        // ...but the data dropping is a dense log.
+        let log = b.read_all(&p.data_dropping(0)).unwrap();
+        assert_eq!(log, b"aaabbcccc");
+        let idx = decode(&b.read_all(&p.index_dropping(0)).unwrap()).unwrap();
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx[0].physical_offset, 0);
+        assert_eq!(idx[1].physical_offset, 3);
+        assert_eq!(idx[2].physical_offset, 5);
+        assert_eq!(idx[2].logical_offset, 500);
+    }
+
+    #[test]
+    fn buffered_writes_batch_appends() {
+        let (b, p, clock) = setup();
+        let cfg = WriterConfig { data_buffer: 1024, compress_index: false, index_flush_every: 1 << 30 };
+        let mut w = writer(&b, &p, &clock, 1, cfg);
+        for i in 0..64u64 {
+            w.write_at(i * 100, &[7u8; 100]).unwrap();
+        }
+        w.sync().unwrap();
+        let st = w.stats();
+        assert_eq!(st.writes, 64);
+        assert_eq!(st.bytes, 6400);
+        // 6400 bytes at 1 KiB buffer: 6 full flushes + 1 final = 7.
+        assert!(st.data_appends <= 8, "batching failed: {} appends", st.data_appends);
+        assert_eq!(b.len(&p.data_dropping(1)).unwrap(), 6400);
+    }
+
+    #[test]
+    fn close_leaves_meta_and_clears_openhosts() {
+        let (b, p, clock) = setup();
+        let mut w = writer(&b, &p, &clock, 2, WriterConfig::default());
+        w.write_at(0, &[1u8; 128]).unwrap();
+        let stats = w.close().unwrap();
+        assert_eq!(stats.bytes, 128);
+        assert!(b.list(&p.openhosts_dir()).unwrap().is_empty());
+        let metas = crate::container::read_meta(b.as_ref(), &p).unwrap();
+        assert_eq!(metas.len(), 1);
+        assert_eq!(metas[0].rank, 2);
+        assert_eq!(metas[0].eof, 128);
+    }
+
+    #[test]
+    fn compressed_index_is_smaller_for_strided_pattern() {
+        let run = |compress: bool| {
+            let (b, p, clock) = setup();
+            let cfg = WriterConfig { data_buffer: 0, compress_index: compress, index_flush_every: 1 << 30 };
+            let mut w = writer(&b, &p, &clock, 0, cfg);
+            for i in 0..1000u64 {
+                w.write_at(i * 8192, &[0u8; 1024]).unwrap();
+            }
+            w.sync().unwrap();
+            w.stats().index_bytes
+        };
+        let raw = run(false);
+        let compressed = run(true);
+        assert!(
+            compressed * 20 < raw,
+            "pattern compression ineffective: {compressed} vs {raw}"
+        );
+    }
+
+    #[test]
+    fn reopen_resumes_at_log_tail() {
+        let (b, p, clock) = setup();
+        let mut w = writer(&b, &p, &clock, 0, WriterConfig { data_buffer: 0, ..Default::default() });
+        w.write_at(0, b"12345").unwrap();
+        w.close().unwrap();
+        let mut w2 = writer(&b, &p, &clock, 0, WriterConfig { data_buffer: 0, ..Default::default() });
+        w2.write_at(100, b"678").unwrap();
+        w2.sync().unwrap();
+        let idx = decode(&b.read_all(&p.index_dropping(0)).unwrap()).unwrap();
+        assert_eq!(idx[1].physical_offset, 5, "second session must resume at tail");
+        assert_eq!(b.read_all(&p.data_dropping(0)).unwrap(), b"12345678");
+    }
+
+    #[test]
+    fn drop_without_close_still_flushes() {
+        let (b, p, clock) = setup();
+        {
+            let mut w = writer(&b, &p, &clock, 0, WriterConfig::default());
+            w.write_at(0, &[9u8; 10]).unwrap();
+            // dropped here
+        }
+        assert_eq!(b.len(&p.data_dropping(0)).unwrap(), 10);
+        assert!(b.len(&p.index_dropping(0)).unwrap() > 0);
+    }
+}

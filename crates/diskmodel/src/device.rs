@@ -1,0 +1,135 @@
+//! The block-device abstraction consumed by higher-level simulators.
+
+use simkit::SimDuration;
+
+/// Direction of a device operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoKind {
+    Read,
+    Write,
+}
+
+/// One device-level request: a contiguous extent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DevOp {
+    pub kind: IoKind,
+    /// Byte offset on the device.
+    pub offset: u64,
+    /// Length in bytes. Zero-length ops are legal no-ops.
+    pub len: u64,
+}
+
+impl DevOp {
+    pub fn read(offset: u64, len: u64) -> Self {
+        DevOp { kind: IoKind::Read, offset, len }
+    }
+
+    pub fn write(offset: u64, len: u64) -> Self {
+        DevOp { kind: IoKind::Write, offset, len }
+    }
+
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+}
+
+/// Cumulative counters maintained by every device model.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DeviceStats {
+    pub reads: u64,
+    pub writes: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    /// Total busy time charged.
+    pub busy: SimDuration,
+    /// Requests that continued a sequential stream (no positioning cost).
+    pub sequential_hits: u64,
+}
+
+impl DeviceStats {
+    pub fn ops(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Mean service time per op, seconds.
+    pub fn mean_service_secs(&self) -> f64 {
+        if self.ops() == 0 {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / self.ops() as f64
+        }
+    }
+
+    /// Achieved IOPS while busy.
+    pub fn busy_iops(&self) -> f64 {
+        let s = self.busy.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.ops() as f64 / s
+        }
+    }
+
+    /// Achieved bandwidth while busy (bytes/sec).
+    pub fn busy_bandwidth(&self) -> f64 {
+        let s = self.busy.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            (self.bytes_read + self.bytes_written) as f64 / s
+        }
+    }
+}
+
+/// A storage device that turns a request into a service time.
+///
+/// Models are stateful: service time depends on head position, FTL pool
+/// state, etc., so requests must be submitted in the order the simulated
+/// server would issue them.
+pub trait BlockDevice {
+    /// Charge one request and return its service time.
+    fn service(&mut self, op: DevOp) -> SimDuration;
+
+    /// Addressable capacity in bytes.
+    fn capacity(&self) -> u64;
+
+    /// Cumulative counters.
+    fn stats(&self) -> DeviceStats;
+
+    /// Zero the counters (device state such as head position and FTL
+    /// mapping is preserved).
+    fn reset_stats(&mut self);
+
+    /// Short human-readable model name.
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn devop_constructors() {
+        let r = DevOp::read(100, 50);
+        assert_eq!(r.kind, IoKind::Read);
+        assert_eq!(r.end(), 150);
+        let w = DevOp::write(0, 10);
+        assert_eq!(w.kind, IoKind::Write);
+    }
+
+    #[test]
+    fn stats_derived_rates() {
+        let s = DeviceStats {
+            reads: 10,
+            writes: 10,
+            bytes_read: 1_000_000,
+            bytes_written: 1_000_000,
+            busy: SimDuration::from_secs(2),
+            sequential_hits: 5,
+        };
+        assert_eq!(s.ops(), 20);
+        assert!((s.busy_iops() - 10.0).abs() < 1e-9);
+        assert!((s.busy_bandwidth() - 1_000_000.0).abs() < 1e-6);
+        assert!((s.mean_service_secs() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,177 @@
+//! Device profile library.
+//!
+//! The five flash devices of report **Table 1** ("Performance
+//! Characteristics of the Flash Devices", §5.2.2), parameterized from
+//! the published peak bandwidths and 4 KiB IOPS, plus the reference
+//! spinning disks the report compares against ("a regular SATA hard
+//! drive today can support approximately 80 MB/s or 90 IOPs").
+//!
+//! Capacities are scaled down by default so simulations that must
+//! overwrite the whole device several times (Fig. 14) stay fast; the
+//! FTL behaviour depends on the *ratio* of spare to logical capacity,
+//! not its absolute size.
+
+use crate::flash::{FlashDevice, FtlConfig};
+use crate::hdd::{DiskDevice, DiskParams};
+use simkit::units::GIB;
+
+/// A row of Table 1: published headline numbers for one flash device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashHeadline {
+    pub name: &'static str,
+    pub connection: &'static str,
+    pub read_mb_s: f64,
+    pub write_mb_s: f64,
+    pub read_kiops: f64,
+    pub write_kiops: f64,
+    /// Estimated spare-capacity fraction (not published; chosen so the
+    /// Fig. 14 degradation ordering reproduces: consumer SATA parts
+    /// carry little spare flash, enterprise PCIe parts carry a lot).
+    pub over_provision: f64,
+}
+
+/// Table 1, verbatim headline numbers.
+pub const TABLE1: [FlashHeadline; 5] = [
+    FlashHeadline {
+        name: "Intel X25-M",
+        connection: "SATA",
+        read_mb_s: 200.0,
+        write_mb_s: 100.0,
+        read_kiops: 19.1,
+        write_kiops: 1.49,
+        over_provision: 0.08,
+    },
+    FlashHeadline {
+        name: "OCZ Colossus",
+        connection: "SATA",
+        read_mb_s: 200.0,
+        write_mb_s: 200.0,
+        read_kiops: 5.21,
+        write_kiops: 1.85,
+        over_provision: 0.07,
+    },
+    FlashHeadline {
+        name: "FusionIO ioDrive Duo",
+        connection: "PCIe-4x",
+        read_mb_s: 800.0,
+        write_mb_s: 690.0,
+        read_kiops: 107.0,
+        write_kiops: 111.0,
+        over_provision: 0.35,
+    },
+    FlashHeadline {
+        name: "TMS RamSan20",
+        connection: "PCIe-4x",
+        read_mb_s: 700.0,
+        write_mb_s: 675.0,
+        read_kiops: 143.0,
+        write_kiops: 156.0,
+        over_provision: 0.40,
+    },
+    FlashHeadline {
+        name: "Virident tachION",
+        connection: "PCIe-8x",
+        read_mb_s: 1200.0,
+        write_mb_s: 1200.0,
+        read_kiops: 156.0,
+        write_kiops: 118.0,
+        over_provision: 0.45,
+    },
+];
+
+impl FlashHeadline {
+    /// Instantiate a simulated device with the given logical capacity.
+    pub fn device(&self, capacity: u64) -> FlashDevice {
+        FlashDevice::new(FtlConfig::from_headline(
+            self.name,
+            capacity,
+            self.read_mb_s,
+            self.write_mb_s,
+            self.read_kiops,
+            self.write_kiops,
+            self.over_provision,
+        ))
+    }
+}
+
+/// Reference spinning disk: nearline 7200 rpm SATA (≈80–90 MB/s,
+/// ≈90 IOPS).
+pub fn reference_sata(capacity_gib: u64) -> DiskDevice {
+    DiskDevice::new(DiskParams::nearline_sata(capacity_gib * GIB))
+}
+
+/// Enterprise 15k SAS disk as deployed behind checkpoint-tier object
+/// servers.
+pub fn reference_sas(capacity_gib: u64) -> DiskDevice {
+    DiskDevice::new(DiskParams::sas_15k(capacity_gib * GIB))
+}
+
+/// Look a Table 1 device up by (case-insensitive) substring.
+pub fn flash_by_name(name: &str) -> Option<&'static FlashHeadline> {
+    let needle = name.to_ascii_lowercase();
+    TABLE1
+        .iter()
+        .find(|h| h.name.to_ascii_lowercase().contains(&needle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{BlockDevice, DevOp};
+    use simkit::units::MIB;
+
+    #[test]
+    fn table1_has_all_five_devices() {
+        assert_eq!(TABLE1.len(), 5);
+        assert!(flash_by_name("x25").is_some());
+        assert!(flash_by_name("fusionio").is_some());
+        assert!(flash_by_name("tachion").is_some());
+        assert!(flash_by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn each_device_meets_its_headline_read_iops() {
+        for h in &TABLE1 {
+            let mut d = h.device(64 * MIB);
+            let mut total = simkit::SimDuration::ZERO;
+            let n = 500u64;
+            for i in 0..n {
+                let page = (i * 7919) % (64 * MIB / 4096);
+                total += d.service(DevOp::read(page * 4096, 4096));
+            }
+            let kiops = n as f64 / total.as_secs_f64() / 1e3;
+            assert!(
+                (kiops - h.read_kiops).abs() / h.read_kiops < 0.05,
+                "{}: read kIOPS {kiops} vs headline {}",
+                h.name,
+                h.read_kiops
+            );
+        }
+    }
+
+    #[test]
+    fn pcie_devices_outrun_sata_devices() {
+        let sata = flash_by_name("x25").unwrap();
+        let pcie = flash_by_name("virident").unwrap();
+        assert!(pcie.read_mb_s > 5.0 * sata.read_mb_s);
+        assert!(pcie.write_kiops > 50.0 * sata.write_kiops);
+    }
+
+    #[test]
+    fn reference_disk_is_two_orders_below_flash_on_iops() {
+        // Report: disks are "closer to 100 IOPS" while flash random
+        // reads are phenomenally higher.
+        let mut disk = reference_sata(100);
+        let cap = disk.capacity();
+        let mut total = simkit::SimDuration::ZERO;
+        let n = 200u64;
+        let mut pos = 0;
+        for _ in 0..n {
+            pos = (pos + cap / 7 + 13 * MIB) % (cap - 4096);
+            total += disk.service(DevOp::read(pos, 4096));
+        }
+        let disk_iops = n as f64 / total.as_secs_f64();
+        let flash_iops = TABLE1[0].read_kiops * 1e3;
+        assert!(flash_iops / disk_iops > 100.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! The GIGA+ directory data structure (functional core).
+//!
+//! A real, lookup-correct implementation of the partitioned directory:
+//! inserts, lookups, removals, and partition splits, with the invariants
+//! the FAST'11 paper relies on:
+//!
+//! 1. every partition id matches the low `depth` bits of every hash it
+//!    stores;
+//! 2. partitions' hash ranges are disjoint and cover the hash space;
+//! 3. a stale-bitmap lookup lands on an *ancestor* of the correct
+//!    partition, never a wrong sibling — so forwarding is always local.
+
+use crate::hashing::{hash_name, mask, server_of_partition, Bitmap};
+use std::collections::HashMap;
+
+/// One hash-range partition of the directory.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    pub id: u64,
+    pub depth: u32,
+    /// name -> hash (kept for split redistribution).
+    entries: HashMap<String, u64>,
+}
+
+impl Partition {
+    fn new(id: u64, depth: u32) -> Self {
+        Partition { id, depth, entries: HashMap::new() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A scalable directory: partitions + the authoritative bitmap.
+#[derive(Debug, Clone)]
+pub struct GigaDirectory {
+    partitions: HashMap<u64, Partition>,
+    bitmap: Bitmap,
+    /// Entries per partition before it splits.
+    split_threshold: usize,
+    servers: usize,
+    splits: u64,
+    migrated: u64,
+}
+
+impl GigaDirectory {
+    pub fn new(servers: usize, split_threshold: usize) -> Self {
+        assert!(servers > 0 && split_threshold > 0);
+        let mut partitions = HashMap::new();
+        partitions.insert(0, Partition::new(0, 0));
+        GigaDirectory {
+            partitions,
+            bitmap: Bitmap::new(),
+            split_threshold,
+            servers,
+            splits: 0,
+            migrated: 0,
+        }
+    }
+
+    pub fn bitmap(&self) -> &Bitmap {
+        &self.bitmap
+    }
+
+    pub fn len(&self) -> usize {
+        self.partitions.values().map(|p| p.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total splits performed.
+    pub fn splits(&self) -> u64 {
+        self.splits
+    }
+
+    /// Total entries migrated by splits.
+    pub fn migrated(&self) -> u64 {
+        self.migrated
+    }
+
+    /// The server currently responsible for `name`.
+    pub fn server_of(&self, name: &str) -> usize {
+        let p = self.bitmap.partition_of(hash_name(name));
+        server_of_partition(p, self.servers)
+    }
+
+    /// Insert a name. Returns `false` if it already existed.
+    pub fn insert(&mut self, name: &str) -> bool {
+        let h = hash_name(name);
+        let pid = self.bitmap.partition_of(h);
+        let part = self.partitions.get_mut(&pid).expect("bitmap names missing partition");
+        if part.entries.contains_key(name) {
+            return false;
+        }
+        part.entries.insert(name.to_string(), h);
+        if part.len() > self.split_threshold {
+            self.split(pid);
+        }
+        true
+    }
+
+    /// Does the directory contain `name`?
+    pub fn contains(&self, name: &str) -> bool {
+        let h = hash_name(name);
+        let pid = self.bitmap.partition_of(h);
+        self.partitions[&pid].entries.contains_key(name)
+    }
+
+    /// Remove a name. Returns `true` if present.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let h = hash_name(name);
+        let pid = self.bitmap.partition_of(h);
+        self.partitions
+            .get_mut(&pid)
+            .map(|p| p.entries.remove(name).is_some())
+            .unwrap_or(false)
+    }
+
+    /// Split partition `pid`, moving entries whose next hash bit is 1
+    /// into the new sibling.
+    fn split(&mut self, pid: u64) {
+        let (depth, moved): (u32, Vec<(String, u64)>) = {
+            let part = self.partitions.get_mut(&pid).unwrap();
+            let d = part.depth;
+            let bit = 1u64 << d;
+            let mut moved = Vec::new();
+            part.entries.retain(|name, &mut h| {
+                if h & bit != 0 {
+                    moved.push((name.clone(), h));
+                    false
+                } else {
+                    true
+                }
+            });
+            part.depth = d + 1;
+            (d, moved)
+        };
+        let sibling_id = self.bitmap.record_split(pid, depth);
+        let mut sibling = Partition::new(sibling_id, depth + 1);
+        self.migrated += moved.len() as u64;
+        self.splits += 1;
+        sibling.entries.extend(moved);
+        self.partitions.insert(sibling_id, sibling);
+    }
+
+    /// Validate structural invariants (used by tests and proptests).
+    pub fn check_invariants(&self) {
+        let mut total = 0usize;
+        for (id, p) in &self.partitions {
+            assert_eq!(*id, p.id);
+            assert!(self.bitmap.contains(*id), "partition {id} missing from bitmap");
+            for (name, &h) in &p.entries {
+                assert_eq!(hash_name(name), h);
+                assert_eq!(
+                    h & mask(p.depth),
+                    *id,
+                    "entry {name} in wrong partition {id} (depth {})",
+                    p.depth
+                );
+                // The bitmap must route this hash right back here.
+                assert_eq!(self.bitmap.partition_of(h), *id);
+            }
+            total += p.len();
+        }
+        assert_eq!(total, self.len());
+    }
+
+    /// Per-partition sizes keyed by server — used to verify load spread.
+    pub fn load_by_server(&self) -> Vec<usize> {
+        let mut load = vec![0usize; self.servers];
+        for p in self.partitions.values() {
+            load[server_of_partition(p.id, self.servers)] += p.len();
+        }
+        load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_contains() {
+        let mut d = GigaDirectory::new(4, 100);
+        assert!(d.insert("file.0"));
+        assert!(!d.insert("file.0"));
+        assert!(d.contains("file.0"));
+        assert!(!d.contains("file.1"));
+        d.check_invariants();
+    }
+
+    #[test]
+    fn splits_happen_and_lookups_survive() {
+        let mut d = GigaDirectory::new(4, 64);
+        let names: Vec<String> = (0..10_000).map(|i| format!("f{i:06}")).collect();
+        for n in &names {
+            assert!(d.insert(n));
+        }
+        assert!(d.splits() > 0, "no splits at 10k entries with threshold 64");
+        assert!(d.partition_count() > 64);
+        for n in &names {
+            assert!(d.contains(n), "lost {n} after splits");
+        }
+        d.check_invariants();
+    }
+
+    #[test]
+    fn removal_works_after_splits() {
+        let mut d = GigaDirectory::new(2, 32);
+        for i in 0..1000 {
+            d.insert(&format!("x{i}"));
+        }
+        for i in 0..1000 {
+            assert!(d.remove(&format!("x{i}")), "missing x{i}");
+        }
+        assert!(d.is_empty());
+        d.check_invariants();
+    }
+
+    #[test]
+    fn load_spreads_across_servers() {
+        let mut d = GigaDirectory::new(8, 64);
+        for i in 0..20_000 {
+            d.insert(&format!("entry-{i}"));
+        }
+        let load = d.load_by_server();
+        let max = *load.iter().max().unwrap() as f64;
+        let min = *load.iter().min().unwrap() as f64;
+        assert!(min > 0.0, "a server got nothing: {load:?}");
+        assert!(max / min < 3.0, "imbalanced load: {load:?}");
+    }
+
+    #[test]
+    fn stale_bitmap_routes_to_holder_or_ancestor() {
+        let mut d = GigaDirectory::new(4, 16);
+        let stale = d.bitmap().clone();
+        for i in 0..2000 {
+            d.insert(&format!("n{i}"));
+        }
+        // A lookup with the stale bitmap must land on an ancestor whose
+        // id is a prefix (low-bits) of the true partition.
+        for i in 0..2000 {
+            let h = hash_name(&format!("n{i}"));
+            let true_p = d.bitmap().partition_of(h);
+            let stale_p = stale.partition_of(h);
+            // stale partition id must equal true id's low bits at the
+            // stale partition's (shallower or equal) depth.
+            let mut matched = false;
+            for depth in 0..=64u32 {
+                if h & mask(depth) == stale_p {
+                    matched = true;
+                    break;
+                }
+                if depth > 0 && h & mask(depth) == true_p {
+                    break;
+                }
+            }
+            assert!(matched, "stale route {stale_p} not an ancestor of {true_p}");
+        }
+    }
+
+    #[test]
+    fn migrated_entries_bounded_by_half_per_split() {
+        let mut d = GigaDirectory::new(4, 100);
+        for i in 0..50_000 {
+            d.insert(&format!("m{i}"));
+        }
+        // Each split moves at most threshold+1 entries (about half on
+        // average); migration per split must stay near that bound.
+        let per_split = d.migrated() as f64 / d.splits() as f64;
+        assert!(per_split <= 101.0, "split moved too much: {per_split}");
+        assert!(per_split >= 20.0, "splits suspiciously empty: {per_split}");
+    }
+}

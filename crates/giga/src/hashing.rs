@@ -1,0 +1,187 @@
+//! GIGA+ hash-space partitioning: the split bitmap.
+//!
+//! GIGA+ (Patil & Gibson, FAST'11; CMU-PDL-08-110) divides a directory's
+//! hash space over partitions identified by the *low bits* of the name
+//! hash. A partition with id `i` at depth `d` owns every hash whose low
+//! `d` bits equal `i`. Splitting `i` at depth `d` creates partition
+//! `i + 2^d` at depth `d+1` (taking the hashes whose bit `d` is 1) and
+//! deepens `i` to `d+1`. The *bitmap* of existing partition ids is the
+//! only state a client needs to address a name — and it tolerates
+//! staleness: a stale bitmap addresses the split ancestor, whose server
+//! forwards/corrects, so clients never block on split propagation.
+
+/// FNV-1a hash of a file name — stable across runs and platforms.
+pub fn hash_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The split-history bitmap: which partition ids exist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    /// bits[i] == true iff partition id `i` exists.
+    bits: Vec<bool>,
+    /// Maximum depth any partition has reached.
+    max_depth: u32,
+}
+
+impl Default for Bitmap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bitmap {
+    /// A fresh directory: a single partition 0 at depth 0.
+    pub fn new() -> Self {
+        Bitmap { bits: vec![true], max_depth: 0 }
+    }
+
+    pub fn max_depth(&self) -> u32 {
+        self.max_depth
+    }
+
+    pub fn partition_count(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    pub fn contains(&self, id: u64) -> bool {
+        (id as usize) < self.bits.len() && self.bits[id as usize]
+    }
+
+    /// Record that partition `id` at depth `depth` split, creating
+    /// `id + 2^depth`.
+    pub fn record_split(&mut self, id: u64, depth: u32) -> u64 {
+        debug_assert!(self.contains(id), "splitting unknown partition {id}");
+        let sibling = id + (1u64 << depth);
+        let need = sibling as usize + 1;
+        if self.bits.len() < need {
+            self.bits.resize(need, false);
+        }
+        self.bits[sibling as usize] = true;
+        self.max_depth = self.max_depth.max(depth + 1);
+        sibling
+    }
+
+    /// The partition id this bitmap addresses `hash` to: the deepest
+    /// existing partition whose id matches the hash's low bits.
+    pub fn partition_of(&self, hash: u64) -> u64 {
+        let mut d = self.max_depth;
+        loop {
+            let id = hash & mask(d);
+            if self.contains(id) {
+                return id;
+            }
+            debug_assert!(d > 0, "partition 0 must always exist");
+            d -= 1;
+        }
+    }
+
+    /// Merge knowledge from `other` (used when a server returns a
+    /// bitmap update to a stale client).
+    pub fn merge(&mut self, other: &Bitmap) {
+        if other.bits.len() > self.bits.len() {
+            self.bits.resize(other.bits.len(), false);
+        }
+        for (i, &b) in other.bits.iter().enumerate() {
+            if b {
+                self.bits[i] = true;
+            }
+        }
+        self.max_depth = self.max_depth.max(other.max_depth);
+    }
+}
+
+#[inline]
+pub fn mask(depth: u32) -> u64 {
+    if depth >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << depth) - 1
+    }
+}
+
+/// Round-robin partition-to-server mapping used by GIGA+: partitions
+/// spread over servers as they are created.
+pub fn server_of_partition(partition: u64, servers: usize) -> usize {
+    (partition % servers as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_bitmap_routes_everything_to_zero() {
+        let b = Bitmap::new();
+        assert_eq!(b.partition_of(0), 0);
+        assert_eq!(b.partition_of(u64::MAX), 0);
+        assert_eq!(b.partition_count(), 1);
+    }
+
+    #[test]
+    fn split_separates_by_bit() {
+        let mut b = Bitmap::new();
+        let sib = b.record_split(0, 0);
+        assert_eq!(sib, 1);
+        // Even hashes stay in 0, odd hashes go to 1.
+        assert_eq!(b.partition_of(0b100), 0);
+        assert_eq!(b.partition_of(0b101), 1);
+        assert_eq!(b.partition_count(), 2);
+    }
+
+    #[test]
+    fn deep_split_tree_routes_consistently() {
+        let mut b = Bitmap::new();
+        b.record_split(0, 0); // -> 0,1 at depth 1
+        b.record_split(0, 1); // -> 0,2 at depth 2
+        b.record_split(1, 1); // -> 1,3 at depth 2
+        b.record_split(2, 2); // -> 2,6 at depth 3
+        for hash in 0..64u64 {
+            let p = b.partition_of(hash);
+            assert!(b.contains(p));
+            // The partition id must match the hash's low bits at *some*
+            // depth <= max_depth.
+            let ok = (0..=b.max_depth()).any(|d| hash & mask(d) == p);
+            assert!(ok, "hash {hash} routed to inconsistent partition {p}");
+        }
+    }
+
+    #[test]
+    fn stale_bitmap_routes_to_ancestor() {
+        let mut fresh = Bitmap::new();
+        let stale = fresh.clone();
+        fresh.record_split(0, 0);
+        // Hash 1 now lives in partition 1, but the stale map still says 0
+        // — the split *ancestor*, which holds the forwarding state.
+        assert_eq!(fresh.partition_of(1), 1);
+        assert_eq!(stale.partition_of(1), 0);
+    }
+
+    #[test]
+    fn merge_brings_client_up_to_date() {
+        let mut fresh = Bitmap::new();
+        fresh.record_split(0, 0);
+        fresh.record_split(1, 1);
+        let mut stale = Bitmap::new();
+        stale.merge(&fresh);
+        assert_eq!(stale, fresh);
+    }
+
+    #[test]
+    fn hash_is_stable() {
+        assert_eq!(hash_name("checkpoint.0001"), hash_name("checkpoint.0001"));
+        assert_ne!(hash_name("a"), hash_name("b"));
+    }
+
+    #[test]
+    fn server_mapping_round_robins() {
+        assert_eq!(server_of_partition(0, 4), 0);
+        assert_eq!(server_of_partition(5, 4), 1);
+        assert_eq!(server_of_partition(7, 4), 3);
+    }
+}

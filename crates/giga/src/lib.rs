@@ -1,0 +1,22 @@
+//! # giga — GIGA+ scalable directories
+//!
+//! Reproduction of GIGA+ (Patil & Gibson; CMU-PDL-08-110 / FAST'11), the
+//! PDSI metadata exploration behind report §4.2.2 and Fig. 7: hash
+//! partitioning of one huge directory over many servers with
+//! *incremental* splitting and *stale-tolerant* client routing, so that
+//! concurrent create storms (the UCAR Metarates workload) scale with
+//! server count instead of serializing on one metadata server.
+//!
+//! - [`hashing`]: the split-history bitmap and name hashing.
+//! - [`dir`]: the partitioned directory data structure itself, with
+//!   checked invariants.
+//! - [`simulate`]: Metarates create-storm timing over the real data
+//!   structure (Fig. 7 regenerator).
+
+pub mod dir;
+pub mod hashing;
+pub mod simulate;
+
+pub use dir::GigaDirectory;
+pub use hashing::{hash_name, Bitmap};
+pub use simulate::{run_metarates, scaling_sweep, MetaratesConfig, MetaratesReport, Scheme};

@@ -1,0 +1,222 @@
+//! Metarates-style create-storm timing simulation (Fig. 7).
+//!
+//! The report's Fig. 7 shows GIGA+ scale/performance under the UCAR
+//! Metarates benchmark: many clients concurrently creating files in one
+//! directory, versus the single-metadata-server baseline that deployed
+//! parallel file systems offered. This module drives the real
+//! [`GigaDirectory`] data structure with simulated timing: per-server
+//! service timelines, per-client RPC streams, stale-bitmap retries, and
+//! split migration costs.
+
+use crate::dir::GigaDirectory;
+use crate::hashing::{hash_name, server_of_partition, Bitmap};
+use simkit::{SimDuration, SimTime, Timeline};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// How directory metadata is spread over servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// GIGA+: incremental splitting, stale client maps, lazy correction.
+    GigaPlus,
+    /// Everything on one metadata server (the deployed-system baseline).
+    SingleServer,
+    /// Oracle: clients always address the correct GIGA+ partition
+    /// (upper bound — no addressing errors, splits still cost).
+    OracleHash,
+}
+
+/// Create-storm benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct MetaratesConfig {
+    pub clients: usize,
+    pub files_per_client: usize,
+    pub servers: usize,
+    pub scheme: Scheme,
+    /// Entries per partition before splitting.
+    pub split_threshold: usize,
+    /// Server CPU time per create.
+    pub create_cost: SimDuration,
+    /// One-way network latency per hop.
+    pub rpc: SimDuration,
+    /// Server time to migrate one entry during a split.
+    pub migrate_per_entry: SimDuration,
+}
+
+impl MetaratesConfig {
+    pub fn new(clients: usize, files_per_client: usize, servers: usize, scheme: Scheme) -> Self {
+        MetaratesConfig {
+            clients,
+            files_per_client,
+            servers,
+            scheme,
+            split_threshold: 2000,
+            create_cost: SimDuration::from_micros(300),
+            rpc: SimDuration::from_micros(20),
+            migrate_per_entry: SimDuration::from_micros(5),
+        }
+    }
+}
+
+/// Results of one create-storm run.
+#[derive(Debug, Clone)]
+pub struct MetaratesReport {
+    pub makespan: SimDuration,
+    pub creates: u64,
+    /// Client requests that hit a stale-map server and were re-routed.
+    pub addressing_errors: u64,
+    pub splits: u64,
+    pub partitions: usize,
+}
+
+impl MetaratesReport {
+    pub fn create_rate(&self) -> f64 {
+        self.creates as f64 / self.makespan.as_secs_f64()
+    }
+}
+
+/// Run the create storm.
+pub fn run_metarates(cfg: &MetaratesConfig) -> MetaratesReport {
+    assert!(cfg.servers > 0 && cfg.clients > 0);
+    let mut dir = GigaDirectory::new(cfg.servers, cfg.split_threshold);
+    let mut servers = vec![Timeline::new(); cfg.servers];
+    let mut client_maps = vec![Bitmap::new(); cfg.clients];
+    let mut addressing_errors = 0u64;
+
+    // Earliest-ready client scheduling.
+    let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> =
+        (0..cfg.clients).map(|c| Reverse((SimTime::ZERO, c))).collect();
+    let mut next_file = vec![0usize; cfg.clients];
+    let mut makespan = SimTime::ZERO;
+
+    while let Some(Reverse((ready, c))) = heap.pop() {
+        let i = next_file[c];
+        next_file[c] += 1;
+        let name = format!("metarates.{c}.{i}");
+        let hash = hash_name(&name);
+
+        let done = match cfg.scheme {
+            Scheme::SingleServer => {
+                let (_, end) = servers[0].reserve(ready + cfg.rpc, cfg.create_cost);
+                dir.insert(&name);
+                end + cfg.rpc
+            }
+            Scheme::GigaPlus | Scheme::OracleHash => {
+                let true_pid = dir.bitmap().partition_of(hash);
+                let true_server = server_of_partition(true_pid, cfg.servers);
+                let mut t = ready;
+                if cfg.scheme == Scheme::GigaPlus {
+                    // Follow the client's stale map; each wrong hop costs
+                    // a round trip and returns a bitmap refresh.
+                    let mut hops = 0u32;
+                    loop {
+                        let guess = client_maps[c].partition_of(hash);
+                        let guess_server = server_of_partition(guess, cfg.servers);
+                        if guess_server == true_server {
+                            break;
+                        }
+                        addressing_errors += 1;
+                        hops += 1;
+                        t += cfg.rpc * 2;
+                        client_maps[c].merge(dir.bitmap());
+                        debug_assert!(hops <= 64, "routing loop");
+                    }
+                }
+                let before = dir.splits();
+                dir.insert(&name);
+                let mut service = cfg.create_cost;
+                if dir.splits() > before {
+                    // This create triggered a split: the server pays the
+                    // migration inline (the paper's incremental split).
+                    let moved = cfg.split_threshold as u64 / 2;
+                    service += cfg.migrate_per_entry * moved;
+                }
+                let (_, end) = servers[true_server].reserve(t + cfg.rpc, service);
+                end + cfg.rpc
+            }
+        };
+
+        makespan = makespan.max_of(done);
+        if next_file[c] < cfg.files_per_client {
+            heap.push(Reverse((done, c)));
+        }
+    }
+
+    MetaratesReport {
+        makespan: makespan.since(SimTime::ZERO),
+        creates: (cfg.clients * cfg.files_per_client) as u64,
+        addressing_errors,
+        splits: dir.splits(),
+        partitions: dir.partition_count(),
+    }
+}
+
+/// Sweep server counts, reporting create rate per point — the Fig. 7
+/// series.
+pub fn scaling_sweep(
+    clients: usize,
+    files_per_client: usize,
+    server_counts: &[usize],
+    scheme: Scheme,
+) -> Vec<(usize, f64)> {
+    server_counts
+        .iter()
+        .map(|&s| {
+            let cfg = MetaratesConfig::new(clients, files_per_client, s, scheme);
+            (s, run_metarates(&cfg).create_rate())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn giga_scales_with_servers() {
+        let sweep = scaling_sweep(64, 500, &[1, 4, 16], Scheme::GigaPlus);
+        let r1 = sweep[0].1;
+        let r16 = sweep[2].1;
+        assert!(
+            r16 > 5.0 * r1,
+            "GIGA+ should scale: 1 server {r1:.0}/s vs 16 servers {r16:.0}/s"
+        );
+    }
+
+    #[test]
+    fn single_server_does_not_scale() {
+        let sweep = scaling_sweep(64, 200, &[1, 16], Scheme::SingleServer);
+        let ratio = sweep[1].1 / sweep[0].1;
+        assert!(ratio < 1.2, "single-server baseline 'scaled' {ratio:.2}x");
+    }
+
+    #[test]
+    fn giga_beats_single_server_at_scale() {
+        let giga = run_metarates(&MetaratesConfig::new(64, 500, 16, Scheme::GigaPlus));
+        let single = run_metarates(&MetaratesConfig::new(64, 500, 16, Scheme::SingleServer));
+        assert!(giga.create_rate() > 4.0 * single.create_rate());
+    }
+
+    #[test]
+    fn stale_maps_cause_bounded_addressing_errors() {
+        let rep = run_metarates(&MetaratesConfig::new(32, 1000, 8, Scheme::GigaPlus));
+        assert!(rep.addressing_errors > 0, "expected some stale hits");
+        // FAST'11 result: addressing errors are a tiny fraction of ops.
+        let frac = rep.addressing_errors as f64 / rep.creates as f64;
+        assert!(frac < 0.2, "too many addressing errors: {frac}");
+    }
+
+    #[test]
+    fn oracle_at_least_as_fast_as_giga() {
+        let giga = run_metarates(&MetaratesConfig::new(32, 500, 8, Scheme::GigaPlus));
+        let oracle = run_metarates(&MetaratesConfig::new(32, 500, 8, Scheme::OracleHash));
+        assert!(oracle.create_rate() >= giga.create_rate() * 0.99);
+    }
+
+    #[test]
+    fn splits_grow_partition_count() {
+        let rep = run_metarates(&MetaratesConfig::new(16, 2000, 8, Scheme::GigaPlus));
+        assert!(rep.splits > 0);
+        assert!(rep.partitions > 8);
+    }
+}

@@ -1,0 +1,212 @@
+//! The Fig. 13 experiment: stacked I/O-middleware optimizations.
+//!
+//! NERSC's HDF5 tuning collaboration (report §5.2.1) took Chombo and
+//! GCRM from a baseline of small unaligned formatted writes to "up to
+//! 33×" by layering optimizations. We replay an h5lite-shaped workload
+//! through the `pfs` cluster simulator at each rung of the same ladder:
+//! baseline → data sieving → two-phase collective buffering → stripe
+//! alignment → layout-aware aggregation.
+
+use crate::pattern::{data_sieve, layout_aware, pattern_bytes, two_phase, Pattern};
+use pfs::{Cluster, ClusterConfig, Op};
+use simkit::SimDuration;
+
+/// One rung of the optimization ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    Baseline,
+    Sieving,
+    Collective,
+    Aligned,
+    LayoutAware,
+}
+
+impl Stage {
+    pub const ALL: [Stage; 5] = [
+        Stage::Baseline,
+        Stage::Sieving,
+        Stage::Collective,
+        Stage::Aligned,
+        Stage::LayoutAware,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Baseline => "baseline (independent, unaligned)",
+            Stage::Sieving => "+ data sieving",
+            Stage::Collective => "+ two-phase collective buffering",
+            Stage::Aligned => "+ stripe-aligned domains",
+            Stage::LayoutAware => "+ layout-aware aggregation",
+        }
+    }
+}
+
+/// An h5lite-shaped application workload: every rank writes `chunks`
+/// records of `chunk_bytes` into a shared dataset, interleaved
+/// round-robin (block-cyclic hyperslabs), and rank 0 dribbles the
+/// format's metadata as small unaligned writes.
+#[derive(Debug, Clone)]
+pub struct FormattedWorkload {
+    pub ranks: u32,
+    pub chunks_per_rank: u32,
+    pub chunk_bytes: u64,
+    /// Metadata writes rank 0 issues (object headers, attributes).
+    pub metadata_writes: u32,
+    pub metadata_bytes: u64,
+}
+
+impl FormattedWorkload {
+    /// Chombo-like: AMR boxes — many modest unaligned chunks.
+    pub fn chombo(ranks: u32) -> Self {
+        FormattedWorkload {
+            ranks,
+            chunks_per_rank: 48,
+            chunk_bytes: 37 * 1024,
+            metadata_writes: 200,
+            metadata_bytes: 512,
+        }
+    }
+
+    /// GCRM-like: geodesic-grid columns — more data, slightly larger
+    /// chunks.
+    pub fn gcrm(ranks: u32) -> Self {
+        FormattedWorkload {
+            ranks,
+            chunks_per_rank: 32,
+            chunk_bytes: 96 * 1024,
+            metadata_writes: 120,
+            metadata_bytes: 768,
+        }
+    }
+
+    /// The raw per-rank pattern (rank 0 carries the metadata dribble).
+    pub fn pattern(&self) -> Pattern {
+        let data_base = 1 << 16; // metadata region below
+        let mut p: Pattern = (0..self.ranks)
+            .map(|r| {
+                (0..self.chunks_per_rank)
+                    .map(|i| {
+                        let idx = i as u64 * self.ranks as u64 + r as u64;
+                        (data_base + idx * self.chunk_bytes, self.chunk_bytes)
+                    })
+                    .collect()
+            })
+            .collect();
+        for m in 0..self.metadata_writes {
+            p[0].push((m as u64 * self.metadata_bytes, self.metadata_bytes));
+        }
+        p
+    }
+}
+
+/// Bandwidth of one stage, bytes/sec.
+pub fn run_stage(stage: Stage, workload: &FormattedWorkload, cfg: &ClusterConfig) -> f64 {
+    let raw = workload.pattern();
+    let stripe = cfg.layout.stripe_size;
+    let servers = cfg.layout.servers;
+    let app_bytes = pattern_bytes(&raw);
+    let (pattern, exchange) = match stage {
+        Stage::Baseline => (raw, 0),
+        Stage::Sieving => (data_sieve(&raw, stripe / 4), 0),
+        Stage::Collective => {
+            let plan = two_phase(&raw, servers, 4 << 20, 0);
+            (plan.pattern, plan.exchange_bytes)
+        }
+        Stage::Aligned => {
+            let plan = two_phase(&raw, servers, 4 << 20, stripe);
+            (plan.pattern, plan.exchange_bytes)
+        }
+        Stage::LayoutAware => {
+            let plan = layout_aware(&raw, servers, servers, stripe);
+            (plan.pattern, plan.exchange_bytes)
+        }
+    };
+    let exchange_per_writer =
+        SimDuration::for_bytes(exchange / pattern.len().max(1) as u64, 2.0e9);
+    let streams: Vec<Vec<Op>> = pattern
+        .iter()
+        .map(|ops| {
+            let mut v = Vec::with_capacity(ops.len() + 2);
+            v.push(Op::Open(0));
+            if !exchange_per_writer.is_zero() {
+                // Phase one: shuffle over the interconnect.
+                v.push(Op::Compute(exchange_per_writer));
+            }
+            v.extend(ops.iter().map(|&(offset, len)| Op::Write { file: 0, offset, len }));
+            v
+        })
+        .collect();
+    let mut cluster = Cluster::new(cfg.clone());
+    let rep = cluster.run_phase(&streams);
+    // Rate the *application's* bytes, not sieving's extra traffic.
+    rep.makespan.throughput(app_bytes)
+}
+
+/// Run the whole ladder; returns `(stage, bandwidth_bps)` rows.
+pub fn optimization_ladder(
+    workload: &FormattedWorkload,
+    cfg: &ClusterConfig,
+) -> Vec<(Stage, f64)> {
+    Stage::ALL.iter().map(|&s| (s, run_stage(s, workload, cfg))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::units::MIB;
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig::lustre_like(8, MIB)
+    }
+
+    #[test]
+    fn ladder_improves_overall() {
+        let w = FormattedWorkload::chombo(64);
+        let rows = optimization_ladder(&w, &cfg());
+        let base = rows[0].1;
+        let best = rows.last().unwrap().1;
+        assert!(
+            best > 4.0 * base,
+            "optimization stack should be a multi-x win: {:.1} -> {:.1} MB/s",
+            base / 1e6,
+            best / 1e6
+        );
+    }
+
+    #[test]
+    fn collective_beats_sieving_alone() {
+        let w = FormattedWorkload::chombo(64);
+        let c = cfg();
+        let sieve = run_stage(Stage::Sieving, &w, &c);
+        let coll = run_stage(Stage::Collective, &w, &c);
+        assert!(coll > sieve, "collective {coll} vs sieving {sieve}");
+    }
+
+    #[test]
+    fn alignment_not_worse_than_unaligned_collective() {
+        let w = FormattedWorkload::gcrm(64);
+        let c = cfg();
+        let coll = run_stage(Stage::Collective, &w, &c);
+        let aligned = run_stage(Stage::Aligned, &w, &c);
+        assert!(aligned >= 0.95 * coll, "alignment regressed: {aligned} vs {coll}");
+    }
+
+    #[test]
+    fn layout_aware_not_worse_than_aligned() {
+        let w = FormattedWorkload::gcrm(64);
+        let c = cfg();
+        let aligned = run_stage(Stage::Aligned, &w, &c);
+        let la = run_stage(Stage::LayoutAware, &w, &c);
+        assert!(la >= 0.95 * aligned, "layout-aware regressed: {la} vs {aligned}");
+    }
+
+    #[test]
+    fn both_app_profiles_run() {
+        let c = cfg();
+        for w in [FormattedWorkload::chombo(32), FormattedWorkload::gcrm(32)] {
+            let rows = optimization_ladder(&w, &c);
+            assert_eq!(rows.len(), 5);
+            assert!(rows.iter().all(|&(_, bw)| bw > 0.0));
+        }
+    }
+}

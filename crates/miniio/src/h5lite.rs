@@ -1,0 +1,251 @@
+//! `h5lite` — a miniature self-describing scientific container format.
+//!
+//! Stands in for HDF5/NetCDF in the reproduction: applications like
+//! Chombo, FLASH, and GCRM do not write raw bytes, they write datasets
+//! through a formatting library whose *metadata traffic* — superblock,
+//! object headers, attribute updates — is exactly the small unaligned
+//! write stream that hurts on parallel file systems (report §4.2.3,
+//! §5.2.1). h5lite is a real format (round-trippable over any
+//! [`plfs::Backend`]) whose write pattern can be recorded and fed to
+//! the cluster simulator.
+//!
+//! Layout (all little-endian):
+//! ```text
+//! [0..8)    magic "H5LITE\0\0"
+//! [8..16)   dataset count
+//! then per dataset, a 64-byte header at 16 + 64*i:
+//!   name[32], element_size u64, elements u64, data_offset u64, reserved
+//! data region: element payloads
+//! ```
+
+use plfs::backend::Backend;
+use std::io;
+
+const MAGIC: &[u8; 8] = b"H5LITE\0\0";
+const HEADER_BASE: u64 = 16;
+const DATASET_HEADER: u64 = 64;
+
+/// Description of one dataset in a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetInfo {
+    pub name: String,
+    pub element_size: u64,
+    pub elements: u64,
+    pub data_offset: u64,
+}
+
+impl DatasetInfo {
+    pub fn byte_len(&self) -> u64 {
+        self.element_size * self.elements
+    }
+}
+
+/// A write recorded against the container (offset, len) — captured so
+/// experiments can replay the exact traffic through the simulator.
+pub type WriteLog = Vec<(u64, u64)>;
+
+/// Writer for one h5lite container file on a backend.
+pub struct H5Writer<'a> {
+    backend: &'a dyn Backend,
+    path: String,
+    datasets: Vec<DatasetInfo>,
+    next_data: u64,
+    log: WriteLog,
+    file: Vec<u8>,
+}
+
+impl<'a> H5Writer<'a> {
+    pub fn create(backend: &'a dyn Backend, path: &str, max_datasets: u64) -> Self {
+        let next_data = HEADER_BASE + DATASET_HEADER * max_datasets;
+        H5Writer {
+            backend,
+            path: path.to_string(),
+            datasets: Vec::new(),
+            next_data,
+            log: Vec::new(),
+            file: Vec::new(),
+        }
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) {
+        let end = offset as usize + data.len();
+        if self.file.len() < end {
+            self.file.resize(end, 0);
+        }
+        self.file[offset as usize..end].copy_from_slice(data);
+        self.log.push((offset, data.len() as u64));
+    }
+
+    /// Declare a dataset and return its index. Writes the object header
+    /// (a small unaligned metadata write) immediately, as HDF5 does.
+    pub fn add_dataset(&mut self, name: &str, element_size: u64, elements: u64) -> usize {
+        assert!(name.len() <= 32, "dataset name too long");
+        let idx = self.datasets.len();
+        let info = DatasetInfo {
+            name: name.to_string(),
+            element_size,
+            elements,
+            data_offset: self.next_data,
+        };
+        self.next_data += info.byte_len();
+        let mut hdr = [0u8; DATASET_HEADER as usize];
+        hdr[..name.len()].copy_from_slice(name.as_bytes());
+        hdr[32..40].copy_from_slice(&element_size.to_le_bytes());
+        hdr[40..48].copy_from_slice(&elements.to_le_bytes());
+        hdr[48..56].copy_from_slice(&info.data_offset.to_le_bytes());
+        self.write_at(HEADER_BASE + DATASET_HEADER * idx as u64, &hdr);
+        self.datasets.push(info);
+        idx
+    }
+
+    /// Write `count` elements of dataset `ds` starting at element
+    /// `first` — the per-rank hyperslab write.
+    pub fn write_elements(&mut self, ds: usize, first: u64, data: &[u8]) {
+        let info = &self.datasets[ds];
+        assert_eq!(data.len() as u64 % info.element_size, 0);
+        assert!(first * info.element_size + data.len() as u64 <= info.byte_len());
+        let off = info.data_offset + first * info.element_size;
+        self.write_at(off, data);
+    }
+
+    /// Finalize: write the superblock and flush everything to the
+    /// backend. Returns the recorded write log.
+    pub fn close(mut self) -> io::Result<WriteLog> {
+        let mut sb = [0u8; HEADER_BASE as usize];
+        sb[..8].copy_from_slice(MAGIC);
+        sb[8..16].copy_from_slice(&(self.datasets.len() as u64).to_le_bytes());
+        self.write_at(0, &sb);
+        self.backend.create(&self.path)?;
+        self.backend.append(&self.path, &self.file)?;
+        Ok(self.log)
+    }
+}
+
+/// Reader for an h5lite container.
+pub struct H5Reader<'a> {
+    backend: &'a dyn Backend,
+    path: String,
+    datasets: Vec<DatasetInfo>,
+}
+
+impl<'a> H5Reader<'a> {
+    pub fn open(backend: &'a dyn Backend, path: &str) -> io::Result<Self> {
+        let mut sb = [0u8; HEADER_BASE as usize];
+        let n = backend.read_at(path, 0, &mut sb)?;
+        if n < sb.len() || &sb[..8] != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an h5lite file"));
+        }
+        let count = u64::from_le_bytes(sb[8..16].try_into().unwrap());
+        let mut datasets = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let mut hdr = [0u8; DATASET_HEADER as usize];
+            backend.read_at(path, HEADER_BASE + DATASET_HEADER * i, &mut hdr)?;
+            let name_end = hdr[..32].iter().position(|&b| b == 0).unwrap_or(32);
+            let name = String::from_utf8_lossy(&hdr[..name_end]).into_owned();
+            datasets.push(DatasetInfo {
+                name,
+                element_size: u64::from_le_bytes(hdr[32..40].try_into().unwrap()),
+                elements: u64::from_le_bytes(hdr[40..48].try_into().unwrap()),
+                data_offset: u64::from_le_bytes(hdr[48..56].try_into().unwrap()),
+            });
+        }
+        Ok(H5Reader { backend, path: path.to_string(), datasets })
+    }
+
+    pub fn datasets(&self) -> &[DatasetInfo] {
+        &self.datasets
+    }
+
+    pub fn find(&self, name: &str) -> Option<usize> {
+        self.datasets.iter().position(|d| d.name == name)
+    }
+
+    /// Read `count` elements starting at `first`.
+    pub fn read_elements(&self, ds: usize, first: u64, count: u64) -> io::Result<Vec<u8>> {
+        let info = &self.datasets[ds];
+        let len = (count * info.element_size) as usize;
+        let mut buf = vec![0u8; len];
+        let off = info.data_offset + first * info.element_size;
+        let n = self.backend.read_at(&self.path, off, &mut buf)?;
+        if n < len {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short dataset read"));
+        }
+        Ok(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plfs::backend::MemBackend;
+
+    #[test]
+    fn roundtrip_two_datasets() {
+        let b = MemBackend::new();
+        let mut w = H5Writer::create(&b, "/out.h5l", 4);
+        let temp = w.add_dataset("temperature", 8, 100);
+        let pres = w.add_dataset("pressure", 4, 50);
+        let tdata: Vec<u8> = (0..800).map(|i| (i % 251) as u8).collect();
+        let pdata: Vec<u8> = (0..200).map(|i| (i % 7) as u8).collect();
+        w.write_elements(temp, 0, &tdata);
+        w.write_elements(pres, 0, &pdata);
+        w.close().unwrap();
+
+        let r = H5Reader::open(&b, "/out.h5l").unwrap();
+        assert_eq!(r.datasets().len(), 2);
+        assert_eq!(r.find("pressure"), Some(1));
+        assert_eq!(r.read_elements(0, 0, 100).unwrap(), tdata);
+        assert_eq!(r.read_elements(1, 0, 50).unwrap(), pdata);
+    }
+
+    #[test]
+    fn partial_hyperslab_writes_compose() {
+        let b = MemBackend::new();
+        let mut w = H5Writer::create(&b, "/f", 1);
+        let ds = w.add_dataset("grid", 4, 100);
+        // Four ranks write disjoint 25-element hyperslabs.
+        for rank in 0..4u8 {
+            let data = vec![rank; 100];
+            w.write_elements(ds, rank as u64 * 25, &data);
+        }
+        w.close().unwrap();
+        let r = H5Reader::open(&b, "/f").unwrap();
+        for rank in 0..4u8 {
+            let got = r.read_elements(0, rank as u64 * 25, 25).unwrap();
+            assert!(got.iter().all(|&x| x == rank));
+        }
+    }
+
+    #[test]
+    fn write_log_captures_metadata_and_data_traffic() {
+        let b = MemBackend::new();
+        let mut w = H5Writer::create(&b, "/f", 2);
+        let ds = w.add_dataset("x", 8, 1000);
+        w.write_elements(ds, 0, &vec![0u8; 8000]);
+        let log = w.close().unwrap();
+        // header write (64 B), data write (8000 B), superblock (16 B).
+        assert_eq!(log.len(), 3);
+        assert!(log.iter().any(|&(o, l)| l == 64 && o == HEADER_BASE));
+        assert!(log.iter().any(|&(_, l)| l == 8000));
+        assert!(log.iter().any(|&(o, _)| o == 0));
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let b = MemBackend::new();
+        b.append("/junk", b"this is not a container").unwrap();
+        assert!(H5Reader::open(&b, "/junk").is_err());
+    }
+
+    #[test]
+    fn data_regions_do_not_overlap_headers() {
+        let b = MemBackend::new();
+        let mut w = H5Writer::create(&b, "/f", 8);
+        let a = w.add_dataset("a", 1, 10);
+        let c = w.add_dataset("b", 1, 10);
+        let infos = w.datasets.clone();
+        assert!(infos[a].data_offset >= HEADER_BASE + 8 * DATASET_HEADER);
+        assert_eq!(infos[c].data_offset, infos[a].data_offset + 10);
+        w.close().unwrap();
+    }
+}

@@ -1,0 +1,24 @@
+//! # miniio — collective I/O middleware and the formatted-I/O
+//! optimization stack (report §5.2.1 Fig. 13, §5.4.2)
+//!
+//! The layer between applications and the parallel file system:
+//! ROMIO-style request transforms (data sieving, two-phase collective
+//! buffering, stripe alignment, layout-aware aggregation) and `h5lite`,
+//! a real miniature self-describing container format standing in for
+//! HDF5/NetCDF, whose metadata dribble reproduces the small unaligned
+//! writes that formatted output inflicts on parallel file systems.
+//!
+//! - [`pattern`]: the transforms, as pure functions on per-rank
+//!   request lists;
+//! - [`h5lite`]: the container format (round-trippable over any
+//!   `plfs::Backend`) with write-traffic capture;
+//! - [`experiment`]: the Fig. 13 ladder — each optimization stage
+//!   replayed through the `pfs` cluster simulator.
+
+pub mod experiment;
+pub mod h5lite;
+pub mod pattern;
+
+pub use experiment::{optimization_ladder, run_stage, FormattedWorkload, Stage};
+pub use h5lite::{H5Reader, H5Writer};
+pub use pattern::{data_sieve, layout_aware, two_phase, CollectivePlan, Pattern};

@@ -1,0 +1,21 @@
+//! # netsim — TCP incast simulation (report §4.2.3 "Storage Area
+//! Networking", Fig. 9)
+//!
+//! HEC storage servers answering synchronized reads over commodity
+//! Ethernet overwhelm the client port's shallow switch buffer; flows
+//! that lose whole windows stall for the 200 ms default minimum
+//! retransmission timeout while the link idles, crushing throughput
+//! ("INCAST"). The PDSI fix — microsecond-granularity RTO with a 1 ms
+//! minimum, plus randomization at kiloserver scale — is reproduced here
+//! with a deterministic packet-level model.
+//!
+//! - [`tcp`]: go-back-N sender with slow start/congestion avoidance and
+//!   RTO policies (200 ms legacy, 1 ms high-resolution, randomized);
+//! - [`incast`]: the synchronized-read barrier workload over a shared
+//!   bottleneck queue, with goodput sweeps.
+
+pub mod incast;
+pub mod tcp;
+
+pub use incast::{goodput_sweep, run_incast, IncastConfig, IncastReport};
+pub use tcp::{Flow, RtoPolicy};

@@ -1,0 +1,317 @@
+//! Minimal TCP sender/receiver state machine: slow start, congestion
+//! avoidance, dup-ack fast retransmit with SACK-style receiver
+//! buffering, and retransmission timeouts.
+//!
+//! The division of labour matters for incast: *isolated* losses are
+//! recovered in one RTT by fast retransmit (so small fan-ins run at
+//! line rate), but a flow whose entire window dies in the shared switch
+//! buffer gets no dup-acks at all and must sit out a full RTO while the
+//! bottleneck idles (Phanishayee et al., FAST'08). The studied fix is
+//! the RTO itself — microsecond-granularity minimums and
+//! desynchronizing randomization (Vasudevan et al., SIGCOMM'09).
+
+use simkit::{Rng, SimDuration, SimTime};
+use std::collections::BTreeSet;
+
+/// Retransmission-timeout policy.
+#[derive(Debug, Clone, Copy)]
+pub struct RtoPolicy {
+    /// Minimum RTO (200 ms in stock kernels of the era; 1 ms with
+    /// high-resolution timers).
+    pub min: SimDuration,
+    /// Randomize each timeout uniformly in `[min, min * (1 + jitter))`
+    /// to desynchronize retransmission storms (needed at 10GE scale).
+    pub jitter: f64,
+}
+
+impl RtoPolicy {
+    pub fn legacy_200ms() -> Self {
+        RtoPolicy { min: SimDuration::from_millis(200), jitter: 0.0 }
+    }
+
+    pub fn hires_1ms() -> Self {
+        RtoPolicy { min: SimDuration::from_millis(1), jitter: 0.0 }
+    }
+
+    pub fn hires_1ms_randomized() -> Self {
+        RtoPolicy { min: SimDuration::from_millis(1), jitter: 0.5 }
+    }
+
+    /// Draw one timeout value.
+    pub fn draw(&self, rng: &mut Rng) -> SimDuration {
+        if self.jitter <= 0.0 {
+            self.min
+        } else {
+            self.min.mul_f64(1.0 + rng.f64() * self.jitter)
+        }
+    }
+}
+
+/// Receiver window cap in packets (64 KiB / MSS, as on the FAST'08
+/// testbed where flows were window-limited).
+pub const DEFAULT_MAX_CWND: f64 = 43.0;
+
+/// One TCP flow transferring `total` packets of an SRU.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// First unacknowledged packet.
+    pub base: u32,
+    /// Next new packet to transmit.
+    pub next: u32,
+    /// Packets in this block.
+    pub total: u32,
+    cwnd: f64,
+    ssthresh: f64,
+    max_cwnd: f64,
+    dup_acks: u32,
+    /// Highest sequence outstanding when loss recovery began; recovery
+    /// ends once the cumulative ack passes it.
+    recover: Option<u32>,
+    /// A retransmission waiting to be injected (sent before new data).
+    pending_retx: Option<u32>,
+    /// Receiver side: next in-order packet expected.
+    pub expected: u32,
+    /// Receiver side: out-of-order packets buffered (SACK-style).
+    ooo: BTreeSet<u32>,
+    /// Deadline of the pending retransmission timer.
+    pub rto_deadline: SimTime,
+    pub timeouts: u32,
+    pub fast_retransmits: u32,
+    pub packets_sent: u64,
+    pub packets_dropped: u64,
+}
+
+impl Flow {
+    pub fn new(total: u32) -> Self {
+        Flow {
+            base: 0,
+            next: 0,
+            total,
+            cwnd: 2.0,
+            ssthresh: 65_535.0,
+            max_cwnd: DEFAULT_MAX_CWND,
+            dup_acks: 0,
+            recover: None,
+            pending_retx: None,
+            expected: 0,
+            ooo: BTreeSet::new(),
+            rto_deadline: SimTime::NEVER,
+            timeouts: 0,
+            fast_retransmits: 0,
+            packets_sent: 0,
+            packets_dropped: 0,
+        }
+    }
+
+    /// Reset for the next SRU block, keeping the congestion state
+    /// (connections persist across blocks).
+    pub fn next_block(&mut self, total: u32) {
+        self.base = 0;
+        self.next = 0;
+        self.total = total;
+        self.expected = 0;
+        self.ooo.clear();
+        self.dup_acks = 0;
+        self.recover = None;
+        self.pending_retx = None;
+        self.rto_deadline = SimTime::NEVER;
+    }
+
+    pub fn done(&self) -> bool {
+        self.base >= self.total
+    }
+
+    pub fn cwnd_packets(&self) -> u32 {
+        self.cwnd.min(self.max_cwnd).max(1.0) as u32
+    }
+
+    /// May this flow inject another packet right now?
+    pub fn has_sendable(&self) -> bool {
+        if self.done() {
+            return false;
+        }
+        self.pending_retx.is_some()
+            || (self.next < self.total && self.next < self.base + self.cwnd_packets())
+    }
+
+    /// Take the next sequence number to put on the wire.
+    pub fn pop_send(&mut self) -> Option<u32> {
+        if let Some(seq) = self.pending_retx.take() {
+            return Some(seq);
+        }
+        if !self.done() && self.next < self.total && self.next < self.base + self.cwnd_packets()
+        {
+            let s = self.next;
+            self.next += 1;
+            return Some(s);
+        }
+        None
+    }
+
+    /// Receiver accepts `seq`; returns the cumulative ack to send
+    /// (acks are sent for every arriving packet — duplicates included,
+    /// which is what makes fast retransmit possible).
+    pub fn receive(&mut self, seq: u32) -> u32 {
+        if seq == self.expected {
+            self.expected += 1;
+            while self.ooo.remove(&self.expected) {
+                self.expected += 1;
+            }
+        } else if seq > self.expected {
+            self.ooo.insert(seq);
+        }
+        self.expected
+    }
+
+    /// Process a cumulative ack for everything below `n`.
+    /// Returns true if it advanced the window.
+    pub fn ack(&mut self, n: u32) -> bool {
+        if n > self.base {
+            let advanced = (n - self.base) as f64;
+            self.base = n;
+            if self.next < self.base {
+                self.next = self.base;
+            }
+            self.dup_acks = 0;
+            if let Some(r) = self.recover {
+                if n > r {
+                    self.recover = None;
+                } else {
+                    // NewReno partial ack: the next hole is known lost;
+                    // retransmit it immediately instead of waiting for
+                    // three more dup-acks (or worse, the RTO).
+                    self.pending_retx = Some(self.base);
+                }
+            }
+            // Slow start then congestion avoidance.
+            if self.cwnd < self.ssthresh {
+                self.cwnd += advanced;
+            } else {
+                self.cwnd += advanced / self.cwnd;
+            }
+            self.cwnd = self.cwnd.min(self.max_cwnd);
+            true
+        } else {
+            // Duplicate ack: a later packet arrived while `base` is
+            // missing. Three in a row trigger fast retransmit, once per
+            // recovery episode.
+            if !self.done() && n == self.base {
+                self.dup_acks += 1;
+                if self.dup_acks == 3 && self.recover.is_none() {
+                    self.ssthresh = (self.cwnd / 2.0).max(2.0);
+                    self.cwnd = self.ssthresh;
+                    self.recover = Some(self.next);
+                    self.pending_retx = Some(self.base);
+                    self.fast_retransmits += 1;
+                }
+            }
+            false
+        }
+    }
+
+    /// Retransmission timeout fired: collapse the window, rewind.
+    pub fn on_timeout(&mut self) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = 1.0;
+        self.next = self.base;
+        self.dup_acks = 0;
+        self.recover = None;
+        self.pending_retx = None;
+        self.timeouts += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_delivery_acks_cumulatively() {
+        let mut f = Flow::new(10);
+        assert_eq!(f.receive(0), 1);
+        assert_eq!(f.receive(1), 2);
+        assert_eq!(f.receive(3), 2, "gap holds the cumulative ack");
+        assert_eq!(f.receive(2), 4, "buffered packet drains through the gap");
+    }
+
+    #[test]
+    fn slow_start_doubles_per_window() {
+        let mut f = Flow::new(1000);
+        assert_eq!(f.cwnd_packets(), 2);
+        f.ack(2);
+        assert_eq!(f.cwnd_packets(), 4);
+        f.ack(6);
+        assert_eq!(f.cwnd_packets(), 8);
+    }
+
+    #[test]
+    fn cwnd_capped_by_receiver_window() {
+        let mut f = Flow::new(100_000);
+        for i in 1..64 {
+            f.ack(i * 100);
+        }
+        assert_eq!(f.cwnd_packets(), DEFAULT_MAX_CWND as u32);
+    }
+
+    #[test]
+    fn three_dup_acks_trigger_one_fast_retransmit() {
+        let mut f = Flow::new(100);
+        f.ack(10);
+        f.next = 20;
+        assert!(!f.ack(10));
+        assert!(!f.ack(10));
+        assert_eq!(f.fast_retransmits, 0);
+        assert!(!f.ack(10));
+        assert_eq!(f.fast_retransmits, 1);
+        assert_eq!(f.pop_send(), Some(10), "retransmit goes out first");
+        // Further dups do not re-trigger within the episode.
+        f.ack(10);
+        f.ack(10);
+        assert_eq!(f.fast_retransmits, 1);
+        // Recovery ends past the recorded recover point.
+        f.ack(25);
+        f.next = 30;
+        f.ack(25);
+        f.ack(25);
+        f.ack(25);
+        assert_eq!(f.fast_retransmits, 2, "new episode after recovery");
+    }
+
+    #[test]
+    fn timeout_collapses_window_and_rewinds() {
+        let mut f = Flow::new(100);
+        f.ack(2);
+        f.ack(6);
+        f.next = 20;
+        f.base = 6;
+        let before = f.cwnd;
+        f.on_timeout();
+        assert_eq!(f.cwnd_packets(), 1);
+        assert_eq!(f.next, 6);
+        assert!(f.ssthresh >= before / 2.0 - 1.0);
+        assert_eq!(f.timeouts, 1);
+    }
+
+    #[test]
+    fn window_limits_sending() {
+        let mut f = Flow::new(100);
+        assert!(f.has_sendable());
+        assert_eq!(f.pop_send(), Some(0));
+        assert_eq!(f.pop_send(), Some(1));
+        assert!(!f.has_sendable(), "cwnd=2 exhausted");
+        f.ack(2);
+        assert!(f.has_sendable());
+    }
+
+    #[test]
+    fn rto_policy_draw_ranges() {
+        let mut rng = Rng::new(1);
+        let p = RtoPolicy::hires_1ms_randomized();
+        for _ in 0..100 {
+            let d = p.draw(&mut rng);
+            assert!(d >= SimDuration::from_millis(1));
+            assert!(d < SimDuration::from_micros(1501));
+        }
+        assert_eq!(RtoPolicy::legacy_200ms().draw(&mut rng), SimDuration::from_millis(200));
+    }
+}

@@ -1,0 +1,179 @@
+//! Static file-system surveys — the `fsstats` tool.
+//!
+//! The report's data-collection arm shipped `fsstats`, a static survey
+//! tool run against production file systems at rest; Figure 3 plots the
+//! CDF of file sizes across eleven non-archival file systems
+//! [Dayal-08]. The durable findings: most *files* are small (medians in
+//! the tens of kilobytes), while most *bytes* live in a heavy tail of
+//! large files — the mixture this module generates and summarizes.
+
+use simkit::dist::{Distribution, LogNormal, Pareto};
+use simkit::stats::Cdf;
+use simkit::units::{GIB, KIB, MIB};
+use simkit::Rng;
+
+/// Parameters describing one surveyed file system's population.
+#[derive(Debug, Clone)]
+pub struct SurveyProfile {
+    pub name: &'static str,
+    /// Number of files to synthesize.
+    pub files: u64,
+    /// Median file size in bytes (lognormal body).
+    pub median: f64,
+    /// Lognormal sigma (spread of the body).
+    pub sigma: f64,
+    /// Fraction of files drawn from the heavy Pareto tail.
+    pub tail_frac: f64,
+    /// Pareto minimum for the tail, bytes.
+    pub tail_min: f64,
+    /// Pareto tail index (smaller = heavier).
+    pub tail_alpha: f64,
+}
+
+/// Eleven site profiles standing in for the eleven non-archival file
+/// systems of Fig. 3 — scratch volumes skew large, project/home volumes
+/// skew small, mirroring the published spread of curves.
+pub const SITE_PROFILES: [SurveyProfile; 11] = [
+    SurveyProfile { name: "lanl-scratch1", files: 40_000, median: 512.0 * KIB as f64, sigma: 2.6, tail_frac: 0.02, tail_min: 256.0 * MIB as f64, tail_alpha: 1.1 },
+    SurveyProfile { name: "lanl-scratch2", files: 40_000, median: 2.0 * MIB as f64, sigma: 2.4, tail_frac: 0.03, tail_min: 512.0 * MIB as f64, tail_alpha: 1.2 },
+    SurveyProfile { name: "lanl-project", files: 40_000, median: 64.0 * KIB as f64, sigma: 2.8, tail_frac: 0.01, tail_min: 64.0 * MIB as f64, tail_alpha: 1.3 },
+    SurveyProfile { name: "pnnl-nwfs", files: 40_000, median: 128.0 * KIB as f64, sigma: 2.5, tail_frac: 0.015, tail_min: 128.0 * MIB as f64, tail_alpha: 1.2 },
+    SurveyProfile { name: "pnnl-home", files: 40_000, median: 16.0 * KIB as f64, sigma: 2.9, tail_frac: 0.005, tail_min: 32.0 * MIB as f64, tail_alpha: 1.4 },
+    SurveyProfile { name: "nersc-scratch", files: 40_000, median: 1.0 * MIB as f64, sigma: 2.7, tail_frac: 0.025, tail_min: 256.0 * MIB as f64, tail_alpha: 1.15 },
+    SurveyProfile { name: "nersc-project", files: 40_000, median: 96.0 * KIB as f64, sigma: 2.6, tail_frac: 0.01, tail_min: 96.0 * MIB as f64, tail_alpha: 1.3 },
+    SurveyProfile { name: "sandia-scratch", files: 40_000, median: 768.0 * KIB as f64, sigma: 2.5, tail_frac: 0.02, tail_min: 192.0 * MIB as f64, tail_alpha: 1.2 },
+    SurveyProfile { name: "psc-scratch", files: 40_000, median: 384.0 * KIB as f64, sigma: 2.4, tail_frac: 0.02, tail_min: 128.0 * MIB as f64, tail_alpha: 1.25 },
+    SurveyProfile { name: "cmu-pdl", files: 40_000, median: 24.0 * KIB as f64, sigma: 3.0, tail_frac: 0.008, tail_min: 48.0 * MIB as f64, tail_alpha: 1.35 },
+    SurveyProfile { name: "anon-corp", files: 40_000, median: 32.0 * KIB as f64, sigma: 2.8, tail_frac: 0.006, tail_min: 64.0 * MIB as f64, tail_alpha: 1.4 },
+];
+
+/// Aggregated survey results for one file system.
+#[derive(Debug, Clone)]
+pub struct Survey {
+    pub name: String,
+    pub file_count: u64,
+    pub total_bytes: u64,
+    sizes: Vec<f64>,
+}
+
+impl Survey {
+    /// Run the synthetic survey for `profile` with the given seed.
+    pub fn synthesize(profile: &SurveyProfile, seed: u64) -> Self {
+        let mut rng = Rng::new(seed);
+        let body = LogNormal::from_median(profile.median, profile.sigma);
+        let tail = Pareto { x_min: profile.tail_min, alpha: profile.tail_alpha };
+        let mut sizes = Vec::with_capacity(profile.files as usize);
+        let mut total = 0u64;
+        for _ in 0..profile.files {
+            let s = if rng.chance(profile.tail_frac) {
+                tail.sample(&mut rng)
+            } else {
+                body.sample(&mut rng)
+            };
+            // Files are whole bytes; clamp the tail at 10 TiB to keep
+            // totals finite under very heavy tails.
+            let s = s.round().clamp(0.0, 10.0 * 1024.0 * GIB as f64);
+            total += s as u64;
+            sizes.push(s);
+        }
+        Survey { name: profile.name.to_string(), file_count: profile.files, total_bytes: total, sizes }
+    }
+
+    /// CDF over file *count* (what Fig. 3 plots).
+    pub fn count_cdf(&self) -> Cdf {
+        Cdf::from_samples(self.sizes.clone())
+    }
+
+    /// CDF over *bytes*: fraction of capacity in files of size <= x.
+    /// This is the curve that shows "most bytes are in big files".
+    pub fn bytes_cdf_at(&self, x: f64) -> f64 {
+        if self.total_bytes == 0 {
+            return 0.0;
+        }
+        let below: f64 = self.sizes.iter().filter(|&&s| s <= x).sum();
+        below / self.total_bytes as f64
+    }
+
+    /// Median file size.
+    pub fn median(&self) -> f64 {
+        self.count_cdf().median()
+    }
+
+    /// Standard Fig. 3 sample points: powers of two from 1 B to 1 TiB.
+    pub fn standard_points() -> Vec<f64> {
+        (0..=40).map(|e| (1u64 << e) as f64).collect()
+    }
+
+    /// Render the `(size, count-CDF)` series at the standard points.
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        self.count_cdf().series(&Self::standard_points())
+    }
+}
+
+/// Survey every site profile (deterministic per-site seeds).
+pub fn survey_all_sites(base_seed: u64) -> Vec<Survey> {
+    SITE_PROFILES
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Survey::synthesize(p, base_seed.wrapping_add(i as u64 * 0x9E37)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_sites_like_figure3() {
+        assert_eq!(SITE_PROFILES.len(), 11);
+    }
+
+    #[test]
+    fn medians_land_near_profile_median() {
+        let p = &SITE_PROFILES[0];
+        let s = Survey::synthesize(p, 1);
+        let m = s.median();
+        // The tail slightly inflates the median; allow a factor of 2.
+        assert!(
+            m > p.median / 2.0 && m < p.median * 2.0,
+            "median {m} vs profile {}",
+            p.median
+        );
+    }
+
+    #[test]
+    fn most_files_small_most_bytes_large() {
+        let s = Survey::synthesize(&SITE_PROFILES[0], 2);
+        let cdf = s.count_cdf();
+        let cutoff = 64.0 * MIB as f64;
+        // The classic fsstats shape: the majority of files sit below the
+        // cutoff while the majority of bytes sit above it.
+        assert!(cdf.at(cutoff) > 0.9, "file-count CDF at 64MiB: {}", cdf.at(cutoff));
+        assert!(s.bytes_cdf_at(cutoff) < 0.5, "bytes CDF at 64MiB: {}", s.bytes_cdf_at(cutoff));
+    }
+
+    #[test]
+    fn series_is_monotone_cdf() {
+        let s = Survey::synthesize(&SITE_PROFILES[3], 3);
+        let series = s.series();
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF decreased");
+        }
+        assert!(series.last().unwrap().1 > 0.999);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = Survey::synthesize(&SITE_PROFILES[5], 42);
+        let b = Survey::synthesize(&SITE_PROFILES[5], 42);
+        assert_eq!(a.total_bytes, b.total_bytes);
+    }
+
+    #[test]
+    fn survey_all_sites_covers_all_profiles() {
+        let all = survey_all_sites(7);
+        assert_eq!(all.len(), 11);
+        let names: Vec<_> = all.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"nersc-scratch"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Data striping and placement strategies.
+//!
+//! The report's "Parallel Layout" exploration (§4.2.3) compared the
+//! placement strategies of PVFS, PanFS, and Ceph with a trace-driven
+//! simulator. We implement the same three families:
+//!
+//! - **Round-robin** (PVFS/Lustre style): stripe `i` of a file lands on
+//!   server `(base + i) mod n`.
+//! - **RAID groups** (PanFS style): a file is assigned a group of `g`
+//!   servers and round-robins within the group.
+//! - **Pseudo-random hash** (Ceph/CRUSH style): stripe placement is a
+//!   deterministic hash of `(file, stripe)`, decentralizing placement
+//!   state at the cost of occasional transient imbalance.
+
+use simkit::rng::splitmix64;
+
+/// Identifies a file within a simulated cluster.
+pub type FileId = u64;
+
+/// How stripes map to object storage servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// PVFS/Lustre-style: round-robin across all servers, starting at a
+    /// per-file base offset.
+    RoundRobin,
+    /// PanFS-style: each file confined to a RAID group of `group_size`
+    /// servers.
+    RaidGroups { group_size: usize },
+    /// Ceph/CRUSH-style pseudo-random placement per stripe.
+    Hash,
+}
+
+/// Striping geometry plus a placement strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Stripe unit in bytes (64 KiB – 4 MiB in deployed systems).
+    pub stripe_size: u64,
+    pub placement: Placement,
+    /// Number of object storage servers in the cluster.
+    pub servers: usize,
+}
+
+/// One contiguous piece of a file request, destined for one server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    pub server: usize,
+    /// Stripe index within the file (offset / stripe_size).
+    pub stripe: u64,
+    /// Offset of this chunk within the file.
+    pub file_offset: u64,
+    /// Offset within the stripe unit.
+    pub stripe_offset: u64,
+    pub len: u64,
+}
+
+impl Layout {
+    pub fn new(stripe_size: u64, placement: Placement, servers: usize) -> Self {
+        assert!(stripe_size > 0 && servers > 0);
+        if let Placement::RaidGroups { group_size } = placement {
+            assert!(group_size > 0 && group_size <= servers, "bad RAID group size");
+        }
+        Layout { stripe_size, placement, servers }
+    }
+
+    /// The server that stores `stripe` of `file`.
+    pub fn server_of(&self, file: FileId, stripe: u64) -> usize {
+        match self.placement {
+            Placement::RoundRobin => {
+                let base = (file as usize) % self.servers;
+                (base + stripe as usize) % self.servers
+            }
+            Placement::RaidGroups { group_size } => {
+                let groups = (self.servers / group_size).max(1);
+                let group = (file as usize) % groups;
+                group * group_size + (stripe as usize % group_size)
+            }
+            Placement::Hash => {
+                let mut state = file
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(stripe);
+                (splitmix64(&mut state) % self.servers as u64) as usize
+            }
+        }
+    }
+
+    /// Split a byte-range request into per-stripe chunks.
+    pub fn chunks(&self, file: FileId, offset: u64, len: u64) -> Vec<Chunk> {
+        let mut out = Vec::new();
+        if len == 0 {
+            return out;
+        }
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let stripe = pos / self.stripe_size;
+            let stripe_offset = pos % self.stripe_size;
+            let in_stripe = (self.stripe_size - stripe_offset).min(end - pos);
+            out.push(Chunk {
+                server: self.server_of(file, stripe),
+                stripe,
+                file_offset: pos,
+                stripe_offset,
+                len: in_stripe,
+            });
+            pos += in_stripe;
+        }
+        out
+    }
+
+    /// The number of distinct stripes a request touches.
+    pub fn stripes_touched(&self, offset: u64, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let first = offset / self.stripe_size;
+        let last = (offset + len - 1) / self.stripe_size;
+        last - first + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_request_exactly() {
+        let l = Layout::new(1024, Placement::RoundRobin, 4);
+        let chunks = l.chunks(1, 1000, 3000);
+        let total: u64 = chunks.iter().map(|c| c.len).sum();
+        assert_eq!(total, 3000);
+        // Contiguity.
+        let mut pos = 1000;
+        for c in &chunks {
+            assert_eq!(c.file_offset, pos);
+            pos += c.len;
+        }
+        // First chunk is a partial stripe.
+        assert_eq!(chunks[0].len, 24);
+        assert_eq!(chunks[0].stripe_offset, 1000 % 1024);
+    }
+
+    #[test]
+    fn round_robin_rotates_by_file() {
+        let l = Layout::new(1024, Placement::RoundRobin, 4);
+        assert_eq!(l.server_of(0, 0), 0);
+        assert_eq!(l.server_of(0, 1), 1);
+        assert_eq!(l.server_of(1, 0), 1);
+        assert_eq!(l.server_of(5, 3), 0);
+    }
+
+    #[test]
+    fn raid_groups_stay_in_group() {
+        let l = Layout::new(1024, Placement::RaidGroups { group_size: 3 }, 9);
+        for file in 0..20u64 {
+            let first = l.server_of(file, 0);
+            let group = first / 3;
+            for stripe in 0..30 {
+                let s = l.server_of(file, stripe);
+                assert_eq!(s / 3, group, "file {file} stripe {stripe} left its group");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_placement_is_deterministic_and_spread() {
+        let l = Layout::new(1024, Placement::Hash, 16);
+        let mut counts = vec![0u32; 16];
+        for stripe in 0..16_000 {
+            let a = l.server_of(7, stripe);
+            let b = l.server_of(7, stripe);
+            assert_eq!(a, b);
+            counts[a] += 1;
+        }
+        // Each server should get roughly 1000 stripes.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((700..1300).contains(&c), "server {i} got {c}");
+        }
+    }
+
+    #[test]
+    fn stripes_touched_counts_boundaries() {
+        let l = Layout::new(100, Placement::RoundRobin, 2);
+        assert_eq!(l.stripes_touched(0, 100), 1);
+        assert_eq!(l.stripes_touched(0, 101), 2);
+        assert_eq!(l.stripes_touched(99, 2), 2);
+        assert_eq!(l.stripes_touched(50, 0), 0);
+    }
+
+    #[test]
+    fn zero_length_request_has_no_chunks() {
+        let l = Layout::new(1024, Placement::Hash, 4);
+        assert!(l.chunks(1, 500, 0).is_empty());
+    }
+}

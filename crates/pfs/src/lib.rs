@@ -1,0 +1,26 @@
+//! # pfs — parallel file system simulator
+//!
+//! A discrete-event model of the production parallel file systems the
+//! PDSI report evaluates against (Lustre-, GPFS-, PanFS-, PVFS-like
+//! deployments): object storage servers over mechanical-disk or flash
+//! models, three data-placement strategies, a distributed range-lock
+//! manager, a metadata server, and a static-survey (`fsstats`) module.
+//!
+//! The simulator captures the two mechanisms that make N-to-1 strided
+//! checkpoint writes pathological on deployed systems — lock false
+//! sharing and non-sequential device traffic — which is all PLFS needs
+//! to demonstrate its order-of-magnitude reordering win.
+//!
+//! Entry point: build a [`sim::Cluster`] from a [`sim::ClusterConfig`]
+//! and feed it per-client [`sim::Op`] streams via
+//! [`sim::Cluster::run_phase`].
+
+pub mod fsstats;
+pub mod layout;
+pub mod lockmgr;
+pub mod server;
+pub mod sim;
+
+pub use layout::{Chunk, FileId, Layout, Placement};
+pub use lockmgr::{LockManager, LockMode, LockStats};
+pub use sim::{Cluster, ClusterConfig, DeviceSpec, Op, PhaseReport};

@@ -1,0 +1,263 @@
+//! The pNFS file-layout state machine.
+//!
+//! A metadata server (MDS) manages layout state per file: clients ask
+//! for a layout over a byte range in READ or RW mode; the MDS grants
+//! it, recording a stateid. Multiple READ layouts coexist; an RW layout
+//! conflicts with any other client's overlapping layout and forces a
+//! *recall* (the holder must return it, flushing dirty data first —
+//! `LAYOUTCOMMIT` then `LAYOUTRETURN` in NFSv4.1 terms). The invariant
+//! the protocol lives on: **no two clients ever hold overlapping
+//! layouts when either is RW.**
+
+use std::collections::HashMap;
+
+pub type ClientId = u32;
+pub type FileId = u64;
+
+/// Access mode of a granted layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoMode {
+    Read,
+    ReadWrite,
+}
+
+/// One granted layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayoutSegment {
+    pub stateid: u64,
+    pub client: ClientId,
+    pub file: FileId,
+    pub offset: u64,
+    pub len: u64,
+    pub mode: IoMode,
+    /// Set once the client commits dirty state (LAYOUTCOMMIT).
+    pub committed: bool,
+}
+
+impl LayoutSegment {
+    fn overlaps(&self, file: FileId, offset: u64, len: u64) -> bool {
+        self.file == file && self.offset < offset + len && offset < self.offset + self.len
+    }
+}
+
+/// Why a layout operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// Grant would conflict; these stateids were recalled — retry after
+    /// the holders return them.
+    RecallIssued(Vec<u64>),
+    UnknownStateid(u64),
+    /// Return/commit by a client that does not own the stateid.
+    NotOwner { stateid: u64, client: ClientId },
+}
+
+/// The MDS-side layout book-keeping.
+#[derive(Debug, Default)]
+pub struct LayoutManager {
+    grants: HashMap<u64, LayoutSegment>,
+    /// Stateids recalled and not yet returned.
+    recalled: Vec<u64>,
+    next_stateid: u64,
+    pub grants_issued: u64,
+    pub recalls_issued: u64,
+}
+
+impl LayoutManager {
+    pub fn new() -> Self {
+        LayoutManager::default()
+    }
+
+    pub fn active_layouts(&self) -> usize {
+        self.grants.len()
+    }
+
+    fn conflicts(&self, client: ClientId, file: FileId, offset: u64, len: u64, mode: IoMode) -> Vec<u64> {
+        self.grants
+            .values()
+            .filter(|g| {
+                g.client != client
+                    && g.overlaps(file, offset, len)
+                    && (mode == IoMode::ReadWrite || g.mode == IoMode::ReadWrite)
+            })
+            .map(|g| g.stateid)
+            .collect()
+    }
+
+    /// `LAYOUTGET`: request a layout. On conflict the overlapping
+    /// layouts are recalled and the request fails with
+    /// [`LayoutError::RecallIssued`]; the client retries after the
+    /// holders return.
+    pub fn layout_get(
+        &mut self,
+        client: ClientId,
+        file: FileId,
+        offset: u64,
+        len: u64,
+        mode: IoMode,
+    ) -> Result<LayoutSegment, LayoutError> {
+        assert!(len > 0, "zero-length layout");
+        let conflicts = self.conflicts(client, file, offset, len, mode);
+        if !conflicts.is_empty() {
+            for sid in &conflicts {
+                if !self.recalled.contains(sid) {
+                    self.recalled.push(*sid);
+                    self.recalls_issued += 1;
+                }
+            }
+            return Err(LayoutError::RecallIssued(conflicts));
+        }
+        self.next_stateid += 1;
+        let seg = LayoutSegment {
+            stateid: self.next_stateid,
+            client,
+            file,
+            offset,
+            len,
+            mode,
+            committed: mode == IoMode::Read, // reads have nothing to commit
+        };
+        self.grants.insert(seg.stateid, seg);
+        self.grants_issued += 1;
+        Ok(seg)
+    }
+
+    /// `LAYOUTCOMMIT`: the client makes its direct writes visible.
+    pub fn layout_commit(&mut self, client: ClientId, stateid: u64) -> Result<(), LayoutError> {
+        let g = self.grants.get_mut(&stateid).ok_or(LayoutError::UnknownStateid(stateid))?;
+        if g.client != client {
+            return Err(LayoutError::NotOwner { stateid, client });
+        }
+        g.committed = true;
+        Ok(())
+    }
+
+    /// `LAYOUTRETURN`: the client gives the layout back (mandatory
+    /// after a recall). RW layouts must be committed first; an
+    /// uncommitted return is accepted but reports the data as discarded
+    /// by returning `false`.
+    pub fn layout_return(&mut self, client: ClientId, stateid: u64) -> Result<bool, LayoutError> {
+        let g = self.grants.get(&stateid).ok_or(LayoutError::UnknownStateid(stateid))?;
+        if g.client != client {
+            return Err(LayoutError::NotOwner { stateid, client });
+        }
+        let committed = g.committed;
+        self.grants.remove(&stateid);
+        self.recalled.retain(|&s| s != stateid);
+        Ok(committed)
+    }
+
+    /// Stateids this client must return because of recalls.
+    pub fn pending_recalls(&self, client: ClientId) -> Vec<u64> {
+        self.recalled
+            .iter()
+            .filter(|sid| self.grants.get(sid).map(|g| g.client == client).unwrap_or(false))
+            .copied()
+            .collect()
+    }
+
+    /// Protocol invariant: no cross-client overlap involving RW.
+    pub fn check_invariants(&self) {
+        let all: Vec<&LayoutSegment> = self.grants.values().collect();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                if a.client != b.client
+                    && a.overlaps(b.file, b.offset, b.len)
+                    && (a.mode == IoMode::ReadWrite || b.mode == IoMode::ReadWrite)
+                {
+                    // Overlap is only tolerable while a recall for one
+                    // side is in flight.
+                    assert!(
+                        self.recalled.contains(&a.stateid) || self.recalled.contains(&b.stateid),
+                        "conflicting live layouts {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_readers_coexist() {
+        let mut m = LayoutManager::new();
+        for c in 0..8 {
+            m.layout_get(c, 1, 0, 1 << 20, IoMode::Read).unwrap();
+        }
+        assert_eq!(m.active_layouts(), 8);
+        assert_eq!(m.recalls_issued, 0);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn writer_recalls_readers() {
+        let mut m = LayoutManager::new();
+        let r = m.layout_get(1, 1, 0, 1000, IoMode::Read).unwrap();
+        let err = m.layout_get(2, 1, 500, 1000, IoMode::ReadWrite).unwrap_err();
+        assert_eq!(err, LayoutError::RecallIssued(vec![r.stateid]));
+        assert_eq!(m.pending_recalls(1), vec![r.stateid]);
+        m.check_invariants();
+        // Reader returns; writer retries and wins.
+        m.layout_return(1, r.stateid).unwrap();
+        let w = m.layout_get(2, 1, 500, 1000, IoMode::ReadWrite).unwrap();
+        assert_eq!(w.mode, IoMode::ReadWrite);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn disjoint_writers_coexist() {
+        let mut m = LayoutManager::new();
+        m.layout_get(1, 1, 0, 1000, IoMode::ReadWrite).unwrap();
+        m.layout_get(2, 1, 1000, 1000, IoMode::ReadWrite).unwrap();
+        m.layout_get(3, 2, 0, 1000, IoMode::ReadWrite).unwrap();
+        assert_eq!(m.active_layouts(), 3);
+        assert_eq!(m.recalls_issued, 0);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn same_client_overlap_is_fine() {
+        let mut m = LayoutManager::new();
+        m.layout_get(1, 1, 0, 1000, IoMode::ReadWrite).unwrap();
+        m.layout_get(1, 1, 500, 1000, IoMode::ReadWrite).unwrap();
+        assert_eq!(m.active_layouts(), 2);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn uncommitted_return_reports_discard() {
+        let mut m = LayoutManager::new();
+        let w = m.layout_get(1, 1, 0, 100, IoMode::ReadWrite).unwrap();
+        assert!(!m.layout_return(1, w.stateid).unwrap(), "uncommitted data flagged");
+        let w = m.layout_get(1, 1, 0, 100, IoMode::ReadWrite).unwrap();
+        m.layout_commit(1, w.stateid).unwrap();
+        assert!(m.layout_return(1, w.stateid).unwrap());
+    }
+
+    #[test]
+    fn ownership_is_enforced() {
+        let mut m = LayoutManager::new();
+        let w = m.layout_get(1, 1, 0, 100, IoMode::ReadWrite).unwrap();
+        assert_eq!(
+            m.layout_commit(2, w.stateid),
+            Err(LayoutError::NotOwner { stateid: w.stateid, client: 2 })
+        );
+        assert_eq!(
+            m.layout_return(2, w.stateid),
+            Err(LayoutError::NotOwner { stateid: w.stateid, client: 2 })
+        );
+        assert_eq!(m.layout_commit(1, 999), Err(LayoutError::UnknownStateid(999)));
+    }
+
+    #[test]
+    fn recall_is_idempotent() {
+        let mut m = LayoutManager::new();
+        let r = m.layout_get(1, 1, 0, 1000, IoMode::Read).unwrap();
+        let _ = m.layout_get(2, 1, 0, 1000, IoMode::ReadWrite);
+        let _ = m.layout_get(2, 1, 0, 1000, IoMode::ReadWrite);
+        assert_eq!(m.recalls_issued, 1, "one recall per stateid");
+        assert_eq!(m.pending_recalls(1), vec![r.stateid]);
+    }
+}

@@ -1,0 +1,21 @@
+//! # pnfs — Parallel NFS (NFSv4.1) layouts
+//! (report §2.2 "NFSv4/pNFS", §5.7; CITI/University of Michigan)
+//!
+//! pNFS was one of PDSI's three headline deliverables: an extension to
+//! NFSv4 in which the server hands clients *layouts* — maps from file
+//! ranges to data servers — so clients access storage **directly and in
+//! parallel**, "eliminating the server bottlenecks inherent to NAS
+//! access methods". This crate implements:
+//!
+//! - [`layout`]: the file-layout state machine a metadata server runs —
+//!   grants, conflicting-access recalls, commits, returns — with the
+//!   NFSv4.1 invariants checked;
+//! - [`scaling`]: the throughput model that shows *why* it mattered:
+//!   plain NFS funnels every byte through one server, pNFS scales with
+//!   the data-server count.
+
+pub mod layout;
+pub mod scaling;
+
+pub use layout::{ClientId, IoMode, LayoutError, LayoutManager, LayoutSegment};
+pub use scaling::{run_access, AccessProtocol, ScalingConfig, ScalingReport};

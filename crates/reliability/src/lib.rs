@@ -1,0 +1,28 @@
+//! # reliability — failure characterization, MTTI projection, and
+//! checkpoint-utilization modeling (report §3.3, Figs. 4–5)
+//!
+//! The PDSI data-collection arm released a decade of LANL failure
+//! records and the analyses built on them. This crate reproduces that
+//! chain end to end:
+//!
+//! - [`records`]: LANL-style failure records, a synthetic fleet
+//!   generator with the published statistical shapes (Weibull
+//!   decreasing-hazard gaps, ~0.1 interrupts/chip/year), and the
+//!   "interrupts are linear in chips" regression (Fig. 4 left);
+//! - [`projection`]: the top500-extrapolation MTTI model (Fig. 4
+//!   right) and the balanced-system disk-count arithmetic;
+//! - [`utilization`]: Daly-interval checkpoint/restart utilization,
+//!   the 50%-before-2014 crossing (Fig. 5), the per-year compression
+//!   requirement, the process-pairs alternative, and a Monte-Carlo
+//!   validator for the analytic model.
+
+pub mod projection;
+pub mod records;
+pub mod utilization;
+
+pub use projection::{DiskGrowth, ProjectionConfig};
+pub use records::{
+    fit_rate_vs_chips, generate, lanl_like_fleet, observed_mtti, FailureCategory, FailureRecord,
+    SystemSpec,
+};
+pub use utilization::{process_pairs_utilization, simulate_utilization, CheckpointModel};

@@ -1,0 +1,159 @@
+//! The Fig. 4 projection: mean time to interrupt toward exascale.
+//!
+//! Model, exactly as §3.3.3 describes it: top500-class systems double
+//! aggregate speed every year; per-chip performance doubles only every
+//! `moore_months` (18, 24, or 30 — multicore may not convert density
+//! into aggregate speed); therefore chip *count* grows as the ratio.
+//! With interrupts linear in chips at 0.1 per chip-year and a 1 PFLOP
+//! baseline in 2008, MTTI falls toward minutes by the exascale era.
+
+/// Projection parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ProjectionConfig {
+    /// Baseline year (2008 in the report).
+    pub base_year: f64,
+    /// Chips in the baseline 1 PFLOP system.
+    pub base_chips: f64,
+    /// System aggregate speed growth factor per year (2.0 = +100%).
+    pub system_growth_per_year: f64,
+    /// Months for per-chip performance to double (18, 24, 30).
+    pub moore_months: f64,
+    /// Interrupts per chip per year.
+    pub interrupts_per_chip_year: f64,
+}
+
+impl ProjectionConfig {
+    pub fn report_baseline(moore_months: f64) -> Self {
+        ProjectionConfig {
+            base_year: 2008.0,
+            base_chips: 10_000.0,
+            system_growth_per_year: 2.0,
+            moore_months,
+            interrupts_per_chip_year: 0.1,
+        }
+    }
+
+    /// Chip count of the top system in `year`.
+    pub fn chips(&self, year: f64) -> f64 {
+        let t = year - self.base_year;
+        let system_speed = self.system_growth_per_year.powf(t);
+        let chip_speed = 2.0_f64.powf(t * 12.0 / self.moore_months);
+        self.base_chips * system_speed / chip_speed
+    }
+
+    /// System interrupts per year in `year`.
+    pub fn interrupts_per_year(&self, year: f64) -> f64 {
+        self.chips(year) * self.interrupts_per_chip_year
+    }
+
+    /// Mean time to interrupt, in hours.
+    pub fn mtti_hours(&self, year: f64) -> f64 {
+        365.25 * 24.0 / self.interrupts_per_year(year)
+    }
+
+    /// The Fig. 4 series: `(year, mtti_hours)`.
+    pub fn mtti_series(&self, to_year: f64) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        let mut y = self.base_year;
+        while y <= to_year + 1e-9 {
+            out.push((y, self.mtti_hours(y)));
+            y += 1.0;
+        }
+        out
+    }
+
+    /// Aggregate system speed in PFLOPs.
+    pub fn pflops(&self, year: f64) -> f64 {
+        self.system_growth_per_year.powf(year - self.base_year)
+    }
+
+    /// First year aggregate speed reaches an exaflop.
+    pub fn exascale_year(&self) -> f64 {
+        self.base_year + (1000.0_f64).ln() / self.system_growth_per_year.ln()
+    }
+}
+
+/// Disk-growth arithmetic from §3.3.3: keeping storage bandwidth
+/// "balanced" (growing with compute at `system_growth` per year) using
+/// disks whose individual bandwidth grows only `disk_bw_growth` per
+/// year forces the disk *count* to grow at the ratio.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskGrowth {
+    pub system_growth_per_year: f64,
+    pub disk_bw_growth_per_year: f64,
+}
+
+impl DiskGrowth {
+    pub fn report_numbers() -> Self {
+        DiskGrowth { system_growth_per_year: 2.0, disk_bw_growth_per_year: 1.2 }
+    }
+
+    /// Yearly growth factor of the number of disks.
+    pub fn disk_count_growth(&self) -> f64 {
+        self.system_growth_per_year / self.disk_bw_growth_per_year
+    }
+
+    /// Disk count multiplier after `years`.
+    pub fn disks_after(&self, years: f64) -> f64 {
+        self.disk_count_growth().powf(years)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chips_grow_when_systems_outpace_moore() {
+        let p = ProjectionConfig::report_baseline(24.0);
+        // Speed 2x/yr vs chip 2x/2yr: chip count must grow ~1.41x/yr.
+        let g = p.chips(2009.0) / p.chips(2008.0);
+        assert!((g - 2.0_f64.powf(0.5)).abs() < 1e-9, "growth {g}");
+        assert!((p.chips(2008.0) - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn moore_18_months_keeps_chips_flat_slower() {
+        let fast = ProjectionConfig::report_baseline(18.0);
+        let slow = ProjectionConfig::report_baseline(30.0);
+        assert!(slow.chips(2016.0) > fast.chips(2016.0));
+    }
+
+    #[test]
+    fn mtti_baseline_matches_hand_arithmetic() {
+        let p = ProjectionConfig::report_baseline(24.0);
+        // 10_000 chips * 0.1/chip-yr = 1000 interrupts/yr => ~8.77 h.
+        let m = p.mtti_hours(2008.0);
+        assert!((m - 8.766).abs() < 0.01, "mtti {m}");
+    }
+
+    #[test]
+    fn mtti_falls_to_minutes_by_exascale() {
+        // The report: "time between interrupts may drop to as little as
+        // a few minutes as we approach the exascale era."
+        let p = ProjectionConfig::report_baseline(30.0);
+        let exa = p.exascale_year(); // ~2018 at 2x/yr from 2008
+        assert!((exa - 2017.97).abs() < 0.1);
+        let m = p.mtti_hours(exa);
+        assert!(m < 0.5, "exascale MTTI {m} h should be sub-half-hour");
+        assert!(m * 60.0 > 1.0, "but still minutes, not seconds: {m} h");
+    }
+
+    #[test]
+    fn mtti_series_is_monotone_decreasing() {
+        let p = ProjectionConfig::report_baseline(24.0);
+        let s = p.mtti_series(2018.0);
+        assert_eq!(s.len(), 11);
+        for w in s.windows(2) {
+            assert!(w[1].1 < w[0].1);
+        }
+    }
+
+    #[test]
+    fn disk_count_grows_67_percent_per_year() {
+        let d = DiskGrowth::report_numbers();
+        // 2.0 / 1.2 = 1.667 — the report's "about 67% per year".
+        assert!((d.disk_count_growth() - 1.6667).abs() < 0.001);
+        assert!(d.disks_after(5.0) > 12.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Failure-record schema and synthetic trace generation.
+//!
+//! The Computer Failure Data Repository (report §3.3) hosts the LANL
+//! release: nine years of interrupt records from 22 clusters. The
+//! durable analysis results (Schroeder & Gibson): interrupts scale
+//! roughly *linearly with the number of processor chips*; inter-failure
+//! times are Weibull with decreasing hazard (shape < 1), not the
+//! memoryless exponential the "bathtub" folklore assumed; and
+//! replacement rates grow with age rather than plateauing.
+//!
+//! We generate synthetic traces from those published shapes and then
+//! re-derive the paper's fits from the synthetic data — closing the
+//! loop that the projection models (Figs. 4–5) build on.
+
+use simkit::dist::{Distribution, Exponential, Weibull};
+use simkit::stats::{linear_fit, LinearFit};
+use simkit::Rng;
+
+/// What broke (coarse LANL categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureCategory {
+    Hardware,
+    Software,
+    Network,
+    Environment,
+    Human,
+    Unknown,
+}
+
+/// One application-interrupting failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureRecord {
+    /// Which cluster.
+    pub system: u32,
+    /// Node within the cluster.
+    pub node: u32,
+    /// Seconds since trace start.
+    pub time: f64,
+    /// Repair time in seconds.
+    pub downtime: f64,
+    pub category: FailureCategory,
+}
+
+/// A cluster in the synthetic fleet.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemSpec {
+    pub id: u32,
+    pub nodes: u32,
+    pub chips_per_node: u32,
+    /// Interrupts per chip per year (the report uses an optimistic 0.1).
+    pub interrupts_per_chip_year: f64,
+    /// Weibull shape for inter-failure times (< 1 = decreasing hazard).
+    pub weibull_shape: f64,
+}
+
+impl SystemSpec {
+    pub fn chips(&self) -> u32 {
+        self.nodes * self.chips_per_node
+    }
+
+    /// Expected interrupts per year for the whole system.
+    pub fn rate_per_year(&self) -> f64 {
+        self.chips() as f64 * self.interrupts_per_chip_year
+    }
+}
+
+/// A fleet shaped like the LANL release: many clusters of varying size.
+pub fn lanl_like_fleet() -> Vec<SystemSpec> {
+    let sizes: [(u32, u32); 10] = [
+        (128, 2),
+        (256, 2),
+        (256, 4),
+        (512, 2),
+        (512, 4),
+        (1024, 2),
+        (1024, 4),
+        (2048, 2),
+        (2048, 4),
+        (4096, 4),
+    ];
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &(nodes, cpn))| SystemSpec {
+            id: i as u32,
+            nodes,
+            chips_per_node: cpn,
+            interrupts_per_chip_year: 0.1,
+            weibull_shape: 0.7,
+        })
+        .collect()
+}
+
+const SECS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
+
+/// Generate `years` of failures for one system.
+pub fn generate(spec: &SystemSpec, years: f64, rng: &mut Rng) -> Vec<FailureRecord> {
+    let mean_gap = SECS_PER_YEAR / spec.rate_per_year();
+    // Weibull with the requested shape, scaled so the mean gap matches
+    // the target rate.
+    let w = Weibull::new(spec.weibull_shape, 1.0);
+    let scale = mean_gap / w.mean();
+    let gap_dist = Weibull::new(spec.weibull_shape, scale);
+    let repair = Exponential::with_mean(6.0 * 3600.0); // ~6 h MTTR
+    let mut t = 0.0;
+    let mut out = Vec::new();
+    let horizon = years * SECS_PER_YEAR;
+    let cats = [
+        (FailureCategory::Hardware, 0.55),
+        (FailureCategory::Software, 0.20),
+        (FailureCategory::Network, 0.08),
+        (FailureCategory::Environment, 0.05),
+        (FailureCategory::Human, 0.02),
+        (FailureCategory::Unknown, 0.10),
+    ];
+    loop {
+        t += gap_dist.sample(rng);
+        if t >= horizon {
+            break;
+        }
+        let mut u = rng.f64();
+        let mut category = FailureCategory::Unknown;
+        for &(c, p) in &cats {
+            if u < p {
+                category = c;
+                break;
+            }
+            u -= p;
+        }
+        out.push(FailureRecord {
+            system: spec.id,
+            node: rng.below(spec.nodes as u64) as u32,
+            time: t,
+            downtime: repair.sample(rng),
+            category,
+        });
+    }
+    out
+}
+
+/// Observed mean time to interrupt, seconds.
+pub fn observed_mtti(records: &[FailureRecord], years: f64) -> f64 {
+    if records.is_empty() {
+        return f64::INFINITY;
+    }
+    years * SECS_PER_YEAR / records.len() as f64
+}
+
+/// Fit interrupts/year against chip count across a fleet — the Fig. 4
+/// "interrupts are linear in chips" regression.
+pub fn fit_rate_vs_chips(fleet: &[SystemSpec], years: f64, seed: u64) -> LinearFit {
+    let mut rng = Rng::new(seed);
+    let points: Vec<(f64, f64)> = fleet
+        .iter()
+        .map(|s| {
+            let recs = generate(s, years, &mut rng.fork(s.id as u64));
+            (s.chips() as f64, recs.len() as f64 / years)
+        })
+        .collect();
+    linear_fit(&points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(nodes: u32) -> SystemSpec {
+        SystemSpec {
+            id: 0,
+            nodes,
+            chips_per_node: 2,
+            interrupts_per_chip_year: 0.1,
+            weibull_shape: 0.7,
+        }
+    }
+
+    #[test]
+    fn generated_rate_matches_spec() {
+        let s = spec(1024);
+        let mut rng = Rng::new(1);
+        let years = 5.0;
+        let recs = generate(&s, years, &mut rng);
+        let rate = recs.len() as f64 / years;
+        let expect = s.rate_per_year(); // 204.8/yr
+        assert!((rate / expect - 1.0).abs() < 0.1, "rate {rate} vs {expect}");
+    }
+
+    #[test]
+    fn records_sorted_in_time_and_in_horizon() {
+        let s = spec(512);
+        let mut rng = Rng::new(2);
+        let recs = generate(&s, 2.0, &mut rng);
+        for w in recs.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        assert!(recs.iter().all(|r| r.time < 2.0 * SECS_PER_YEAR));
+        assert!(recs.iter().all(|r| r.node < 512));
+    }
+
+    #[test]
+    fn interrupts_linear_in_chips() {
+        let fit = fit_rate_vs_chips(&lanl_like_fleet(), 4.0, 7);
+        // Slope should be ~0.1 interrupts/chip/year with a strong fit.
+        assert!((fit.slope - 0.1).abs() < 0.02, "slope {}", fit.slope);
+        assert!(fit.r2 > 0.95, "r2 {}", fit.r2);
+    }
+
+    #[test]
+    fn mtti_shrinks_with_system_size() {
+        let mut rng = Rng::new(3);
+        let small = generate(&spec(128), 4.0, &mut rng);
+        let big = generate(&spec(4096), 4.0, &mut rng);
+        assert!(observed_mtti(&big, 4.0) < observed_mtti(&small, 4.0) / 10.0);
+    }
+
+    #[test]
+    fn hardware_dominates_categories() {
+        let mut rng = Rng::new(4);
+        let recs = generate(&spec(4096), 5.0, &mut rng);
+        let hw = recs.iter().filter(|r| r.category == FailureCategory::Hardware).count();
+        assert!(hw as f64 > 0.4 * recs.len() as f64);
+    }
+
+    #[test]
+    fn weibull_gaps_have_high_variability() {
+        // Decreasing hazard means CV > 1 (burstier than exponential).
+        let s = spec(256);
+        let mut rng = Rng::new(5);
+        let recs = generate(&s, 10.0, &mut rng);
+        let mut stats = simkit::OnlineStats::new();
+        for w in recs.windows(2) {
+            stats.push(w[1].time - w[0].time);
+        }
+        assert!(stats.cv() > 1.05, "CV {} not heavy-tailed", stats.cv());
+    }
+}

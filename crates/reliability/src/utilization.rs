@@ -1,0 +1,214 @@
+//! The Fig. 5 model: effective application utilization under
+//! checkpoint/restart pressure, plus the alternatives the report
+//! weighs (checkpoint compression, process pairs).
+//!
+//! In a *balanced* machine, memory size and storage bandwidth both
+//! scale with compute speed, so the time to dump memory to storage — a
+//! full checkpoint — stays constant while MTTI shrinks (Fig. 4).
+//! Checkpointing at the (Daly) optimal interval, the fraction of the
+//! machine doing useful science decays and crosses 50% before 2014.
+
+use crate::projection::ProjectionConfig;
+use simkit::dist::{Distribution, Exponential};
+use simkit::Rng;
+
+/// Checkpoint/restart machine model for one year's top system.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointModel {
+    /// Time to write one full checkpoint, seconds (constant in a
+    /// balanced system; the report's checkpoints take tens of minutes).
+    pub checkpoint_secs: f64,
+    /// Time to restart from a checkpoint (re-read + re-init), seconds.
+    pub restart_secs: f64,
+}
+
+impl CheckpointModel {
+    pub fn report_baseline() -> Self {
+        CheckpointModel { checkpoint_secs: 15.0 * 60.0, restart_secs: 10.0 * 60.0 }
+    }
+
+    /// Daly's optimal checkpoint interval (first-order) for MTTI `m`:
+    /// `sqrt(2 m δ) - δ`, floored at δ.
+    pub fn optimal_interval(&self, mtti_secs: f64) -> f64 {
+        let d = self.checkpoint_secs;
+        ((2.0 * mtti_secs * d).sqrt() - d).max(d)
+    }
+
+    /// First-order effective utilization at MTTI `m`, checkpointing
+    /// every `tau`: useful work fraction after checkpoint overhead,
+    /// rework lost to failures, and restart time.
+    pub fn utilization(&self, mtti_secs: f64, tau: f64) -> f64 {
+        let d = self.checkpoint_secs;
+        // Fraction of wall time spent writing checkpoints.
+        let ckpt_overhead = d / (tau + d);
+        // Expected rework per failure: half an interval plus restart.
+        let loss_per_failure = (tau + d) / 2.0 + self.restart_secs;
+        let failure_overhead = loss_per_failure / mtti_secs;
+        (1.0 - ckpt_overhead) * (1.0 - failure_overhead).max(0.0)
+    }
+
+    /// Utilization at the optimal interval.
+    pub fn optimal_utilization(&self, mtti_secs: f64) -> f64 {
+        self.utilization(mtti_secs, self.optimal_interval(mtti_secs))
+    }
+
+    /// The Fig. 5 series: `(year, utilization)` for the projected top
+    /// system.
+    pub fn utilization_series(
+        &self,
+        proj: &ProjectionConfig,
+        to_year: f64,
+    ) -> Vec<(f64, f64)> {
+        proj.mtti_series(to_year)
+            .into_iter()
+            .map(|(y, mtti_h)| (y, self.optimal_utilization(mtti_h * 3600.0)))
+            .collect()
+    }
+
+    /// First projected year utilization falls below `threshold`.
+    pub fn crossing_year(&self, proj: &ProjectionConfig, threshold: f64) -> Option<f64> {
+        self.utilization_series(proj, proj.base_year + 30.0)
+            .into_iter()
+            .find(|&(_, u)| u < threshold)
+            .map(|(y, _)| y)
+    }
+
+    /// Checkpoint-size compression needed per year to hold utilization
+    /// constant: checkpoint time must shrink as fast as MTTI does.
+    pub fn required_compression_per_year(&self, proj: &ProjectionConfig) -> f64 {
+        let m0 = proj.mtti_hours(proj.base_year);
+        let m1 = proj.mtti_hours(proj.base_year + 1.0);
+        m0 / m1 // e.g. ~1.4x => "25-50% more effective compression each year"
+    }
+}
+
+/// The process-pairs alternative (§3.3.3): run two copies of every
+/// computation; a node failure no longer loses state, so checkpoints
+/// are only needed at visualization cadence. Utilization is pinned just
+/// under 50% of the doubled machine — but *stays* there.
+pub fn process_pairs_utilization(viz_checkpoint_overhead: f64) -> f64 {
+    0.5 * (1.0 - viz_checkpoint_overhead)
+}
+
+/// Monte-Carlo validation of the analytic utilization model: simulate
+/// failures (exponential gaps at the given MTTI) against an application
+/// checkpointing every `tau`, and measure the useful-work fraction.
+pub fn simulate_utilization(
+    model: &CheckpointModel,
+    mtti_secs: f64,
+    tau: f64,
+    horizon_secs: f64,
+    seed: u64,
+) -> f64 {
+    let mut rng = Rng::new(seed);
+    let gap = Exponential::with_mean(mtti_secs);
+    let mut next_failure = gap.sample(&mut rng);
+    let mut t = 0.0;
+    let mut useful = 0.0;
+    while t < horizon_secs {
+        // One segment: tau of work then a checkpoint write. Work only
+        // counts once its checkpoint is durable; a failure mid-segment
+        // loses the whole segment (rework from the previous
+        // checkpoint).
+        let seg_end = t + tau + model.checkpoint_secs;
+        if next_failure >= seg_end {
+            t = seg_end;
+            useful += tau;
+        } else {
+            t = next_failure + model.restart_secs;
+        }
+        while next_failure <= t {
+            next_failure += gap.sample(&mut rng);
+        }
+    }
+    useful / horizon_secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_interval_shrinks_with_mtti() {
+        let m = CheckpointModel::report_baseline();
+        let day = m.optimal_interval(24.0 * 3600.0);
+        let hour = m.optimal_interval(3600.0);
+        assert!(day > hour);
+        assert!(hour >= m.checkpoint_secs);
+    }
+
+    #[test]
+    fn utilization_healthy_at_long_mtti() {
+        let m = CheckpointModel::report_baseline();
+        let u = m.optimal_utilization(7.0 * 24.0 * 3600.0); // week
+        assert!(u > 0.9, "weekly-MTTI utilization {u}");
+    }
+
+    #[test]
+    fn utilization_collapses_at_short_mtti() {
+        let m = CheckpointModel::report_baseline();
+        let u = m.optimal_utilization(1800.0); // 30 min MTTI
+        assert!(u < 0.5, "30-min-MTTI utilization {u}");
+    }
+
+    #[test]
+    fn fifty_percent_crossing_before_2014() {
+        // The report's headline: "effective application utilization may
+        // cross under 50% before 2014".
+        let m = CheckpointModel::report_baseline();
+        let proj = ProjectionConfig::report_baseline(24.0);
+        let year = m.crossing_year(&proj, 0.5).expect("no crossing found");
+        assert!(
+            (2011.0..=2014.0).contains(&year),
+            "50% crossing at {year}, report says before 2014"
+        );
+    }
+
+    #[test]
+    fn compression_requirement_matches_report_range() {
+        // "compress the storage footprint ... by about 25-50% more each
+        // year, then the problem goes away."
+        let m = CheckpointModel::report_baseline();
+        for moore in [18.0, 24.0, 30.0] {
+            let proj = ProjectionConfig::report_baseline(moore);
+            let c = m.required_compression_per_year(&proj);
+            assert!((1.15..=1.55).contains(&c), "moore {moore}: compression {c}");
+        }
+    }
+
+    #[test]
+    fn process_pairs_beats_checkpointing_at_exascale() {
+        let m = CheckpointModel::report_baseline();
+        let proj = ProjectionConfig::report_baseline(24.0);
+        let exa = proj.exascale_year();
+        let ckpt = m.optimal_utilization(proj.mtti_hours(exa) * 3600.0);
+        let pairs = process_pairs_utilization(0.02);
+        assert!(pairs > ckpt, "pairs {pairs} vs checkpointing {ckpt}");
+        assert!(pairs < 0.5);
+    }
+
+    #[test]
+    fn simulation_validates_analytic_model() {
+        let m = CheckpointModel::report_baseline();
+        let mtti = 6.0 * 3600.0;
+        let tau = m.optimal_interval(mtti);
+        let sim = simulate_utilization(&m, mtti, tau, 5.0e8, 11);
+        let analytic = m.utilization(mtti, tau);
+        assert!(
+            (sim - analytic).abs() < 0.06,
+            "simulated {sim} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn simulated_optimum_is_near_daly_interval() {
+        let m = CheckpointModel::report_baseline();
+        let mtti = 4.0 * 3600.0;
+        let opt = m.optimal_interval(mtti);
+        let u_opt = simulate_utilization(&m, mtti, opt, 3.0e8, 12);
+        let u_small = simulate_utilization(&m, mtti, opt / 8.0, 3.0e8, 12);
+        let u_big = simulate_utilization(&m, mtti, opt * 8.0, 3.0e8, 12);
+        assert!(u_opt > u_small, "too-frequent checkpoints should lose: {u_opt} vs {u_small}");
+        assert!(u_opt > u_big, "too-rare checkpoints should lose: {u_opt} vs {u_big}");
+    }
+}

@@ -1,0 +1,302 @@
+//! Statistical distributions over [`crate::rng::Rng`].
+//!
+//! The PDSI data-collection studies fit heavy-tailed distributions to
+//! observed populations: Weibull inter-failure times (Schroeder & Gibson,
+//! FAST'07), lognormal file sizes with a Pareto tail (Dayal, CMU-PDL-08-109),
+//! and Poisson arrival processes. These are implemented locally so the
+//! exact sampling algorithms are pinned in-repo.
+
+use crate::rng::Rng;
+
+/// A sampleable distribution over `f64`.
+pub trait Distribution {
+    fn sample(&self, rng: &mut Rng) -> f64;
+
+    /// The distribution's mean, where defined in closed form.
+    fn mean(&self) -> f64;
+}
+
+/// Exponential distribution with the given rate (1/mean).
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    pub rate: f64,
+}
+
+impl Exponential {
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean > 0.0);
+        Exponential { rate: 1.0 / mean }
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        -rng.f64_open().ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+/// Weibull distribution (shape `k`, scale `lambda`).
+///
+/// Shape < 1 gives the decreasing-hazard inter-failure behaviour the
+/// FAST'07 disk study observed (replacement rates that are *not* a flat
+/// bathtub bottom).
+#[derive(Debug, Clone, Copy)]
+pub struct Weibull {
+    pub shape: f64,
+    pub scale: f64,
+}
+
+impl Weibull {
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(shape > 0.0 && scale > 0.0);
+        Weibull { shape, scale }
+    }
+}
+
+impl Distribution for Weibull {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.scale * (-rng.f64_open().ln()).powf(1.0 / self.shape)
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * gamma(1.0 + 1.0 / self.shape)
+    }
+}
+
+/// Normal distribution via Box–Muller (the cached second variate is
+/// dropped to stay stateless and deterministic per call site).
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    pub mu: f64,
+    pub sigma: f64,
+}
+
+impl Distribution for Normal {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        let u1 = rng.f64_open();
+        let u2 = rng.f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        self.mu + self.sigma * r * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+}
+
+/// Lognormal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    pub mu: f64,
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Construct from the desired median and "shape" sigma of the
+    /// underlying normal.
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0);
+        LogNormal { mu: median.ln(), sigma }
+    }
+}
+
+impl Distribution for LogNormal {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        Normal { mu: self.mu, sigma: self.sigma }.sample(rng).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// Pareto distribution (heavy tail), `x_m` minimum, `alpha` tail index.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    pub x_min: f64,
+    pub alpha: f64,
+}
+
+impl Distribution for Pareto {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.x_min / rng.f64_open().powf(1.0 / self.alpha)
+    }
+
+    fn mean(&self) -> f64 {
+        if self.alpha <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.alpha * self.x_min / (self.alpha - 1.0)
+        }
+    }
+}
+
+/// Zipf-like rank distribution over `{0, .., n-1}` with exponent `s`,
+/// sampled by inverse-CDF over precomputed cumulative weights.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().unwrap();
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    pub fn sample_index(&self, rng: &mut Rng) -> usize {
+        let u = rng.f64();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Poisson-distributed count with the given mean, via Knuth's method for
+/// small means and a normal approximation above 64 (adequate for
+/// workload generation).
+pub fn poisson(rng: &mut Rng, mean: f64) -> u64 {
+    assert!(mean >= 0.0);
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean > 64.0 {
+        let x = Normal { mu: mean, sigma: mean.sqrt() }.sample(rng);
+        return x.max(0.0).round() as u64;
+    }
+    let l = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.f64_open();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Lanczos approximation of the gamma function, used for Weibull means.
+pub fn gamma(x: f64) -> f64 {
+    // g = 7, n = 9 Lanczos coefficients.
+    const G: f64 = 7.0;
+    const C: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.984_369_578_019_572e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = C[0];
+        let t = x + G + 0.5;
+        for (i, &c) in C.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean<D: Distribution>(d: &D, seed: u64, n: usize) -> f64 {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Exponential::with_mean(5.0);
+        let m = sample_mean(&d, 1, 200_000);
+        assert!((m - 5.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn weibull_mean_converges() {
+        let d = Weibull::new(0.7, 100.0);
+        let m = sample_mean(&d, 2, 200_000);
+        assert!((m / d.mean() - 1.0).abs() < 0.05, "mean {m} vs {}", d.mean());
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let d = Normal { mu: 10.0, sigma: 2.0 };
+        let m = sample_mean(&d, 3, 200_000);
+        assert!((m - 10.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_all_positive() {
+        let d = LogNormal::from_median(4096.0, 2.0);
+        let mut rng = Rng::new(4);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn pareto_respects_minimum() {
+        let d = Pareto { x_min: 7.0, alpha: 1.5 };
+        let mut rng = Rng::new(5);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 7.0);
+        }
+        let m = sample_mean(&d, 6, 500_000);
+        assert!((m / d.mean() - 1.0).abs() < 0.15, "mean {m} vs {}", d.mean());
+    }
+
+    #[test]
+    fn zipf_rank_zero_most_popular() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = Rng::new(7);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..100_000 {
+            counts[z.sample_index(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[99]);
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        let mut rng = Rng::new(8);
+        for &mean in &[0.5, 4.0, 200.0] {
+            let n = 50_000;
+            let s: u64 = (0..n).map(|_| poisson(&mut rng, mean)).sum();
+            let m = s as f64 / n as f64;
+            assert!((m / mean - 1.0).abs() < 0.05, "mean {m} target {mean}");
+        }
+    }
+
+    #[test]
+    fn gamma_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-8);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-10);
+    }
+}

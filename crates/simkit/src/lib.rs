@@ -1,0 +1,34 @@
+//! # simkit — deterministic discrete-event simulation kernel
+//!
+//! Shared substrate for every simulator in the PDSI reproduction
+//! (disk/flash models, the parallel file system, TCP incast, GIGA+
+//! timelines). Everything here is deterministic: time is integer
+//! nanoseconds, the RNG is a hand-rolled xoshiro256** seeded explicitly,
+//! and the event queue breaks ties by insertion sequence. Running any
+//! experiment twice with the same seed yields bit-identical output.
+//!
+//! Modules:
+//! - [`time`]: [`SimTime`]/[`SimDuration`] fixed-point time arithmetic.
+//! - [`rng`]: seedable PRNG (`SplitMix64` seeding a `xoshiro256**`).
+//! - [`dist`]: statistical distributions (exponential, Weibull,
+//!   lognormal, Pareto, zipf, normal, Poisson) over [`rng::Rng`].
+//! - [`events`]: calendar event queue with stable tie-breaking.
+//! - [`resource`]: timeline resources (FCFS servers) for causal-order
+//!   "greedy earliest event" simulation.
+//! - [`stats`]: online summary statistics, CDFs, histograms, least
+//!   squares regression.
+//! - [`units`]: byte/rate constants and human-readable formatting.
+
+pub mod dist;
+pub mod events;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use events::EventQueue;
+pub use resource::Timeline;
+pub use rng::Rng;
+pub use stats::{Cdf, Histogram, OnlineStats};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,305 @@
+//! Summary statistics, CDFs, histograms, and least-squares fitting.
+//!
+//! These back both the data-collection reproductions (file-size CDFs,
+//! failure-rate fits) and the experiment harnesses (throughput
+//! summaries, percentile reporting).
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    pub fn new() -> Self {
+        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.push(x);
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (n-1 denominator).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Coefficient of variation (std dev / mean).
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / self.mean.abs()
+        }
+    }
+}
+
+/// Empirical cumulative distribution over a sample.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    pub fn from_samples(mut xs: Vec<f64>) -> Self {
+        xs.retain(|x| x.is_finite());
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Cdf { sorted: xs }
+    }
+
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// P(X <= x).
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Quantile `q` in `[0, 1]` by nearest-rank.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).max(1) - 1;
+        self.sorted[rank.min(self.sorted.len() - 1)]
+    }
+
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Evaluate the CDF at each of the given points, returning
+    /// `(x, F(x))` pairs — the series the fsstats plots print.
+    pub fn series(&self, points: &[f64]) -> Vec<(f64, f64)> {
+        points.iter().map(|&x| (x, self.at(x))).collect()
+    }
+}
+
+/// Fixed-bucket histogram over `[lo, hi)` with power-of-two or linear
+/// bucketing chosen by the constructor.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Linear buckets: `n` equal-width buckets spanning `[lo, hi)`.
+    pub fn linear(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(n > 0 && hi > lo);
+        let w = (hi - lo) / n as f64;
+        let edges = (0..=n).map(|i| lo + w * i as f64).collect();
+        Histogram { edges, counts: vec![0; n], underflow: 0, overflow: 0 }
+    }
+
+    /// Log2 buckets from `2^lo_exp` to `2^hi_exp` — the natural choice
+    /// for file-size distributions.
+    pub fn log2(lo_exp: u32, hi_exp: u32) -> Self {
+        assert!(hi_exp > lo_exp);
+        let edges: Vec<f64> = (lo_exp..=hi_exp).map(|e| (1u64 << e) as f64).collect();
+        let n = edges.len() - 1;
+        Histogram { edges, counts: vec![0; n], underflow: 0, overflow: 0 }
+    }
+
+    pub fn record(&mut self, x: f64) {
+        if x < self.edges[0] {
+            self.underflow += 1;
+            return;
+        }
+        if x >= *self.edges.last().unwrap() {
+            self.overflow += 1;
+            return;
+        }
+        let idx = self.edges.partition_point(|&e| e <= x) - 1;
+        self.counts[idx] += 1;
+    }
+
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        self.edges
+            .windows(2)
+            .zip(self.counts.iter())
+            .map(|(w, &c)| (w[0], w[1], c))
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+}
+
+/// Result of an ordinary least-squares fit `y = slope * x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    pub slope: f64,
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+impl LinearFit {
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Ordinary least squares over `(x, y)` pairs. Panics on fewer than two
+/// points or zero x-variance.
+pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
+    assert!(points.len() >= 2, "need at least two points");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let mx = sx / n;
+    let my = sy / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
+    let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    assert!(sxx > 0.0, "zero variance in x");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| {
+            let e = p.1 - (slope * p.0 + intercept);
+            e * e
+        })
+        .sum();
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - my) * (p.1 - my)).sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    LinearFit { slope, intercept, r2 }
+}
+
+/// Geometric mean of strictly positive values (the right aggregate for
+/// speedup factors).
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    let s: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean of non-positive value");
+            x.ln()
+        })
+        .sum();
+    (s / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basics() {
+        let mut s = OnlineStats::new();
+        s.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.571428571428571).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn cdf_quantiles() {
+        let c = Cdf::from_samples((1..=100).map(|i| i as f64).collect());
+        assert_eq!(c.median(), 50.0);
+        assert_eq!(c.quantile(0.9), 90.0);
+        assert_eq!(c.quantile(1.0), 100.0);
+        assert!((c.at(25.0) - 0.25).abs() < 1e-12);
+        assert_eq!(c.at(0.0), 0.0);
+        assert_eq!(c.at(1000.0), 1.0);
+    }
+
+    #[test]
+    fn histogram_log2_bucketing() {
+        let mut h = Histogram::log2(10, 20); // 1 KiB .. 1 MiB
+        h.record(1024.0);
+        h.record(1500.0);
+        h.record(4096.0);
+        h.record(100.0); // underflow
+        h.record(2e6); // overflow
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        let b: Vec<_> = h.buckets().collect();
+        assert_eq!(b[0], (1024.0, 2048.0, 2));
+        assert_eq!(b[2], (4096.0, 8192.0, 1));
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let pts: Vec<_> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let f = linear_fit(&pts);
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!((f.intercept - 2.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+        assert!((f.predict(100.0) - 302.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_noisy_r2_below_one() {
+        let pts = vec![(0.0, 0.0), (1.0, 2.0), (2.0, 1.0), (3.0, 4.0), (4.0, 3.0)];
+        let f = linear_fit(&pts);
+        assert!(f.r2 < 1.0 && f.r2 > 0.4);
+    }
+
+    #[test]
+    fn geomean_of_speedups() {
+        let g = geomean(&[2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+}

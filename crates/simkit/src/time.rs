@@ -1,0 +1,256 @@
+//! Simulation time as integer nanoseconds.
+//!
+//! Floating-point time accumulates rounding error across millions of
+//! events and makes runs order-dependent; integer nanoseconds keep every
+//! simulation exactly reproducible while still resolving sub-microsecond
+//! device service times.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant on the simulation clock, in nanoseconds since
+/// simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+pub const NANOS_PER_MICRO: u64 = 1_000;
+pub const NANOS_PER_MILLI: u64 = 1_000_000;
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+    /// A sentinel "never happens" instant.
+    pub const NEVER: SimTime = SimTime(u64::MAX);
+
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0, "negative simulation time");
+        SimTime((s * NANOS_PER_SEC as f64).round() as u64)
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_MILLI as f64
+    }
+
+    /// Duration elapsed since `earlier`; saturates to zero if `earlier`
+    /// is in the future.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    pub fn max_of(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    pub fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    pub fn from_micros(us: u64) -> Self {
+        SimDuration(us * NANOS_PER_MICRO)
+    }
+
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * NANOS_PER_MILLI)
+    }
+
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s * NANOS_PER_SEC)
+    }
+
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0 && s.is_finite(), "bad duration {s}");
+        SimDuration((s * NANOS_PER_SEC as f64).round() as u64)
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_MILLI as f64
+    }
+
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_MICRO as f64
+    }
+
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Time to move `bytes` at `bytes_per_sec`.
+    pub fn for_bytes(bytes: u64, bytes_per_sec: f64) -> Self {
+        debug_assert!(bytes_per_sec > 0.0, "non-positive rate");
+        SimDuration::from_secs_f64(bytes as f64 / bytes_per_sec)
+    }
+
+    /// Throughput achieved moving `bytes` over this duration, in
+    /// bytes/second. Returns `f64::INFINITY` for a zero duration.
+    pub fn throughput(self, bytes: u64) -> f64 {
+        if self.0 == 0 {
+            f64::INFINITY
+        } else {
+            bytes as f64 / self.as_secs_f64()
+        }
+    }
+
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        debug_assert!(k >= 0.0 && k.is_finite());
+        SimDuration((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, other: SimTime) -> SimDuration {
+        debug_assert!(self.0 >= other.0, "time went backwards");
+        SimDuration(self.0 - other.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0 + other.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, other: SimDuration) {
+        self.0 += other.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, other: SimDuration) -> SimDuration {
+        debug_assert!(self.0 >= other.0, "negative duration");
+        SimDuration(self.0 - other.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, other: SimDuration) {
+        *self = *self - other;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0 * k)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, k: u64) -> SimDuration {
+        SimDuration(self.0 / k)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", SimDuration(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= NANOS_PER_SEC {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= NANOS_PER_MILLI {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= NANOS_PER_MICRO {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::ZERO + SimDuration::from_millis(5);
+        assert_eq!(t.0, 5 * NANOS_PER_MILLI);
+        let t2 = t + SimDuration::from_micros(10);
+        assert_eq!((t2 - t).as_micros_f64(), 10.0);
+    }
+
+    #[test]
+    fn for_bytes_matches_rate() {
+        // 100 MB at 100 MB/s is one second.
+        let d = SimDuration::for_bytes(100_000_000, 100_000_000.0);
+        assert_eq!(d, SimDuration::from_secs(1));
+        assert!((d.throughput(100_000_000) - 100_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(3)), "3.000us");
+        assert_eq!(format!("{}", SimDuration::from_millis(7)), "7.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000s");
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime(10);
+        let b = SimTime(20);
+        assert_eq!(a.since(b), SimDuration::ZERO);
+        assert_eq!(b.since(a), SimDuration(10));
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_secs(10);
+        assert_eq!(d / 4, SimDuration::from_millis(2500));
+        assert_eq!(d * 2, SimDuration::from_secs(20));
+        assert_eq!(d.mul_f64(0.5), SimDuration::from_secs(5));
+    }
+}

@@ -1,0 +1,88 @@
+//! Byte and rate units with human-readable formatting.
+
+pub const KIB: u64 = 1 << 10;
+pub const MIB: u64 = 1 << 20;
+pub const GIB: u64 = 1 << 30;
+pub const TIB: u64 = 1 << 40;
+
+pub const KB: u64 = 1_000;
+pub const MB: u64 = 1_000_000;
+pub const GB: u64 = 1_000_000_000;
+
+/// Format a byte count with binary units ("1.50 MiB").
+pub fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if bytes >= TIB {
+        format!("{:.2} TiB", b / TIB as f64)
+    } else if bytes >= GIB {
+        format!("{:.2} GiB", b / GIB as f64)
+    } else if bytes >= MIB {
+        format!("{:.2} MiB", b / MIB as f64)
+    } else if bytes >= KIB {
+        format!("{:.2} KiB", b / KIB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Format a throughput in decimal units ("1.20 GB/s"), matching how the
+/// report quotes bandwidth numbers.
+pub fn fmt_rate(bytes_per_sec: f64) -> String {
+    if bytes_per_sec >= GB as f64 {
+        format!("{:.2} GB/s", bytes_per_sec / GB as f64)
+    } else if bytes_per_sec >= MB as f64 {
+        format!("{:.2} MB/s", bytes_per_sec / MB as f64)
+    } else if bytes_per_sec >= KB as f64 {
+        format!("{:.2} KB/s", bytes_per_sec / KB as f64)
+    } else {
+        format!("{bytes_per_sec:.2} B/s")
+    }
+}
+
+/// Format an operation rate ("12.3 kops/s").
+pub fn fmt_ops(ops_per_sec: f64) -> String {
+    if ops_per_sec >= 1e6 {
+        format!("{:.2} Mops/s", ops_per_sec / 1e6)
+    } else if ops_per_sec >= 1e3 {
+        format!("{:.2} kops/s", ops_per_sec / 1e3)
+    } else {
+        format!("{ops_per_sec:.2} ops/s")
+    }
+}
+
+/// Render a simple ASCII bar of `value / max` scaled to `width` cells.
+pub fn ascii_bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || value <= 0.0 {
+        return String::new();
+    }
+    let cells = ((value / max) * width as f64).round() as usize;
+    "#".repeat(cells.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.00 KiB");
+        assert_eq!(fmt_bytes(3 * MIB + MIB / 2), "3.50 MiB");
+        assert_eq!(fmt_bytes(GIB), "1.00 GiB");
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(fmt_rate(100.0 * MB as f64), "100.00 MB/s");
+        assert_eq!(fmt_rate(1.5 * GB as f64), "1.50 GB/s");
+        assert_eq!(fmt_ops(19_100.0), "19.10 kops/s");
+    }
+
+    #[test]
+    fn bar_scaling() {
+        assert_eq!(ascii_bar(5.0, 10.0, 20), "#".repeat(10));
+        assert_eq!(ascii_bar(10.0, 10.0, 20), "#".repeat(20));
+        assert_eq!(ascii_bar(20.0, 10.0, 20), "#".repeat(20));
+        assert_eq!(ascii_bar(0.0, 10.0, 20), "");
+    }
+}

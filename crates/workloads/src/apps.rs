@@ -1,0 +1,227 @@
+//! Application I/O profiles.
+//!
+//! The PDSI data-collection effort characterized and released traces
+//! for a battery of DOE codes (report §3.1): S3D, CTH, FLASH-IO,
+//! Chombo, GTC, RAGE, QCD, and others. What matters for storage is the
+//! *shape* each one writes — N-1 strided small records, N-1 segmented
+//! contiguous regions, or N-N per-process files — plus record size and
+//! alignment. These profiles generate per-rank `(offset, len)` request
+//! lists with those shapes, parameterized so weak scaling keeps
+//! bytes-per-rank constant.
+
+/// Per-rank request lists.
+pub type Pattern = Vec<Vec<(u64, u64)>>;
+
+/// The shared-file access shape of an application's checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoShape {
+    /// Record r of the shared file belongs to rank `r % n`; records are
+    /// small and usually unaligned (FLASH, Chombo, QCD).
+    StridedN1,
+    /// Rank r owns one contiguous region of the shared file, written in
+    /// pieces (S3D Fortran I/O, GTC).
+    SegmentedN1,
+    /// One file per process (CTH, Alegra dump mode).
+    NtoN,
+}
+
+/// An application's checkpoint I/O profile.
+#[derive(Debug, Clone, Copy)]
+pub struct AppProfile {
+    pub name: &'static str,
+    pub shape: IoShape,
+    /// Bytes each rank contributes per checkpoint (weak scaling).
+    pub bytes_per_rank: u64,
+    /// Size of each individual write.
+    pub write_size: u64,
+    /// Report-quoted PLFS speedup class, for the summary table
+    /// ("order of magnitude" for Chombo, "two orders" for FLASH,
+    /// 5x-28x for production codes).
+    pub paper_speedup_hint: &'static str,
+}
+
+/// The seven benchmark/application profiles PLFS was demonstrated with
+/// (report §5.3: "three different parallel filesystems ... and seven
+/// applications and benchmarks").
+pub const APP_PROFILES: [AppProfile; 7] = [
+    AppProfile {
+        name: "FLASH-IO",
+        shape: IoShape::StridedN1,
+        bytes_per_rank: 6 << 20,
+        write_size: 43 * 1024 + 217, // small, unaligned
+        paper_speedup_hint: "~two orders of magnitude",
+    },
+    AppProfile {
+        name: "Chombo",
+        shape: IoShape::StridedN1,
+        bytes_per_rank: 8 << 20,
+        write_size: 37 * 1024 + 511,
+        paper_speedup_hint: "~order of magnitude",
+    },
+    AppProfile {
+        name: "QCD",
+        shape: IoShape::StridedN1,
+        bytes_per_rank: 4 << 20,
+        write_size: 96 * 1024,
+        paper_speedup_hint: "5x-28x (production)",
+    },
+    AppProfile {
+        name: "RAGE",
+        shape: IoShape::StridedN1,
+        bytes_per_rank: 12 << 20,
+        write_size: 64 * 1024 + 129,
+        paper_speedup_hint: "5x-28x (production)",
+    },
+    AppProfile {
+        name: "S3D",
+        shape: IoShape::SegmentedN1,
+        bytes_per_rank: 10 << 20,
+        write_size: 2 << 20,
+        paper_speedup_hint: "modest (well-formed already)",
+    },
+    AppProfile {
+        name: "GTC",
+        shape: IoShape::SegmentedN1,
+        bytes_per_rank: 16 << 20,
+        write_size: 4 << 20,
+        paper_speedup_hint: "modest (well-formed already)",
+    },
+    AppProfile {
+        name: "CTH",
+        shape: IoShape::NtoN,
+        bytes_per_rank: 8 << 20,
+        write_size: 1 << 20,
+        paper_speedup_hint: "~1x (already N-N)",
+    },
+];
+
+impl AppProfile {
+    /// Look a profile up by name.
+    pub fn by_name(name: &str) -> Option<&'static AppProfile> {
+        APP_PROFILES.iter().find(|p| p.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Writes each rank issues per checkpoint.
+    pub fn writes_per_rank(&self) -> u64 {
+        self.bytes_per_rank.div_ceil(self.write_size)
+    }
+
+    /// Generate one checkpoint's pattern at `ranks` processes.
+    /// For `NtoN` the offsets are per-rank-file offsets (each rank's
+    /// stream targets its own file).
+    pub fn pattern(&self, ranks: u32) -> Pattern {
+        let w = self.writes_per_rank();
+        match self.shape {
+            IoShape::StridedN1 => (0..ranks)
+                .map(|r| {
+                    (0..w)
+                        .map(|i| {
+                            let record = i * ranks as u64 + r as u64;
+                            (record * self.write_size, self.write_size)
+                        })
+                        .collect()
+                })
+                .collect(),
+            IoShape::SegmentedN1 => (0..ranks)
+                .map(|r| {
+                    let base = r as u64 * self.bytes_per_rank;
+                    let mut ops = Vec::new();
+                    let mut pos = 0;
+                    while pos < self.bytes_per_rank {
+                        let len = self.write_size.min(self.bytes_per_rank - pos);
+                        ops.push((base + pos, len));
+                        pos += len;
+                    }
+                    ops
+                })
+                .collect(),
+            IoShape::NtoN => (0..ranks)
+                .map(|_| {
+                    let mut ops = Vec::new();
+                    let mut pos = 0;
+                    while pos < self.bytes_per_rank {
+                        let len = self.write_size.min(self.bytes_per_rank - pos);
+                        ops.push((pos, len));
+                        pos += len;
+                    }
+                    ops
+                })
+                .collect(),
+        }
+    }
+
+    /// Total checkpoint bytes at `ranks` processes.
+    pub fn checkpoint_bytes(&self, ranks: u32) -> u64 {
+        self.writes_per_rank() * self.write_size * ranks as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_profiles_cover_all_shapes() {
+        assert_eq!(APP_PROFILES.len(), 7);
+        for shape in [IoShape::StridedN1, IoShape::SegmentedN1, IoShape::NtoN] {
+            assert!(APP_PROFILES.iter().any(|p| p.shape == shape), "{shape:?} missing");
+        }
+        assert!(AppProfile::by_name("flash-io").is_some());
+        assert!(AppProfile::by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn strided_pattern_is_disjoint_and_complete() {
+        let p = AppProfile::by_name("FLASH-IO").unwrap();
+        let pat = p.pattern(8);
+        let mut all: Vec<(u64, u64)> = pat.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let mut pos = 0;
+        for (o, l) in all {
+            assert_eq!(o, pos, "gap/overlap at {pos}");
+            pos = o + l;
+        }
+        assert_eq!(pos, p.checkpoint_bytes(8));
+    }
+
+    #[test]
+    fn segmented_regions_are_rank_contiguous() {
+        let p = AppProfile::by_name("S3D").unwrap();
+        let pat = p.pattern(4);
+        for (r, ops) in pat.iter().enumerate() {
+            let lo = ops.first().unwrap().0;
+            let hi = ops.last().map(|&(o, l)| o + l).unwrap();
+            assert_eq!(lo, r as u64 * p.bytes_per_rank);
+            assert_eq!(hi - lo, p.bytes_per_rank);
+            for w in ops.windows(2) {
+                assert_eq!(w[0].0 + w[0].1, w[1].0, "segment not contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn nton_ranks_all_start_at_zero() {
+        let p = AppProfile::by_name("CTH").unwrap();
+        let pat = p.pattern(5);
+        for ops in &pat {
+            assert_eq!(ops[0].0, 0);
+        }
+    }
+
+    #[test]
+    fn weak_scaling_keeps_bytes_per_rank() {
+        let p = AppProfile::by_name("Chombo").unwrap();
+        let b8 = p.checkpoint_bytes(8);
+        let b64 = p.checkpoint_bytes(64);
+        assert_eq!(b64, 8 * b8);
+    }
+
+    #[test]
+    fn unaligned_profiles_are_actually_unaligned() {
+        for p in APP_PROFILES.iter().filter(|p| p.shape == IoShape::StridedN1) {
+            if p.name != "QCD" {
+                assert_ne!(p.write_size % 4096, 0, "{} should be unaligned", p.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # workloads — application I/O characterization artifacts
+//! (report §3.1–3.2, §5.3, Fig. 15)
+//!
+//! The PDSI data-collection program produced three reusable artifacts
+//! this crate reproduces:
+//!
+//! - [`apps`]: I/O profiles for the characterized DOE codes (S3D, CTH,
+//!   FLASH-IO, Chombo, GTC, RAGE, QCD) as per-rank request-list
+//!   generators with the right access *shape* — strided N-1,
+//!   segmented N-1, or N-N;
+//! - [`trace`]: the released line-oriented trace format, with strict
+//!   parsing and lossless pattern round trips;
+//! - [`ninjat`]: the Ninjat write-pattern visualizer (Fig. 15),
+//!   rendered in ASCII, plus the interleave metric the pictures let
+//!   you eyeball.
+
+pub mod apps;
+pub mod ninjat;
+pub mod trace;
+
+pub use apps::{AppProfile, IoShape, Pattern, APP_PROFILES};
+pub use ninjat::{interleave_factor, render};
+pub use trace::{Trace, TraceError, TraceOp};

@@ -1,0 +1,151 @@
+//! Ninjat-style ASCII visualization of concurrent write patterns.
+//!
+//! LANL's Ninjat tool (report Fig. 15) turns a trace of concurrent
+//! writes to one file into an offset-vs-time image colored by rank,
+//! making N-1 strided interleavings visually obvious. This is the
+//! terminal rendition: columns are issue order, rows are file-offset
+//! buckets, and each cell shows the rank that wrote there (the last
+//! writer shown when several hit one cell, matching file contents).
+
+use crate::trace::Trace;
+
+/// Character used for rank `r` (36 distinct symbols, then '+').
+fn rank_char(r: u32) -> char {
+    match r {
+        0..=9 => (b'0' + r as u8) as char,
+        10..=35 => (b'a' + (r - 10) as u8) as char,
+        _ => '+',
+    }
+}
+
+/// Render the trace as `width` x `height` ASCII rows (top row =
+/// highest offsets, like Fig. 15's left panel).
+pub fn render(trace: &Trace, width: usize, height: usize) -> Vec<String> {
+    assert!(width > 0 && height > 0);
+    let writes: Vec<_> = trace.ops.iter().filter(|o| o.is_write).collect();
+    if writes.is_empty() {
+        return vec![" ".repeat(width); height];
+    }
+    let max_off = writes.iter().map(|o| o.offset + o.len).max().unwrap();
+    let n = writes.len();
+    let mut grid = vec![vec![None::<u32>; width]; height];
+    for (i, op) in writes.iter().enumerate() {
+        let col = i * width / n;
+        let row_lo = (op.offset as u128 * height as u128 / max_off as u128) as usize;
+        let row_hi =
+            (((op.offset + op.len - 1) as u128) * height as u128 / max_off as u128) as usize;
+        // Last writer wins, matching what the file would contain.
+        for cells in grid.iter_mut().take(row_hi.min(height - 1) + 1).skip(row_lo) {
+            cells[col] = Some(op.rank);
+        }
+    }
+    // Top row shows the highest offsets.
+    (0..height)
+        .rev()
+        .map(|row| {
+            grid[row]
+                .iter()
+                .map(|c| c.map(rank_char).unwrap_or(' '))
+                .collect()
+        })
+        .collect()
+}
+
+/// Summarize a trace's access shape: fraction of *offset-adjacent*
+/// write pairs that came from different ranks — near 1.0 for N-1
+/// strided interleavings, near 0.0 for segmented/N-N patterns. This is
+/// the number the Fig. 15 picture lets you eyeball.
+pub fn interleave_factor(trace: &Trace) -> f64 {
+    let mut writes: Vec<_> = trace.ops.iter().filter(|o| o.is_write).collect();
+    if writes.len() < 2 {
+        return 0.0;
+    }
+    writes.sort_by_key(|o| o.offset);
+    let pairs = writes.len() - 1;
+    let crossings = writes
+        .windows(2)
+        .filter(|w| w[0].rank != w[1].rank)
+        .count();
+    crossings as f64 / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::AppProfile;
+
+    fn strided_trace() -> Trace {
+        let p = AppProfile::by_name("FLASH-IO").unwrap().pattern(8);
+        Trace::from_pattern("FLASH-IO", &p)
+    }
+
+    fn segmented_trace() -> Trace {
+        let p = AppProfile::by_name("S3D").unwrap().pattern(8);
+        Trace::from_pattern("S3D", &p)
+    }
+
+    #[test]
+    fn strided_pattern_interleaves_heavily() {
+        let f = interleave_factor(&strided_trace());
+        assert!(f > 0.9, "strided interleave factor {f}");
+    }
+
+    #[test]
+    fn segmented_pattern_barely_interleaves() {
+        let f = interleave_factor(&segmented_trace());
+        assert!(f < 0.25, "segmented interleave factor {f}");
+    }
+
+    #[test]
+    fn render_has_requested_shape() {
+        let rows = render(&strided_trace(), 72, 24);
+        assert_eq!(rows.len(), 24);
+        assert!(rows.iter().all(|r| r.chars().count() == 72));
+    }
+
+    #[test]
+    fn strided_render_mixes_ranks_within_rows() {
+        let rows = render(&strided_trace(), 64, 16);
+        // In a strided pattern most offset rows contain several ranks.
+        let mixed = rows
+            .iter()
+            .filter(|row| {
+                let distinct: std::collections::HashSet<char> =
+                    row.chars().filter(|c| *c != ' ').collect();
+                distinct.len() >= 3
+            })
+            .count();
+        assert!(mixed >= 12, "only {mixed}/16 rows look interleaved");
+    }
+
+    #[test]
+    fn segmented_render_has_single_rank_rows() {
+        let rows = render(&segmented_trace(), 64, 16);
+        let pure = rows
+            .iter()
+            .filter(|row| {
+                let distinct: std::collections::HashSet<char> =
+                    row.chars().filter(|c| *c != ' ').collect();
+                distinct.len() <= 2
+            })
+            .count();
+        assert!(pure >= 12, "only {pure}/16 rows look segmented");
+    }
+
+    #[test]
+    fn empty_trace_renders_blank() {
+        let t = Trace { app: "x".into(), ranks: 0, ops: vec![] };
+        let rows = render(&t, 10, 3);
+        assert!(rows.iter().all(|r| r.trim().is_empty()));
+        assert_eq!(interleave_factor(&t), 0.0);
+    }
+
+    #[test]
+    fn rank_chars_are_distinct_for_small_ranks() {
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..36 {
+            assert!(seen.insert(rank_char(r)), "collision at rank {r}");
+        }
+        assert_eq!(rank_char(100), '+');
+    }
+}

@@ -1,0 +1,212 @@
+//! Plain-text I/O trace format (record / replay).
+//!
+//! LANL released "almost 100 traces from seven different benchmarks
+//! and applications" in a simple per-operation format (report §5.3);
+//! this module defines the equivalent: a line-oriented text format any
+//! tool can grep, with strict parsing and a lossless round trip to the
+//! in-memory `Pattern` representation.
+//!
+//! ```text
+//! # pdsi-trace v1
+//! # app: FLASH-IO ranks: 4
+//! 0 write 0 44249
+//! 1 write 44249 44249
+//! ...
+//! ```
+
+use std::fmt::Write as _;
+
+/// One traced operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    pub rank: u32,
+    pub is_write: bool,
+    pub offset: u64,
+    pub len: u64,
+}
+
+/// A parsed trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    pub app: String,
+    pub ranks: u32,
+    pub ops: Vec<TraceOp>,
+}
+
+/// Parsing failure with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl Trace {
+    /// Build a trace from per-rank write lists (ops interleaved
+    /// round-robin across ranks, approximating concurrent issue order).
+    pub fn from_pattern(app: &str, pattern: &[Vec<(u64, u64)>]) -> Self {
+        let ranks = pattern.len() as u32;
+        let most = pattern.iter().map(|v| v.len()).max().unwrap_or(0);
+        let mut ops = Vec::new();
+        for i in 0..most {
+            for (r, list) in pattern.iter().enumerate() {
+                if let Some(&(offset, len)) = list.get(i) {
+                    ops.push(TraceOp { rank: r as u32, is_write: true, offset, len });
+                }
+            }
+        }
+        Trace { app: app.to_string(), ranks, ops }
+    }
+
+    /// Recover per-rank write lists (in per-rank issue order).
+    pub fn to_pattern(&self) -> Vec<Vec<(u64, u64)>> {
+        let mut out = vec![Vec::new(); self.ranks as usize];
+        for op in &self.ops {
+            if op.is_write {
+                out[op.rank as usize].push((op.offset, op.len));
+            }
+        }
+        out
+    }
+
+    /// Serialize to the text format.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str("# pdsi-trace v1\n");
+        let _ = writeln!(s, "# app: {} ranks: {}", self.app, self.ranks);
+        for op in &self.ops {
+            let kind = if op.is_write { "write" } else { "read" };
+            let _ = writeln!(s, "{} {} {} {}", op.rank, kind, op.offset, op.len);
+        }
+        s
+    }
+
+    /// Parse the text format.
+    pub fn parse(text: &str) -> Result<Trace, TraceError> {
+        let mut lines = text.lines().enumerate();
+        let (n0, first) = lines
+            .next()
+            .ok_or(TraceError { line: 0, message: "empty trace".into() })?;
+        if first.trim() != "# pdsi-trace v1" {
+            return Err(TraceError { line: n0 + 1, message: format!("bad magic: {first:?}") });
+        }
+        let mut app = String::new();
+        let mut ranks = 0u32;
+        let mut ops = Vec::new();
+        for (i, line) in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                // Header comment: "# app: NAME ranks: N".
+                if let Some(meta) = rest.trim().strip_prefix("app:") {
+                    let mut parts = meta.split_whitespace();
+                    app = parts.next().unwrap_or("").to_string();
+                    if parts.next() == Some("ranks:") {
+                        ranks = parts
+                            .next()
+                            .and_then(|x| x.parse().ok())
+                            .ok_or(TraceError {
+                                line: i + 1,
+                                message: "bad ranks header".into(),
+                            })?;
+                    }
+                }
+                continue;
+            }
+            let mut f = line.split_whitespace();
+            let err = |m: &str| TraceError { line: i + 1, message: m.into() };
+            let rank: u32 =
+                f.next().ok_or(err("missing rank"))?.parse().map_err(|_| err("bad rank"))?;
+            let kind = f.next().ok_or(err("missing op"))?;
+            let is_write = match kind {
+                "write" => true,
+                "read" => false,
+                other => return Err(err(&format!("unknown op {other:?}"))),
+            };
+            let offset: u64 =
+                f.next().ok_or(err("missing offset"))?.parse().map_err(|_| err("bad offset"))?;
+            let len: u64 =
+                f.next().ok_or(err("missing len"))?.parse().map_err(|_| err("bad len"))?;
+            if f.next().is_some() {
+                return Err(err("trailing fields"));
+            }
+            ops.push(TraceOp { rank, is_write, offset, len });
+        }
+        let max_rank = ops.iter().map(|o| o.rank + 1).max().unwrap_or(0);
+        Ok(Trace { app, ranks: ranks.max(max_rank), ops })
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.ops.iter().map(|o| o.len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::AppProfile;
+
+    #[test]
+    fn text_roundtrip() {
+        let p = AppProfile::by_name("Chombo").unwrap().pattern(4);
+        let t = Trace::from_pattern("Chombo", &p);
+        let text = t.to_text();
+        let parsed = Trace::parse(&text).unwrap();
+        assert_eq!(parsed, t);
+        assert_eq!(parsed.to_pattern(), p);
+    }
+
+    #[test]
+    fn interleaved_issue_order() {
+        let p = vec![vec![(0, 1), (10, 1)], vec![(5, 1)]];
+        let t = Trace::from_pattern("x", &p);
+        let ranks: Vec<u32> = t.ops.iter().map(|o| o.rank).collect();
+        assert_eq!(ranks, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn parse_rejects_bad_magic() {
+        assert!(Trace::parse("hello\n").is_err());
+        assert!(Trace::parse("").is_err());
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let text = "# pdsi-trace v1\n0 write 0 100\n1 scribble 0 1\n";
+        let err = Trace::parse(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("scribble"));
+    }
+
+    #[test]
+    fn parse_tolerates_comments_and_blanks() {
+        let text = "# pdsi-trace v1\n# app: demo ranks: 2\n\n0 write 0 10\n# noise\n1 read 0 10\n";
+        let t = Trace::parse(text).unwrap();
+        assert_eq!(t.app, "demo");
+        assert_eq!(t.ranks, 2);
+        assert_eq!(t.ops.len(), 2);
+        assert!(!t.ops[1].is_write);
+    }
+
+    #[test]
+    fn ranks_inferred_when_header_missing() {
+        let text = "# pdsi-trace v1\n3 write 0 10\n";
+        let t = Trace::parse(text).unwrap();
+        assert_eq!(t.ranks, 4);
+    }
+
+    #[test]
+    fn total_bytes_sums() {
+        let text = "# pdsi-trace v1\n0 write 0 10\n1 write 10 32\n";
+        assert_eq!(Trace::parse(text).unwrap().total_bytes(), 42);
+    }
+}

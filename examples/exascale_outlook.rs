@@ -1,0 +1,55 @@
+//! Exascale outlook: the report's fault-tolerance arithmetic
+//! (Figs. 4 & 5) as an interactive table — MTTI projection, optimal
+//! checkpoint cadence, effective utilization, and the mitigation menu.
+//!
+//! ```sh
+//! cargo run --release --example exascale_outlook -- [moore_months]
+//! ```
+
+use pdsi::reliability::{
+    process_pairs_utilization, CheckpointModel, DiskGrowth, ProjectionConfig,
+};
+use pdsi::simkit::units::ascii_bar;
+
+fn main() {
+    let moore: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24.0);
+    let proj = ProjectionConfig::report_baseline(moore);
+    let model = CheckpointModel::report_baseline();
+
+    println!("top500 trend: speed 2x/yr from 1 PFLOP in 2008; chips double every {moore} months\n");
+    println!(
+        "{:>6} {:>9} {:>10} {:>10} {:>11}  utilization",
+        "year", "PFLOPs", "chips", "MTTI (h)", "ckpt every"
+    );
+    for y in 0..=10 {
+        let year = 2008.0 + y as f64;
+        let mtti_s = proj.mtti_hours(year) * 3600.0;
+        let util = model.optimal_utilization(mtti_s);
+        println!(
+            "{:>6} {:>9.0} {:>10.0} {:>10.2} {:>8.0}min  {:>5.1}% {}",
+            year,
+            proj.pflops(year),
+            proj.chips(year),
+            proj.mtti_hours(year),
+            model.optimal_interval(mtti_s) / 60.0,
+            util * 100.0,
+            ascii_bar(util, 1.0, 30),
+        );
+    }
+    if let Some(y) = model.crossing_year(&proj, 0.5) {
+        println!("\nutilization crosses 50% in {y} (report: 'before 2014')");
+    }
+    let d = DiskGrowth::report_numbers();
+    println!(
+        "keeping storage balanced with +20%/yr disks means {:.0}%/yr more spindles",
+        (d.disk_count_growth() - 1.0) * 100.0
+    );
+    println!(
+        "escape hatches: compress checkpoints {:.0}%/yr, or run process pairs at a flat {:.0}%",
+        (model.required_compression_per_year(&proj) - 1.0) * 100.0,
+        process_pairs_utilization(0.02) * 100.0
+    );
+}

@@ -1,0 +1,32 @@
+//! Incast demo: watch synchronized-read goodput collapse as fan-in
+//! grows, and the microsecond-RTO fix restore it (report Fig. 9).
+//!
+//! ```sh
+//! cargo run --release --example incast_demo
+//! ```
+
+use pdsi::netsim::{run_incast, IncastConfig, RtoPolicy};
+use pdsi::simkit::units::ascii_bar;
+
+fn main() {
+    println!("1 GbE synchronized reads, 256 KiB SRU, 64-packet switch buffer\n");
+    println!("{:>8}  {:<28} {:<28}", "senders", "RTOmin = 200 ms", "RTOmin = 1 ms");
+    for &n in &[1usize, 2, 4, 8, 12, 16, 24, 32, 40, 47] {
+        let slow = run_incast(&IncastConfig::gbe(n, RtoPolicy::legacy_200ms()));
+        let fast = run_incast(&IncastConfig::gbe(n, RtoPolicy::hires_1ms()));
+        println!(
+            "{:>8}  {:>5.0} Mbps {:<18} {:>5.0} Mbps {:<18}",
+            n,
+            slow.goodput_bps / 1e6,
+            ascii_bar(slow.goodput_bps, 1e9, 18),
+            fast.goodput_bps / 1e6,
+            ascii_bar(fast.goodput_bps, 1e9, 18),
+        );
+    }
+    println!(
+        "\nThe collapse is pure timeout arithmetic: whole-window losses in the\n\
+         shared buffer leave no duplicate acks, so the flow idles a full RTO\n\
+         while the link sits empty. Shrinking the minimum RTO to 1 ms (high-\n\
+         resolution timers) removes the idle time without touching TCP."
+    );
+}

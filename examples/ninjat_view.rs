@@ -1,0 +1,39 @@
+//! Ninjat view: visualize an application's concurrent-write pattern
+//! the way LANL's Ninjat tool did (report Fig. 15).
+//!
+//! ```sh
+//! cargo run --release --example ninjat_view -- [app] [ranks]
+//! cargo run --release --example ninjat_view -- S3D 8
+//! ```
+
+use pdsi::workloads::{interleave_factor, render, AppProfile, Trace};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let app_name = args.next().unwrap_or_else(|| "FLASH-IO".into());
+    let ranks: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let app = AppProfile::by_name(&app_name).unwrap_or_else(|| {
+        eprintln!("unknown app {app_name:?}");
+        std::process::exit(2);
+    });
+
+    let trace = Trace::from_pattern(app.name, &app.pattern(ranks));
+    println!(
+        "{} with {ranks} ranks — {} writes, {} bytes  (rows: file offset, cols: time, symbol: rank)\n",
+        app.name,
+        trace.ops.len(),
+        trace.total_bytes()
+    );
+    for row in render(&trace, 78, 22) {
+        println!("|{row}|");
+    }
+    let f = interleave_factor(&trace);
+    println!(
+        "\ninterleave factor {f:.2} — {}",
+        if f > 0.5 {
+            "pathological N-1 strided interleaving (PLFS territory)"
+        } else {
+            "well-formed segmented access"
+        }
+    );
+}

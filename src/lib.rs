@@ -1,0 +1,20 @@
+//! # pdsi — facade over the PDSI reproduction workspace
+//!
+//! Re-exports every crate in the workspace under one roof, so examples
+//! and downstream users can write `use pdsi::plfs::...`.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+pub use argon;
+pub use diskmodel;
+pub use giga;
+pub use miniio;
+pub use netsim;
+pub use pfs;
+pub use pnfs;
+pub use plfs;
+pub use reliability;
+pub use simkit;
+pub use spyglass;
+pub use workloads;

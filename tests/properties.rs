@@ -1,0 +1,180 @@
+//! Property-based tests over the core data structures and invariants.
+
+use pdsi::diskmodel::{BlockDevice, DevOp, FlashDevice, FtlConfig};
+use pdsi::giga::GigaDirectory;
+use pdsi::plfs::index::{decode, encode_compressed, encode_raw, IndexEntry, IndexMap};
+use pdsi::simkit::stats::Cdf;
+use pdsi::workloads::{Trace, TraceOp};
+use proptest::prelude::*;
+
+// --------------------------------------------------------- PLFS index
+
+/// Arbitrary write: (logical_offset, length) bounded to keep the naive
+/// model small.
+fn writes_strategy() -> impl Strategy<Value = Vec<(u32, u16, u8)>> {
+    // (offset, len, writer)
+    prop::collection::vec((0u32..60_000, 1u16..2_000, 0u8..6), 1..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The IndexMap must agree byte-for-byte with a naive flat-array
+    /// last-writer-wins model, for arbitrary overlapping writes.
+    #[test]
+    fn index_map_matches_naive_model(writes in writes_strategy()) {
+        let mut naive: Vec<Option<(u8, u64)>> = vec![None; 64_000];
+        let mut entries = Vec::new();
+        let mut phys = vec![0u64; 8];
+        for (ts, &(off, len, writer)) in writes.iter().enumerate() {
+            let (off, len) = (off as u64, len as u64);
+            for b in off..off + len {
+                // Store writer + the physical byte position it placed.
+                naive[b as usize] = Some((writer, phys[writer as usize] + (b - off)));
+            }
+            entries.push(IndexEntry {
+                logical_offset: off,
+                length: len,
+                physical_offset: phys[writer as usize],
+                writer: writer as u32,
+                timestamp: ts as u64,
+            });
+            phys[writer as usize] += len;
+        }
+        let map = IndexMap::build(entries);
+        map.check_invariants();
+        // EOF agrees.
+        let naive_eof = naive.iter().rposition(|x| x.is_some()).map(|i| i as u64 + 1).unwrap_or(0);
+        prop_assert_eq!(map.eof(), naive_eof);
+        // Every byte's (writer, physical) agrees.
+        for (b, cell) in naive.iter().enumerate() {
+            let pieces = map.lookup(b as u64, 1);
+            match cell {
+                None => {
+                    if !pieces.is_empty() {
+                        prop_assert!(pieces[0].2.is_none(), "byte {} should be a hole", b);
+                    }
+                }
+                Some((writer, phys_pos)) => {
+                    prop_assert_eq!(pieces.len(), 1);
+                    let x = pieces[0].2.expect("mapped byte missing");
+                    prop_assert_eq!(x.writer, *writer as u32, "byte {}", b);
+                    prop_assert_eq!(x.physical, *phys_pos, "byte {}", b);
+                }
+            }
+        }
+    }
+
+    /// Raw and compressed encodings always decode to the same entries.
+    #[test]
+    fn index_encodings_roundtrip(writes in writes_strategy()) {
+        let entries: Vec<IndexEntry> = writes
+            .iter()
+            .enumerate()
+            .map(|(ts, &(off, len, writer))| IndexEntry {
+                logical_offset: off as u64,
+                length: len as u64,
+                physical_offset: ts as u64 * 2_000,
+                writer: writer as u32,
+                timestamp: ts as u64,
+            })
+            .collect();
+        prop_assert_eq!(decode(&encode_raw(&entries)).unwrap(), entries.clone());
+        prop_assert_eq!(decode(&encode_compressed(&entries)).unwrap(), entries);
+    }
+
+    // ------------------------------------------------------- GIGA+
+
+    /// Random insert/remove sequences preserve GIGA+ invariants and
+    /// agree with a HashSet model.
+    #[test]
+    fn giga_agrees_with_set_model(
+        ops in prop::collection::vec((0u16..800, prop::bool::ANY), 1..400),
+        servers in 1usize..9,
+        threshold in 4usize..64,
+    ) {
+        let mut dir = GigaDirectory::new(servers, threshold);
+        let mut model = std::collections::HashSet::new();
+        for (key, insert) in ops {
+            let name = format!("n{key}");
+            if insert {
+                prop_assert_eq!(dir.insert(&name), model.insert(name.clone()));
+            } else {
+                prop_assert_eq!(dir.remove(&name), model.remove(&name));
+            }
+        }
+        dir.check_invariants();
+        prop_assert_eq!(dir.len(), model.len());
+        for name in &model {
+            prop_assert!(dir.contains(name), "{} lost", name);
+        }
+    }
+
+    // ------------------------------------------------------- traces
+
+    /// Any trace serializes and parses back identically.
+    #[test]
+    fn trace_text_roundtrip(
+        ops in prop::collection::vec(
+            (0u32..64, prop::bool::ANY, 0u64..1_000_000, 1u64..100_000),
+            0..100,
+        )
+    ) {
+        let t = Trace {
+            app: "prop".into(),
+            ranks: 64,
+            ops: ops
+                .into_iter()
+                .map(|(rank, is_write, offset, len)| TraceOp { rank, is_write, offset, len })
+                .collect(),
+        };
+        let parsed = Trace::parse(&t.to_text()).unwrap();
+        prop_assert_eq!(parsed, t);
+    }
+
+    // ------------------------------------------------------- stats
+
+    /// CDF is monotone and quantiles invert it.
+    #[test]
+    fn cdf_monotone_and_quantiles_consistent(
+        mut xs in prop::collection::vec(-1.0e6f64..1.0e6, 1..200)
+    ) {
+        let cdf = Cdf::from_samples(xs.clone());
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Monotone in x.
+        for w in xs.windows(2) {
+            prop_assert!(cdf.at(w[0]) <= cdf.at(w[1]) + 1e-12);
+        }
+        // quantile(q) has at least q mass at or below it.
+        for &q in &[0.1, 0.5, 0.9, 1.0] {
+            let v = cdf.quantile(q);
+            prop_assert!(cdf.at(v) + 1e-12 >= q);
+        }
+    }
+
+    // ------------------------------------------------------- FTL
+
+    /// Arbitrary page-write sequences keep the FTL maps consistent and
+    /// never lose the free pool.
+    #[test]
+    fn ftl_invariants_under_random_writes(
+        pages in prop::collection::vec(0u64..2048, 1..3000),
+        op in 1u32..4,
+    ) {
+        let mut dev = FlashDevice::new(FtlConfig::from_headline(
+            "prop-flash",
+            2048 * 4096,
+            200.0,
+            100.0,
+            20.0,
+            2.0,
+            0.1 * op as f64 + 0.05,
+        ));
+        for p in pages {
+            dev.service(DevOp::write(p * 4096, 4096));
+        }
+        dev.check_invariants();
+        prop_assert!(dev.ftl_stats().write_amplification() >= 1.0);
+        prop_assert!(dev.free_pool_blocks() > 0);
+    }
+}
