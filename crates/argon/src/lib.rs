@@ -131,13 +131,19 @@ impl DiskState {
     fn serve_rand(&mut self, op: u64) -> SimDuration {
         let cap = self.dev.capacity();
         self.rand_pos = (self.rand_pos + cap / 3 + 11 * MIB) % (cap - op);
-        
+
         self.dev.service(DevOp::read(self.rand_pos, op))
     }
 }
 
 /// Which job owns server `s` at time `t` under a sliced schedule.
-fn slice_owner(t: SimTime, s: usize, servers: usize, quantum: SimDuration, coordinated: bool) -> bool {
+fn slice_owner(
+    t: SimTime,
+    s: usize,
+    servers: usize,
+    quantum: SimDuration,
+    coordinated: bool,
+) -> bool {
     // true = streamer's slice.
     let phase = if coordinated {
         0
@@ -200,9 +206,8 @@ pub fn run_insulation(cfg: &InsulationConfig, policy: Policy) -> InsulationRepor
                 while t_seq < SimTime::ZERO + cfg.duration {
                     let mut done = t_seq;
                     for (s, d) in disks.iter_mut().enumerate() {
-                        let start = next_slice_start(
-                            t_seq, true, s, cfg.servers, cfg.quantum, coordinated,
-                        );
+                        let start =
+                            next_slice_start(t_seq, true, s, cfg.servers, cfg.quantum, coordinated);
                         let svc = d.serve_seq(per_server);
                         done = done.max_of(start + svc);
                     }
@@ -215,7 +220,12 @@ pub fn run_insulation(cfg: &InsulationConfig, policy: Policy) -> InsulationRepor
                 let mut target = 0usize;
                 while t_rand < SimTime::ZERO + cfg.duration {
                     let start = next_slice_start(
-                        t_rand, false, target, cfg.servers, cfg.quantum, coordinated,
+                        t_rand,
+                        false,
+                        target,
+                        cfg.servers,
+                        cfg.quantum,
+                        coordinated,
                     );
                     let svc = disks[target].serve_rand(cfg.rand_op);
                     rand_ops += 1;
@@ -309,11 +319,7 @@ mod tests {
     fn random_job_keeps_its_share_under_slicing() {
         let cfg = InsulationConfig::default();
         let sliced = run_insulation(&cfg, Policy::TimeSliced { coordinated: true });
-        assert!(
-            sliced.rand_efficiency > 0.8,
-            "random job share {}",
-            sliced.rand_efficiency
-        );
+        assert!(sliced.rand_efficiency > 0.8, "random job share {}", sliced.rand_efficiency);
     }
 
     #[test]

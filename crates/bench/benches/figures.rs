@@ -1,4 +1,4 @@
-//! Criterion benchmarks: one group per reproduced table/figure.
+//! Wall-clock benchmarks: one target per reproduced table/figure.
 //!
 //! These measure the *wall-clock cost of the reproduction code* —
 //! simulator throughput, middleware hot paths — while the simulated
@@ -6,9 +6,13 @@
 //! binary (simulated time is deterministic and not a wall-clock
 //! quantity). Each figure/table has a bench target here so regressions
 //! in any experiment's machinery are caught.
+//!
+//! Formerly a `criterion` harness; now a dependency-free self-timed
+//! runner (`harness = false`) so the workspace builds offline. Run with
+//! `cargo bench -p pdsi-bench`; pass a substring to filter targets.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use diskmodel::{profiles, BlockDevice, DevOp};
 use pfs::ClusterConfig;
@@ -17,158 +21,135 @@ use simkit::units::{KIB, MIB};
 use simkit::Rng;
 use workloads::AppProfile;
 
-fn bench_fig2_s3d(c: &mut Criterion) {
-    let s3d = AppProfile::by_name("S3D").unwrap();
-    let pattern = s3d.pattern(128);
-    c.bench_function("fig2_s3d_weak_scaling_sim", |b| {
-        b.iter(|| run_direct(ClusterConfig::lustre_like(16, MIB), black_box(&pattern)))
-    });
+/// Time `f` over a few iterations and print a one-line report.
+fn bench<T>(filter: &str, name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    if !name.contains(filter) {
+        return;
+    }
+    // One warm-up, then timed iterations.
+    black_box(f());
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per = t0.elapsed().as_secs_f64() / iters as f64;
+    let unit = if per >= 1.0 {
+        format!("{per:8.3} s ")
+    } else if per >= 1e-3 {
+        format!("{:8.3} ms", per * 1e3)
+    } else {
+        format!("{:8.3} us", per * 1e6)
+    };
+    println!("{name:40} {unit}/iter  ({iters} iters)");
 }
 
-fn bench_fig3_fsstats(c: &mut Criterion) {
-    c.bench_function("fig3_fsstats_survey", |b| {
-        b.iter(|| {
-            let s = pfs::fsstats::Survey::synthesize(&pfs::fsstats::SITE_PROFILES[0], 1);
-            black_box(s.count_cdf().median())
-        })
-    });
-}
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    let f = filter.as_str();
 
-fn bench_fig4_fig5_models(c: &mut Criterion) {
-    c.bench_function("fig4_failure_fit", |b| {
-        b.iter(|| reliability::fit_rate_vs_chips(&reliability::lanl_like_fleet(), 2.0, 1))
+    // fig2: S3D weak-scaling simulation.
+    let s3d = AppProfile::by_name("S3D").unwrap().pattern(128);
+    bench(f, "fig2_s3d_weak_scaling_sim", 3, || {
+        run_direct(ClusterConfig::lustre_like(16, MIB), black_box(&s3d))
     });
-    c.bench_function("fig5_utilization_mc", |b| {
-        let m = reliability::CheckpointModel::report_baseline();
-        b.iter(|| reliability::simulate_utilization(&m, 6.0 * 3600.0, 3600.0, 1.0e7, 1))
-    });
-}
 
-fn bench_fig7_giga(c: &mut Criterion) {
-    c.bench_function("fig7_giga_metarates_8srv", |b| {
-        b.iter(|| {
-            giga::run_metarates(&giga::MetaratesConfig::new(
-                32,
-                200,
-                8,
-                giga::Scheme::GigaPlus,
-            ))
-        })
+    // fig3: fsstats survey synthesis.
+    bench(f, "fig3_fsstats_survey", 5, || {
+        let s = pfs::fsstats::Survey::synthesize(&pfs::fsstats::SITE_PROFILES[0], 1);
+        s.count_cdf().median()
     });
-    c.bench_function("giga_directory_insert_10k", |b| {
-        b.iter_batched(
-            || giga::GigaDirectory::new(8, 256),
-            |mut d| {
-                for i in 0..10_000 {
-                    d.insert(black_box(&format!("f{i}")));
-                }
-                d
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
 
-fn bench_fig8_plfs(c: &mut Criterion) {
-    let flash = AppProfile::by_name("FLASH-IO").unwrap();
-    let pattern = flash.pattern(64);
+    // fig4/fig5: reliability models.
+    bench(f, "fig4_failure_fit", 5, || {
+        reliability::fit_rate_vs_chips(&reliability::lanl_like_fleet(), 2.0, 1)
+    });
+    let m = reliability::CheckpointModel::report_baseline();
+    bench(f, "fig5_utilization_mc", 3, || {
+        reliability::simulate_utilization(&m, 6.0 * 3600.0, 3600.0, 1.0e7, 1)
+    });
+
+    // fig7: GIGA+ metadata scaling.
+    bench(f, "fig7_giga_metarates_8srv", 3, || {
+        giga::run_metarates(&giga::MetaratesConfig::new(32, 200, 8, giga::Scheme::GigaPlus))
+    });
+    bench(f, "giga_directory_insert_10k", 5, || {
+        let mut d = giga::GigaDirectory::new(8, 256);
+        for i in 0..10_000 {
+            d.insert(black_box(&format!("f{i}")));
+        }
+        d.len()
+    });
+
+    // fig8: PLFS vs direct, plus the real middleware write path.
+    let flash = AppProfile::by_name("FLASH-IO").unwrap().pattern(64);
     let opt = PlfsSimOptions::default();
-    c.bench_function("fig8_direct_n1_sim", |b| {
-        b.iter(|| run_direct(ClusterConfig::lustre_like(8, MIB), black_box(&pattern)))
+    bench(f, "fig8_direct_n1_sim", 3, || {
+        run_direct(ClusterConfig::lustre_like(8, MIB), black_box(&flash))
     });
-    c.bench_function("fig8_plfs_sim", |b| {
-        b.iter(|| run_plfs(ClusterConfig::lustre_like(8, MIB), black_box(&pattern), &opt))
+    bench(f, "fig8_plfs_sim", 3, || {
+        run_plfs(ClusterConfig::lustre_like(8, MIB), black_box(&flash), &opt)
     });
-    // The real middleware write path (not simulated): MemBackend.
-    c.bench_function("plfs_write_path_4k_records", |b| {
+    bench(f, "plfs_write_path_4k_records", 5, || {
         use plfs::backend::{Backend, MemBackend};
         use std::sync::Arc;
-        b.iter_batched(
-            || {
-                let be = Arc::new(MemBackend::new()) as Arc<dyn Backend>;
-                plfs::Plfs::new(be, plfs::PlfsConfig::default())
-            },
-            |fs| {
-                let mut w = fs.open_writer("/f", 0).unwrap();
-                let buf = vec![7u8; 4096];
-                for i in 0..512u64 {
-                    w.write_at(i * 8192, &buf).unwrap();
-                }
-                w.close().unwrap()
-            },
-            BatchSize::SmallInput,
-        )
+        let be = Arc::new(MemBackend::new()) as Arc<dyn Backend>;
+        let fs = plfs::Plfs::new(be, plfs::PlfsConfig::default());
+        let mut w = fs.open_writer("/f", 0).unwrap();
+        let buf = vec![7u8; 4096];
+        for i in 0..512u64 {
+            w.write_at(i * 8192, &buf).unwrap();
+        }
+        w.close().unwrap()
     });
-}
 
-fn bench_fig9_incast(c: &mut Criterion) {
-    c.bench_function("fig9_incast_16way_1ms", |b| {
-        b.iter(|| {
-            netsim::run_incast(&netsim::IncastConfig::gbe(16, netsim::RtoPolicy::hires_1ms()))
-        })
+    // fig9: incast collapse.
+    bench(f, "fig9_incast_16way_1ms", 3, || {
+        netsim::run_incast(&netsim::IncastConfig::gbe(16, netsim::RtoPolicy::hires_1ms()))
     });
-}
 
-fn bench_fig10_argon(c: &mut Criterion) {
-    c.bench_function("fig10_argon_timesliced", |b| {
-        let cfg = argon::InsulationConfig {
-            duration: simkit::SimDuration::from_secs(5),
-            ..Default::default()
-        };
-        b.iter(|| argon::run_insulation(&cfg, argon::Policy::TimeSliced { coordinated: true }))
+    // fig10: Argon insulation.
+    let argon_cfg = argon::InsulationConfig {
+        duration: simkit::SimDuration::from_secs(5),
+        ..Default::default()
+    };
+    bench(f, "fig10_argon_timesliced", 3, || {
+        argon::run_insulation(&argon_cfg, argon::Policy::TimeSliced { coordinated: true })
     });
-}
 
-fn bench_fig11_tab1_fig14_flash(c: &mut Criterion) {
-    c.bench_function("tab1_flash_random_read_1k_ops", |b| {
-        let h = profiles::flash_by_name("x25").unwrap();
-        b.iter_batched(
-            || (h.device(16 * MIB), Rng::new(1)),
-            |(mut d, mut rng)| {
-                let pages = 16 * MIB / 4096;
-                for _ in 0..1000 {
-                    d.service(DevOp::read(rng.below(pages) * 4096, 4096));
-                }
-                d.stats().busy
-            },
-            BatchSize::SmallInput,
-        )
+    // tab1/fig14: flash device model.
+    let x25 = profiles::flash_by_name("x25").unwrap();
+    bench(f, "tab1_flash_random_read_1k_ops", 5, || {
+        let mut d = x25.device(16 * MIB);
+        let mut rng = Rng::new(1);
+        let pages = 16 * MIB / 4096;
+        for _ in 0..1000 {
+            d.service(DevOp::read(rng.below(pages) * 4096, 4096));
+        }
+        d.stats().busy
     });
-    c.bench_function("fig14_ftl_sustained_writes", |b| {
-        let h = profiles::flash_by_name("x25").unwrap();
-        b.iter_batched(
-            || (h.device(16 * MIB), Rng::new(2)),
-            |(mut d, mut rng)| {
-                let pages = 16 * MIB / 4096;
-                for _ in 0..2 * pages {
-                    d.service(DevOp::write(rng.below(pages) * 4096, 4096));
-                }
-                d.ftl_stats().write_amplification()
-            },
-            BatchSize::SmallInput,
-        )
+    bench(f, "fig14_ftl_sustained_writes", 3, || {
+        let mut d = x25.device(16 * MIB);
+        let mut rng = Rng::new(2);
+        let pages = 16 * MIB / 4096;
+        for _ in 0..2 * pages {
+            d.service(DevOp::write(rng.below(pages) * 4096, 4096));
+        }
+        d.ftl_stats().write_amplification()
     });
-}
 
-fn bench_fig13_miniio(c: &mut Criterion) {
-    let w = miniio::FormattedWorkload::chombo(64);
-    let cfg = ClusterConfig::lustre_like(8, MIB);
-    c.bench_function("fig13_optimization_ladder", |b| {
-        b.iter(|| miniio::optimization_ladder(black_box(&w), &cfg))
+    // fig13: formatted-I/O optimization ladder.
+    let w13 = miniio::FormattedWorkload::chombo(64);
+    let cfg13 = ClusterConfig::lustre_like(8, MIB);
+    bench(f, "fig13_optimization_ladder", 3, || {
+        miniio::optimization_ladder(black_box(&w13), &cfg13)
     });
-}
 
-fn bench_fig15_ninjat(c: &mut Criterion) {
-    let p = AppProfile::by_name("FLASH-IO").unwrap().pattern(16);
-    let t = workloads::Trace::from_pattern("FLASH-IO", &p);
-    c.bench_function("fig15_ninjat_render", |b| {
-        b.iter(|| workloads::render(black_box(&t), 76, 20))
-    });
-}
+    // fig15: Ninjat rendering.
+    let p15 = AppProfile::by_name("FLASH-IO").unwrap().pattern(16);
+    let t15 = workloads::Trace::from_pattern("FLASH-IO", &p15);
+    bench(f, "fig15_ninjat_render", 5, || workloads::render(black_box(&t15), 76, 20));
 
-fn bench_index_ablation(c: &mut Criterion) {
-    // PLFS extension ablation: raw vs pattern-compressed index encode,
-    // decode, and merge.
+    // PLFS extension ablation: raw vs pattern-compressed index.
     use plfs::index::{decode, encode_compressed, encode_raw, IndexEntry, IndexMap};
     let entries: Vec<IndexEntry> = (0..100_000u64)
         .map(|i| IndexEntry {
@@ -179,30 +160,37 @@ fn bench_index_ablation(c: &mut Criterion) {
             timestamp: i,
         })
         .collect();
-    c.bench_function("index_encode_raw_100k", |b| b.iter(|| encode_raw(black_box(&entries))));
-    c.bench_function("index_encode_compressed_100k", |b| {
-        b.iter(|| encode_compressed(black_box(&entries)))
-    });
+    bench(f, "index_encode_raw_100k", 10, || encode_raw(black_box(&entries)));
+    bench(f, "index_encode_compressed_100k", 10, || encode_compressed(black_box(&entries)));
     let raw = encode_raw(&entries);
-    c.bench_function("index_decode_100k", |b| b.iter(|| decode(black_box(&raw)).unwrap()));
-    c.bench_function("index_map_merge_100k", |b| {
-        b.iter_batched(|| entries.clone(), IndexMap::build, BatchSize::LargeInput)
+    bench(f, "index_decode_100k", 10, || decode(black_box(&raw)).unwrap());
+    bench(f, "index_map_merge_100k", 5, || IndexMap::build(entries.clone()));
+
+    // Fault machinery: retrying write path over a lossy backend.
+    bench(f, "plfs_write_path_faulty_retry", 5, || {
+        use plfs::backend::{Backend, MemBackend};
+        use plfs::faults::{FaultPlan, FaultyBackend};
+        use plfs::retry::RetryPolicy;
+        use std::sync::Arc;
+        let be = Arc::new(FaultyBackend::new(
+            MemBackend::new(),
+            FaultPlan { transient_error_rate: 0.05, ..FaultPlan::none(7) },
+        )) as Arc<dyn Backend>;
+        let fs = plfs::Plfs::new(
+            be,
+            plfs::PlfsConfig {
+                writer: plfs::WriterConfig {
+                    retry: RetryPolicy::fast_test(),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let mut w = fs.open_writer("/f", 0).unwrap();
+        let buf = vec![7u8; 4096];
+        for i in 0..256u64 {
+            w.write_at(i * 8192, &buf).unwrap();
+        }
+        w.close().unwrap()
     });
 }
-
-criterion_group!(
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig2_s3d,
-        bench_fig3_fsstats,
-        bench_fig4_fig5_models,
-        bench_fig7_giga,
-        bench_fig8_plfs,
-        bench_fig9_incast,
-        bench_fig10_argon,
-        bench_fig11_tab1_fig14_flash,
-        bench_fig13_miniio,
-        bench_fig15_ninjat,
-        bench_index_ablation
-);
-criterion_main!(figures);

@@ -144,7 +144,11 @@ pub fn fig5_utilization_report() -> String {
     header(&mut out, "Fig. 5 - effective utilization under checkpoint/restart");
     let model = CheckpointModel::report_baseline();
     let proj = ProjectionConfig::report_baseline(24.0);
-    let _ = writeln!(out, "{:>6} {:>10} {:>14} {:>12}", "year", "MTTI (h)", "Daly tau (min)", "util (%)");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>10} {:>14} {:>12}",
+        "year", "MTTI (h)", "Daly tau (min)", "util (%)"
+    );
     for (year, util) in model.utilization_series(&proj, 2018.0) {
         let mtti = proj.mtti_hours(year);
         let tau = model.optimal_interval(mtti * 3600.0) / 60.0;
@@ -255,10 +259,7 @@ pub fn fig8_plfs_report() -> String {
             s
         );
     }
-    let _ = writeln!(
-        out,
-        "(paper: order-of-magnitude gains for strided N-1, growing with scale)"
-    );
+    let _ = writeln!(out, "(paper: order-of-magnitude gains for strided N-1, growing with scale)");
     out
 }
 
@@ -270,7 +271,11 @@ pub fn fig9_incast_report() -> String {
     let mut out = String::new();
     header(&mut out, "Fig. 9 - incast goodput collapse and the RTO fix");
     let _ = writeln!(out, "1 GbE, 256 KiB SRU, 64-packet port buffer (goodput, Mbps):");
-    let _ = writeln!(out, "{:>9} {:>14} {:>14} {:>10}", "senders", "RTOmin=200ms", "RTOmin=1ms", "timeouts");
+    let _ = writeln!(
+        out,
+        "{:>9} {:>14} {:>14} {:>10}",
+        "senders", "RTOmin=200ms", "RTOmin=1ms", "timeouts"
+    );
     for &n in &[1usize, 2, 4, 8, 16, 32, 47] {
         let slow = run_incast(&IncastConfig::gbe(n, RtoPolicy::legacy_200ms()));
         let fast = run_incast(&IncastConfig::gbe(n, RtoPolicy::hires_1ms()));
@@ -324,7 +329,8 @@ pub fn fig10_argon_report() -> String {
         ("striped, co-scheduled (Argon)", Policy::TimeSliced { coordinated: true }, true),
     ];
     for (name, policy, striped) in rows {
-        let cfg = InsulationConfig { striped, servers: if striped { 8 } else { 4 }, ..base.clone() };
+        let cfg =
+            InsulationConfig { striped, servers: if striped { 8 } else { 4 }, ..base.clone() };
         let r = run_insulation(&cfg, policy);
         let _ = writeln!(
             out,
@@ -366,7 +372,12 @@ pub fn fig11_flash_report() -> String {
         t += disk.service(DevOp::read(pos, 4096));
     }
     let disk_iops = 500.0 / t.as_secs_f64();
-    let _ = writeln!(out, "reference SATA disk: seq {} | random {:.0} IOPS", fmt_rate(disk_seq), disk_iops);
+    let _ = writeln!(
+        out,
+        "reference SATA disk: seq {} | random {:.0} IOPS",
+        fmt_rate(disk_seq),
+        disk_iops
+    );
 
     let x25 = profiles::flash_by_name("x25").unwrap();
     let mut d = x25.device(64 * MIB);
@@ -394,10 +405,7 @@ pub fn fig11_flash_report() -> String {
         "flash random reads vs disk: {:.0}x (paper: 'phenomenally higher')",
         read_iops / disk_iops
     );
-    let _ = writeln!(
-        out,
-        "(paper findings 1-5 all hold: see fig14 for the sustained-write cliff)"
-    );
+    let _ = writeln!(out, "(paper findings 1-5 all hold: see fig14 for the sustained-write cliff)");
     out
 }
 
@@ -435,8 +443,15 @@ pub fn tab1_flash_table() -> String {
         let _ = writeln!(
             out,
             "{:<22} {:<9} {:>6.0}/{:<6.0} {:>8.0} {:>7.1}/{:<7.1} {:>7.2}/{:<7.2}",
-            h.name, h.connection, seq_r, h.read_mb_s, h.write_mb_s, r_kiops, h.read_kiops,
-            w_kiops, h.write_kiops
+            h.name,
+            h.connection,
+            seq_r,
+            h.read_mb_s,
+            h.write_mb_s,
+            r_kiops,
+            h.read_kiops,
+            w_kiops,
+            h.write_kiops
         );
     }
     let _ = writeln!(out, "(each cell: modeled/published; writes measured on a fresh device)");
@@ -449,10 +464,9 @@ pub fn tab1_flash_table() -> String {
 pub fn fig13_hdf5_report() -> String {
     let mut out = String::new();
     header(&mut out, "Fig. 13 - cumulative HDF5-style optimization gains");
-    for (app, w) in [
-        ("Chombo", FormattedWorkload::chombo(128)),
-        ("GCRM", FormattedWorkload::gcrm(128)),
-    ] {
+    for (app, w) in
+        [("Chombo", FormattedWorkload::chombo(128)), ("GCRM", FormattedWorkload::gcrm(128))]
+    {
         let cfg = ClusterConfig::lustre_like(16, MIB);
         let rows = optimization_ladder(&w, &cfg);
         let base = rows[0].1;
@@ -508,12 +522,8 @@ pub fn fig14_degradation_report() -> String {
         for r in &rates {
             let _ = write!(out, "{:>7.0}", r / fresh * 100.0);
         }
-        let _ = writeln!(
-            out,
-            " {:>11} {:>5.1}",
-            fmt_ops(fresh),
-            d.ftl_stats().write_amplification()
-        );
+        let _ =
+            writeln!(out, " {:>11} {:>5.1}", fmt_ops(fresh), d.ftl_stats().write_amplification());
     }
     let _ = writeln!(
         out,
@@ -551,11 +561,8 @@ pub fn pnfs_report() -> String {
     use pnfs::{run_access, AccessProtocol, ScalingConfig};
     let mut out = String::new();
     header(&mut out, "pNFS - parallel vs proxied NFS access (report SS2.2)");
-    let _ = writeln!(
-        out,
-        "{:>9} {:>12} {:>14} {:>9}",
-        "clients", "NFS MB/s", "pNFS MB/s", "speedup"
-    );
+    let _ =
+        writeln!(out, "{:>9} {:>12} {:>14} {:>9}", "clients", "NFS MB/s", "pNFS MB/s", "speedup");
     for &clients in &[1usize, 4, 16, 64] {
         let cfg = ScalingConfig { clients, ..Default::default() };
         let nfs = run_access(&cfg, AccessProtocol::Nfs);
@@ -591,7 +598,12 @@ pub fn spyglass_report() -> String {
         ("owner=5 & ext=1", Query { owner: Some(5), ext: Some(1), ..Default::default() }),
         (
             "owner & ext & recent",
-            Query { owner: Some(5), ext: Some(1), mtime_max: Some(86_400 * 30), ..Default::default() },
+            Query {
+                owner: Some(5),
+                ext: Some(1),
+                mtime_max: Some(86_400 * 30),
+                ..Default::default()
+            },
         ),
         ("size > 1 GiB", Query { size_min: Some(1 << 30), ..Default::default() }),
     ];
@@ -659,6 +671,133 @@ pub fn speedup_table_report() -> String {
             app.paper_speedup_hint
         );
     }
+    out
+}
+
+// -------------------------------------------------------------- faults
+
+/// Fault injection: checkpoint bandwidth with one OSD crash/restart
+/// mid-phase, for both N-1 strided and N-N patterns, plus the PLFS
+/// retry layer masking a lossy backing store.
+pub fn faults_report() -> String {
+    use pfs::sim::{Cluster, Op};
+    use simkit::SimTime;
+
+    let mut out = String::new();
+    header(&mut out, "Degraded-mode checkpointing: one OSD crash/restart mid-phase");
+
+    let servers = 8;
+    let clients = 16usize;
+    let per_client = 48usize;
+    let rec = MIB;
+    let n1: Vec<Vec<Op>> = (0..clients)
+        .map(|r| {
+            let mut ops = vec![Op::Open(0)];
+            for i in 0..per_client {
+                let record = (i * clients + r) as u64;
+                ops.push(Op::Write { file: 0, offset: record * rec, len: rec });
+            }
+            ops
+        })
+        .collect();
+    let nn: Vec<Vec<Op>> = (0..clients)
+        .map(|r| {
+            let file = 1 + r as u64;
+            let mut ops = vec![Op::Create(file)];
+            for i in 0..per_client {
+                ops.push(Op::Write { file, offset: i as u64 * rec, len: rec });
+            }
+            ops
+        })
+        .collect();
+
+    let down = SimDuration::from_secs(5);
+    let _ = writeln!(
+        out,
+        "Lustre-like, {servers} OSDs, {clients} clients x {per_client} x {} records;",
+        fmt_bytes(rec)
+    );
+    let _ = writeln!(out, "OSD 0 crashes 50 ms into the phase, restarts {down} later.\n");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>14} {:>15} {:>10}",
+        "pattern", "healthy MB/s", "degraded MB/s", "slowdown"
+    );
+    for (name, streams) in [("N-1 strided", &n1), ("N-N", &nn)] {
+        let mut healthy = Cluster::new(ClusterConfig::lustre_like(servers, MIB));
+        let h = healthy.run_phase(streams);
+        let mut faulty = Cluster::new(ClusterConfig::lustre_like(servers, MIB));
+        faulty.schedule_crash(0, SimTime::ZERO + SimDuration::from_millis(50), down);
+        let d = faulty.run_phase(streams);
+        assert_eq!(d.crashes, 1, "crash event must fire");
+        assert_eq!(d.bytes_written, h.bytes_written, "outage must not lose acked data");
+        let _ = writeln!(
+            out,
+            "{:<14} {:>14.1} {:>15.1} {:>9.1}x",
+            name,
+            h.write_bandwidth() / 1e6,
+            d.write_bandwidth() / 1e6,
+            h.write_bandwidth() / d.write_bandwidth()
+        );
+    }
+
+    // Middleware-level fault masking: the PLFS write path over a
+    // backing store that fails transiently / tears appends.
+    use plfs::backend::{Backend, MemBackend};
+    use plfs::faults::{FaultPlan, FaultyBackend};
+    use plfs::retry::RetryPolicy;
+    use std::sync::Arc;
+    let _ = writeln!(out, "\nPLFS retry layer over a lossy store (64 ranks x 32 x 47 KiB):");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>10} {:>12} {:>12} {:>10}",
+        "p(EIO)", "p(torn)", "injected", "torn", "surfaced"
+    );
+    for (transient, torn) in [(0.0, 0.0), (0.02, 0.01), (0.10, 0.05)] {
+        let faulty = Arc::new(FaultyBackend::new(
+            MemBackend::new(),
+            FaultPlan {
+                transient_error_rate: transient,
+                torn_append_rate: torn,
+                ..FaultPlan::none(42)
+            },
+        ));
+        let fs = plfs::Plfs::new(
+            faulty.clone() as Arc<dyn Backend>,
+            plfs::PlfsConfig {
+                writer: plfs::WriterConfig {
+                    retry: RetryPolicy::fast_test(),
+                    ..Default::default()
+                },
+                retry: RetryPolicy::fast_test(),
+                ..Default::default()
+            },
+        );
+        let mut surfaced = 0u64;
+        for rank in 0..64u32 {
+            let Ok(mut w) = fs.open_writer("/ckpt", rank) else {
+                surfaced += 1;
+                continue;
+            };
+            for i in 0..32u64 {
+                let off = (i * 64 + rank as u64) * 47 * 1024;
+                if w.write_at(off, &[rank as u8; 47 * 1024]).is_err() {
+                    surfaced += 1;
+                }
+            }
+            if w.close().is_err() {
+                surfaced += 1;
+            }
+        }
+        let st = faulty.stats();
+        let _ = writeln!(
+            out,
+            "{:>10.2} {:>10.2} {:>12} {:>12} {:>10}",
+            transient, torn, st.injected_transient, st.injected_torn, surfaced
+        );
+    }
+    let _ =
+        writeln!(out, "(acked writes survive OSD restarts; bounded retry masks transient faults)");
     out
 }
 

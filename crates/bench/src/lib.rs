@@ -28,6 +28,7 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("fig14", "sustained random-write IOPS degradation per flash device"),
     ("fig15", "Ninjat visualization of an N-1 strided checkpoint"),
     ("speedups", "per-application PLFS speedup table (report headline claims)"),
+    ("faults", "degraded-mode bandwidth under OSD crash/restart; PLFS retry masking"),
     ("pnfs", "pNFS vs plain NFS aggregate bandwidth scaling"),
     ("spyglass", "partitioned metadata search vs full scan"),
 ];
@@ -49,6 +50,7 @@ pub fn run(id: &str) -> Option<String> {
         "fig14" => fig14_degradation_report(),
         "fig15" => fig15_ninjat_report(),
         "speedups" => speedup_table_report(),
+        "faults" => faults_report(),
         "pnfs" => pnfs_report(),
         "spyglass" => spyglass_report(),
         _ => return None,

@@ -13,11 +13,11 @@
 //! container is that the backing store never sees an overwrite or a
 //! concurrent shared-file write.
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fs;
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// A minimal flat file-store interface.
 pub trait Backend: Send + Sync {
@@ -31,8 +31,18 @@ pub trait Backend: Send + Sync {
     /// offset at which the data landed.
     fn append(&self, path: &str, data: &[u8]) -> io::Result<u64>;
 
-    /// Read up to `buf.len()` bytes at `off`. Short reads at EOF are
-    /// normal; reads past EOF return 0.
+    /// Read up to `buf.len()` bytes at `off`.
+    ///
+    /// EOF contract (every implementation must uphold it; callers like
+    /// the PLFS reader and `fsck` depend on it to distinguish "file is
+    /// shorter than the index claims" from an I/O failure):
+    ///
+    /// - A read entirely below EOF fills `buf` completely — EOF is the
+    ///   *only* cause of a short read, so `got < buf.len()` means the
+    ///   file ends at `off + got`.
+    /// - A read straddling EOF returns exactly `len - off` bytes.
+    /// - A read at or past EOF returns `Ok(0)`, not an error.
+    /// - A missing file is `Err(NotFound)`, never `Ok(0)`.
     fn read_at(&self, path: &str, off: u64, buf: &mut [u8]) -> io::Result<usize>;
 
     /// Length of a file.
@@ -94,18 +104,18 @@ impl MemBackend {
 
     /// Total bytes stored (test introspection).
     pub fn total_bytes(&self) -> u64 {
-        self.inner.lock().files.values().map(|v| v.len() as u64).sum()
+        self.inner.lock().unwrap().files.values().map(|v| v.len() as u64).sum()
     }
 
     /// Number of files stored.
     pub fn file_count(&self) -> usize {
-        self.inner.lock().files.len()
+        self.inner.lock().unwrap().files.len()
     }
 }
 
 impl Backend for MemBackend {
     fn mkdir_all(&self, path: &str) -> io::Result<()> {
-        let mut st = self.inner.lock();
+        let mut st = self.inner.lock().unwrap();
         let p = norm(path);
         let mut acc = String::new();
         for comp in p.split('/').filter(|c| !c.is_empty()) {
@@ -117,12 +127,12 @@ impl Backend for MemBackend {
     }
 
     fn create(&self, path: &str) -> io::Result<()> {
-        self.inner.lock().files.insert(norm(path), Vec::new());
+        self.inner.lock().unwrap().files.insert(norm(path), Vec::new());
         Ok(())
     }
 
     fn append(&self, path: &str, data: &[u8]) -> io::Result<u64> {
-        let mut st = self.inner.lock();
+        let mut st = self.inner.lock().unwrap();
         let f = st.files.entry(norm(path)).or_default();
         let off = f.len() as u64;
         f.extend_from_slice(data);
@@ -130,7 +140,7 @@ impl Backend for MemBackend {
     }
 
     fn read_at(&self, path: &str, off: u64, buf: &mut [u8]) -> io::Result<usize> {
-        let st = self.inner.lock();
+        let st = self.inner.lock().unwrap();
         let f = st.files.get(&norm(path)).ok_or_else(|| not_found(path))?;
         let off = off as usize;
         if off >= f.len() {
@@ -142,15 +152,12 @@ impl Backend for MemBackend {
     }
 
     fn len(&self, path: &str) -> io::Result<u64> {
-        let st = self.inner.lock();
-        st.files
-            .get(&norm(path))
-            .map(|f| f.len() as u64)
-            .ok_or_else(|| not_found(path))
+        let st = self.inner.lock().unwrap();
+        st.files.get(&norm(path)).map(|f| f.len() as u64).ok_or_else(|| not_found(path))
     }
 
     fn list(&self, dir: &str) -> io::Result<Vec<String>> {
-        let st = self.inner.lock();
+        let st = self.inner.lock().unwrap();
         let prefix = {
             let mut p = norm(dir);
             if !p.ends_with('/') {
@@ -178,18 +185,18 @@ impl Backend for MemBackend {
     }
 
     fn exists(&self, path: &str) -> bool {
-        let st = self.inner.lock();
+        let st = self.inner.lock().unwrap();
         let p = norm(path);
         st.files.contains_key(&p) || st.dirs.contains_key(&p)
     }
 
     fn remove(&self, path: &str) -> io::Result<()> {
-        let mut st = self.inner.lock();
+        let mut st = self.inner.lock().unwrap();
         st.files.remove(&norm(path)).map(|_| ()).ok_or_else(|| not_found(path))
     }
 
     fn remove_dir_all(&self, path: &str) -> io::Result<()> {
-        let mut st = self.inner.lock();
+        let mut st = self.inner.lock().unwrap();
         let p = norm(path);
         let prefix = format!("{p}/");
         st.files.retain(|k, _| k != &p && !k.starts_with(&prefix));
@@ -228,7 +235,7 @@ impl Backend for DirBackend {
     }
 
     fn append(&self, path: &str, data: &[u8]) -> io::Result<u64> {
-        let _g = self.append_lock.lock();
+        let _g = self.append_lock.lock().unwrap();
         let mut f = fs::OpenOptions::new().create(true).append(true).open(self.abs(path))?;
         let off = f.seek(SeekFrom::End(0))?;
         f.write_all(data)?;
@@ -238,6 +245,9 @@ impl Backend for DirBackend {
     fn read_at(&self, path: &str, off: u64, buf: &mut [u8]) -> io::Result<usize> {
         let mut f = fs::File::open(self.abs(path))?;
         f.seek(SeekFrom::Start(off))?;
+        // Loop until the buffer is full or EOF: `File::read` may return
+        // short mid-file, but the Backend contract reserves short reads
+        // for EOF alone.
         let mut total = 0;
         while total < buf.len() {
             match f.read(&mut buf[total..])? {
@@ -303,9 +313,50 @@ mod tests {
         assert!(!b.exists("/cp/hostdir.0/data.0"));
     }
 
+    /// The `read_at` EOF contract spelled out on the trait: EOF is the
+    /// only cause of a short read, straddling reads return the exact
+    /// remainder, reads at/past EOF are `Ok(0)`, missing files error.
+    fn exercise_read_at_eof(b: &dyn Backend) {
+        b.mkdir_all("/eof").unwrap();
+        b.append("/eof/f", b"0123456789").unwrap();
+        // Entirely below EOF: buffer fills completely.
+        let mut buf = [0u8; 4];
+        assert_eq!(b.read_at("/eof/f", 2, &mut buf).unwrap(), 4);
+        assert_eq!(&buf, b"2345");
+        // Straddling EOF: exactly len - off bytes.
+        let mut buf = [0u8; 8];
+        assert_eq!(b.read_at("/eof/f", 7, &mut buf).unwrap(), 3);
+        assert_eq!(&buf[..3], b"789");
+        // At EOF and past EOF: Ok(0), not an error.
+        assert_eq!(b.read_at("/eof/f", 10, &mut buf).unwrap(), 0);
+        assert_eq!(b.read_at("/eof/f", 1000, &mut buf).unwrap(), 0);
+        // Empty file: any offset reads zero bytes.
+        b.create("/eof/empty").unwrap();
+        assert_eq!(b.read_at("/eof/empty", 0, &mut buf).unwrap(), 0);
+        // Zero-length buffer never errors.
+        assert_eq!(b.read_at("/eof/f", 0, &mut []).unwrap(), 0);
+        // Missing file is NotFound, never Ok(0).
+        let err = b.read_at("/eof/nope", 0, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        b.remove_dir_all("/eof").unwrap();
+    }
+
     #[test]
     fn mem_backend_contract() {
         exercise(&MemBackend::new());
+    }
+
+    #[test]
+    fn mem_read_at_eof_contract() {
+        exercise_read_at_eof(&MemBackend::new());
+    }
+
+    #[test]
+    fn dir_read_at_eof_contract() {
+        let dir = std::env::temp_dir().join(format!("plfs-eof-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        exercise_read_at_eof(&DirBackend::new(&dir).unwrap());
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

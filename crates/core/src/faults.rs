@@ -1,0 +1,365 @@
+//! Deterministic fault injection for the storage backend.
+//!
+//! The PDSI report's reliability chapter argues that a petascale
+//! machine is *always* partially failed: transient I/O errors, torn
+//! writes, and node losses are the steady state, not the exception.
+//! This module makes those failures reproducible: [`FaultyBackend`]
+//! wraps any [`Backend`] and injects faults from a seeded [`FaultPlan`],
+//! so every crash-recovery scenario in the test suite replays
+//! bit-for-bit from its seed.
+//!
+//! Three fault classes are modeled:
+//!
+//! - **transient errors** (`EIO`/`EAGAIN`-style): the operation fails
+//!   but the store is untouched; a retry may succeed. Mapped to
+//!   [`io::ErrorKind::Interrupted`] / [`io::ErrorKind::WouldBlock`] /
+//!   [`io::ErrorKind::TimedOut`], which [`crate::retry::classify`]
+//!   treats as retryable.
+//! - **torn appends**: only a prefix of the buffer reaches the store
+//!   before the error surfaces — the on-store state advanced, the
+//!   caller doesn't know by how much. This is what a power cut mid
+//!   `write(2)` leaves behind and what
+//!   [`crate::retry::append_reliable`] recovers from.
+//! - **crash-stop**: once the cumulative appended-byte budget is
+//!   exhausted, the backend freezes at that exact byte state; every
+//!   subsequent operation fails until [`FaultyBackend::heal`] simulates
+//!   a reboot. Sweeping the budget over every byte boundary of a
+//!   workload exhaustively enumerates all power-loss states.
+
+use crate::backend::Backend;
+use simkit::Rng;
+use std::io;
+use std::sync::Mutex;
+
+/// Seeded description of the faults to inject.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// PRNG seed: two runs with the same plan inject identical faults.
+    pub seed: u64,
+    /// Probability that any fallible operation fails transiently
+    /// (store untouched).
+    pub transient_error_rate: f64,
+    /// Probability that an append lands only a random prefix and then
+    /// fails transiently.
+    pub torn_append_rate: f64,
+    /// Crash-stop once this many bytes (cumulative, across all files)
+    /// have been appended: the append crossing the budget is truncated
+    /// at exactly the budget and the backend freezes.
+    pub crash_after_bytes: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (base for struct-update syntax).
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            transient_error_rate: 0.0,
+            torn_append_rate: 0.0,
+            crash_after_bytes: None,
+        }
+    }
+
+    /// A mildly hostile storage substrate: occasional transient errors
+    /// and rare torn appends, no crash.
+    pub fn flaky(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            transient_error_rate: 0.05,
+            torn_append_rate: 0.02,
+            crash_after_bytes: None,
+        }
+    }
+}
+
+/// Counters for what was actually injected.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultStats {
+    /// Fallible operations that reached the wrapper.
+    pub ops: u64,
+    /// Transient errors injected (store untouched).
+    pub injected_transient: u64,
+    /// Torn appends injected (prefix landed, then error).
+    pub injected_torn: u64,
+    /// Operations rejected because the backend was crash-stopped.
+    pub rejected_while_crashed: u64,
+    /// 1 once the crash budget fired (or `crash_now` was called).
+    pub crashes: u64,
+}
+
+struct FaultState {
+    rng: Rng,
+    plan: FaultPlan,
+    appended: u64,
+    crashed: bool,
+    stats: FaultStats,
+}
+
+/// A [`Backend`] wrapper injecting faults per a [`FaultPlan`].
+///
+/// The wrapper is deterministic: the fault sequence depends only on the
+/// plan's seed and the order of operations. Concurrent callers
+/// serialize on an internal mutex for the *decision*, so a
+/// multi-threaded workload still gets a well-defined (if
+/// schedule-dependent) fault stream.
+pub struct FaultyBackend<B: Backend> {
+    inner: B,
+    state: Mutex<FaultState>,
+}
+
+fn crashed_error() -> io::Error {
+    io::Error::new(io::ErrorKind::BrokenPipe, "backend crash-stopped (power loss)")
+}
+
+impl<B: Backend> FaultyBackend<B> {
+    pub fn new(inner: B, plan: FaultPlan) -> Self {
+        FaultyBackend {
+            inner,
+            state: Mutex::new(FaultState {
+                rng: Rng::new(plan.seed),
+                plan,
+                appended: 0,
+                crashed: false,
+                stats: FaultStats::default(),
+            }),
+        }
+    }
+
+    /// The wrapped backend (e.g. to inspect the frozen byte state).
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Total bytes appended through the wrapper so far (the coordinate
+    /// system `crash_after_bytes` budgets against).
+    pub fn bytes_appended(&self) -> u64 {
+        self.state.lock().unwrap().appended
+    }
+
+    /// Injection counters.
+    pub fn stats(&self) -> FaultStats {
+        self.state.lock().unwrap().stats
+    }
+
+    /// Has the crash-stop fired?
+    pub fn is_crashed(&self) -> bool {
+        self.state.lock().unwrap().crashed
+    }
+
+    /// Crash-stop immediately, regardless of the byte budget.
+    pub fn crash_now(&self) {
+        let mut st = self.state.lock().unwrap();
+        if !st.crashed {
+            st.crashed = true;
+            st.stats.crashes += 1;
+        }
+    }
+
+    /// Simulate a reboot: the store becomes reachable again in exactly
+    /// the byte state it froze in. The crash budget is disarmed so
+    /// recovery tooling can write; transient/torn rates stay armed.
+    pub fn heal(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.crashed = false;
+        st.plan.crash_after_bytes = None;
+    }
+
+    /// Replace the plan mid-flight (keeps the crash state and byte
+    /// count; reseeds the PRNG from the new plan).
+    pub fn set_plan(&self, plan: FaultPlan) {
+        let mut st = self.state.lock().unwrap();
+        st.rng = Rng::new(plan.seed);
+        st.plan = plan;
+    }
+
+    /// Gate a non-append operation: fail if crashed, else maybe inject
+    /// a transient error.
+    fn gate(&self) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap();
+        st.stats.ops += 1;
+        if st.crashed {
+            st.stats.rejected_while_crashed += 1;
+            return Err(crashed_error());
+        }
+        let p = st.plan.transient_error_rate;
+        if p > 0.0 && st.rng.chance(p) {
+            st.stats.injected_transient += 1;
+            return Err(transient_error(&mut st.rng));
+        }
+        Ok(())
+    }
+}
+
+fn transient_error(rng: &mut Rng) -> io::Error {
+    let kind = match rng.below(3) {
+        0 => io::ErrorKind::Interrupted, // EINTR-style
+        1 => io::ErrorKind::WouldBlock,  // EAGAIN-style
+        _ => io::ErrorKind::TimedOut,    // network store hiccup
+    };
+    io::Error::new(kind, "injected transient fault")
+}
+
+impl<B: Backend> Backend for FaultyBackend<B> {
+    fn mkdir_all(&self, path: &str) -> io::Result<()> {
+        self.gate()?;
+        self.inner.mkdir_all(path)
+    }
+
+    fn create(&self, path: &str) -> io::Result<()> {
+        self.gate()?;
+        self.inner.create(path)
+    }
+
+    fn append(&self, path: &str, data: &[u8]) -> io::Result<u64> {
+        let mut st = self.state.lock().unwrap();
+        st.stats.ops += 1;
+        if st.crashed {
+            st.stats.rejected_while_crashed += 1;
+            return Err(crashed_error());
+        }
+        // Crash budget: the append crossing it lands exactly up to the
+        // budget, then the backend freezes.
+        if let Some(budget) = st.plan.crash_after_bytes {
+            if st.appended + data.len() as u64 > budget {
+                let room = (budget - st.appended) as usize;
+                if room > 0 {
+                    self.inner.append(path, &data[..room])?;
+                    st.appended += room as u64;
+                }
+                st.crashed = true;
+                st.stats.crashes += 1;
+                return Err(crashed_error());
+            }
+        }
+        // Torn append: a random strict prefix lands, then the error.
+        let torn = st.plan.torn_append_rate;
+        if torn > 0.0 && !data.is_empty() && st.rng.chance(torn) {
+            let prefix = st.rng.below(data.len() as u64) as usize;
+            if prefix > 0 {
+                self.inner.append(path, &data[..prefix])?;
+                st.appended += prefix as u64;
+            }
+            st.stats.injected_torn += 1;
+            return Err(transient_error(&mut st.rng));
+        }
+        // Plain transient: nothing lands.
+        let p = st.plan.transient_error_rate;
+        if p > 0.0 && st.rng.chance(p) {
+            st.stats.injected_transient += 1;
+            return Err(transient_error(&mut st.rng));
+        }
+        let off = self.inner.append(path, data)?;
+        st.appended += data.len() as u64;
+        Ok(off)
+    }
+
+    fn read_at(&self, path: &str, off: u64, buf: &mut [u8]) -> io::Result<usize> {
+        self.gate()?;
+        self.inner.read_at(path, off, buf)
+    }
+
+    fn len(&self, path: &str) -> io::Result<u64> {
+        self.gate()?;
+        self.inner.len(path)
+    }
+
+    fn list(&self, dir: &str) -> io::Result<Vec<String>> {
+        self.gate()?;
+        self.inner.list(dir)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        // Infallible in the trait; a crashed store answers from its
+        // frozen state.
+        self.inner.exists(path)
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        self.gate()?;
+        self.inner.remove(path)
+    }
+
+    fn remove_dir_all(&self, path: &str) -> io::Result<()> {
+        self.gate()?;
+        self.inner.remove_dir_all(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    #[test]
+    fn no_faults_is_transparent() {
+        let b = FaultyBackend::new(MemBackend::new(), FaultPlan::none(1));
+        b.mkdir_all("/d").unwrap();
+        b.append("/d/f", b"hello").unwrap();
+        assert_eq!(b.read_all("/d/f").unwrap(), b"hello");
+        assert_eq!(b.bytes_appended(), 5);
+        assert_eq!(b.stats().injected_transient, 0);
+    }
+
+    #[test]
+    fn crash_budget_freezes_exact_byte_state() {
+        let b = FaultyBackend::new(
+            MemBackend::new(),
+            FaultPlan { crash_after_bytes: Some(7), ..FaultPlan::none(1) },
+        );
+        b.append("/f", b"abcde").unwrap(); // 5 bytes, within budget
+        let err = b.append("/f", b"fghij").unwrap_err(); // crosses at 7
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert!(b.is_crashed());
+        // Frozen: reads fail too.
+        assert!(b.len("/f").is_err());
+        // Reboot: exactly 7 bytes are there.
+        b.heal();
+        assert_eq!(b.read_all("/f").unwrap(), b"abcdefg");
+        assert_eq!(b.stats().crashes, 1);
+    }
+
+    #[test]
+    fn crash_now_rejects_everything_until_heal() {
+        let b = FaultyBackend::new(MemBackend::new(), FaultPlan::none(3));
+        b.append("/f", b"x").unwrap();
+        b.crash_now();
+        assert!(b.append("/f", b"y").is_err());
+        assert!(b.list("/").is_err());
+        assert!(b.stats().rejected_while_crashed >= 2);
+        b.heal();
+        b.append("/f", b"y").unwrap();
+        assert_eq!(b.read_all("/f").unwrap(), b"xy");
+    }
+
+    #[test]
+    fn transient_rate_injects_deterministically() {
+        let run = |seed| {
+            let b = FaultyBackend::new(
+                MemBackend::new(),
+                FaultPlan { transient_error_rate: 0.3, ..FaultPlan::none(seed) },
+            );
+            let mut failures = Vec::new();
+            for i in 0..100 {
+                failures.push(b.append("/f", &[i as u8]).is_err());
+            }
+            failures
+        };
+        assert_eq!(run(9), run(9), "same seed must inject identically");
+        assert_ne!(run(9), run(10), "different seeds must differ");
+        let n_fail = run(9).iter().filter(|&&x| x).count();
+        assert!((10..60).contains(&n_fail), "rate wildly off: {n_fail}/100");
+    }
+
+    #[test]
+    fn torn_append_lands_a_strict_prefix() {
+        let b = FaultyBackend::new(
+            MemBackend::new(),
+            FaultPlan { torn_append_rate: 1.0, ..FaultPlan::none(5) },
+        );
+        let err = b.append("/f", b"0123456789").unwrap_err();
+        assert!(crate::retry::classify(&err) == crate::retry::ErrorClass::Transient);
+        let landed = b.inner().len("/f").unwrap_or(0);
+        assert!(landed < 10, "torn append must not land everything");
+        assert_eq!(b.stats().injected_torn, 1);
+        assert_eq!(b.bytes_appended(), landed);
+    }
+}

@@ -11,6 +11,7 @@ use crate::container::{
     create_container, discover_droppings, is_container, read_meta, session_count, ContainerPaths,
 };
 use crate::read::Reader;
+use crate::retry::{append_at_reliable, RetriedBackend, RetryPolicy};
 use crate::write::{Writer, WriterConfig};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -22,11 +23,14 @@ pub struct PlfsConfig {
     /// Subdirectories to spread droppings over within each container.
     pub hostdirs: u32,
     pub writer: WriterConfig,
+    /// Retry policy for metadata and read-side backend operations
+    /// (the write path uses `writer.retry`).
+    pub retry: RetryPolicy,
 }
 
 impl Default for PlfsConfig {
     fn default() -> Self {
-        PlfsConfig { hostdirs: 32, writer: WriterConfig::default() }
+        PlfsConfig { hostdirs: 32, writer: WriterConfig::default(), retry: RetryPolicy::default() }
     }
 }
 
@@ -65,9 +69,16 @@ impl Plfs {
         ContainerPaths::new(logical, self.cfg.hostdirs)
     }
 
+    /// The backend with per-operation transient-fault masking. Retry
+    /// must wrap individual operations: wrapping a multi-call helper
+    /// compounds the per-call fault probability instead of masking it.
+    fn retried(&self) -> RetriedBackend<'_> {
+        RetriedBackend::new(self.backend.as_ref(), &self.cfg.retry)
+    }
+
     /// Create a logical file (container). Idempotent.
     pub fn create(&self, logical: &str) -> io::Result<()> {
-        create_container(self.backend.as_ref(), &self.paths(logical))
+        create_container(&self.retried(), &self.paths(logical))
     }
 
     /// Does the logical file exist?
@@ -79,9 +90,9 @@ impl Plfs {
     pub fn open_writer(&self, logical: &str, rank: u32) -> io::Result<Writer> {
         let paths = self.paths(logical);
         if !self.exists(logical) {
-            create_container(self.backend.as_ref(), &paths)?;
+            create_container(&self.retried(), &paths)?;
         }
-        let session = session_count(self.backend.as_ref(), &paths);
+        let session = session_count(&self.retried(), &paths);
         // A new session's stamps must exceed everything already stored:
         // reserve a fresh epoch in the high bits.
         let epoch_floor = (session + 1) << 40;
@@ -99,25 +110,29 @@ impl Plfs {
     /// Open a read handle (merges all indices).
     pub fn open_reader(&self, logical: &str) -> io::Result<Reader> {
         if !self.exists(logical) {
-            return Err(io::Error::new(io::ErrorKind::NotFound, format!("no such file: {logical}")));
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file: {logical}"),
+            ));
         }
-        Reader::open(self.backend.clone(), self.paths(logical))
+        Reader::open(self.backend.clone(), self.paths(logical), self.cfg.retry.clone())
     }
 
     /// `stat` without a full index merge when possible: closed
     /// containers answer from metadata droppings.
     pub fn stat(&self, logical: &str) -> io::Result<FileStat> {
         if !self.exists(logical) {
-            return Err(io::Error::new(io::ErrorKind::NotFound, format!("no such file: {logical}")));
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file: {logical}"),
+            ));
         }
         let paths = self.paths(logical);
-        let metas = read_meta(self.backend.as_ref(), &paths)?;
-        let open_sessions = self
-            .backend
-            .list(&paths.openhosts_dir())
-            .map(|v| !v.is_empty())
-            .unwrap_or(false);
-        let writers = discover_droppings(self.backend.as_ref(), &paths)?.len();
+        let retried = self.retried();
+        let metas = read_meta(&retried, &paths)?;
+        let open_sessions =
+            self.backend.list(&paths.openhosts_dir()).map(|v| !v.is_empty()).unwrap_or(false);
+        let writers = discover_droppings(&retried, &paths)?.len();
         if !metas.is_empty() && !open_sessions && metas.len() == writers {
             // Fast path: every writer closed cleanly.
             return Ok(FileStat {
@@ -126,16 +141,19 @@ impl Plfs {
                 from_meta: true,
             });
         }
-        let reader = Reader::open(self.backend.clone(), paths)?;
+        let reader = Reader::open(self.backend.clone(), paths, self.cfg.retry.clone())?;
         Ok(FileStat { size: reader.size(), writers, from_meta: false })
     }
 
     /// Remove a logical file and all its droppings.
     pub fn unlink(&self, logical: &str) -> io::Result<()> {
         if !self.exists(logical) {
-            return Err(io::Error::new(io::ErrorKind::NotFound, format!("no such file: {logical}")));
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file: {logical}"),
+            ));
         }
-        self.backend.remove_dir_all(logical.trim_end_matches('/'))
+        self.cfg.retry.run(|| self.backend.remove_dir_all(logical.trim_end_matches('/')))
     }
 
     /// Materialize the container into a flat file at `dest` on the same
@@ -143,16 +161,26 @@ impl Plfs {
     pub fn flatten(&self, logical: &str, dest: &str, chunk: usize) -> io::Result<u64> {
         assert!(chunk > 0);
         let reader = self.open_reader(logical)?;
-        self.backend.create(dest)?;
+        self.cfg.retry.run(|| self.backend.create(dest))?;
         let size = reader.size();
         let mut buf = vec![0u8; chunk];
         let mut pos = 0u64;
+        let mut tail_uncertain = false;
         while pos < size {
             let n = reader.read_at(pos, &mut buf)?;
             if n == 0 {
                 break;
             }
-            self.backend.append(dest, &buf[..n])?;
+            let res = append_at_reliable(
+                self.backend.as_ref(),
+                &self.cfg.retry,
+                dest,
+                pos,
+                &buf[..n],
+                tail_uncertain,
+            );
+            tail_uncertain = res.is_err();
+            res?;
             pos += n as u64;
         }
         Ok(pos)
@@ -166,7 +194,13 @@ mod tests {
 
     fn plfs() -> (Plfs, Arc<MemBackend>) {
         let b = Arc::new(MemBackend::new());
-        (Plfs::new(b.clone() as Arc<dyn Backend>, PlfsConfig { hostdirs: 4, ..Default::default() }), b)
+        (
+            Plfs::new(
+                b.clone() as Arc<dyn Backend>,
+                PlfsConfig { hostdirs: 4, ..Default::default() },
+            ),
+            b,
+        )
     }
 
     #[test]

@@ -12,10 +12,16 @@
 //!    byte (orphaned bytes — harmless but reported);
 //! 5. writers that left data but no index (unreadable data), and
 //!    stale `openhosts` droppings from sessions that never closed.
+//!
+//! [`repair`] fixes what [`fsck`] finds, preserving the crash-recovery
+//! invariant: **every write acknowledged (synced) before the crash
+//! reads back byte-for-byte afterwards**. The writer flushes data
+//! before index, so a torn index tail or an unindexed data tail always
+//! belongs to writes that were never acked — truncating them is safe.
 
 use crate::backend::Backend;
 use crate::container::{discover_droppings, is_container, ContainerPaths};
-use crate::index::decode;
+use crate::index::{decode, decode_prefix, encode_raw, IndexEntry};
 use std::io;
 
 /// One detected problem.
@@ -24,15 +30,29 @@ pub enum FsckError {
     NotAContainer,
     /// Index dropping failed to decode (offset of failure unknown —
     /// the tail after the last good record is unreadable).
-    CorruptIndex { rank: u32, detail: String },
+    CorruptIndex {
+        rank: u32,
+        detail: String,
+    },
     /// An index entry points outside its data dropping.
-    DanglingExtent { rank: u32, physical_end: u64, data_len: u64 },
+    DanglingExtent {
+        rank: u32,
+        physical_end: u64,
+        data_len: u64,
+    },
     /// Data bytes beyond anything the index references.
-    OrphanedData { rank: u32, orphaned_bytes: u64 },
+    OrphanedData {
+        rank: u32,
+        orphaned_bytes: u64,
+    },
     /// A data dropping exists with no index dropping at all.
-    MissingIndex { rank: u32 },
+    MissingIndex {
+        rank: u32,
+    },
     /// An openhosts dropping from a session that never closed.
-    StaleOpenSession { name: String },
+    StaleOpenSession {
+        name: String,
+    },
 }
 
 /// The full report.
@@ -136,6 +156,213 @@ pub fn fsck(backend: &dyn Backend, logical: &str, hostdirs: u32) -> io::Result<F
         }
     }
     Ok(report)
+}
+
+// ---------------------------------------------------------------- repair
+
+/// Repair knobs.
+#[derive(Debug, Clone, Default)]
+pub struct RepairOptions {
+    /// Instead of discarding orphaned (unindexed) data bytes,
+    /// synthesize index entries that expose them at the end of the
+    /// logical file. Their original logical offsets are unknowable —
+    /// this is forensic salvage, off by default.
+    pub salvage_orphans: bool,
+}
+
+/// One mutation `repair` performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairAction {
+    /// Cut an undecodable tail off an index dropping (a torn index
+    /// flush from an unacked sync).
+    TruncatedIndexTail { rank: u32, dropped_bytes: u64 },
+    /// Dropped index entries pointing past the end of their data
+    /// dropping (index flushed, data never fully landed — unacked).
+    TrimmedDanglingExtents { rank: u32, dropped_entries: usize },
+    /// Cut unindexed bytes off the end of a data dropping (a torn data
+    /// flush from an unacked sync).
+    TruncatedOrphanTail { rank: u32, dropped_bytes: u64 },
+    /// Removed a data dropping that had no index dropping at all.
+    RemovedUnindexedData { rank: u32 },
+    /// Synthesized an index entry exposing orphaned bytes at the end of
+    /// the logical file (salvage mode).
+    SalvagedOrphan { rank: u32, bytes: u64, logical_offset: u64 },
+    /// Removed an openhosts dropping left by a session that died.
+    ClearedStaleSession { name: String },
+}
+
+/// What `repair` found and did.
+#[derive(Debug, Clone)]
+pub struct RepairReport {
+    /// Container state before repair.
+    pub before: FsckReport,
+    /// Container state after repair (clean unless the container was
+    /// unrecognizable).
+    pub after: FsckReport,
+    pub actions: Vec<RepairAction>,
+}
+
+/// Rewrite `path` keeping only its first `keep` bytes. The [`Backend`]
+/// trait has no truncate, so this is read–remove–re-append; droppings
+/// are small relative to the data they index, and crash repair is not
+/// a hot path.
+fn truncate_file(backend: &dyn Backend, path: &str, keep: u64) -> io::Result<()> {
+    let data = backend.read_all(path)?;
+    if keep as usize >= data.len() {
+        return Ok(());
+    }
+    backend.remove(path)?;
+    backend.create(path)?;
+    if keep > 0 {
+        backend.append(path, &data[..keep as usize])?;
+    }
+    Ok(())
+}
+
+/// Repair a crashed container in place.
+///
+/// Fix order matters — each step can only expose problems a later step
+/// handles:
+///
+/// 1. truncate torn index tails to the last fully-decodable record;
+/// 2. drop index entries whose extents dangle past their data dropping
+///    (rewriting that index dropping);
+/// 3. truncate (or, in salvage mode, index) unindexed data tails;
+/// 4. remove (or salvage) data droppings that have no index dropping;
+/// 5. clear stale `openhosts` sessions.
+///
+/// Everything removed was, by the writer's data-before-index flush
+/// ordering, never acknowledged; acked bytes survive verbatim.
+pub fn repair(
+    backend: &dyn Backend,
+    logical: &str,
+    hostdirs: u32,
+    opts: &RepairOptions,
+) -> io::Result<RepairReport> {
+    let before = fsck(backend, logical, hostdirs)?;
+    let mut actions = Vec::new();
+    if before.errors.contains(&FsckError::NotAContainer) {
+        // Nothing we can do without a container skeleton.
+        return Ok(RepairReport { after: before.clone(), before, actions });
+    }
+    let paths = ContainerPaths::new(logical, hostdirs);
+    let droppings = discover_droppings(backend, &paths)?;
+
+    // Passes 1–3 per writer; remember each writer's surviving entries
+    // so salvage can place orphans past the global logical EOF.
+    let mut kept_all: Vec<(u32, String, String, Vec<IndexEntry>, u64)> = Vec::new();
+    let mut logical_eof = 0u64;
+    let mut max_ts = 0u64;
+    for (rank, idx_path, data_path) in droppings {
+        let blob = backend.read_all(&idx_path)?;
+        let (mut entries, consumed) = decode_prefix(&blob);
+        if consumed < blob.len() {
+            truncate_file(backend, &idx_path, consumed as u64)?;
+            actions.push(RepairAction::TruncatedIndexTail {
+                rank,
+                dropped_bytes: (blob.len() - consumed) as u64,
+            });
+        }
+        let data_len = backend.len(&data_path).unwrap_or(0);
+        let n_before = entries.len();
+        entries.retain(|e| e.physical_offset + e.length <= data_len);
+        if entries.len() < n_before {
+            let encoded = encode_raw(&entries);
+            backend.remove(&idx_path)?;
+            backend.create(&idx_path)?;
+            if !encoded.is_empty() {
+                backend.append(&idx_path, &encoded)?;
+            }
+            actions.push(RepairAction::TrimmedDanglingExtents {
+                rank,
+                dropped_entries: n_before - entries.len(),
+            });
+        }
+        for e in &entries {
+            logical_eof = logical_eof.max(e.logical_offset + e.length);
+            max_ts = max_ts.max(e.timestamp);
+        }
+        kept_all.push((rank, idx_path, data_path, entries, data_len));
+    }
+
+    // Pass 3: orphaned data tails.
+    for (rank, idx_path, data_path, entries, data_len) in &kept_all {
+        let highest = entries.iter().map(|e| e.physical_offset + e.length).max().unwrap_or(0);
+        if *data_len > highest {
+            let orphaned = data_len - highest;
+            if opts.salvage_orphans {
+                let entry = IndexEntry {
+                    logical_offset: logical_eof,
+                    length: orphaned,
+                    physical_offset: highest,
+                    writer: *rank,
+                    timestamp: max_ts + 1,
+                };
+                backend.append(idx_path, &encode_raw(&[entry]))?;
+                actions.push(RepairAction::SalvagedOrphan {
+                    rank: *rank,
+                    bytes: orphaned,
+                    logical_offset: logical_eof,
+                });
+                logical_eof += orphaned;
+            } else {
+                truncate_file(backend, data_path, highest)?;
+                actions.push(RepairAction::TruncatedOrphanTail {
+                    rank: *rank,
+                    dropped_bytes: orphaned,
+                });
+            }
+        }
+    }
+
+    // Pass 4: data droppings with no index dropping at all.
+    let indexed: std::collections::HashSet<u32> = kept_all.iter().map(|(r, ..)| *r).collect();
+    for entry in backend.list(paths.base())? {
+        if !entry.starts_with("hostdir.") {
+            continue;
+        }
+        let dir = format!("{}/{entry}", paths.base());
+        for name in backend.list(&dir)? {
+            let Some(rank) = name.strip_prefix("data.").and_then(|r| r.parse::<u32>().ok()) else {
+                continue;
+            };
+            if indexed.contains(&rank) {
+                continue;
+            }
+            let data_path = format!("{dir}/{name}");
+            let bytes = backend.len(&data_path).unwrap_or(0);
+            if opts.salvage_orphans && bytes > 0 {
+                let entry = IndexEntry {
+                    logical_offset: logical_eof,
+                    length: bytes,
+                    physical_offset: 0,
+                    writer: rank,
+                    timestamp: max_ts + 1,
+                };
+                backend.append(&paths.index_dropping(rank), &encode_raw(&[entry]))?;
+                actions.push(RepairAction::SalvagedOrphan {
+                    rank,
+                    bytes,
+                    logical_offset: logical_eof,
+                });
+                logical_eof += bytes;
+            } else {
+                backend.remove(&data_path)?;
+                actions.push(RepairAction::RemovedUnindexedData { rank });
+            }
+        }
+    }
+
+    // Pass 5: sessions that never closed.
+    if let Ok(names) = backend.list(&paths.openhosts_dir()) {
+        for name in names {
+            backend.remove(&format!("{}/{name}", paths.openhosts_dir()))?;
+            actions.push(RepairAction::ClearedStaleSession { name });
+        }
+    }
+
+    let after = fsck(backend, logical, hostdirs)?;
+    Ok(RepairReport { before, after, actions })
 }
 
 #[cfg(test)]
@@ -245,5 +472,109 @@ mod tests {
         let rep = fsck(b.as_ref(), "/f", 4).unwrap();
         assert!(rep.errors.iter().any(|e| matches!(e, FsckError::StaleOpenSession { .. })));
         assert_eq!(rep.fatal_count(), 0, "data is all indexed, just unclosed");
+    }
+
+    // ------------------------------------------------------------ repair
+
+    #[test]
+    fn repair_on_clean_container_is_a_noop() {
+        let (fs, b) = setup();
+        healthy(&fs);
+        let rep = repair(b.as_ref(), "/f", 4, &RepairOptions::default()).unwrap();
+        assert!(rep.before.is_clean());
+        assert!(rep.after.is_clean());
+        assert!(rep.actions.is_empty());
+    }
+
+    #[test]
+    fn repair_truncates_torn_index_tail() {
+        let (fs, b) = setup();
+        healthy(&fs);
+        let p = crate::container::ContainerPaths::new("/f", 4).index_dropping(1);
+        let blob = b.read_all(&p).unwrap();
+        b.remove(&p).unwrap();
+        // Whole index + 3 bytes of a torn next record.
+        b.append(&p, &blob).unwrap();
+        b.append(&p, &[1, 0, 0]).unwrap();
+        let rep = repair(b.as_ref(), "/f", 4, &RepairOptions::default()).unwrap();
+        assert!(rep
+            .actions
+            .contains(&RepairAction::TruncatedIndexTail { rank: 1, dropped_bytes: 3 }));
+        assert!(rep.after.is_clean(), "{:?}", rep.after.errors);
+        // Acked data still reads back.
+        let data = fs.open_reader("/f").unwrap().read_all().unwrap();
+        assert_eq!(data.len(), 3000);
+        assert!(data[1000..2000].iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn repair_trims_dangling_extents_and_orphan_tails() {
+        let (fs, b) = setup();
+        healthy(&fs);
+        let paths = crate::container::ContainerPaths::new("/f", 4);
+        // Rank 2's data dropping lost its second half.
+        let dp = paths.data_dropping(2);
+        let blob = b.read_all(&dp).unwrap();
+        b.remove(&dp).unwrap();
+        b.append(&dp, &blob[..500]).unwrap();
+        // Rank 0's data dropping grew an unindexed tail.
+        b.append(&paths.data_dropping(0), &[9u8; 33]).unwrap();
+        let rep = repair(b.as_ref(), "/f", 4, &RepairOptions::default()).unwrap();
+        assert!(rep
+            .actions
+            .contains(&RepairAction::TrimmedDanglingExtents { rank: 2, dropped_entries: 1 }));
+        assert!(rep
+            .actions
+            .iter()
+            .any(|a| matches!(a, RepairAction::TruncatedOrphanTail { rank: 0, .. })));
+        assert!(rep.after.is_clean(), "{:?}", rep.after.errors);
+        // Rank 2's partially-landed write is gone; rank 0/1 survive.
+        let data = fs.open_reader("/f").unwrap().read_all().unwrap();
+        assert_eq!(data.len(), 2000);
+        assert!(data[..1000].iter().all(|&x| x == 0));
+        assert!(data[1000..].iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn repair_removes_unindexed_data_and_stale_sessions() {
+        let (fs, b) = setup();
+        healthy(&fs);
+        let paths = crate::container::ContainerPaths::new("/f", 4);
+        b.append(&paths.data_dropping(9), b"lost").unwrap();
+        b.create(&paths.open_dropping(5, 3)).unwrap();
+        let rep = repair(b.as_ref(), "/f", 4, &RepairOptions::default()).unwrap();
+        assert!(rep.actions.contains(&RepairAction::RemovedUnindexedData { rank: 9 }));
+        assert!(rep.actions.iter().any(|a| matches!(a, RepairAction::ClearedStaleSession { .. })));
+        assert!(rep.after.is_clean(), "{:?}", rep.after.errors);
+        assert!(!b.exists(&paths.data_dropping(9)));
+    }
+
+    #[test]
+    fn repair_salvage_mode_keeps_orphan_bytes_readable() {
+        let (fs, b) = setup();
+        healthy(&fs);
+        let paths = crate::container::ContainerPaths::new("/f", 4);
+        b.append(&paths.data_dropping(0), &[7u8; 50]).unwrap();
+        b.append(&paths.data_dropping(9), &[8u8; 20]).unwrap();
+        let rep = repair(b.as_ref(), "/f", 4, &RepairOptions { salvage_orphans: true }).unwrap();
+        assert!(rep.after.is_clean(), "{:?}", rep.after.errors);
+        assert_eq!(
+            rep.actions.iter().filter(|a| matches!(a, RepairAction::SalvagedOrphan { .. })).count(),
+            2
+        );
+        // Salvaged bytes appear past the original EOF, original data intact.
+        let data = fs.open_reader("/f").unwrap().read_all().unwrap();
+        assert_eq!(data.len(), 3000 + 50 + 20);
+        assert!(data[2000..3000].iter().all(|&x| x == 2));
+        assert_eq!(data[3000..3050], [7u8; 50][..]);
+        assert_eq!(data[3050..], [8u8; 20][..]);
+    }
+
+    #[test]
+    fn repair_not_a_container_reports_without_touching() {
+        let (_, b) = setup();
+        let rep = repair(b.as_ref(), "/nope", 4, &RepairOptions::default()).unwrap();
+        assert_eq!(rep.after.errors, vec![FsckError::NotAContainer]);
+        assert!(rep.actions.is_empty());
     }
 }

@@ -13,8 +13,64 @@
 //!   index-compression extension the report lists among post-PDSI PLFS
 //!   work (§1.1, item 5).
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::io;
+
+/// Minimal little-endian write cursor (replaces the `bytes` crate so
+/// the workspace builds with no external dependencies).
+trait PutLe {
+    fn put_u8(&mut self, v: u8);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+}
+
+impl PutLe for Vec<u8> {
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    #[inline]
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    #[inline]
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Minimal little-endian read cursor over a byte slice.
+struct GetLe<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> GetLe<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        GetLe { data, pos: 0 }
+    }
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+    #[inline]
+    fn get_u8(&mut self) -> u8 {
+        let v = self.data[self.pos];
+        self.pos += 1;
+        v
+    }
+    #[inline]
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.data[self.pos..self.pos + 4].try_into().unwrap());
+        self.pos += 4;
+        v
+    }
+    #[inline]
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.data[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        v
+    }
+}
 
 /// One write's worth of mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +89,9 @@ pub struct IndexEntry {
 
 /// Size of one raw record on the wire.
 pub const RAW_RECORD_BYTES: usize = 8 + 8 + 8 + 4 + 8;
+
+/// Size of one pattern record on the wire (excluding the tag byte).
+pub const PATTERN_RECORD_BYTES: usize = 8 + 8 + 8 + 4 + 8 + 4 + 8;
 
 const TAG_RAW: u8 = 1;
 const TAG_PATTERN: u8 = 2;
@@ -65,8 +124,8 @@ impl PatternEntry {
 }
 
 /// Encode a batch of entries, raw.
-pub fn encode_raw(entries: &[IndexEntry]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(entries.len() * (RAW_RECORD_BYTES + 1));
+pub fn encode_raw(entries: &[IndexEntry]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(entries.len() * (RAW_RECORD_BYTES + 1));
     for e in entries {
         buf.put_u8(TAG_RAW);
         buf.put_u64_le(e.logical_offset);
@@ -75,13 +134,13 @@ pub fn encode_raw(entries: &[IndexEntry]) -> Bytes {
         buf.put_u32_le(e.writer);
         buf.put_u64_le(e.timestamp);
     }
-    buf.freeze()
+    buf
 }
 
 /// Encode a batch of entries with pattern compression: maximal
 /// arithmetic-progression runs become [`PatternEntry`] records.
-pub fn encode_compressed(entries: &[IndexEntry]) -> Bytes {
-    let mut buf = BytesMut::new();
+pub fn encode_compressed(entries: &[IndexEntry]) -> Vec<u8> {
+    let mut buf = Vec::new();
     let mut i = 0;
     while i < entries.len() {
         // Try to grow a run starting at i.
@@ -109,7 +168,7 @@ pub fn encode_compressed(entries: &[IndexEntry]) -> Bytes {
             i += 1;
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Longest prefix of `entries` forming a compressible run.
@@ -146,50 +205,68 @@ fn run_length(entries: &[IndexEntry]) -> usize {
 }
 
 /// Decode a dropping (either encoding) back into raw entries.
-pub fn decode(mut data: &[u8]) -> io::Result<Vec<IndexEntry>> {
-    let mut out = Vec::new();
-    while data.has_remaining() {
-        if data.remaining() < 1 {
-            break;
+pub fn decode(data: &[u8]) -> io::Result<Vec<IndexEntry>> {
+    let (entries, consumed) = decode_prefix(data);
+    if consumed < data.len() {
+        // Re-derive the error for the first undecodable record.
+        let mut cur = GetLe::new(&data[consumed..]);
+        let tag = cur.get_u8();
+        if tag == TAG_RAW || tag == TAG_PATTERN {
+            return Err(truncated());
         }
-        let tag = data.get_u8();
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad index record tag {tag}"),
+        ));
+    }
+    Ok(entries)
+}
+
+/// Decode as many whole records as possible from the front of `data`.
+///
+/// Returns the decoded entries plus the number of bytes consumed by
+/// complete, valid records. `consumed == data.len()` means the blob is
+/// fully intact; anything less is a torn or corrupt tail (the crash
+/// signature `fsck::repair` truncates away).
+pub fn decode_prefix(data: &[u8]) -> (Vec<IndexEntry>, usize) {
+    let mut cur = GetLe::new(data);
+    let mut out = Vec::new();
+    let mut good = 0usize;
+    while cur.remaining() >= 1 {
+        let tag = cur.get_u8();
         match tag {
             TAG_RAW => {
-                if data.remaining() < RAW_RECORD_BYTES {
-                    return Err(truncated());
+                if cur.remaining() < RAW_RECORD_BYTES {
+                    break;
                 }
                 out.push(IndexEntry {
-                    logical_offset: data.get_u64_le(),
-                    length: data.get_u64_le(),
-                    physical_offset: data.get_u64_le(),
-                    writer: data.get_u32_le(),
-                    timestamp: data.get_u64_le(),
+                    logical_offset: cur.get_u64_le(),
+                    length: cur.get_u64_le(),
+                    physical_offset: cur.get_u64_le(),
+                    writer: cur.get_u32_le(),
+                    timestamp: cur.get_u64_le(),
                 });
             }
             TAG_PATTERN => {
-                if data.remaining() < 8 + 8 + 8 + 4 + 8 + 4 + 8 {
-                    return Err(truncated());
+                if cur.remaining() < PATTERN_RECORD_BYTES {
+                    break;
                 }
                 let p = PatternEntry {
-                    logical_start: data.get_u64_le(),
-                    length: data.get_u64_le(),
-                    logical_stride: data.get_u64_le(),
-                    count: data.get_u32_le(),
-                    physical_start: data.get_u64_le(),
-                    writer: data.get_u32_le(),
-                    timestamp_start: data.get_u64_le(),
+                    logical_start: cur.get_u64_le(),
+                    length: cur.get_u64_le(),
+                    logical_stride: cur.get_u64_le(),
+                    count: cur.get_u32_le(),
+                    physical_start: cur.get_u64_le(),
+                    writer: cur.get_u32_le(),
+                    timestamp_start: cur.get_u64_le(),
                 };
                 out.extend(p.expand());
             }
-            other => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("bad index record tag {other}"),
-                ))
-            }
+            _ => break,
         }
+        good = cur.pos;
     }
-    Ok(out)
+    (out, good)
 }
 
 fn truncated() -> io::Error {
@@ -307,7 +384,12 @@ impl IndexMap {
             out.push((
                 pos,
                 take_end - pos,
-                Some(Extent { start: pos, end: take_end, physical: x.physical + delta, writer: x.writer }),
+                Some(Extent {
+                    start: pos,
+                    end: take_end,
+                    physical: x.physical + delta,
+                    writer: x.writer,
+                }),
             ));
             pos = take_end;
             i += 1;
@@ -345,9 +427,8 @@ mod tests {
     #[test]
     fn compressed_roundtrip_strided() {
         // Classic N-1 strided pattern from one rank.
-        let entries: Vec<_> = (0..100)
-            .map(|i| e(i * 4096 * 8, 4096, i * 4096, 3, 100 + i))
-            .collect();
+        let entries: Vec<_> =
+            (0..100).map(|i| e(i * 4096 * 8, 4096, i * 4096, 3, 100 + i)).collect();
         let enc = encode_compressed(&entries);
         assert_eq!(decode(&enc).unwrap(), entries);
         // One pattern record instead of 100 raw: big compression.
@@ -431,12 +512,10 @@ mod tests {
     fn strided_interleaving_resolves_fully() {
         // 4 ranks, strided 1 KiB records: rank r writes records r, r+4, ...
         let mut entries = Vec::new();
-        let mut ts = 0;
         for rec in 0..64u64 {
             let rank = (rec % 4) as u32;
             let phys = (rec / 4) * 1024;
-            entries.push(e(rec * 1024, 1024, phys, rank, ts));
-            ts += 1;
+            entries.push(e(rec * 1024, 1024, phys, rank, rec));
         }
         let m = IndexMap::build(entries);
         m.check_invariants();

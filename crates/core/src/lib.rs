@@ -56,20 +56,24 @@
 
 pub mod backend;
 pub mod container;
+pub mod faults;
 pub mod filesystem;
 pub mod fsck;
 pub mod index;
 pub mod mpiio;
 pub mod read;
+pub mod retry;
 pub mod simadapter;
 pub mod write;
 
 pub use backend::{Backend, DirBackend, MemBackend};
 pub use container::ContainerPaths;
+pub use faults::{FaultPlan, FaultStats, FaultyBackend};
 pub use filesystem::{FileStat, Plfs, PlfsConfig};
-pub use fsck::{fsck, FsckError, FsckReport};
+pub use fsck::{fsck, repair, FsckError, FsckReport, RepairAction, RepairOptions, RepairReport};
 pub use index::{IndexEntry, IndexMap};
 pub use mpiio::{segmented_n1_pattern, strided_n1_pattern, ParallelFile};
 pub use read::Reader;
+pub use retry::RetryPolicy;
 pub use simadapter::{compare, run_direct, run_plfs, PlfsSimOptions};
 pub use write::{Writer, WriterConfig, WriterStats};

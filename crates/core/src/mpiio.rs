@@ -42,10 +42,7 @@ impl ParallelFile {
 
     /// `MPI_File_write_at` equivalent for `rank`.
     pub fn write_at(&mut self, rank: u32, offset: u64, data: &[u8]) -> io::Result<()> {
-        self.writers[rank as usize]
-            .as_mut()
-            .expect("rank already closed")
-            .write_at(offset, data)
+        self.writers[rank as usize].as_mut().expect("rank already closed").write_at(offset, data)
     }
 
     /// `MPI_File_sync` equivalent: flush every rank's buffers.
@@ -77,11 +74,7 @@ impl ParallelFile {
 /// records `rank, rank+n, rank+2n, ...` of `record` bytes each.
 /// Returns per-rank `(offset, len)` write lists — the pattern Fig. 15's
 /// Ninjat visualization shows and the FLASH/Chombo benchmarks issue.
-pub fn strided_n1_pattern(
-    nranks: u32,
-    records_per_rank: u32,
-    record: u64,
-) -> Vec<Vec<(u64, u64)>> {
+pub fn strided_n1_pattern(nranks: u32, records_per_rank: u32, record: u64) -> Vec<Vec<(u64, u64)>> {
     (0..nranks)
         .map(|rank| {
             (0..records_per_rank)

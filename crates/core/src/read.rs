@@ -10,6 +10,7 @@
 use crate::backend::Backend;
 use crate::container::{discover_droppings, ContainerPaths};
 use crate::index::{decode, IndexEntry, IndexMap};
+use crate::retry::{RetriedBackend, RetryPolicy};
 use std::io;
 use std::sync::Arc;
 
@@ -26,20 +27,30 @@ pub struct ReadStats {
 pub struct Reader {
     backend: Arc<dyn Backend>,
     paths: ContainerPaths,
+    retry: RetryPolicy,
     map: IndexMap,
     stats: ReadStats,
 }
 
 impl Reader {
     /// Open the container: discover droppings, decode all indices
-    /// (parallel when more than one), merge.
-    pub(crate) fn open(backend: Arc<dyn Backend>, paths: ContainerPaths) -> io::Result<Self> {
-        let droppings = discover_droppings(backend.as_ref(), &paths)?;
+    /// (parallel when more than one), merge. Transient backend errors
+    /// during discovery and index fetch are masked per `retry`.
+    pub(crate) fn open(
+        backend: Arc<dyn Backend>,
+        paths: ContainerPaths,
+        retry: RetryPolicy,
+    ) -> io::Result<Self> {
+        // Per-operation retry: wrapping the whole discovery (dozens of
+        // backend calls) in one retry unit would compound the per-call
+        // fault probability instead of masking it.
+        let retried = RetriedBackend::new(backend.as_ref(), &retry);
+        let droppings = discover_droppings(&retried, &paths)?;
         let mut index_bytes = 0u64;
         let blobs: Vec<(u32, Vec<u8>)> = droppings
             .iter()
             .map(|(rank, idx_path, _)| {
-                let blob = backend.read_all(idx_path)?;
+                let blob = retried.read_all(idx_path)?;
                 index_bytes += blob.len() as u64;
                 Ok((*rank, blob))
             })
@@ -51,6 +62,7 @@ impl Reader {
         Ok(Reader {
             backend,
             paths,
+            retry,
             stats: ReadStats {
                 writers: droppings.len(),
                 raw_entries,
@@ -92,8 +104,9 @@ impl Reader {
                 }
                 Some(x) => {
                     let data_path = self.paths.data_dropping(x.writer);
-                    let got =
-                        self.backend.read_at(&data_path, x.physical, &mut buf[dst..dst_end])?;
+                    let got = self.retry.run(|| {
+                        self.backend.read_at(&data_path, x.physical, &mut buf[dst..dst_end])
+                    })?;
                     if got < piece_len as usize {
                         return Err(io::Error::new(
                             io::ErrorKind::UnexpectedEof,
@@ -129,10 +142,7 @@ fn decode_all(blobs: &[(u32, Vec<u8>)]) -> io::Result<Vec<IndexEntry>> {
         return Ok(all);
     }
     let results: Vec<io::Result<Vec<IndexEntry>>> = std::thread::scope(|s| {
-        let handles: Vec<_> = blobs
-            .iter()
-            .map(|(_, blob)| s.spawn(move || decode(blob)))
-            .collect();
+        let handles: Vec<_> = blobs.iter().map(|(_, blob)| s.spawn(move || decode(blob))).collect();
         handles.into_iter().map(|h| h.join().expect("decoder panicked")).collect()
     });
     let mut all = Vec::new();
@@ -175,7 +185,7 @@ mod tests {
     }
 
     fn reader(b: &Arc<MemBackend>, p: &ContainerPaths) -> Reader {
-        Reader::open(b.clone() as Arc<dyn Backend>, p.clone()).unwrap()
+        Reader::open(b.clone() as Arc<dyn Backend>, p.clone(), RetryPolicy::none()).unwrap()
     }
 
     #[test]

@@ -1,0 +1,404 @@
+//! Bounded retry with exponential backoff for backend operations.
+//!
+//! At petascale the storage substrate routinely returns transient
+//! errors (`EINTR`/`EAGAIN`, network-store timeouts); middleware that
+//! surfaces every one of them to the application makes checkpointing
+//! hopeless. [`RetryPolicy`] masks transient failures with bounded
+//! exponential backoff and deterministic jitter, and gives up
+//! immediately on errors classified as fatal.
+//!
+//! The delicate case is a **torn append**: the store advanced by an
+//! unknown prefix before the error surfaced, so blindly re-appending
+//! would duplicate bytes. [`append_at_reliable`] exploits the PLFS
+//! ownership rule — each rank is the *only* writer of its droppings —
+//! to recover exactly: it re-queries the file length, computes how much
+//! of the buffer already landed, and appends only the remaining suffix.
+
+use crate::backend::Backend;
+use std::io;
+use std::time::Duration;
+
+/// Retryability of an I/O error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// The operation may succeed if retried (store state unharmed or
+    /// recoverable).
+    Transient,
+    /// Retrying cannot help (missing file, permission, crashed store).
+    Fatal,
+}
+
+/// Classify an error the way the retry machinery does.
+///
+/// `Interrupted` (EINTR), `WouldBlock` (EAGAIN) and `TimedOut` are
+/// transient; everything else — `NotFound`, `PermissionDenied`,
+/// `BrokenPipe` (our crash-stop marker), `InvalidData`, ... — is fatal.
+pub fn classify(err: &io::Error) -> ErrorClass {
+    match err.kind() {
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+            ErrorClass::Transient
+        }
+        _ => ErrorClass::Fatal,
+    }
+}
+
+/// Bounded exponential backoff policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 = never retry).
+    pub max_retries: u32,
+    /// Delay before the first retry; doubles each retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Jitter: each delay is scaled by a deterministic factor in
+    /// `[1 - jitter, 1]`. 0 disables.
+    pub jitter_frac: f64,
+}
+
+impl Default for RetryPolicy {
+    /// Production-flavoured: 4 retries, 5 ms → 80 ms backoff, 50% jitter.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(500),
+            jitter_frac: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Never retry: every error surfaces immediately. This is the
+    /// pre-fault-injection behaviour and the right choice inside crash
+    /// experiments, where a frozen store must not be hammered.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            jitter_frac: 0.0,
+        }
+    }
+
+    /// Aggressive and sleepless, for tests: enough attempts that a
+    /// ≤10% transient fault rate is masked with overwhelming
+    /// probability (0.1^16 per operation), with zero wall-clock delay.
+    pub fn fast_test() -> Self {
+        RetryPolicy {
+            max_retries: 16,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            jitter_frac: 0.0,
+        }
+    }
+
+    /// Backoff before retry number `attempt` (1-based). Deterministic:
+    /// the jitter comes from a hash of the attempt number, not a global
+    /// RNG, so identical runs sleep identically.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        if self.base_delay.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(20))
+            .min(self.max_delay);
+        if self.jitter_frac <= 0.0 {
+            return exp;
+        }
+        // splitmix64 of the attempt number → factor in [1-jitter, 1].
+        let mut z = (attempt as u64).wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        let unit = ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64;
+        let factor = 1.0 - self.jitter_frac * unit;
+        exp.mul_f64(factor)
+    }
+
+    /// Run `op`, retrying transient failures per the policy. The final
+    /// error (transient budget exhausted, or any fatal error) surfaces
+    /// unchanged.
+    pub fn run<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    if classify(&e) == ErrorClass::Fatal || attempt >= self.max_retries {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    let d = self.backoff(attempt);
+                    if !d.is_zero() {
+                        std::thread::sleep(d);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A [`Backend`] view that retries every *idempotent* operation per a
+/// policy. Composite helpers (container creation, dropping discovery)
+/// issue dozens of backend calls; retrying them as a unit compounds the
+/// per-call fault probability instead of masking it, so the retry must
+/// sit at the single-operation level.
+///
+/// `append` is deliberately NOT retried here: a torn append needs
+/// offset-aware resume ([`append_at_reliable`]), and blind re-append
+/// would duplicate the landed prefix. `exists` is infallible and passes
+/// through.
+pub struct RetriedBackend<'a> {
+    inner: &'a dyn Backend,
+    policy: &'a RetryPolicy,
+}
+
+impl<'a> RetriedBackend<'a> {
+    pub fn new(inner: &'a dyn Backend, policy: &'a RetryPolicy) -> Self {
+        RetriedBackend { inner, policy }
+    }
+}
+
+impl Backend for RetriedBackend<'_> {
+    fn mkdir_all(&self, path: &str) -> io::Result<()> {
+        self.policy.run(|| self.inner.mkdir_all(path))
+    }
+
+    fn create(&self, path: &str) -> io::Result<()> {
+        self.policy.run(|| self.inner.create(path))
+    }
+
+    fn append(&self, path: &str, data: &[u8]) -> io::Result<u64> {
+        // Single-shot: see type-level docs.
+        self.inner.append(path, data)
+    }
+
+    fn read_at(&self, path: &str, off: u64, buf: &mut [u8]) -> io::Result<usize> {
+        self.policy.run(|| self.inner.read_at(path, off, buf))
+    }
+
+    fn len(&self, path: &str) -> io::Result<u64> {
+        self.policy.run(|| self.inner.len(path))
+    }
+
+    fn list(&self, dir: &str) -> io::Result<Vec<String>> {
+        self.policy.run(|| self.inner.list(dir))
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        self.policy.run(|| self.inner.remove(path))
+    }
+
+    fn remove_dir_all(&self, path: &str) -> io::Result<()> {
+        self.policy.run(|| self.inner.remove_dir_all(path))
+    }
+}
+
+/// `len()` that treats a missing file as empty, retried per policy.
+pub fn len_or_zero(backend: &dyn Backend, policy: &RetryPolicy, path: &str) -> io::Result<u64> {
+    policy.run(|| match backend.len(path) {
+        Ok(n) => Ok(n),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(0),
+        Err(e) => Err(e),
+    })
+}
+
+/// Append `data` to `path` such that, on success, the file holds
+/// exactly one copy of `data` starting at `expected_base` — even when
+/// attempts tear (land a prefix).
+///
+/// Requires exclusive ownership of `path` (the PLFS dropping rule) and
+/// that the file's length was `expected_base` when this logical append
+/// began. Pass `verify_first = true` when a *previous* call for this
+/// same buffer failed: the file may already hold a prefix (or all) of
+/// `data`, and the call resumes instead of duplicating.
+pub fn append_at_reliable(
+    backend: &dyn Backend,
+    policy: &RetryPolicy,
+    path: &str,
+    expected_base: u64,
+    data: &[u8],
+    verify_first: bool,
+) -> io::Result<()> {
+    let mut landed = if verify_first {
+        recovered_progress(backend, policy, path, expected_base, data.len())?
+    } else {
+        0
+    };
+    if landed >= data.len() {
+        return Ok(());
+    }
+    let mut attempt = 0u32;
+    loop {
+        match backend.append(path, &data[landed..]) {
+            Ok(off) => {
+                if off != expected_base + landed as u64 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "exclusive-append violated on {path}: landed at {off}, \
+                             expected {}",
+                            expected_base + landed as u64
+                        ),
+                    ));
+                }
+                return Ok(());
+            }
+            Err(e) => {
+                if classify(&e) == ErrorClass::Fatal || attempt >= policy.max_retries {
+                    return Err(e);
+                }
+                attempt += 1;
+                let d = policy.backoff(attempt);
+                if !d.is_zero() {
+                    std::thread::sleep(d);
+                }
+                // The failed attempt may have torn: re-measure.
+                landed = recovered_progress(backend, policy, path, expected_base, data.len())?;
+                if landed >= data.len() {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// How many bytes of the current buffer already reached the store.
+fn recovered_progress(
+    backend: &dyn Backend,
+    policy: &RetryPolicy,
+    path: &str,
+    expected_base: u64,
+    buf_len: usize,
+) -> io::Result<usize> {
+    let cur = len_or_zero(backend, policy, path)?;
+    if cur < expected_base {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{path} shrank under us: len {cur} < expected base {expected_base}"),
+        ));
+    }
+    Ok(((cur - expected_base) as usize).min(buf_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use crate::faults::{FaultPlan, FaultyBackend};
+
+    #[test]
+    fn classify_splits_transient_from_fatal() {
+        for k in [io::ErrorKind::Interrupted, io::ErrorKind::WouldBlock, io::ErrorKind::TimedOut] {
+            assert_eq!(classify(&io::Error::new(k, "x")), ErrorClass::Transient);
+        }
+        for k in [
+            io::ErrorKind::NotFound,
+            io::ErrorKind::PermissionDenied,
+            io::ErrorKind::BrokenPipe,
+            io::ErrorKind::InvalidData,
+        ] {
+            assert_eq!(classify(&io::Error::new(k, "x")), ErrorClass::Fatal);
+        }
+    }
+
+    #[test]
+    fn run_retries_transient_until_success() {
+        let policy = RetryPolicy::fast_test();
+        let mut left = 5;
+        let got = policy.run(|| {
+            if left > 0 {
+                left -= 1;
+                Err(io::Error::new(io::ErrorKind::Interrupted, "flap"))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(got.unwrap(), 42);
+    }
+
+    #[test]
+    fn run_gives_up_after_budget() {
+        let policy = RetryPolicy { max_retries: 3, ..RetryPolicy::fast_test() };
+        let mut calls = 0;
+        let got: io::Result<()> = policy.run(|| {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::TimedOut, "always"))
+        });
+        assert_eq!(got.unwrap_err().kind(), io::ErrorKind::TimedOut);
+        assert_eq!(calls, 4, "first try + 3 retries");
+    }
+
+    #[test]
+    fn run_fails_fast_on_fatal() {
+        let policy = RetryPolicy::fast_test();
+        let mut calls = 0;
+        let got: io::Result<()> = policy.run(|| {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::PermissionDenied, "no"))
+        });
+        assert_eq!(got.unwrap_err().kind(), io::ErrorKind::PermissionDenied);
+        assert_eq!(calls, 1, "fatal errors must not be retried");
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_is_deterministic() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+            jitter_frac: 0.5,
+        };
+        for a in 1..=10 {
+            let d = p.backoff(a);
+            assert_eq!(d, p.backoff(a), "jitter must be deterministic");
+            assert!(d <= Duration::from_millis(100));
+            assert!(d >= Duration::from_millis(5), "attempt {a}: {d:?}");
+        }
+        assert!(p.backoff(4) > p.backoff(1));
+    }
+
+    #[test]
+    fn torn_appends_recovered_without_duplication() {
+        // Most appends tear (rate 1.0 would mean no append can ever
+        // fully land); recovery must still assemble one exact copy.
+        let b = FaultyBackend::new(
+            MemBackend::new(),
+            FaultPlan { torn_append_rate: 0.7, ..FaultPlan::none(11) },
+        );
+        let policy = RetryPolicy { max_retries: 64, ..RetryPolicy::fast_test() };
+        let payload: Vec<u8> = (0..=255u8).collect();
+        append_at_reliable(&b, &policy, "/f", 0, &payload, false).unwrap();
+        assert_eq!(b.inner().read_all("/f").unwrap(), payload);
+        // A second logical append continues cleanly at the new base.
+        append_at_reliable(&b, &policy, "/f", 256, b"tail", false).unwrap();
+        assert_eq!(b.inner().len("/f").unwrap(), 260);
+        assert!(b.stats().injected_torn > 0);
+    }
+
+    #[test]
+    fn verify_first_resumes_partial_buffer_across_calls() {
+        let b = MemBackend::new();
+        // A previous failed flush left 3 of 8 bytes on the store.
+        b.append("/f", b"abc").unwrap();
+        let policy = RetryPolicy::none();
+        append_at_reliable(&b, &policy, "/f", 0, b"abcdefgh", true).unwrap();
+        assert_eq!(b.read_all("/f").unwrap(), b"abcdefgh");
+        // And is a no-op when everything already landed.
+        append_at_reliable(&b, &policy, "/f", 0, b"abcdefgh", true).unwrap();
+        assert_eq!(b.read_all("/f").unwrap(), b"abcdefgh");
+    }
+
+    #[test]
+    fn shrunken_file_is_a_fatal_inconsistency() {
+        let b = MemBackend::new();
+        b.append("/f", b"ab").unwrap();
+        let err = append_at_reliable(&b, &RetryPolicy::none(), "/f", 10, b"zz", true).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

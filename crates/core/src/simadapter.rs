@@ -58,9 +58,7 @@ pub fn run_direct(cluster_cfg: ClusterConfig, pattern: &Pattern) -> PhaseReport 
         .map(|ops| {
             let mut v = Vec::with_capacity(ops.len() + 1);
             v.push(Op::Open(SHARED_FILE));
-            v.extend(
-                ops.iter().map(|&(offset, len)| Op::Write { file: SHARED_FILE, offset, len }),
-            );
+            v.extend(ops.iter().map(|&(offset, len)| Op::Write { file: SHARED_FILE, offset, len }));
             v
         })
         .collect();

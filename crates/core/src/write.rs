@@ -14,6 +14,7 @@
 use crate::backend::Backend;
 use crate::container::ContainerPaths;
 use crate::index::{encode_compressed, encode_raw, IndexEntry};
+use crate::retry::{append_at_reliable, len_or_zero, RetryPolicy};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -29,11 +30,18 @@ pub struct WriterConfig {
     /// Flush the in-memory index every N entries (it always flushes on
     /// sync/close).
     pub index_flush_every: usize,
+    /// How hard to mask transient backend errors (see [`crate::retry`]).
+    pub retry: RetryPolicy,
 }
 
 impl Default for WriterConfig {
     fn default() -> Self {
-        WriterConfig { data_buffer: 1 << 20, compress_index: true, index_flush_every: 4096 }
+        WriterConfig {
+            data_buffer: 1 << 20,
+            compress_index: true,
+            index_flush_every: 4096,
+            retry: RetryPolicy::default(),
+        }
     }
 }
 
@@ -62,6 +70,15 @@ pub struct Writer {
     /// Physical offset of buf[0].
     buf_base: u64,
     pending_index: Vec<IndexEntry>,
+    /// Already-encoded index bytes whose append failed part-way: they
+    /// must land (resumed, not duplicated) before anything newer.
+    pending_encoded: Vec<u8>,
+    /// Byte length of the index dropping on the store.
+    index_cursor: u64,
+    /// A data/index append failed and may have torn — the next append
+    /// to that file must re-measure the tail before writing.
+    data_tail_uncertain: bool,
+    index_tail_uncertain: bool,
     stats: WriterStats,
     open_dropping: String,
     closed: bool,
@@ -77,9 +94,13 @@ impl Writer {
         session: u64,
     ) -> io::Result<Self> {
         let open_dropping = paths.open_dropping(rank, session);
-        backend.create(&open_dropping)?;
-        // Appending to an existing dropping resumes at its tail.
-        let cursor = backend.len(&paths.data_dropping(rank)).unwrap_or(0);
+        cfg.retry.run(|| backend.create(&open_dropping))?;
+        // Appending to an existing dropping resumes at its tail. The
+        // length queries are retried: silently treating a transient
+        // failure as "empty" would restart the cursor at 0 and corrupt
+        // the log.
+        let cursor = len_or_zero(backend.as_ref(), &cfg.retry, &paths.data_dropping(rank))?;
+        let index_cursor = len_or_zero(backend.as_ref(), &cfg.retry, &paths.index_dropping(rank))?;
         Ok(Writer {
             backend,
             paths,
@@ -91,6 +112,10 @@ impl Writer {
             buf: Vec::new(),
             buf_base: cursor,
             pending_index: Vec::new(),
+            pending_encoded: Vec::new(),
+            index_cursor,
+            data_tail_uncertain: false,
+            index_tail_uncertain: false,
             stats: WriterStats::default(),
             open_dropping,
             closed: false,
@@ -113,10 +138,11 @@ impl Writer {
             return Ok(());
         }
         let ts = self.clock.fetch_add(1, Ordering::Relaxed);
+        let phys = self.cursor;
         self.pending_index.push(IndexEntry {
             logical_offset: offset,
             length: data.len() as u64,
-            physical_offset: self.cursor,
+            physical_offset: phys,
             writer: self.rank,
             timestamp: ts,
         });
@@ -126,8 +152,8 @@ impl Writer {
         self.stats.bytes += data.len() as u64;
 
         if self.cfg.data_buffer == 0 {
-            let off = self.backend.append(&self.paths.data_dropping(self.rank), data)?;
-            debug_assert_eq!(off + data.len() as u64, self.cursor, "cursor drift");
+            self.append_data(phys, data)?;
+            self.buf_base = self.cursor;
             self.stats.data_appends += 1;
         } else {
             self.buf.extend_from_slice(data);
@@ -141,19 +167,57 @@ impl Writer {
         Ok(())
     }
 
+    /// Land `data` at exactly `base` in the data dropping, resuming any
+    /// torn previous attempt. On a surfaced failure the tail is marked
+    /// uncertain so the next attempt re-measures instead of duplicating.
+    fn append_data(&mut self, base: u64, data: &[u8]) -> io::Result<()> {
+        let path = self.paths.data_dropping(self.rank);
+        let res = append_at_reliable(
+            self.backend.as_ref(),
+            &self.cfg.retry,
+            &path,
+            base,
+            data,
+            self.data_tail_uncertain,
+        );
+        self.data_tail_uncertain = res.is_err();
+        res
+    }
+
     fn flush_data(&mut self) -> io::Result<()> {
         if self.buf.is_empty() {
             return Ok(());
         }
-        let off = self.backend.append(&self.paths.data_dropping(self.rank), &self.buf)?;
-        debug_assert_eq!(off, self.buf_base, "another writer touched this rank's dropping");
-        self.buf_base += self.buf.len() as u64;
-        self.buf.clear();
-        self.stats.data_appends += 1;
-        Ok(())
+        let base = self.buf_base;
+        // `buf` is only appended to between attempts, so a torn prefix
+        // left by a failed flush is still a prefix of the current buf
+        // and the resume logic in `append_data` stays valid.
+        let buf = std::mem::take(&mut self.buf);
+        let res = self.append_data(base, &buf);
+        match res {
+            Ok(()) => {
+                self.buf_base += buf.len() as u64;
+                self.stats.data_appends += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.buf = buf; // keep the bytes for the next attempt
+                Err(e)
+            }
+        }
     }
 
     fn flush_index(&mut self) -> io::Result<()> {
+        // First finish any encoded batch whose append previously failed:
+        // its bytes may already partially be on the store, and nothing
+        // newer may land before it.
+        if !self.pending_encoded.is_empty() {
+            let encoded = std::mem::take(&mut self.pending_encoded);
+            if let Err(e) = self.append_index_bytes(&encoded) {
+                self.pending_encoded = encoded;
+                return Err(e);
+            }
+        }
         if self.pending_index.is_empty() {
             return Ok(());
         }
@@ -162,11 +226,34 @@ impl Writer {
         } else {
             encode_raw(&self.pending_index)
         };
-        self.backend.append(&self.paths.index_dropping(self.rank), &encoded)?;
-        self.stats.index_appends += 1;
-        self.stats.index_bytes += encoded.len() as u64;
         self.pending_index.clear();
+        if let Err(e) = self.append_index_bytes(&encoded) {
+            // Keep the exact bytes: re-encoding later (after more
+            // entries queued) would not be prefix-compatible with what
+            // already landed.
+            self.pending_encoded = encoded;
+            return Err(e);
+        }
         Ok(())
+    }
+
+    fn append_index_bytes(&mut self, encoded: &[u8]) -> io::Result<()> {
+        let path = self.paths.index_dropping(self.rank);
+        let res = append_at_reliable(
+            self.backend.as_ref(),
+            &self.cfg.retry,
+            &path,
+            self.index_cursor,
+            encoded,
+            self.index_tail_uncertain,
+        );
+        self.index_tail_uncertain = res.is_err();
+        if res.is_ok() {
+            self.index_cursor += encoded.len() as u64;
+            self.stats.index_appends += 1;
+            self.stats.index_bytes += encoded.len() as u64;
+        }
+        res
     }
 
     /// Flush everything to the backing store.
@@ -180,11 +267,9 @@ impl Writer {
     pub fn close(mut self) -> io::Result<WriterStats> {
         self.sync()?;
         let max_ts = self.clock.load(Ordering::Relaxed);
-        let meta = self
-            .paths
-            .meta_dropping(self.rank, self.max_logical, self.stats.bytes, max_ts);
-        self.backend.create(&meta)?;
-        let _ = self.backend.remove(&self.open_dropping);
+        let meta = self.paths.meta_dropping(self.rank, self.max_logical, self.stats.bytes, max_ts);
+        self.cfg.retry.run(|| self.backend.create(&meta))?;
+        let _ = self.cfg.retry.run(|| self.backend.remove(&self.open_dropping));
         self.closed = true;
         Ok(self.stats)
     }
@@ -226,7 +311,8 @@ mod tests {
     #[test]
     fn writes_append_sequentially_to_log() {
         let (b, p, clock) = setup();
-        let mut w = writer(&b, &p, &clock, 0, WriterConfig { data_buffer: 0, ..Default::default() });
+        let mut w =
+            writer(&b, &p, &clock, 0, WriterConfig { data_buffer: 0, ..Default::default() });
         // Wildly scattered logical offsets...
         w.write_at(1_000_000, b"aaa").unwrap();
         w.write_at(0, b"bb").unwrap();
@@ -246,7 +332,12 @@ mod tests {
     #[test]
     fn buffered_writes_batch_appends() {
         let (b, p, clock) = setup();
-        let cfg = WriterConfig { data_buffer: 1024, compress_index: false, index_flush_every: 1 << 30 };
+        let cfg = WriterConfig {
+            data_buffer: 1024,
+            compress_index: false,
+            index_flush_every: 1 << 30,
+            ..Default::default()
+        };
         let mut w = writer(&b, &p, &clock, 1, cfg);
         for i in 0..64u64 {
             w.write_at(i * 100, &[7u8; 100]).unwrap();
@@ -278,7 +369,12 @@ mod tests {
     fn compressed_index_is_smaller_for_strided_pattern() {
         let run = |compress: bool| {
             let (b, p, clock) = setup();
-            let cfg = WriterConfig { data_buffer: 0, compress_index: compress, index_flush_every: 1 << 30 };
+            let cfg = WriterConfig {
+                data_buffer: 0,
+                compress_index: compress,
+                index_flush_every: 1 << 30,
+                ..Default::default()
+            };
             let mut w = writer(&b, &p, &clock, 0, cfg);
             for i in 0..1000u64 {
                 w.write_at(i * 8192, &[0u8; 1024]).unwrap();
@@ -288,19 +384,18 @@ mod tests {
         };
         let raw = run(false);
         let compressed = run(true);
-        assert!(
-            compressed * 20 < raw,
-            "pattern compression ineffective: {compressed} vs {raw}"
-        );
+        assert!(compressed * 20 < raw, "pattern compression ineffective: {compressed} vs {raw}");
     }
 
     #[test]
     fn reopen_resumes_at_log_tail() {
         let (b, p, clock) = setup();
-        let mut w = writer(&b, &p, &clock, 0, WriterConfig { data_buffer: 0, ..Default::default() });
+        let mut w =
+            writer(&b, &p, &clock, 0, WriterConfig { data_buffer: 0, ..Default::default() });
         w.write_at(0, b"12345").unwrap();
         w.close().unwrap();
-        let mut w2 = writer(&b, &p, &clock, 0, WriterConfig { data_buffer: 0, ..Default::default() });
+        let mut w2 =
+            writer(&b, &p, &clock, 0, WriterConfig { data_buffer: 0, ..Default::default() });
         w2.write_at(100, b"678").unwrap();
         w2.sync().unwrap();
         let idx = decode(&b.read_all(&p.index_dropping(0)).unwrap()).unwrap();

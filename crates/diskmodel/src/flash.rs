@@ -117,8 +117,7 @@ impl FtlStats {
         if self.host_pages_written == 0 {
             1.0
         } else {
-            (self.host_pages_written + self.gc_pages_moved) as f64
-                / self.host_pages_written as f64
+            (self.host_pages_written + self.gc_pages_moved) as f64 / self.host_pages_written as f64
         }
     }
 }
@@ -196,10 +195,7 @@ impl FlashDevice {
         let ppb = self.cfg.pages_per_block;
         for (lpn, &ppn) in self.map.iter().enumerate() {
             if ppn != UNMAPPED {
-                assert_eq!(
-                    self.rmap[ppn as usize], lpn as u32,
-                    "map/rmap disagree at lpn {lpn}"
-                );
+                assert_eq!(self.rmap[ppn as usize], lpn as u32, "map/rmap disagree at lpn {lpn}");
             }
         }
         for (ppn, &lpn) in self.rmap.iter().enumerate() {
@@ -315,10 +311,7 @@ impl FlashDevice {
             let target = match self.gc_active {
                 Some(b) if self.blocks[b as usize].cursor < ppb => b,
                 _ => {
-                    let b = self
-                        .free_blocks
-                        .pop()
-                        .expect("pool empty during GC relocation");
+                    let b = self.free_blocks.pop().expect("pool empty during GC relocation");
                     self.gc_active = Some(b);
                     b
                 }
@@ -326,8 +319,7 @@ impl FlashDevice {
             self.program_into(target, lpn);
         }
         self.ftl.gc_pages_moved += moved;
-        let gc_cost =
-            self.cfg.erase_block + (self.cfg.read_page + self.cfg.program_page) * moved;
+        let gc_cost = self.cfg.erase_block + (self.cfg.read_page + self.cfg.program_page) * moved;
         gc_cost / self.cfg.channels.max(1) as u64
     }
 
@@ -387,8 +379,7 @@ impl BlockDevice for FlashDevice {
                     let per_page_serial = t;
                     // channel parallelism hides per-page program latency
                     // down to the interface rate, but cannot hide GC.
-                    let gc_part = per_page_serial
-                        .saturating_sub(self.cfg.program_page * npages);
+                    let gc_part = per_page_serial.saturating_sub(self.cfg.program_page * npages);
                     t = streaming + gc_part;
                 }
                 t
@@ -510,10 +501,7 @@ mod tests {
         };
         let wa_small = run(0.07);
         let wa_big = run(0.45);
-        assert!(
-            wa_big < wa_small,
-            "more spare flash should lower WA: {wa_big} !< {wa_small}"
-        );
+        assert!(wa_big < wa_small, "more spare flash should lower WA: {wa_big} !< {wa_small}");
     }
 
     #[test]

@@ -223,7 +223,7 @@ mod tests {
     }
 
     #[test]
-    fn seek_time_monotone_in_distance(){
+    fn seek_time_monotone_in_distance() {
         let p = DiskParams::nearline_sata(500 * GIB);
         let short = p.seek_time(MIB);
         let mid = p.seek_time(100 * GIB);

@@ -109,9 +109,7 @@ pub fn reference_sas(capacity_gib: u64) -> DiskDevice {
 /// Look a Table 1 device up by (case-insensitive) substring.
 pub fn flash_by_name(name: &str) -> Option<&'static FlashHeadline> {
     let needle = name.to_ascii_lowercase();
-    TABLE1
-        .iter()
-        .find(|h| h.name.to_ascii_lowercase().contains(&needle))
+    TABLE1.iter().find(|h| h.name.to_ascii_lowercase().contains(&needle))
 }
 
 #[cfg(test)]

@@ -121,10 +121,7 @@ impl GigaDirectory {
     pub fn remove(&mut self, name: &str) -> bool {
         let h = hash_name(name);
         let pid = self.bitmap.partition_of(h);
-        self.partitions
-            .get_mut(&pid)
-            .map(|p| p.entries.remove(name).is_some())
-            .unwrap_or(false)
+        self.partitions.get_mut(&pid).map(|p| p.entries.remove(name).is_some()).unwrap_or(false)
     }
 
     /// Split partition `pid`, moving entries whose next hash bit is 1

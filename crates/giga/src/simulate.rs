@@ -177,10 +177,7 @@ mod tests {
         let sweep = scaling_sweep(64, 500, &[1, 4, 16], Scheme::GigaPlus);
         let r1 = sweep[0].1;
         let r16 = sweep[2].1;
-        assert!(
-            r16 > 5.0 * r1,
-            "GIGA+ should scale: 1 server {r1:.0}/s vs 16 servers {r16:.0}/s"
-        );
+        assert!(r16 > 5.0 * r1, "GIGA+ should scale: 1 server {r1:.0}/s vs 16 servers {r16:.0}/s");
     }
 
     #[test]

@@ -22,13 +22,8 @@ pub enum Stage {
 }
 
 impl Stage {
-    pub const ALL: [Stage; 5] = [
-        Stage::Baseline,
-        Stage::Sieving,
-        Stage::Collective,
-        Stage::Aligned,
-        Stage::LayoutAware,
-    ];
+    pub const ALL: [Stage; 5] =
+        [Stage::Baseline, Stage::Sieving, Stage::Collective, Stage::Aligned, Stage::LayoutAware];
 
     pub fn name(&self) -> &'static str {
         match self {
@@ -121,8 +116,7 @@ pub fn run_stage(stage: Stage, workload: &FormattedWorkload, cfg: &ClusterConfig
             (plan.pattern, plan.exchange_bytes)
         }
     };
-    let exchange_per_writer =
-        SimDuration::for_bytes(exchange / pattern.len().max(1) as u64, 2.0e9);
+    let exchange_per_writer = SimDuration::for_bytes(exchange / pattern.len().max(1) as u64, 2.0e9);
     let streams: Vec<Vec<Op>> = pattern
         .iter()
         .map(|ops| {
@@ -143,10 +137,7 @@ pub fn run_stage(stage: Stage, workload: &FormattedWorkload, cfg: &ClusterConfig
 }
 
 /// Run the whole ladder; returns `(stage, bandwidth_bps)` rows.
-pub fn optimization_ladder(
-    workload: &FormattedWorkload,
-    cfg: &ClusterConfig,
-) -> Vec<(Stage, f64)> {
+pub fn optimization_ladder(workload: &FormattedWorkload, cfg: &ClusterConfig) -> Vec<(Stage, f64)> {
     Stage::ALL.iter().map(|&s| (s, run_stage(s, workload, cfg))).collect()
 }
 

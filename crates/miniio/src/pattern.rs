@@ -75,11 +75,7 @@ pub fn two_phase(p: &Pattern, aggregators: usize, chunk: u64, align: u64) -> Col
     let hi = p.iter().flatten().map(|&(o, l)| o + l).max().unwrap_or(0);
     let span = hi - lo;
     let raw_domain = span.div_ceil(aggregators as u64).max(1);
-    let domain = if align > 0 {
-        raw_domain.div_ceil(align) * align
-    } else {
-        raw_domain
-    };
+    let domain = if align > 0 { raw_domain.div_ceil(align) * align } else { raw_domain };
     let mut pattern = Vec::with_capacity(aggregators);
     for a in 0..aggregators as u64 {
         let start = lo + a * domain;
@@ -154,9 +150,7 @@ mod tests {
     fn strided(ranks: u32, per_rank: u32, rec: u64) -> Pattern {
         (0..ranks)
             .map(|r| {
-                (0..per_rank)
-                    .map(|i| (((i as u64 * ranks as u64) + r as u64) * rec, rec))
-                    .collect()
+                (0..per_rank).map(|i| (((i as u64 * ranks as u64) + r as u64) * rec, rec)).collect()
             })
             .collect()
     }

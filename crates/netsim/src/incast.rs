@@ -209,8 +209,7 @@ impl Sim {
                     }
                     if advanced {
                         // Progress: push the timer out.
-                        let deadline =
-                            now + self.cfg.base_rtt + self.cfg.rto.draw(&mut self.rng);
+                        let deadline = now + self.cfg.base_rtt + self.cfg.rto.draw(&mut self.rng);
                         self.flows[flow].rto_deadline = deadline;
                         self.q.schedule(deadline, Ev::Rto { flow, deadline });
                     }
@@ -230,13 +229,9 @@ impl Sim {
             }
         }
         let makespan = end.since(start);
-        let app_bytes =
-            self.cfg.senders as u64 * self.cfg.sru_bytes * self.cfg.blocks as u64;
-        let goodput_bps = if makespan.is_zero() {
-            0.0
-        } else {
-            app_bytes as f64 * 8.0 / makespan.as_secs_f64()
-        };
+        let app_bytes = self.cfg.senders as u64 * self.cfg.sru_bytes * self.cfg.blocks as u64;
+        let goodput_bps =
+            if makespan.is_zero() { 0.0 } else { app_bytes as f64 * 8.0 / makespan.as_secs_f64() };
         IncastReport {
             makespan,
             goodput_bps,
@@ -254,14 +249,8 @@ pub fn run_incast(cfg: &IncastConfig) -> IncastReport {
 
 /// Sweep sender counts; returns `(senders, goodput Mbps)` — the Fig. 9
 /// series.
-pub fn goodput_sweep(
-    counts: &[usize],
-    mk: impl Fn(usize) -> IncastConfig,
-) -> Vec<(usize, f64)> {
-    counts
-        .iter()
-        .map(|&n| (n, run_incast(&mk(n)).goodput_bps / 1e6))
-        .collect()
+pub fn goodput_sweep(counts: &[usize], mk: impl Fn(usize) -> IncastConfig) -> Vec<(usize, f64)> {
+    counts.iter().map(|&n| (n, run_incast(&mk(n)).goodput_bps / 1e6)).collect()
 }
 
 #[cfg(test)]
@@ -309,9 +298,8 @@ mod tests {
 
     #[test]
     fn collapse_deepens_as_senders_grow() {
-        let sweep = goodput_sweep(&[4, 16, 40], |n| {
-            IncastConfig::gbe(n, RtoPolicy::legacy_200ms())
-        });
+        let sweep =
+            goodput_sweep(&[4, 16, 40], |n| IncastConfig::gbe(n, RtoPolicy::legacy_200ms()));
         assert!(sweep[0].1 > sweep[2].1, "goodput should fall with fan-in: {sweep:?}");
     }
 

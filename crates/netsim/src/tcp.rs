@@ -139,8 +139,7 @@ impl Flow {
         if let Some(seq) = self.pending_retx.take() {
             return Some(seq);
         }
-        if !self.done() && self.next < self.total && self.next < self.base + self.cwnd_packets()
-        {
+        if !self.done() && self.next < self.total && self.next < self.base + self.cwnd_packets() {
             let s = self.next;
             self.next += 1;
             return Some(s);

@@ -34,17 +34,105 @@ pub struct SurveyProfile {
 /// systems of Fig. 3 — scratch volumes skew large, project/home volumes
 /// skew small, mirroring the published spread of curves.
 pub const SITE_PROFILES: [SurveyProfile; 11] = [
-    SurveyProfile { name: "lanl-scratch1", files: 40_000, median: 512.0 * KIB as f64, sigma: 2.6, tail_frac: 0.02, tail_min: 256.0 * MIB as f64, tail_alpha: 1.1 },
-    SurveyProfile { name: "lanl-scratch2", files: 40_000, median: 2.0 * MIB as f64, sigma: 2.4, tail_frac: 0.03, tail_min: 512.0 * MIB as f64, tail_alpha: 1.2 },
-    SurveyProfile { name: "lanl-project", files: 40_000, median: 64.0 * KIB as f64, sigma: 2.8, tail_frac: 0.01, tail_min: 64.0 * MIB as f64, tail_alpha: 1.3 },
-    SurveyProfile { name: "pnnl-nwfs", files: 40_000, median: 128.0 * KIB as f64, sigma: 2.5, tail_frac: 0.015, tail_min: 128.0 * MIB as f64, tail_alpha: 1.2 },
-    SurveyProfile { name: "pnnl-home", files: 40_000, median: 16.0 * KIB as f64, sigma: 2.9, tail_frac: 0.005, tail_min: 32.0 * MIB as f64, tail_alpha: 1.4 },
-    SurveyProfile { name: "nersc-scratch", files: 40_000, median: 1.0 * MIB as f64, sigma: 2.7, tail_frac: 0.025, tail_min: 256.0 * MIB as f64, tail_alpha: 1.15 },
-    SurveyProfile { name: "nersc-project", files: 40_000, median: 96.0 * KIB as f64, sigma: 2.6, tail_frac: 0.01, tail_min: 96.0 * MIB as f64, tail_alpha: 1.3 },
-    SurveyProfile { name: "sandia-scratch", files: 40_000, median: 768.0 * KIB as f64, sigma: 2.5, tail_frac: 0.02, tail_min: 192.0 * MIB as f64, tail_alpha: 1.2 },
-    SurveyProfile { name: "psc-scratch", files: 40_000, median: 384.0 * KIB as f64, sigma: 2.4, tail_frac: 0.02, tail_min: 128.0 * MIB as f64, tail_alpha: 1.25 },
-    SurveyProfile { name: "cmu-pdl", files: 40_000, median: 24.0 * KIB as f64, sigma: 3.0, tail_frac: 0.008, tail_min: 48.0 * MIB as f64, tail_alpha: 1.35 },
-    SurveyProfile { name: "anon-corp", files: 40_000, median: 32.0 * KIB as f64, sigma: 2.8, tail_frac: 0.006, tail_min: 64.0 * MIB as f64, tail_alpha: 1.4 },
+    SurveyProfile {
+        name: "lanl-scratch1",
+        files: 40_000,
+        median: 512.0 * KIB as f64,
+        sigma: 2.6,
+        tail_frac: 0.02,
+        tail_min: 256.0 * MIB as f64,
+        tail_alpha: 1.1,
+    },
+    SurveyProfile {
+        name: "lanl-scratch2",
+        files: 40_000,
+        median: 2.0 * MIB as f64,
+        sigma: 2.4,
+        tail_frac: 0.03,
+        tail_min: 512.0 * MIB as f64,
+        tail_alpha: 1.2,
+    },
+    SurveyProfile {
+        name: "lanl-project",
+        files: 40_000,
+        median: 64.0 * KIB as f64,
+        sigma: 2.8,
+        tail_frac: 0.01,
+        tail_min: 64.0 * MIB as f64,
+        tail_alpha: 1.3,
+    },
+    SurveyProfile {
+        name: "pnnl-nwfs",
+        files: 40_000,
+        median: 128.0 * KIB as f64,
+        sigma: 2.5,
+        tail_frac: 0.015,
+        tail_min: 128.0 * MIB as f64,
+        tail_alpha: 1.2,
+    },
+    SurveyProfile {
+        name: "pnnl-home",
+        files: 40_000,
+        median: 16.0 * KIB as f64,
+        sigma: 2.9,
+        tail_frac: 0.005,
+        tail_min: 32.0 * MIB as f64,
+        tail_alpha: 1.4,
+    },
+    SurveyProfile {
+        name: "nersc-scratch",
+        files: 40_000,
+        median: 1.0 * MIB as f64,
+        sigma: 2.7,
+        tail_frac: 0.025,
+        tail_min: 256.0 * MIB as f64,
+        tail_alpha: 1.15,
+    },
+    SurveyProfile {
+        name: "nersc-project",
+        files: 40_000,
+        median: 96.0 * KIB as f64,
+        sigma: 2.6,
+        tail_frac: 0.01,
+        tail_min: 96.0 * MIB as f64,
+        tail_alpha: 1.3,
+    },
+    SurveyProfile {
+        name: "sandia-scratch",
+        files: 40_000,
+        median: 768.0 * KIB as f64,
+        sigma: 2.5,
+        tail_frac: 0.02,
+        tail_min: 192.0 * MIB as f64,
+        tail_alpha: 1.2,
+    },
+    SurveyProfile {
+        name: "psc-scratch",
+        files: 40_000,
+        median: 384.0 * KIB as f64,
+        sigma: 2.4,
+        tail_frac: 0.02,
+        tail_min: 128.0 * MIB as f64,
+        tail_alpha: 1.25,
+    },
+    SurveyProfile {
+        name: "cmu-pdl",
+        files: 40_000,
+        median: 24.0 * KIB as f64,
+        sigma: 3.0,
+        tail_frac: 0.008,
+        tail_min: 48.0 * MIB as f64,
+        tail_alpha: 1.35,
+    },
+    SurveyProfile {
+        name: "anon-corp",
+        files: 40_000,
+        median: 32.0 * KIB as f64,
+        sigma: 2.8,
+        tail_frac: 0.006,
+        tail_min: 64.0 * MIB as f64,
+        tail_alpha: 1.4,
+    },
 ];
 
 /// Aggregated survey results for one file system.
@@ -76,7 +164,12 @@ impl Survey {
             total += s as u64;
             sizes.push(s);
         }
-        Survey { name: profile.name.to_string(), file_count: profile.files, total_bytes: total, sizes }
+        Survey {
+            name: profile.name.to_string(),
+            file_count: profile.files,
+            total_bytes: total,
+            sizes,
+        }
     }
 
     /// CDF over file *count* (what Fig. 3 plots).
@@ -134,11 +227,7 @@ mod tests {
         let s = Survey::synthesize(p, 1);
         let m = s.median();
         // The tail slightly inflates the median; allow a factor of 2.
-        assert!(
-            m > p.median / 2.0 && m < p.median * 2.0,
-            "median {m} vs profile {}",
-            p.median
-        );
+        assert!(m > p.median / 2.0 && m < p.median * 2.0, "median {m} vs profile {}", p.median);
     }
 
     #[test]

@@ -75,9 +75,7 @@ impl Layout {
                 group * group_size + (stripe as usize % group_size)
             }
             Placement::Hash => {
-                let mut state = file
-                    .wrapping_mul(0x9E3779B97F4A7C15)
-                    .wrapping_add(stripe);
+                let mut state = file.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(stripe);
                 (splitmix64(&mut state) % self.servers as u64) as usize
             }
         }
@@ -136,7 +134,7 @@ mod tests {
         }
         // First chunk is a partial stripe.
         assert_eq!(chunks[0].len, 24);
-        assert_eq!(chunks[0].stripe_offset, 1000 % 1024);
+        assert_eq!(chunks[0].stripe_offset, 1000);
     }
 
     #[test]
@@ -164,7 +162,7 @@ mod tests {
     #[test]
     fn hash_placement_is_deterministic_and_spread() {
         let l = Layout::new(1024, Placement::Hash, 16);
-        let mut counts = vec![0u32; 16];
+        let mut counts = [0u32; 16];
         for stripe in 0..16_000 {
             let a = l.server_of(7, stripe);
             let b = l.server_of(7, stripe);

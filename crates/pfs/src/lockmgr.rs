@@ -29,10 +29,7 @@ pub enum LockMode {
     None,
     /// Coherent range locks at `granularity`-byte units. Transferring a
     /// unit between clients costs `revoke_cost`.
-    RangeLocks {
-        granularity: u64,
-        revoke_cost: SimDuration,
-    },
+    RangeLocks { granularity: u64, revoke_cost: SimDuration },
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -119,14 +116,20 @@ impl LockManager {
         }
         // Record ownership now; `held_until` is fixed in `release`.
         for unit_idx in first..=last {
-            self.units
-                .insert((file, unit_idx), Unit { owner: client, held_until: SimTime::NEVER });
+            self.units.insert((file, unit_idx), Unit { owner: client, held_until: SimTime::NEVER });
         }
         (start, revoked)
     }
 
     /// Mark the units covering the range transferable at `done`.
-    pub fn release(&mut self, client: ClientId, file: FileId, offset: u64, len: u64, done: SimTime) {
+    pub fn release(
+        &mut self,
+        client: ClientId,
+        file: FileId,
+        offset: u64,
+        len: u64,
+        done: SimTime,
+    ) {
         let granularity = match self.mode {
             LockMode::None => return,
             LockMode::RangeLocks { granularity, .. } => granularity,

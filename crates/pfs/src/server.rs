@@ -76,6 +76,8 @@ pub struct Server {
     /// granularity at which revocations force data out.
     pending: HashMap<(FileId, u64), Pending>,
     requests: u64,
+    crashes: u64,
+    downtime: SimDuration,
 }
 
 impl Server {
@@ -91,6 +93,8 @@ impl Server {
             stripe_size,
             pending: HashMap::new(),
             requests: 0,
+            crashes: 0,
+            downtime: SimDuration::ZERO,
         }
     }
 
@@ -100,6 +104,34 @@ impl Server {
 
     pub fn requests(&self) -> u64 {
         self.requests
+    }
+
+    /// Crash/restart cycles this server has been through.
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+
+    /// Total scheduled outage time.
+    pub fn downtime(&self) -> SimDuration {
+        self.downtime
+    }
+
+    /// Crash-stop at `at`, restarting `down_for` later: the NIC and
+    /// disk accept no new work for the outage window, so everything
+    /// queued behind it stalls and the cluster runs degraded.
+    ///
+    /// Modeling choices, both deliberately on the OSD-friendly side:
+    /// in-flight operations complete before the outage takes effect
+    /// (the reservation starts once the timelines free up), and
+    /// write-back buffers survive the restart — production OSTs journal
+    /// the write-back cache in NVRAM, so a restart replays rather than
+    /// loses it. Durability of *acked* data is therefore unaffected;
+    /// what the crash costs is time.
+    pub fn crash(&mut self, at: SimTime, down_for: SimDuration) {
+        let (_, _) = self.disk.reserve(at, down_for);
+        let (_, _) = self.net.reserve(at, down_for);
+        self.crashes += 1;
+        self.downtime += down_for;
     }
 
     /// Device offset holding `stripe` of `file`, allocating a
@@ -187,12 +219,8 @@ impl Server {
     /// Flush every dirty stripe of one file. Returns when all of it is
     /// durable.
     pub fn flush_file(&mut self, file: FileId) -> SimTime {
-        let mut stripes: Vec<u64> = self
-            .pending
-            .keys()
-            .filter(|(f, _)| *f == file)
-            .map(|(_, s)| *s)
-            .collect();
+        let mut stripes: Vec<u64> =
+            self.pending.keys().filter(|(f, _)| *f == file).map(|(_, s)| *s).collect();
         stripes.sort_unstable();
         let mut done = self.disk.free_at();
         for s in stripes {
@@ -308,6 +336,23 @@ mod tests {
         // 1 MiB at 1 GB/s ~ 1.05 ms + 50 us rpc; far below a disk seek +
         // transfer.
         assert!(ack.as_secs_f64() < 0.002, "ack {ack}");
+    }
+
+    #[test]
+    fn crash_stalls_new_work_but_keeps_buffers() {
+        let mut s = server();
+        s.write_chunk(SimTime::ZERO, 1, 0, 0, 256 * KIB);
+        // Crash for 10 s before the buffer is flushed.
+        s.crash(SimTime::ZERO + SimDuration::from_millis(2), SimDuration::from_secs(10));
+        assert_eq!(s.crashes(), 1);
+        // A write arriving mid-outage acks only after restart.
+        let ack =
+            s.write_chunk(SimTime::ZERO + SimDuration::from_secs(1), 1, 0, 256 * KIB, 64 * KIB);
+        assert!(ack.as_secs_f64() > 10.0, "mid-outage write acked at {ack}");
+        // The journaled buffer survives and drains after restart.
+        s.flush_all();
+        assert_eq!(s.device_stats().writes, 1);
+        assert!(s.drained_at().as_secs_f64() > 10.0);
     }
 
     #[test]

@@ -115,8 +115,16 @@ impl ClusterConfig {
 pub enum Op {
     Create(FileId),
     Open(FileId),
-    Write { file: FileId, offset: u64, len: u64 },
-    Read { file: FileId, offset: u64, len: u64 },
+    Write {
+        file: FileId,
+        offset: u64,
+        len: u64,
+    },
+    Read {
+        file: FileId,
+        offset: u64,
+        len: u64,
+    },
     /// Local computation between I/Os.
     Compute(SimDuration),
 }
@@ -135,6 +143,8 @@ pub struct PhaseReport {
     pub lock_stats: LockStats,
     pub server_device: Vec<DeviceStats>,
     pub mds_ops: u64,
+    /// OSD crash/restart events that took effect during this phase.
+    pub crashes: usize,
 }
 
 impl PhaseReport {
@@ -148,6 +158,14 @@ impl PhaseReport {
     }
 }
 
+/// A scheduled OSD failure.
+#[derive(Debug, Clone, Copy)]
+struct CrashEvent {
+    server: usize,
+    at: SimTime,
+    down_for: SimDuration,
+}
+
 /// The simulated cluster.
 pub struct Cluster {
     cfg: ClusterConfig,
@@ -157,6 +175,8 @@ pub struct Cluster {
     mds_ops: u64,
     /// Global clock high-water mark across phases.
     now: SimTime,
+    /// Scheduled OSD failures not yet applied, sorted by time.
+    pending_crashes: Vec<CrashEvent>,
 }
 
 impl Cluster {
@@ -165,7 +185,15 @@ impl Cluster {
             .map(|_| Server::new(cfg.server.clone(), cfg.device.build(), cfg.layout.stripe_size))
             .collect();
         let locks = LockManager::new(cfg.lock_mode);
-        Cluster { cfg, servers, locks, mds: Timeline::new(), mds_ops: 0, now: SimTime::ZERO }
+        Cluster {
+            cfg,
+            servers,
+            locks,
+            mds: Timeline::new(),
+            mds_ops: 0,
+            now: SimTime::ZERO,
+            pending_crashes: Vec::new(),
+        }
     }
 
     pub fn config(&self) -> &ClusterConfig {
@@ -174,6 +202,34 @@ impl Cluster {
 
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Schedule an OSD crash: `server` stops serving at `at` and comes
+    /// back `down_for` later. The event takes effect causally during
+    /// `run_phase` — clients keep issuing, work addressed to the dead
+    /// server queues behind the outage, and the phase's makespan (and
+    /// thus reported bandwidth) degrades accordingly. Events in the
+    /// future simply stay pending for later phases.
+    pub fn schedule_crash(&mut self, server: usize, at: SimTime, down_for: SimDuration) {
+        assert!(server < self.servers.len(), "no such server {server}");
+        self.pending_crashes.push(CrashEvent { server, at, down_for });
+        self.pending_crashes.sort_by_key(|e| e.at);
+    }
+
+    /// Apply every scheduled crash with `at <= t`. Returns how many
+    /// fired. Called as simulated time advances so outage reservations
+    /// land in causal order with client work.
+    fn apply_crashes_up_to(&mut self, t: SimTime) -> usize {
+        let mut fired = 0;
+        while let Some(e) = self.pending_crashes.first().copied() {
+            if e.at > t {
+                break;
+            }
+            self.pending_crashes.remove(0);
+            self.servers[e.server].crash(e.at, e.down_for);
+            fired += 1;
+        }
+        fired
     }
 
     /// Run one phase: every client starts at the current global time
@@ -203,26 +259,32 @@ impl Cluster {
             .map(|(c, _)| Reverse((start, c)))
             .collect();
         let mut client_done = start;
+        let mut crashes = 0usize;
 
         while let Some(Reverse((ready, c))) = heap.pop() {
+            // Fire scheduled OSD failures before any op at or after
+            // their instant: ops execute in ready-time order, so the
+            // outage reservation lands causally between earlier and
+            // later work on the dead server's timelines.
+            crashes += self.apply_crashes_up_to(ready);
             let op = streams[c][cursor[c]];
             cursor[c] += 1;
-            let finished = self.execute(c, op, ready, &mut links[c], &mut bytes_written, &mut bytes_read);
+            let finished =
+                self.execute(c, op, ready, &mut links[c], &mut bytes_written, &mut bytes_read);
             client_done = client_done.max_of(finished);
             if cursor[c] < streams[c].len() {
                 heap.push(Reverse((finished, c)));
             }
         }
+        // Failures scheduled before the last ack also delay the drain.
+        crashes += self.apply_crashes_up_to(client_done);
 
         // Drain write-back buffers: checkpoint data must be durable.
         for s in &mut self.servers {
             s.flush_all();
         }
-        let drained = self
-            .servers
-            .iter()
-            .map(|s| s.drained_at())
-            .fold(client_done, SimTime::max_of);
+        let drained =
+            self.servers.iter().map(|s| s.drained_at()).fold(client_done, SimTime::max_of);
         self.now = drained;
 
         let mut ls = self.locks.stats();
@@ -239,6 +301,7 @@ impl Cluster {
             lock_stats: ls,
             server_device: self.servers.iter().map(|s| s.device_stats()).collect(),
             mds_ops: self.mds_ops - mds_before,
+            crashes,
         }
     }
 
@@ -273,8 +336,7 @@ impl Cluster {
                     // the write-back aggregation that saves well-formed
                     // streams is defeated, and the grant waits on disk.
                     for chunk in &chunks {
-                        let durable =
-                            self.servers[chunk.server].flush_stripe(file, chunk.stripe);
+                        let durable = self.servers[chunk.server].flush_stripe(file, chunk.stripe);
                         start = start.max_of(durable);
                     }
                 }
@@ -404,10 +466,8 @@ mod tests {
     #[test]
     fn reads_return_and_cost_time() {
         let mut c = Cluster::new(ClusterConfig::lustre_like(4, MIB));
-        let w: Vec<Vec<Op>> = vec![vec![
-            Op::Create(9),
-            Op::Write { file: 9, offset: 0, len: 8 * MIB },
-        ]];
+        let w: Vec<Vec<Op>> =
+            vec![vec![Op::Create(9), Op::Write { file: 9, offset: 0, len: 8 * MIB }]];
         c.run_phase(&w);
         let r: Vec<Vec<Op>> = vec![vec![Op::Read { file: 9, offset: 0, len: 8 * MIB }]];
         let rep = c.run_phase(&r);
@@ -440,6 +500,58 @@ mod tests {
         let t1 = c.now();
         c.run_phase(&[vec![Op::Compute(SimDuration::from_secs(1))]]);
         assert_eq!(c.now(), t1 + SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn osd_crash_degrades_bandwidth_but_phase_completes() {
+        let cfg = ClusterConfig::lustre_like(8, MIB);
+        let streams = n_n(16, 64, MIB);
+        let mut healthy = Cluster::new(cfg.clone());
+        let h = healthy.run_phase(&streams);
+        assert_eq!(h.crashes, 0);
+
+        let mut degraded = Cluster::new(cfg);
+        // Kill one OSD shortly into the phase, restart after 5 s.
+        degraded.schedule_crash(
+            0,
+            SimTime::ZERO + SimDuration::from_millis(50),
+            SimDuration::from_secs(5),
+        );
+        let d = degraded.run_phase(&streams);
+        assert_eq!(d.crashes, 1);
+        assert_eq!(d.bytes_written, h.bytes_written, "no data lost to the outage");
+        assert!(
+            d.makespan >= h.makespan + SimDuration::from_secs(4),
+            "outage not reflected: healthy {} vs degraded {}",
+            h.makespan,
+            d.makespan
+        );
+        assert!(d.write_bandwidth() < h.write_bandwidth());
+    }
+
+    #[test]
+    fn crashed_osd_serves_again_after_restart() {
+        let mut c = Cluster::new(ClusterConfig::lustre_like(4, MIB));
+        c.schedule_crash(1, SimTime::ZERO, SimDuration::from_secs(2));
+        let first = c.run_phase(&n_n(8, 16, MIB));
+        assert_eq!(first.crashes, 1);
+        // Next phase runs on the restarted server at full speed.
+        let second = c.run_phase(&n_n(8, 16, MIB));
+        assert_eq!(second.crashes, 0);
+        assert!(second.makespan + SimDuration::from_secs(1) < first.makespan);
+        assert!(second.write_bandwidth() > first.write_bandwidth());
+    }
+
+    #[test]
+    fn future_crash_stays_pending_across_phases() {
+        let mut c = Cluster::new(ClusterConfig::lustre_like(2, MIB));
+        // Scheduled at t=10s: the first (sub-second) phase is untouched.
+        c.schedule_crash(0, SimTime::ZERO + SimDuration::from_secs(10), SimDuration::from_secs(3));
+        let r1 = c.run_phase(&n_n(4, 8, MIB));
+        assert_eq!(r1.crashes, 0);
+        // Burn time past the event, then the crash fires.
+        let r2 = c.run_phase(&[vec![Op::Compute(SimDuration::from_secs(15))]]);
+        assert_eq!(r2.crashes, 1);
     }
 
     #[test]

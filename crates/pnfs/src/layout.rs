@@ -48,7 +48,10 @@ pub enum LayoutError {
     RecallIssued(Vec<u64>),
     UnknownStateid(u64),
     /// Return/commit by a client that does not own the stateid.
-    NotOwner { stateid: u64, client: ClientId },
+    NotOwner {
+        stateid: u64,
+        client: ClientId,
+    },
 }
 
 /// The MDS-side layout book-keeping.
@@ -71,7 +74,14 @@ impl LayoutManager {
         self.grants.len()
     }
 
-    fn conflicts(&self, client: ClientId, file: FileId, offset: u64, len: u64, mode: IoMode) -> Vec<u64> {
+    fn conflicts(
+        &self,
+        client: ClientId,
+        file: FileId,
+        offset: u64,
+        len: u64,
+        mode: IoMode,
+    ) -> Vec<u64> {
         self.grants
             .values()
             .filter(|g| {

@@ -97,11 +97,8 @@ pub fn run_access(cfg: &ScalingConfig, protocol: AccessProtocol) -> ScalingRepor
             ClientState { link, remaining: cfg.bytes_per_client, rpc_idx: 0 }
         })
         .collect();
-    let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = clients
-        .iter()
-        .enumerate()
-        .map(|(c, st)| Reverse((st.link.free_at(), c)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> =
+        clients.iter().enumerate().map(|(c, st)| Reverse((st.link.free_at(), c))).collect();
     while let Some(Reverse((ready, c))) = heap.pop() {
         let st = &mut clients[c];
         if st.remaining == 0 {

@@ -54,11 +54,7 @@ impl CheckpointModel {
 
     /// The Fig. 5 series: `(year, utilization)` for the projected top
     /// system.
-    pub fn utilization_series(
-        &self,
-        proj: &ProjectionConfig,
-        to_year: f64,
-    ) -> Vec<(f64, f64)> {
+    pub fn utilization_series(&self, proj: &ProjectionConfig, to_year: f64) -> Vec<(f64, f64)> {
         proj.mtti_series(to_year)
             .into_iter()
             .map(|(y, mtti_h)| (y, self.optimal_utilization(mtti_h * 3600.0)))
@@ -194,10 +190,7 @@ mod tests {
         let tau = m.optimal_interval(mtti);
         let sim = simulate_utilization(&m, mtti, tau, 5.0e8, 11);
         let analytic = m.utilization(mtti, tau);
-        assert!(
-            (sim - analytic).abs() < 0.06,
-            "simulated {sim} vs analytic {analytic}"
-        );
+        assert!((sim - analytic).abs() < 0.06, "simulated {sim} vs analytic {analytic}");
     }
 
     #[test]

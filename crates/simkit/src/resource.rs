@@ -96,21 +96,13 @@ impl TimelineBank {
     /// The time by which every timeline is free — the makespan of all
     /// reservations so far.
     pub fn makespan(&self) -> SimTime {
-        self.lines
-            .iter()
-            .map(|l| l.free_at())
-            .fold(SimTime::ZERO, SimTime::max_of)
+        self.lines.iter().map(|l| l.free_at()).fold(SimTime::ZERO, SimTime::max_of)
     }
 
     /// Index of the timeline that frees earliest (for least-loaded
     /// placement).
     pub fn least_loaded(&self) -> usize {
-        self.lines
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, l)| l.free_at())
-            .map(|(i, _)| i)
-            .unwrap()
+        self.lines.iter().enumerate().min_by_key(|(_, l)| l.free_at()).map(|(i, _)| i).unwrap()
     }
 
     /// Total busy time across the bank.

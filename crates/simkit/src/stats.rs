@@ -164,10 +164,7 @@ impl Histogram {
     }
 
     pub fn buckets(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
-        self.edges
-            .windows(2)
-            .zip(self.counts.iter())
-            .map(|(w, &c)| (w[0], w[1], c))
+        self.edges.windows(2).zip(self.counts.iter()).map(|(w, &c)| (w[0], w[1], c))
     }
 
     pub fn total(&self) -> u64 {

@@ -215,9 +215,8 @@ pub fn synthesize_population(files: usize, subtrees: u32, seed: u64) -> Vec<File
     // Per-subtree habits: a subtree belongs almost entirely to one
     // user and a handful of file types — the namespace locality the
     // FAST'09 paper measured and exploited.
-    let habits: Vec<(u32, u16)> = (0..subtrees)
-        .map(|_| (rng.below(200) as u32, rng.below(30) as u16))
-        .collect();
+    let habits: Vec<(u32, u16)> =
+        (0..subtrees).map(|_| (rng.below(200) as u32, rng.below(30) as u16)).collect();
     for id in 0..files as u64 {
         let subtree = rng.below(subtrees as u64) as u32;
         let (owner_pref, ext_pref) = habits[subtree as usize];
@@ -266,11 +265,7 @@ mod tests {
         let q = Query { owner: Some(11), ext: Some(3), ..Default::default() };
         let r = idx.query(&q);
         let frac = r.records_touched as f64 / idx.len() as f64;
-        assert!(
-            frac < 0.35,
-            "selective query touched {:.0}% of records",
-            frac * 100.0
-        );
+        assert!(frac < 0.35, "selective query touched {:.0}% of records", frac * 100.0);
         assert!(r.partitions_pruned > 0);
     }
 

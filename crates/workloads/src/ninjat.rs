@@ -42,12 +42,7 @@ pub fn render(trace: &Trace, width: usize, height: usize) -> Vec<String> {
     // Top row shows the highest offsets.
     (0..height)
         .rev()
-        .map(|row| {
-            grid[row]
-                .iter()
-                .map(|c| c.map(rank_char).unwrap_or(' '))
-                .collect()
-        })
+        .map(|row| grid[row].iter().map(|c| c.map(rank_char).unwrap_or(' ')).collect())
         .collect()
 }
 
@@ -62,10 +57,7 @@ pub fn interleave_factor(trace: &Trace) -> f64 {
     }
     writes.sort_by_key(|o| o.offset);
     let pairs = writes.len() - 1;
-    let crossings = writes
-        .windows(2)
-        .filter(|w| w[0].rank != w[1].rank)
-        .count();
+    let crossings = writes.windows(2).filter(|w| w[0].rank != w[1].rank).count();
     crossings as f64 / pairs as f64
 }
 

@@ -91,9 +91,8 @@ impl Trace {
     /// Parse the text format.
     pub fn parse(text: &str) -> Result<Trace, TraceError> {
         let mut lines = text.lines().enumerate();
-        let (n0, first) = lines
-            .next()
-            .ok_or(TraceError { line: 0, message: "empty trace".into() })?;
+        let (n0, first) =
+            lines.next().ok_or(TraceError { line: 0, message: "empty trace".into() })?;
         if first.trim() != "# pdsi-trace v1" {
             return Err(TraceError { line: n0 + 1, message: format!("bad magic: {first:?}") });
         }
@@ -111,13 +110,10 @@ impl Trace {
                     let mut parts = meta.split_whitespace();
                     app = parts.next().unwrap_or("").to_string();
                     if parts.next() == Some("ranks:") {
-                        ranks = parts
-                            .next()
-                            .and_then(|x| x.parse().ok())
-                            .ok_or(TraceError {
-                                line: i + 1,
-                                message: "bad ranks header".into(),
-                            })?;
+                        ranks = parts.next().and_then(|x| x.parse().ok()).ok_or(TraceError {
+                            line: i + 1,
+                            message: "bad ranks header".into(),
+                        })?;
                     }
                 }
                 continue;

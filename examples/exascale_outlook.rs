@@ -6,16 +6,11 @@
 //! cargo run --release --example exascale_outlook -- [moore_months]
 //! ```
 
-use pdsi::reliability::{
-    process_pairs_utilization, CheckpointModel, DiskGrowth, ProjectionConfig,
-};
+use pdsi::reliability::{process_pairs_utilization, CheckpointModel, DiskGrowth, ProjectionConfig};
 use pdsi::simkit::units::ascii_bar;
 
 fn main() {
-    let moore: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(24.0);
+    let moore: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24.0);
     let proj = ProjectionConfig::report_baseline(moore);
     let model = CheckpointModel::report_baseline();
 

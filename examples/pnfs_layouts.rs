@@ -5,9 +5,7 @@
 //! cargo run --release --example pnfs_layouts
 //! ```
 
-use pdsi::pnfs::{
-    run_access, AccessProtocol, IoMode, LayoutError, LayoutManager, ScalingConfig,
-};
+use pdsi::pnfs::{run_access, AccessProtocol, IoMode, LayoutError, LayoutManager, ScalingConfig};
 
 fn main() {
     // --- Protocol walk-through -----------------------------------

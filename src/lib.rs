@@ -12,8 +12,8 @@ pub use giga;
 pub use miniio;
 pub use netsim;
 pub use pfs;
-pub use pnfs;
 pub use plfs;
+pub use pnfs;
 pub use reliability;
 pub use simkit;
 pub use spyglass;

@@ -89,10 +89,8 @@ fn plfs_survives_reopen_sessions_on_disk() {
 
 #[test]
 fn mpiio_collective_over_memory_backend() {
-    let plfs = Arc::new(Plfs::new(
-        Arc::new(MemBackend::new()) as Arc<dyn Backend>,
-        PlfsConfig::default(),
-    ));
+    let plfs =
+        Arc::new(Plfs::new(Arc::new(MemBackend::new()) as Arc<dyn Backend>, PlfsConfig::default()));
     let mut f = ParallelFile::open_collective(plfs, "/c", 12).unwrap();
     for rank in 0..12u32 {
         for i in 0..8u64 {

@@ -1,166 +1,356 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! These used to run under `proptest`; they are now driven by the
+//! in-tree deterministic PRNG (`simkit::Rng`) so the workspace builds
+//! and tests fully offline with zero external dependencies. Each
+//! property runs over a fixed set of seeds; a failing seed reproduces
+//! exactly.
 
 use pdsi::diskmodel::{BlockDevice, DevOp, FlashDevice, FtlConfig};
 use pdsi::giga::GigaDirectory;
+use pdsi::plfs::backend::{Backend, MemBackend};
+use pdsi::plfs::faults::{FaultPlan, FaultyBackend};
 use pdsi::plfs::index::{decode, encode_compressed, encode_raw, IndexEntry, IndexMap};
+use pdsi::plfs::retry::RetryPolicy;
+use pdsi::plfs::{fsck, Plfs, PlfsConfig, WriterConfig};
 use pdsi::simkit::stats::Cdf;
+use pdsi::simkit::Rng;
 use pdsi::workloads::{Trace, TraceOp};
-use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Seeds every property iterates over (64 cases, like the old
+/// `ProptestConfig::with_cases(64)`).
+const CASES: u64 = 64;
+
+/// One random write workload: `(logical_offset, len, writer)`.
+fn random_writes(rng: &mut Rng) -> Vec<(u64, u64, u32)> {
+    let n = rng.range_inclusive(1, 59) as usize;
+    (0..n)
+        .map(|_| (rng.below(60_000), rng.range_inclusive(1, 1_999), rng.below(6) as u32))
+        .collect()
+}
 
 // --------------------------------------------------------- PLFS index
 
-/// Arbitrary write: (logical_offset, length) bounded to keep the naive
-/// model small.
-fn writes_strategy() -> impl Strategy<Value = Vec<(u32, u16, u8)>> {
-    // (offset, len, writer)
-    prop::collection::vec((0u32..60_000, 1u16..2_000, 0u8..6), 1..60)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The IndexMap must agree byte-for-byte with a naive flat-array
-    /// last-writer-wins model, for arbitrary overlapping writes.
-    #[test]
-    fn index_map_matches_naive_model(writes in writes_strategy()) {
-        let mut naive: Vec<Option<(u8, u64)>> = vec![None; 64_000];
+/// The IndexMap must agree byte-for-byte with a naive flat-array
+/// last-writer-wins model, for arbitrary overlapping writes.
+#[test]
+fn index_map_matches_naive_model() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let writes = random_writes(&mut rng);
+        let mut naive: Vec<Option<(u32, u64)>> = vec![None; 64_000];
         let mut entries = Vec::new();
-        let mut phys = vec![0u64; 8];
+        let mut phys = [0u64; 8];
         for (ts, &(off, len, writer)) in writes.iter().enumerate() {
-            let (off, len) = (off as u64, len as u64);
             for b in off..off + len {
-                // Store writer + the physical byte position it placed.
                 naive[b as usize] = Some((writer, phys[writer as usize] + (b - off)));
             }
             entries.push(IndexEntry {
                 logical_offset: off,
                 length: len,
                 physical_offset: phys[writer as usize],
-                writer: writer as u32,
+                writer,
                 timestamp: ts as u64,
             });
             phys[writer as usize] += len;
         }
         let map = IndexMap::build(entries);
         map.check_invariants();
-        // EOF agrees.
         let naive_eof = naive.iter().rposition(|x| x.is_some()).map(|i| i as u64 + 1).unwrap_or(0);
-        prop_assert_eq!(map.eof(), naive_eof);
-        // Every byte's (writer, physical) agrees.
+        assert_eq!(map.eof(), naive_eof, "seed {seed}");
         for (b, cell) in naive.iter().enumerate() {
             let pieces = map.lookup(b as u64, 1);
             match cell {
                 None => {
                     if !pieces.is_empty() {
-                        prop_assert!(pieces[0].2.is_none(), "byte {} should be a hole", b);
+                        assert!(pieces[0].2.is_none(), "seed {seed}: byte {b} should be a hole");
                     }
                 }
                 Some((writer, phys_pos)) => {
-                    prop_assert_eq!(pieces.len(), 1);
+                    assert_eq!(pieces.len(), 1, "seed {seed}");
                     let x = pieces[0].2.expect("mapped byte missing");
-                    prop_assert_eq!(x.writer, *writer as u32, "byte {}", b);
-                    prop_assert_eq!(x.physical, *phys_pos, "byte {}", b);
+                    assert_eq!(x.writer, *writer, "seed {seed}: byte {b}");
+                    assert_eq!(x.physical, *phys_pos, "seed {seed}: byte {b}");
                 }
             }
         }
     }
+}
 
-    /// Raw and compressed encodings always decode to the same entries.
-    #[test]
-    fn index_encodings_roundtrip(writes in writes_strategy()) {
-        let entries: Vec<IndexEntry> = writes
+/// Raw and compressed encodings always decode to the same entries.
+#[test]
+fn index_encodings_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(1_000 + seed);
+        let entries: Vec<IndexEntry> = random_writes(&mut rng)
             .iter()
             .enumerate()
             .map(|(ts, &(off, len, writer))| IndexEntry {
-                logical_offset: off as u64,
-                length: len as u64,
+                logical_offset: off,
+                length: len,
                 physical_offset: ts as u64 * 2_000,
-                writer: writer as u32,
+                writer,
                 timestamp: ts as u64,
             })
             .collect();
-        prop_assert_eq!(decode(&encode_raw(&entries)).unwrap(), entries.clone());
-        prop_assert_eq!(decode(&encode_compressed(&entries)).unwrap(), entries);
+        assert_eq!(decode(&encode_raw(&entries)).unwrap(), entries, "seed {seed}");
+        assert_eq!(decode(&encode_compressed(&entries)).unwrap(), entries, "seed {seed}");
     }
+}
 
-    // ------------------------------------------------------- GIGA+
+// ------------------------------------------------- crash & recovery
 
-    /// Random insert/remove sequences preserve GIGA+ invariants and
-    /// agree with a HashSet model.
-    #[test]
-    fn giga_agrees_with_set_model(
-        ops in prop::collection::vec((0u16..800, prop::bool::ANY), 1..400),
-        servers in 1usize..9,
-        threshold in 4usize..64,
-    ) {
+/// Model of what the logical file must contain after recovery: the
+/// bytes of every write acked (synced) before the crash.
+struct AckedModel {
+    bytes: Vec<Option<u8>>,
+}
+
+impl AckedModel {
+    fn assert_readable(&self, fs: &Plfs, seed: u64, tag: &str) {
+        let reader = fs.open_reader("/f").expect("container must open after repair");
+        let data = reader.read_all().unwrap();
+        for (off, cell) in self.bytes.iter().enumerate() {
+            if let Some(expect) = cell {
+                assert!(
+                    off < data.len() && data[off] == *expect,
+                    "seed {seed} {tag}: acked byte at {off} lost or corrupt \
+                     (got {:?}, want {expect})",
+                    data.get(off),
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic multi-writer workload over a faulty backend. Returns
+/// the acked model at the moment the backend froze.
+///
+/// Writes are disjoint (each record owns its logical slot) so an acked
+/// record can never be legitimately superseded by an unacked one —
+/// byte-for-byte readback is then an invariant, not a probability.
+fn crash_workload(crash_after: u64, seed: u64) -> (Arc<FaultyBackend<MemBackend>>, AckedModel) {
+    let faulty = Arc::new(FaultyBackend::new(
+        MemBackend::new(),
+        FaultPlan { crash_after_bytes: Some(crash_after), ..FaultPlan::none(seed) },
+    ));
+    let fs = Plfs::new(
+        faulty.clone() as Arc<dyn Backend>,
+        PlfsConfig {
+            hostdirs: 2,
+            writer: WriterConfig {
+                data_buffer: 128,
+                index_flush_every: 4,
+                retry: RetryPolicy::none(),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let mut rng = Rng::new(seed);
+    let ranks = 3u32;
+    let rec = 16u64;
+    let slots = 40u64;
+    let mut model = AckedModel { bytes: vec![None; (slots * rec) as usize] };
+    let writers: Vec<_> = (0..ranks).filter_map(|r| fs.open_writer("/f", r).ok()).collect();
+    let mut writers = writers;
+    if writers.len() < ranks as usize {
+        return (faulty, model); // crashed during open: nothing acked yet
+    }
+    let mut pending: Vec<Vec<(u64, u8)>> = vec![Vec::new(); ranks as usize];
+    for slot in 0..slots {
+        let r = rng.below(ranks as u64) as usize;
+        let fill = (rng.below(251) + 1) as u8;
+        let off = slot * rec;
+        if writers[r].write_at(off, &[fill; 16]).is_ok() {
+            pending[r].push((off, fill));
+        }
+        // Periodic sync = the ack point.
+        if rng.chance(0.25) {
+            if writers[r].sync().is_ok() {
+                for &(o, f) in &pending[r] {
+                    for b in 0..rec {
+                        model.bytes[(o + b) as usize] = Some(f);
+                    }
+                }
+            }
+            pending[r].clear();
+        }
+    }
+    for (r, w) in writers.into_iter().enumerate() {
+        let flushed = pending[r].clone();
+        if w.close().is_ok() {
+            for (o, f) in flushed {
+                for b in 0..rec {
+                    model.bytes[(o + b) as usize] = Some(f);
+                }
+            }
+        }
+    }
+    (faulty, model)
+}
+
+/// Crash-stop the backend at *every byte boundary* of the tail of the
+/// workload, repair, and verify every acked byte reads back.
+#[test]
+fn crash_repair_preserves_acked_data_at_every_boundary() {
+    for seed in [0u64, 7, 42] {
+        // Probe run without a crash to learn the total appended bytes.
+        let (probe, _) = crash_workload(u64::MAX, seed);
+        let total = probe.bytes_appended();
+        assert!(total > 0);
+        // Sweep crash points: every byte boundary in the final stretch,
+        // coarser (but covering) earlier.
+        let tail_start = total.saturating_sub(96);
+        let mut points: Vec<u64> = (0..tail_start).step_by(61).collect();
+        points.extend(tail_start..=total);
+        for crash_after in points {
+            let (faulty, model) = crash_workload(crash_after, seed);
+            faulty.heal();
+            let report =
+                fsck::repair(faulty.as_ref(), "/f", 2, &fsck::RepairOptions::default()).unwrap();
+            assert!(
+                report.after.is_clean(),
+                "seed {seed} crash@{crash_after}: repair left errors {:?}",
+                report.after.errors
+            );
+            let fs = Plfs::new(
+                faulty.clone() as Arc<dyn Backend>,
+                PlfsConfig { hostdirs: 2, ..Default::default() },
+            );
+            model.assert_readable(&fs, seed, &format!("crash@{crash_after}"));
+        }
+    }
+}
+
+/// Transient faults below the give-up threshold must be fully masked by
+/// the retry policy: the workload completes with zero surfaced errors.
+#[test]
+fn retry_masks_transient_faults() {
+    for seed in 0..16u64 {
+        let faulty = Arc::new(FaultyBackend::new(
+            MemBackend::new(),
+            FaultPlan {
+                transient_error_rate: 0.10,
+                torn_append_rate: 0.05,
+                ..FaultPlan::none(seed)
+            },
+        ));
+        let fs = Plfs::new(
+            faulty.clone() as Arc<dyn Backend>,
+            PlfsConfig {
+                hostdirs: 2,
+                writer: WriterConfig {
+                    data_buffer: 256,
+                    retry: RetryPolicy::fast_test(),
+                    ..Default::default()
+                },
+                retry: RetryPolicy::fast_test(),
+            },
+        );
+        let mut rng = Rng::new(900 + seed);
+        for rank in 0..3u32 {
+            let mut w = fs.open_writer("/r", rank).expect("open must be retried to success");
+            for i in 0..30u64 {
+                let off = (i * 3 + rank as u64) * 64;
+                let fill = (rng.below(250) + 1) as u8;
+                w.write_at(off, &[fill; 64]).expect("write must be masked");
+            }
+            w.close().expect("close must be masked");
+        }
+        let r = fs.open_reader("/r").expect("read-side must be masked too");
+        let data = r.read_all().expect("reads must be masked");
+        assert_eq!(data.len(), 90 * 64, "seed {seed}");
+        assert!(faulty.stats().injected_transient > 0, "seed {seed}: plan injected nothing");
+    }
+}
+
+// ------------------------------------------------------- GIGA+
+
+/// Random insert/remove sequences preserve GIGA+ invariants and agree
+/// with a HashSet model.
+#[test]
+fn giga_agrees_with_set_model() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(2_000 + seed);
+        let servers = rng.range_inclusive(1, 8) as usize;
+        let threshold = rng.range_inclusive(4, 63) as usize;
+        let nops = rng.range_inclusive(1, 399);
         let mut dir = GigaDirectory::new(servers, threshold);
         let mut model = std::collections::HashSet::new();
-        for (key, insert) in ops {
+        for _ in 0..nops {
+            let key = rng.below(800);
             let name = format!("n{key}");
-            if insert {
-                prop_assert_eq!(dir.insert(&name), model.insert(name.clone()));
+            if rng.chance(0.5) {
+                assert_eq!(dir.insert(&name), model.insert(name.clone()), "seed {seed}");
             } else {
-                prop_assert_eq!(dir.remove(&name), model.remove(&name));
+                assert_eq!(dir.remove(&name), model.remove(&name), "seed {seed}");
             }
         }
         dir.check_invariants();
-        prop_assert_eq!(dir.len(), model.len());
+        assert_eq!(dir.len(), model.len(), "seed {seed}");
         for name in &model {
-            prop_assert!(dir.contains(name), "{} lost", name);
+            assert!(dir.contains(name), "seed {seed}: {name} lost");
         }
     }
+}
 
-    // ------------------------------------------------------- traces
+// ------------------------------------------------------- traces
 
-    /// Any trace serializes and parses back identically.
-    #[test]
-    fn trace_text_roundtrip(
-        ops in prop::collection::vec(
-            (0u32..64, prop::bool::ANY, 0u64..1_000_000, 1u64..100_000),
-            0..100,
-        )
-    ) {
+/// Any trace serializes and parses back identically.
+#[test]
+fn trace_text_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(3_000 + seed);
+        let nops = rng.below(100) as usize;
         let t = Trace {
             app: "prop".into(),
             ranks: 64,
-            ops: ops
-                .into_iter()
-                .map(|(rank, is_write, offset, len)| TraceOp { rank, is_write, offset, len })
+            ops: (0..nops)
+                .map(|_| TraceOp {
+                    rank: rng.below(64) as u32,
+                    is_write: rng.chance(0.5),
+                    offset: rng.below(1_000_000),
+                    len: rng.range_inclusive(1, 99_999),
+                })
                 .collect(),
         };
         let parsed = Trace::parse(&t.to_text()).unwrap();
-        prop_assert_eq!(parsed, t);
+        assert_eq!(parsed, t, "seed {seed}");
     }
+}
 
-    // ------------------------------------------------------- stats
+// ------------------------------------------------------- stats
 
-    /// CDF is monotone and quantiles invert it.
-    #[test]
-    fn cdf_monotone_and_quantiles_consistent(
-        mut xs in prop::collection::vec(-1.0e6f64..1.0e6, 1..200)
-    ) {
+/// CDF is monotone and quantiles invert it.
+#[test]
+fn cdf_monotone_and_quantiles_consistent() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(4_000 + seed);
+        let n = rng.range_inclusive(1, 199) as usize;
+        let mut xs: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0e6, 1.0e6)).collect();
         let cdf = Cdf::from_samples(xs.clone());
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        // Monotone in x.
         for w in xs.windows(2) {
-            prop_assert!(cdf.at(w[0]) <= cdf.at(w[1]) + 1e-12);
+            assert!(cdf.at(w[0]) <= cdf.at(w[1]) + 1e-12, "seed {seed}");
         }
-        // quantile(q) has at least q mass at or below it.
         for &q in &[0.1, 0.5, 0.9, 1.0] {
             let v = cdf.quantile(q);
-            prop_assert!(cdf.at(v) + 1e-12 >= q);
+            assert!(cdf.at(v) + 1e-12 >= q, "seed {seed}: quantile({q})");
         }
     }
+}
 
-    // ------------------------------------------------------- FTL
+// ------------------------------------------------------- FTL
 
-    /// Arbitrary page-write sequences keep the FTL maps consistent and
-    /// never lose the free pool.
-    #[test]
-    fn ftl_invariants_under_random_writes(
-        pages in prop::collection::vec(0u64..2048, 1..3000),
-        op in 1u32..4,
-    ) {
+/// Arbitrary page-write sequences keep the FTL maps consistent and
+/// never lose the free pool.
+#[test]
+fn ftl_invariants_under_random_writes() {
+    for seed in 0..8u64 {
+        let mut rng = Rng::new(5_000 + seed);
+        let op = rng.range_inclusive(1, 3) as u32;
         let mut dev = FlashDevice::new(FtlConfig::from_headline(
             "prop-flash",
             2048 * 4096,
@@ -170,11 +360,12 @@ proptest! {
             2.0,
             0.1 * op as f64 + 0.05,
         ));
-        for p in pages {
-            dev.service(DevOp::write(p * 4096, 4096));
+        let nwrites = rng.range_inclusive(1, 2_999);
+        for _ in 0..nwrites {
+            dev.service(DevOp::write(rng.below(2048) * 4096, 4096));
         }
         dev.check_invariants();
-        prop_assert!(dev.ftl_stats().write_amplification() >= 1.0);
-        prop_assert!(dev.free_pool_blocks() > 0);
+        assert!(dev.ftl_stats().write_amplification() >= 1.0, "seed {seed}");
+        assert!(dev.free_pool_blocks() > 0, "seed {seed}");
     }
 }
