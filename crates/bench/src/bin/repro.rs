@@ -1,31 +1,62 @@
 //! `repro` — regenerate the PDSI report's figures and tables.
 //!
 //! ```text
-//! repro               # list experiments
-//! repro fig8          # one experiment
-//! repro all           # everything (what EXPERIMENTS.md records)
+//! repro                        # list experiments
+//! repro fig8                   # one experiment
+//! repro all                    # everything (what EXPERIMENTS.md records)
+//! repro golden                 # print the headline-numbers JSON
+//! repro --metrics out.json all # also dump every metric series as JSON
+//! repro --metrics - faults     # dump to stdout (after the reports)
 //! ```
+//!
+//! With `--metrics`, every experiment's internal series (bandwidths,
+//! per-OSD seek/rotate/transfer splits, retry/fault counters, ...) are
+//! collected under an `exp=<id>` label, printed as an aligned table,
+//! and written to the given path as JSON (`-` for stdout).
 
 use std::io::Write;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut metrics_path: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--metrics" {
+            match args.next() {
+                Some(p) => metrics_path = Some(p),
+                None => {
+                    eprintln!("--metrics needs a path argument ('-' for stdout)");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            ids.push(arg);
+        }
+    }
+
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    if args.is_empty() {
-        let _ = writeln!(out, "usage: repro <experiment-id>|all\n\nexperiments:");
+    if ids.is_empty() {
+        let _ = writeln!(
+            out,
+            "usage: repro [--metrics <path>|-] <experiment-id>|all|golden\n\nexperiments:"
+        );
         for (id, desc) in pdsi_bench::EXPERIMENTS {
             let _ = writeln!(out, "  {id:<10} {desc}");
         }
         return;
     }
-    for arg in &args {
+
+    let reg = obs::Registry::new();
+    for arg in &ids {
         if arg == "all" {
             for (id, _) in pdsi_bench::EXPERIMENTS {
-                let _ = write!(out, "{}", pdsi_bench::run(id).unwrap());
+                let _ = write!(out, "{}", pdsi_bench::run_observed(id, &reg).unwrap());
             }
+        } else if arg == "golden" {
+            let _ = writeln!(out, "{}", obs::json::pretty(&pdsi_bench::headline_numbers()));
         } else {
-            match pdsi_bench::run(arg) {
+            match pdsi_bench::run_observed(arg, &reg) {
                 Some(report) => {
                     let _ = write!(out, "{report}");
                 }
@@ -34,6 +65,20 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        }
+    }
+
+    if let Some(path) = metrics_path {
+        let _ = writeln!(out, "\n== metrics ({} series) ==", reg.series_count());
+        let _ = write!(out, "{}", reg.render_table());
+        let json = reg.to_json();
+        if path == "-" {
+            let _ = writeln!(out, "{json}");
+        } else if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write metrics to {path}: {e}");
+            std::process::exit(1);
+        } else {
+            let _ = writeln!(out, "(written to {path})");
         }
     }
 }

@@ -1,9 +1,15 @@
 //! The experiment implementations behind the `repro` harness.
+//!
+//! Every experiment takes an [`obs::Registry`] and records the numbers
+//! it prints as metric series, so tests (and the `repro --metrics`
+//! dump) can assert on the *values* rather than scraping stdout. Use
+//! [`crate::run_observed`] to collect them with an `exp=<id>` label.
 
 use std::fmt::Write;
 
-use diskmodel::{profiles, BlockDevice, DevOp};
+use diskmodel::{profiles, BlockDevice, DevOp, DeviceStats};
 use miniio::{optimization_ladder, FormattedWorkload};
+use obs::Registry;
 use pfs::fsstats::{survey_all_sites, Survey};
 use pfs::ClusterConfig;
 use plfs::simadapter::{compare, PlfsSimOptions};
@@ -19,11 +25,35 @@ fn header(out: &mut String, title: &str) {
     let _ = writeln!(out, "\n== {title} ==");
 }
 
+/// Record a float as an integer gauge (round to nearest).
+fn gauge(reg: &Registry, name: &str, labels: &[(&str, &str)], v: f64) {
+    reg.gauge_with(name, labels).set(v.round() as i64);
+}
+
+/// Scale a ratio/factor to thousandths so it survives integer storage.
+fn milli(x: f64) -> f64 {
+    x * 1000.0
+}
+
+/// Export one device's [`DeviceStats`] as `dev.*` series.
+fn export_device_stats(reg: &Registry, labels: &[(&str, &str)], st: &DeviceStats) {
+    let c = |name: &str, v: u64| reg.counter_with(name, labels).add(v);
+    c("dev.reads", st.reads);
+    c("dev.writes", st.writes);
+    c("dev.bytes_read", st.bytes_read);
+    c("dev.bytes_written", st.bytes_written);
+    c("dev.sequential_hits", st.sequential_hits);
+    c("dev.busy_ns", st.busy.0);
+    c("dev.seek_ns", st.seek_time.0);
+    c("dev.rotate_ns", st.rotate_time.0);
+    c("dev.transfer_ns", st.transfer_time.0);
+}
+
 // ---------------------------------------------------------------- fig2
 
 /// Fig. 2: S3D checkpoint I/O time under weak scaling, plus the
 /// predicted fraction of a 12-hour run spent checkpointing.
-pub fn fig2_s3d_report() -> String {
+pub fn fig2_s3d_report(reg: &Registry) -> String {
     let mut out = String::new();
     header(&mut out, "Fig. 2 - S3D checkpoint time, c2h4 weak scaling");
     let s3d = AppProfile::by_name("S3D").unwrap();
@@ -37,10 +67,14 @@ pub fn fig2_s3d_report() -> String {
         let pattern = s3d.pattern(cores);
         let cfg = ClusterConfig::lustre_like(servers, MIB);
         let rep = plfs::simadapter::run_direct(cfg, &pattern);
+        let cores_s = cores.to_string();
+        let labels = [("cores", cores_s.as_str())];
+        rep.export_metrics(reg, &labels, false);
         let t = rep.makespan.as_secs_f64();
         // Prediction: a 12-hour run checkpoints every 30 minutes.
         let ckpts = 12.0 * 2.0;
         let io_frac = (ckpts * t) / (12.0 * 3600.0) * 100.0;
+        gauge(reg, "s3d.io_frac_permille", &labels, milli(io_frac / 100.0));
         let _ = writeln!(
             out,
             "{:>7} {:>12} {:>14.2} {:>16.1} {:>18.2}",
@@ -62,10 +96,26 @@ pub fn fig2_s3d_report() -> String {
 // ---------------------------------------------------------------- fig3
 
 /// Fig. 3: CDF of file sizes across eleven surveyed file systems.
-pub fn fig3_fsstats_report() -> String {
+pub fn fig3_fsstats_report(reg: &Registry) -> String {
     let mut out = String::new();
     header(&mut out, "Fig. 3 - CDF of file sizes, eleven non-archival file systems");
     let surveys = survey_all_sites(2006);
+    for s in &surveys {
+        let labels = [("site", s.name.as_str())];
+        gauge(reg, "fsstats.median_bytes", &labels, s.median());
+        gauge(
+            reg,
+            "fsstats.small_count_permille",
+            &labels,
+            milli(s.count_cdf().at(64.0 * MIB as f64)),
+        );
+        gauge(
+            reg,
+            "fsstats.small_bytes_permille",
+            &labels,
+            milli(s.bytes_cdf_at(64.0 * MIB as f64)),
+        );
+    }
     let points: Vec<f64> =
         [512.0, 4096.0, 65536.0, 1048576.0, 16777216.0, 268435456.0, 4294967296.0].to_vec();
     let _ = write!(out, "{:<16}", "site");
@@ -97,10 +147,13 @@ pub fn fig3_fsstats_report() -> String {
 
 /// Fig. 4: interrupts linear in chips (fit over the synthetic fleet)
 /// and MTTI projection under three Moore's-law scenarios.
-pub fn fig4_mtti_report() -> String {
+pub fn fig4_mtti_report(reg: &Registry) -> String {
     let mut out = String::new();
     header(&mut out, "Fig. 4 - failure rate fit and MTTI projection");
     let fit = fit_rate_vs_chips(&lanl_like_fleet(), 6.0, 2006);
+    gauge(reg, "reliability.fit.slope_micro", &[], fit.slope * 1e6);
+    gauge(reg, "reliability.fit.intercept_milli", &[], milli(fit.intercept));
+    gauge(reg, "reliability.fit.r2_permille", &[], milli(fit.r2));
     let _ = writeln!(
         out,
         "fleet fit: interrupts/yr = {:.4} x chips + {:.1}   (r2 = {:.3}; report uses 0.1/chip-yr)",
@@ -116,6 +169,11 @@ pub fn fig4_mtti_report() -> String {
     let p30 = ProjectionConfig::report_baseline(30.0);
     for y in 0..=10 {
         let year = 2008.0 + y as f64;
+        let year_s = (year as i64).to_string();
+        for (doubling, p) in [("18mo", &p18), ("24mo", &p24), ("30mo", &p30)] {
+            let labels = [("year", year_s.as_str()), ("doubling", doubling)];
+            gauge(reg, "reliability.mtti_hours_milli", &labels, milli(p.mtti_hours(year)));
+        }
         let _ = writeln!(
             out,
             "{:>6} {:>10.0} | {:>22.2} {:>22.2} {:>22.2}",
@@ -139,7 +197,7 @@ pub fn fig4_mtti_report() -> String {
 // ---------------------------------------------------------------- fig5
 
 /// Fig. 5: effective application utilization and the mitigation menu.
-pub fn fig5_utilization_report() -> String {
+pub fn fig5_utilization_report(reg: &Registry) -> String {
     let mut out = String::new();
     header(&mut out, "Fig. 5 - effective utilization under checkpoint/restart");
     let model = CheckpointModel::report_baseline();
@@ -152,9 +210,25 @@ pub fn fig5_utilization_report() -> String {
     for (year, util) in model.utilization_series(&proj, 2018.0) {
         let mtti = proj.mtti_hours(year);
         let tau = model.optimal_interval(mtti * 3600.0) / 60.0;
+        let year_s = (year as i64).to_string();
+        let labels = [("year", year_s.as_str())];
+        gauge(reg, "reliability.util_permille", &labels, milli(util));
+        gauge(reg, "reliability.tau_minutes_milli", &labels, milli(tau));
         let _ = writeln!(out, "{:>6} {:>10.2} {:>14.1} {:>12.1}", year, mtti, tau, util * 100.0);
     }
     let crossing = model.crossing_year(&proj, 0.5).unwrap();
+    gauge(reg, "reliability.crossing_year", &[], crossing);
+    gauge(reg, "reliability.disk_growth_permille", &[], {
+        let d = DiskGrowth::report_numbers();
+        milli(d.disk_count_growth() - 1.0)
+    });
+    gauge(
+        reg,
+        "reliability.compression_permille",
+        &[],
+        milli(model.required_compression_per_year(&proj) - 1.0),
+    );
+    gauge(reg, "reliability.process_pairs_permille", &[], milli(process_pairs_utilization(0.02)));
     let _ = writeln!(out, "50% crossing: {crossing} (paper: 'may cross under 50% before 2014')");
     let d = DiskGrowth::report_numbers();
     let _ = writeln!(
@@ -178,7 +252,7 @@ pub fn fig5_utilization_report() -> String {
 // ---------------------------------------------------------------- fig7
 
 /// Fig. 7: GIGA+ Metarates create throughput vs server count.
-pub fn fig7_giga_report() -> String {
+pub fn fig7_giga_report(reg: &Registry) -> String {
     use giga::{run_metarates, MetaratesConfig, Scheme};
     let mut out = String::new();
     header(&mut out, "Fig. 7 - GIGA+ scale and performance (Metarates)");
@@ -194,6 +268,19 @@ pub fn fig7_giga_report() -> String {
         cfg.split_threshold = 256;
         let giga_rep = run_metarates(&cfg);
         let base = run_metarates(&MetaratesConfig::new(clients, files, s, Scheme::SingleServer));
+        let s_s = s.to_string();
+        let labels = [("servers", s_s.as_str())];
+        gauge(reg, "giga.create_rate", &labels, giga_rep.create_rate());
+        gauge(reg, "giga.base_rate", &labels, base.create_rate());
+        gauge(
+            reg,
+            "giga.speedup_milli",
+            &labels,
+            milli(giga_rep.create_rate() / base.create_rate()),
+        );
+        gauge(reg, "giga.addressing_errors", &labels, giga_rep.addressing_errors as f64);
+        gauge(reg, "giga.splits", &labels, giga_rep.splits as f64);
+        gauge(reg, "giga.partitions", &labels, giga_rep.partitions as f64);
         let _ = writeln!(
             out,
             "{:>8} {:>16.0} {:>16.0} {:>9.1}x {:>12} {:>12}",
@@ -213,7 +300,7 @@ pub fn fig7_giga_report() -> String {
 
 /// Fig. 8: PLFS vs direct N-1 checkpoint bandwidth on three simulated
 /// parallel file systems, plus rank scaling.
-pub fn fig8_plfs_report() -> String {
+pub fn fig8_plfs_report(reg: &Registry) -> String {
     let mut out = String::new();
     header(&mut out, "Fig. 8 - PLFS checkpoint bandwidth vs direct N-1");
     let flash = AppProfile::by_name("FLASH-IO").unwrap();
@@ -237,6 +324,9 @@ pub fn fig8_plfs_report() -> String {
     ];
     for (name, cfg) in cases {
         let (d, p, s) = compare(cfg, &pattern, &opt);
+        d.export_metrics(reg, &[("fs", name), ("mode", "direct")], false);
+        p.export_metrics(reg, &[("fs", name), ("mode", "plfs")], false);
+        gauge(reg, "plfs.sim.speedup_milli", &[("fs", name)], milli(s));
         let _ = writeln!(
             out,
             "{:<14} {:>14.1} {:>14.1} {:>8.1}x",
@@ -250,6 +340,11 @@ pub fn fig8_plfs_report() -> String {
     let _ = writeln!(out, "{:>7} {:>12} {:>12} {:>9}", "ranks", "direct", "PLFS", "speedup");
     for &r in &[16u32, 64, 256, 512] {
         let (d, p, s) = compare(ClusterConfig::lustre_like(16, MIB), &flash.pattern(r), &opt);
+        let r_s = r.to_string();
+        let labels = [("ranks", r_s.as_str())];
+        gauge(reg, "plfs.sim.direct_bps", &labels, d.write_bandwidth());
+        gauge(reg, "plfs.sim.plfs_bps", &labels, p.write_bandwidth());
+        gauge(reg, "plfs.sim.speedup_milli", &labels, milli(s));
         let _ = writeln!(
             out,
             "{:>7} {:>12.1} {:>12.1} {:>8.1}x",
@@ -266,7 +361,7 @@ pub fn fig8_plfs_report() -> String {
 // ---------------------------------------------------------------- fig9
 
 /// Fig. 9: incast goodput vs fan-in, under the RTO variants.
-pub fn fig9_incast_report() -> String {
+pub fn fig9_incast_report(reg: &Registry) -> String {
     use netsim::{run_incast, IncastConfig, RtoPolicy};
     let mut out = String::new();
     header(&mut out, "Fig. 9 - incast goodput collapse and the RTO fix");
@@ -279,6 +374,25 @@ pub fn fig9_incast_report() -> String {
     for &n in &[1usize, 2, 4, 8, 16, 32, 47] {
         let slow = run_incast(&IncastConfig::gbe(n, RtoPolicy::legacy_200ms()));
         let fast = run_incast(&IncastConfig::gbe(n, RtoPolicy::hires_1ms()));
+        let n_s = n.to_string();
+        gauge(
+            reg,
+            "incast.goodput_bps",
+            &[("nic", "1ge"), ("rto", "200ms"), ("senders", &n_s)],
+            slow.goodput_bps,
+        );
+        gauge(
+            reg,
+            "incast.goodput_bps",
+            &[("nic", "1ge"), ("rto", "1ms"), ("senders", &n_s)],
+            fast.goodput_bps,
+        );
+        gauge(
+            reg,
+            "incast.timeouts",
+            &[("nic", "1ge"), ("rto", "200ms"), ("senders", &n_s)],
+            slow.timeouts as f64,
+        );
         let _ = writeln!(
             out,
             "{:>9} {:>14.0} {:>14.0} {:>10}",
@@ -293,6 +407,19 @@ pub fn fig9_incast_report() -> String {
     for &n in &[32usize, 128, 512, 1024, 2048] {
         let fixed = run_incast(&IncastConfig::ten_gbe(n, RtoPolicy::hires_1ms()));
         let rand = run_incast(&IncastConfig::ten_gbe(n, RtoPolicy::hires_1ms_randomized()));
+        let n_s = n.to_string();
+        gauge(
+            reg,
+            "incast.goodput_bps",
+            &[("nic", "10ge"), ("rto", "1ms"), ("senders", &n_s)],
+            fixed.goodput_bps,
+        );
+        gauge(
+            reg,
+            "incast.goodput_bps",
+            &[("nic", "10ge"), ("rto", "1ms-rand"), ("senders", &n_s)],
+            rand.goodput_bps,
+        );
         let _ = writeln!(
             out,
             "{:>9} {:>14.0} {:>18.0}",
@@ -312,7 +439,7 @@ pub fn fig9_incast_report() -> String {
 // --------------------------------------------------------------- fig10
 
 /// Fig. 10: Argon insulation shares.
-pub fn fig10_argon_report() -> String {
+pub fn fig10_argon_report(reg: &Registry) -> String {
     use argon::{run_insulation, InsulationConfig, Policy};
     let mut out = String::new();
     header(&mut out, "Fig. 10 - performance insulation in shared storage");
@@ -332,6 +459,12 @@ pub fn fig10_argon_report() -> String {
         let cfg =
             InsulationConfig { striped, servers: if striped { 8 } else { 4 }, ..base.clone() };
         let r = run_insulation(&cfg, policy);
+        let labels = [("policy", name)];
+        gauge(reg, "argon.seq_bps", &labels, r.seq_bps);
+        gauge(reg, "argon.seq_eff_permille", &labels, milli(r.seq_efficiency));
+        gauge(reg, "argon.rand_iops", &labels, r.rand_iops);
+        gauge(reg, "argon.rand_eff_permille", &labels, milli(r.rand_efficiency));
+        gauge(reg, "argon.servers", &labels, cfg.servers as f64);
         let _ = writeln!(
             out,
             "{:<34} {:>12.1} {:>11.0}% {:>12.0} {:>11.0}%",
@@ -353,7 +486,7 @@ pub fn fig10_argon_report() -> String {
 // --------------------------------------------------------------- fig11
 
 /// Fig. 11 / §4.2.6: flash vs disk characterization.
-pub fn fig11_flash_report() -> String {
+pub fn fig11_flash_report(reg: &Registry) -> String {
     let mut out = String::new();
     header(&mut out, "Fig. 11 - flash vs disk behaviour");
     let mut disk = profiles::reference_sata(256);
@@ -372,6 +505,9 @@ pub fn fig11_flash_report() -> String {
         t += disk.service(DevOp::read(pos, 4096));
     }
     let disk_iops = 500.0 / t.as_secs_f64();
+    gauge(reg, "flash.disk_seq_bps", &[], disk_seq);
+    gauge(reg, "flash.disk_rand_iops", &[], disk_iops);
+    export_device_stats(reg, &[("dev", "ref-sata")], &disk.stats());
     let _ = writeln!(
         out,
         "reference SATA disk: seq {} | random {:.0} IOPS",
@@ -393,6 +529,10 @@ pub fn fig11_flash_report() -> String {
         tw += d.service(DevOp::write(rng.below(pages) * 4096, 4096));
     }
     let write_iops = 2000.0 / tw.as_secs_f64();
+    gauge(reg, "flash.read_iops", &[], read_iops);
+    gauge(reg, "flash.write_iops", &[], write_iops);
+    gauge(reg, "flash.read_vs_disk_milli", &[], milli(read_iops / disk_iops));
+    export_device_stats(reg, &[("dev", "x25")], &d.stats());
     let _ = writeln!(
         out,
         "Intel X25-M flash:   random read {} | random write {} ({}x slower than reads)",
@@ -412,7 +552,7 @@ pub fn fig11_flash_report() -> String {
 // ---------------------------------------------------------------- tab1
 
 /// Table 1: modeled device numbers vs published headline numbers.
-pub fn tab1_flash_table() -> String {
+pub fn tab1_flash_table(reg: &Registry) -> String {
     let mut out = String::new();
     header(&mut out, "Table 1 - flash device characteristics (modeled vs published)");
     let _ = writeln!(
@@ -440,6 +580,11 @@ pub fn tab1_flash_table() -> String {
             let t = d.service(DevOp::read(0, 32 * MIB));
             t.throughput(32 * MIB) / 1e6
         };
+        let labels = [("dev", h.name)];
+        gauge(reg, "flash.modeled_read_kiops_milli", &labels, milli(r_kiops));
+        gauge(reg, "flash.modeled_write_kiops_milli", &labels, milli(w_kiops));
+        gauge(reg, "flash.modeled_seq_read_bps", &labels, seq_r * 1e6);
+        export_device_stats(reg, &labels, &d.stats());
         let _ = writeln!(
             out,
             "{:<22} {:<9} {:>6.0}/{:<6.0} {:>8.0} {:>7.1}/{:<7.1} {:>7.2}/{:<7.2}",
@@ -461,7 +606,7 @@ pub fn tab1_flash_table() -> String {
 // --------------------------------------------------------------- fig13
 
 /// Fig. 13: the stacked formatted-I/O optimization gains.
-pub fn fig13_hdf5_report() -> String {
+pub fn fig13_hdf5_report(reg: &Registry) -> String {
     let mut out = String::new();
     header(&mut out, "Fig. 13 - cumulative HDF5-style optimization gains");
     for (app, w) in
@@ -472,6 +617,9 @@ pub fn fig13_hdf5_report() -> String {
         let base = rows[0].1;
         let _ = writeln!(out, "\n{app} (128 ranks):");
         for (stage, bw) in &rows {
+            let labels = [("app", app), ("stage", stage.name())];
+            gauge(reg, "miniio.bandwidth_bps", &labels, *bw);
+            gauge(reg, "miniio.gain_milli", &labels, milli(bw / base));
             let _ = writeln!(
                 out,
                 "  {:<38} {:>10.1} MB/s  {:>6.1}x  {}",
@@ -489,7 +637,7 @@ pub fn fig13_hdf5_report() -> String {
 // --------------------------------------------------------------- fig14
 
 /// Fig. 14: sustained 4 KiB random-write IOPS over time per device.
-pub fn fig14_degradation_report() -> String {
+pub fn fig14_degradation_report(reg: &Registry) -> String {
     let mut out = String::new();
     header(&mut out, "Fig. 14 - sustained random-write IOPS degradation");
     let windows = 10;
@@ -519,7 +667,21 @@ pub fn fig14_degradation_report() -> String {
             rates.push(per_window as f64 / t.as_secs_f64());
         }
         let _ = write!(out, "{:<22}", h.name);
-        for r in &rates {
+        gauge(reg, "flash.fresh_iops", &[("dev", h.name)], fresh);
+        gauge(
+            reg,
+            "flash.write_amp_milli",
+            &[("dev", h.name)],
+            milli(d.ftl_stats().write_amplification()),
+        );
+        for (w, r) in rates.iter().enumerate() {
+            let w_s = (w + 1).to_string();
+            gauge(
+                reg,
+                "flash.sustained_permille",
+                &[("dev", h.name), ("window", w_s.as_str())],
+                milli(r / fresh),
+            );
             let _ = write!(out, "{:>7.0}", r / fresh * 100.0);
         }
         let _ =
@@ -536,11 +698,20 @@ pub fn fig14_degradation_report() -> String {
 // --------------------------------------------------------------- fig15
 
 /// Fig. 15: Ninjat rendering of an N-1 strided checkpoint.
-pub fn fig15_ninjat_report() -> String {
+pub fn fig15_ninjat_report(reg: &Registry) -> String {
     let mut out = String::new();
     header(&mut out, "Fig. 15 - Ninjat view of an N-1 strided checkpoint (rank = symbol)");
     let p = AppProfile::by_name("FLASH-IO").unwrap().pattern(12);
     let trace = Trace::from_pattern("FLASH-IO", &p);
+    for rank in 0..trace.ranks {
+        let rank_s = rank.to_string();
+        let labels = [("rank", rank_s.as_str())];
+        let ops = trace.ops.iter().filter(|o| o.rank == rank);
+        gauge(reg, "trace.ops", &labels, ops.clone().count() as f64);
+        gauge(reg, "trace.bytes", &labels, ops.map(|o| o.len).sum::<u64>() as f64);
+    }
+    gauge(reg, "trace.total_ops", &[], trace.ops.len() as f64);
+    gauge(reg, "trace.interleave_milli", &[], milli(workloads::interleave_factor(&trace)));
     let _ = writeln!(out, "offset ^  (time ->)");
     for row in workloads::render(&trace, 76, 20) {
         let _ = writeln!(out, "| {row}");
@@ -557,7 +728,7 @@ pub fn fig15_ninjat_report() -> String {
 // ---------------------------------------------------------------- pnfs
 
 /// §2.2 / §5.7: pNFS vs plain NFS aggregate bandwidth.
-pub fn pnfs_report() -> String {
+pub fn pnfs_report(reg: &Registry) -> String {
     use pnfs::{run_access, AccessProtocol, ScalingConfig};
     let mut out = String::new();
     header(&mut out, "pNFS - parallel vs proxied NFS access (report SS2.2)");
@@ -567,6 +738,13 @@ pub fn pnfs_report() -> String {
         let cfg = ScalingConfig { clients, ..Default::default() };
         let nfs = run_access(&cfg, AccessProtocol::Nfs);
         let pnfs_r = run_access(&cfg, AccessProtocol::Pnfs);
+        let c_s = clients.to_string();
+        let labels = [("clients", c_s.as_str())];
+        gauge(reg, "pnfs.nfs_bps", &labels, nfs.aggregate_bps);
+        gauge(reg, "pnfs.pnfs_bps", &labels, pnfs_r.aggregate_bps);
+        gauge(reg, "pnfs.speedup_milli", &labels, milli(pnfs_r.aggregate_bps / nfs.aggregate_bps));
+        gauge(reg, "pnfs.layout_grants", &labels, pnfs_r.layout_grants as f64);
+        gauge(reg, "pnfs.layout_recalls", &labels, pnfs_r.layout_recalls as f64);
         let _ = writeln!(
             out,
             "{:>9} {:>12.1} {:>14.1} {:>8.1}x",
@@ -587,11 +765,13 @@ pub fn pnfs_report() -> String {
 // ------------------------------------------------------------ spyglass
 
 /// §4.2.2 Content Indexing: partitioned metadata search vs full scan.
-pub fn spyglass_report() -> String {
+pub fn spyglass_report(reg: &Registry) -> String {
     use spyglass::{synthesize_population, Query, SpyglassIndex};
     let mut out = String::new();
     header(&mut out, "Metadata search - partitioned index vs full scan (report SS4.2.2)");
     let idx = SpyglassIndex::build(synthesize_population(200_000, 400, 42), 1024);
+    gauge(reg, "spyglass.files", &[], idx.len() as f64);
+    gauge(reg, "spyglass.partitions", &[], idx.partition_count() as f64);
     let _ = writeln!(out, "{} files in {} partitions", idx.len(), idx.partition_count());
     let queries: [(&str, Query); 4] = [
         ("owner=5", Query { owner: Some(5), ..Default::default() }),
@@ -616,6 +796,16 @@ pub fn spyglass_report() -> String {
         let fast = idx.query(q);
         let slow = idx.full_scan(q);
         assert_eq!(fast.ids, slow.ids);
+        let labels = [("query", *name)];
+        gauge(reg, "spyglass.hits", &labels, fast.ids.len() as f64);
+        gauge(reg, "spyglass.records_scanned", &labels, fast.records_touched as f64);
+        gauge(reg, "spyglass.full_scan_cost", &labels, slow.records_touched as f64);
+        gauge(
+            reg,
+            "spyglass.speedup_milli",
+            &labels,
+            milli(slow.records_touched as f64 / fast.records_touched.max(1) as f64),
+        );
         let _ = writeln!(
             out,
             "{:<22} {:>8} {:>16} {:>16} {:>8.0}x",
@@ -633,7 +823,7 @@ pub fn spyglass_report() -> String {
 // ------------------------------------------------------------ speedups
 
 /// The report's headline per-application PLFS speedup claims.
-pub fn speedup_table_report() -> String {
+pub fn speedup_table_report(reg: &Registry) -> String {
     let mut out = String::new();
     header(&mut out, "PLFS per-application speedups (report headline claims)");
     let ranks = 512;
@@ -660,6 +850,10 @@ pub fn speedup_table_report() -> String {
         };
         let cfg = ClusterConfig::lustre_like(16, MIB);
         let (d, p, s) = compare(cfg, &app.pattern(ranks), &opt);
+        let labels = [("app", app.name)];
+        gauge(reg, "plfs.sim.direct_bps", &labels, d.write_bandwidth());
+        gauge(reg, "plfs.sim.plfs_bps", &labels, p.write_bandwidth());
+        gauge(reg, "plfs.sim.speedup_milli", &labels, milli(s));
         let _ = writeln!(
             out,
             "{:<10} {:<12} {:>12.1} {:>12.1} {:>8.1}x  {}",
@@ -676,10 +870,64 @@ pub fn speedup_table_report() -> String {
 
 // -------------------------------------------------------------- faults
 
+/// One row of the `faults` masking experiment: 64 ranks checkpoint
+/// through PLFS over a store that errors transiently with probability
+/// `transient` and tears appends with probability `torn`.
+///
+/// Returns the injected-fault stats, the number of errors surfaced to
+/// the application, and a registry holding the full `plfs.*` /
+/// `retry.*` / `faults.*` series — the basis of the masking invariant
+/// (`retry.masked_transient == faults.injected_transient` and
+/// `retry.torn_recovered == faults.injected_torn` whenever
+/// `surfaced == 0`), which `tests/metrics.rs` asserts exactly.
+pub fn faults_masking_run(transient: f64, torn: f64) -> (plfs::FaultStats, u64, Registry) {
+    use plfs::backend::{Backend, MemBackend};
+    use plfs::faults::{FaultPlan, FaultyBackend};
+    use plfs::retry::RetryPolicy;
+    use std::sync::Arc;
+
+    let row_reg = Registry::new();
+    let faulty = Arc::new(FaultyBackend::new(
+        MemBackend::new(),
+        FaultPlan {
+            transient_error_rate: transient,
+            torn_append_rate: torn,
+            ..FaultPlan::none(42)
+        },
+    ));
+    let fs = plfs::Plfs::new(
+        faulty.clone() as Arc<dyn Backend>,
+        plfs::PlfsConfig {
+            writer: plfs::WriterConfig { retry: RetryPolicy::fast_test(), ..Default::default() },
+            retry: RetryPolicy::fast_test(),
+            metrics: row_reg.clone(),
+            ..Default::default()
+        },
+    );
+    let mut surfaced = 0u64;
+    for rank in 0..64u32 {
+        let Ok(mut w) = fs.open_writer("/ckpt", rank) else {
+            surfaced += 1;
+            continue;
+        };
+        for i in 0..32u64 {
+            let off = (i * 64 + rank as u64) * 47 * 1024;
+            if w.write_at(off, &[rank as u8; 47 * 1024]).is_err() {
+                surfaced += 1;
+            }
+        }
+        if w.close().is_err() {
+            surfaced += 1;
+        }
+    }
+    faulty.export_into(&row_reg);
+    (faulty.stats(), surfaced, row_reg)
+}
+
 /// Fault injection: checkpoint bandwidth with one OSD crash/restart
 /// mid-phase, for both N-1 strided and N-N patterns, plus the PLFS
 /// retry layer masking a lossy backing store.
-pub fn faults_report() -> String {
+pub fn faults_report(reg: &Registry) -> String {
     use pfs::sim::{Cluster, Op};
     use simkit::SimTime;
 
@@ -724,6 +972,7 @@ pub fn faults_report() -> String {
         "pattern", "healthy MB/s", "degraded MB/s", "slowdown"
     );
     for (name, streams) in [("N-1 strided", &n1), ("N-N", &nn)] {
+        let pat = if name == "N-N" { "nn" } else { "n1" };
         let mut healthy = Cluster::new(ClusterConfig::lustre_like(servers, MIB));
         let h = healthy.run_phase(streams);
         let mut faulty = Cluster::new(ClusterConfig::lustre_like(servers, MIB));
@@ -731,6 +980,14 @@ pub fn faults_report() -> String {
         let d = faulty.run_phase(streams);
         assert_eq!(d.crashes, 1, "crash event must fire");
         assert_eq!(d.bytes_written, h.bytes_written, "outage must not lose acked data");
+        h.export_metrics(reg, &[("pattern", pat), ("mode", "healthy")], false);
+        d.export_metrics(reg, &[("pattern", pat), ("mode", "degraded")], true);
+        gauge(
+            reg,
+            "pfs.phase.slowdown_milli",
+            &[("pattern", pat)],
+            milli(h.write_bandwidth() / d.write_bandwidth()),
+        );
         let _ = writeln!(
             out,
             "{:<14} {:>14.1} {:>15.1} {:>9.1}x",
@@ -743,10 +1000,6 @@ pub fn faults_report() -> String {
 
     // Middleware-level fault masking: the PLFS write path over a
     // backing store that fails transiently / tears appends.
-    use plfs::backend::{Backend, MemBackend};
-    use plfs::faults::{FaultPlan, FaultyBackend};
-    use plfs::retry::RetryPolicy;
-    use std::sync::Arc;
     let _ = writeln!(out, "\nPLFS retry layer over a lossy store (64 ranks x 32 x 47 KiB):");
     let _ = writeln!(
         out,
@@ -754,42 +1007,10 @@ pub fn faults_report() -> String {
         "p(EIO)", "p(torn)", "injected", "torn", "surfaced"
     );
     for (transient, torn) in [(0.0, 0.0), (0.02, 0.01), (0.10, 0.05)] {
-        let faulty = Arc::new(FaultyBackend::new(
-            MemBackend::new(),
-            FaultPlan {
-                transient_error_rate: transient,
-                torn_append_rate: torn,
-                ..FaultPlan::none(42)
-            },
-        ));
-        let fs = plfs::Plfs::new(
-            faulty.clone() as Arc<dyn Backend>,
-            plfs::PlfsConfig {
-                writer: plfs::WriterConfig {
-                    retry: RetryPolicy::fast_test(),
-                    ..Default::default()
-                },
-                retry: RetryPolicy::fast_test(),
-                ..Default::default()
-            },
-        );
-        let mut surfaced = 0u64;
-        for rank in 0..64u32 {
-            let Ok(mut w) = fs.open_writer("/ckpt", rank) else {
-                surfaced += 1;
-                continue;
-            };
-            for i in 0..32u64 {
-                let off = (i * 64 + rank as u64) * 47 * 1024;
-                if w.write_at(off, &[rank as u8; 47 * 1024]).is_err() {
-                    surfaced += 1;
-                }
-            }
-            if w.close().is_err() {
-                surfaced += 1;
-            }
-        }
-        let st = faulty.stats();
+        let (st, surfaced, row_reg) = faults_masking_run(transient, torn);
+        let t_s = format!("{transient}");
+        let torn_s = format!("{torn}");
+        reg.absorb(&row_reg.snapshot(), &[("p_eio", &t_s), ("p_torn", &torn_s)]);
         let _ = writeln!(
             out,
             "{:>10.2} {:>10.2} {:>12} {:>12} {:>10}",

@@ -140,6 +140,23 @@ impl<B: Backend> FaultyBackend<B> {
         self.state.lock().unwrap().stats
     }
 
+    /// Export the injection counters into a metrics registry as the
+    /// `faults.*` series. Counters accumulate, so export once per
+    /// backend (or use labels to keep backends apart).
+    pub fn export_into(&self, reg: &obs::Registry) {
+        self.export_into_labeled(reg, &[]);
+    }
+
+    /// [`Self::export_into`] with extra labels on every series.
+    pub fn export_into_labeled(&self, reg: &obs::Registry, labels: &[(&str, &str)]) {
+        let st = self.stats();
+        reg.counter_with("faults.ops", labels).add(st.ops);
+        reg.counter_with("faults.injected_transient", labels).add(st.injected_transient);
+        reg.counter_with("faults.injected_torn", labels).add(st.injected_torn);
+        reg.counter_with("faults.rejected_while_crashed", labels).add(st.rejected_while_crashed);
+        reg.counter_with("faults.crashes", labels).add(st.crashes);
+    }
+
     /// Has the crash-stop fired?
     pub fn is_crashed(&self) -> bool {
         self.state.lock().unwrap().crashed
@@ -230,15 +247,21 @@ impl<B: Backend> Backend for FaultyBackend<B> {
                 return Err(crashed_error());
             }
         }
-        // Torn append: a random strict prefix lands, then the error.
+        // Torn append: a random *nonempty* strict prefix lands, then the
+        // error. Guaranteeing progress keeps torn faults observably
+        // distinct from plain transients (the file grew), which is what
+        // lets the retry layer classify its recoveries exactly. A 1-byte
+        // append cannot tear — it degrades to a plain transient below.
         let torn = st.plan.torn_append_rate;
         if torn > 0.0 && !data.is_empty() && st.rng.chance(torn) {
-            let prefix = st.rng.below(data.len() as u64) as usize;
-            if prefix > 0 {
+            if data.len() >= 2 {
+                let prefix = 1 + st.rng.below(data.len() as u64 - 1) as usize;
                 self.inner.append(path, &data[..prefix])?;
                 st.appended += prefix as u64;
+                st.stats.injected_torn += 1;
+            } else {
+                st.stats.injected_transient += 1;
             }
-            st.stats.injected_torn += 1;
             return Err(transient_error(&mut st.rng));
         }
         // Plain transient: nothing lands.
@@ -359,7 +382,55 @@ mod tests {
         assert!(crate::retry::classify(&err) == crate::retry::ErrorClass::Transient);
         let landed = b.inner().len("/f").unwrap_or(0);
         assert!(landed < 10, "torn append must not land everything");
+        assert!(landed >= 1, "torn append must land a nonempty prefix");
         assert_eq!(b.stats().injected_torn, 1);
         assert_eq!(b.bytes_appended(), landed);
+    }
+
+    #[test]
+    fn torn_appends_always_make_progress() {
+        // Every injected tear lands at least one byte — the property the
+        // retry layer relies on to tell torn from plain-transient.
+        for seed in 0..32 {
+            let b = FaultyBackend::new(
+                MemBackend::new(),
+                FaultPlan { torn_append_rate: 1.0, ..FaultPlan::none(seed) },
+            );
+            let before = b.inner().len("/f").unwrap_or(0);
+            b.append("/f", b"abcdef").unwrap_err();
+            let after = b.inner().len("/f").unwrap_or(0);
+            assert!(after > before, "seed {seed}: tear landed nothing");
+            assert!(after - before < 6, "seed {seed}: tear landed everything");
+        }
+    }
+
+    #[test]
+    fn one_byte_appends_degrade_to_plain_transient() {
+        let b = FaultyBackend::new(
+            MemBackend::new(),
+            FaultPlan { torn_append_rate: 1.0, ..FaultPlan::none(2) },
+        );
+        b.append("/f", b"x").unwrap_err();
+        let st = b.stats();
+        assert_eq!(st.injected_torn, 0);
+        assert_eq!(st.injected_transient, 1);
+        assert_eq!(b.inner().len("/f").unwrap_or(0), 0, "store untouched");
+    }
+
+    #[test]
+    fn export_into_mirrors_stats() {
+        let b = FaultyBackend::new(
+            MemBackend::new(),
+            FaultPlan { transient_error_rate: 0.5, ..FaultPlan::none(7) },
+        );
+        for i in 0..50 {
+            let _ = b.append("/f", &[i as u8, i as u8]);
+        }
+        let reg = obs::Registry::new();
+        b.export_into(&reg);
+        let st = b.stats();
+        assert_eq!(reg.value("faults.ops"), Some(st.ops));
+        assert_eq!(reg.value("faults.injected_transient"), Some(st.injected_transient));
+        assert!(st.injected_transient > 0);
     }
 }

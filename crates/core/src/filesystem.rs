@@ -10,11 +10,12 @@ use crate::backend::Backend;
 use crate::container::{
     create_container, discover_droppings, is_container, read_meta, session_count, ContainerPaths,
 };
+use crate::metrics::PlfsMetrics;
 use crate::read::Reader;
 use crate::retry::{append_at_reliable, RetriedBackend, RetryPolicy};
 use crate::write::{Writer, WriterConfig};
+use obs::{Clock, Registry};
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Global PLFS configuration.
@@ -26,11 +27,21 @@ pub struct PlfsConfig {
     /// Retry policy for metadata and read-side backend operations
     /// (the write path uses `writer.retry`).
     pub retry: RetryPolicy,
+    /// Registry this instance records into. Cloning a `Registry` shares
+    /// it, so pass an experiment-wide registry to collect `plfs.*` and
+    /// `retry.*` series alongside everything else; the default is a
+    /// private one.
+    pub metrics: Registry,
 }
 
 impl Default for PlfsConfig {
     fn default() -> Self {
-        PlfsConfig { hostdirs: 32, writer: WriterConfig::default(), retry: RetryPolicy::default() }
+        PlfsConfig {
+            hostdirs: 32,
+            writer: WriterConfig::default(),
+            retry: RetryPolicy::default(),
+            metrics: Registry::new(),
+        }
     }
 }
 
@@ -48,13 +59,27 @@ pub struct FileStat {
 pub struct Plfs {
     backend: Arc<dyn Backend>,
     cfg: PlfsConfig,
-    /// Timestamp source shared by all writers of this instance.
-    clock: Arc<AtomicU64>,
+    /// Shared registry + clock + counter handles for every writer and
+    /// reader this instance hands out.
+    metrics: Arc<PlfsMetrics>,
 }
 
 impl Plfs {
-    pub fn new(backend: Arc<dyn Backend>, cfg: PlfsConfig) -> Self {
-        Plfs { backend, cfg, clock: Arc::new(AtomicU64::new(1)) }
+    pub fn new(backend: Arc<dyn Backend>, mut cfg: PlfsConfig) -> Self {
+        // Bind both retry policies to the instance registry so masked /
+        // surfaced / backoff counts land next to the plfs.* series.
+        cfg.retry = cfg.retry.bound_to(&cfg.metrics);
+        cfg.writer.retry = cfg.writer.retry.bound_to(&cfg.metrics);
+        // Index timestamps are sequence numbers, so the shared clock is
+        // logical; it starts at 1 so stamp 0 stays "never written".
+        let metrics = PlfsMetrics::new(&cfg.metrics, &Clock::logical_at(1));
+        Plfs { backend, cfg, metrics }
+    }
+
+    /// The instrumentation bundle (registry, clock, counters) shared by
+    /// all handles of this instance.
+    pub fn metrics(&self) -> &Arc<PlfsMetrics> {
+        &self.metrics
     }
 
     pub fn backend(&self) -> &Arc<dyn Backend> {
@@ -96,13 +121,13 @@ impl Plfs {
         // A new session's stamps must exceed everything already stored:
         // reserve a fresh epoch in the high bits.
         let epoch_floor = (session + 1) << 40;
-        self.clock.fetch_max(epoch_floor, Ordering::Relaxed);
+        self.metrics.clock.advance_to(epoch_floor);
         Writer::new(
             self.backend.clone(),
             paths,
             self.cfg.writer.clone(),
             rank,
-            self.clock.clone(),
+            self.metrics.clone(),
             session,
         )
     }
@@ -115,7 +140,12 @@ impl Plfs {
                 format!("no such file: {logical}"),
             ));
         }
-        Reader::open(self.backend.clone(), self.paths(logical), self.cfg.retry.clone())
+        Reader::open(
+            self.backend.clone(),
+            self.paths(logical),
+            self.cfg.retry.clone(),
+            self.metrics.clone(),
+        )
     }
 
     /// `stat` without a full index merge when possible: closed
@@ -141,7 +171,12 @@ impl Plfs {
                 from_meta: true,
             });
         }
-        let reader = Reader::open(self.backend.clone(), paths, self.cfg.retry.clone())?;
+        let reader = Reader::open(
+            self.backend.clone(),
+            paths,
+            self.cfg.retry.clone(),
+            self.metrics.clone(),
+        )?;
         Ok(FileStat { size: reader.size(), writers, from_meta: false })
     }
 

@@ -60,6 +60,7 @@ pub mod faults;
 pub mod filesystem;
 pub mod fsck;
 pub mod index;
+pub mod metrics;
 pub mod mpiio;
 pub mod read;
 pub mod retry;
@@ -72,8 +73,9 @@ pub use faults::{FaultPlan, FaultStats, FaultyBackend};
 pub use filesystem::{FileStat, Plfs, PlfsConfig};
 pub use fsck::{fsck, repair, FsckError, FsckReport, RepairAction, RepairOptions, RepairReport};
 pub use index::{IndexEntry, IndexMap};
+pub use metrics::PlfsMetrics;
 pub use mpiio::{segmented_n1_pattern, strided_n1_pattern, ParallelFile};
 pub use read::Reader;
-pub use retry::RetryPolicy;
+pub use retry::{RetryObs, RetryPolicy};
 pub use simadapter::{compare, run_direct, run_plfs, PlfsSimOptions};
 pub use write::{Writer, WriterConfig, WriterStats};

@@ -10,6 +10,7 @@
 use crate::backend::Backend;
 use crate::container::{discover_droppings, ContainerPaths};
 use crate::index::{decode, IndexEntry, IndexMap};
+use crate::metrics::PlfsMetrics;
 use crate::retry::{RetriedBackend, RetryPolicy};
 use std::io;
 use std::sync::Arc;
@@ -30,6 +31,7 @@ pub struct Reader {
     retry: RetryPolicy,
     map: IndexMap,
     stats: ReadStats,
+    metrics: Arc<PlfsMetrics>,
 }
 
 impl Reader {
@@ -40,7 +42,9 @@ impl Reader {
         backend: Arc<dyn Backend>,
         paths: ContainerPaths,
         retry: RetryPolicy,
+        metrics: Arc<PlfsMetrics>,
     ) -> io::Result<Self> {
+        let span = metrics.open_timer.start();
         // Per-operation retry: wrapping the whole discovery (dozens of
         // backend calls) in one retry unit would compound the per-call
         // fault probability instead of masking it.
@@ -59,6 +63,11 @@ impl Reader {
         let entries = decode_all(&blobs)?;
         let raw_entries = entries.len();
         let map = IndexMap::build(entries);
+        metrics.merge_fanin.observe(droppings.len() as u64);
+        metrics.raw_entries.add(raw_entries as u64);
+        metrics.merged_extents.add(map.extents().len() as u64);
+        metrics.index_bytes_read.add(index_bytes);
+        span.stop();
         Ok(Reader {
             backend,
             paths,
@@ -70,6 +79,7 @@ impl Reader {
                 index_bytes,
             },
             map,
+            metrics,
         })
     }
 
@@ -91,10 +101,12 @@ impl Reader {
     /// holes within the file read as zeros.
     pub fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
         let eof = self.map.eof();
+        self.metrics.read_ops.inc();
         if offset >= eof {
             return Ok(0);
         }
         let want = (buf.len() as u64).min(eof - offset);
+        self.metrics.read_bytes.add(want);
         for (piece_off, piece_len, extent) in self.map.lookup(offset, want) {
             let dst = (piece_off - offset) as usize;
             let dst_end = dst + piece_len as usize;
@@ -158,19 +170,18 @@ mod tests {
     use crate::backend::MemBackend;
     use crate::container::{create_container, ContainerPaths};
     use crate::write::{Writer, WriterConfig};
-    use std::sync::atomic::AtomicU64;
 
-    fn setup(hostdirs: u32) -> (Arc<MemBackend>, ContainerPaths, Arc<AtomicU64>) {
+    fn setup(hostdirs: u32) -> (Arc<MemBackend>, ContainerPaths, Arc<PlfsMetrics>) {
         let b = Arc::new(MemBackend::new());
         let p = ContainerPaths::new("/f", hostdirs);
         create_container(b.as_ref(), &p).unwrap();
-        (b, p, Arc::new(AtomicU64::new(0)))
+        (b, p, PlfsMetrics::detached())
     }
 
     fn mkwriter(
         b: &Arc<MemBackend>,
         p: &ContainerPaths,
-        clock: &Arc<AtomicU64>,
+        metrics: &Arc<PlfsMetrics>,
         rank: u32,
     ) -> Writer {
         Writer::new(
@@ -178,14 +189,20 @@ mod tests {
             p.clone(),
             WriterConfig::default(),
             rank,
-            clock.clone(),
+            metrics.clone(),
             0,
         )
         .unwrap()
     }
 
     fn reader(b: &Arc<MemBackend>, p: &ContainerPaths) -> Reader {
-        Reader::open(b.clone() as Arc<dyn Backend>, p.clone(), RetryPolicy::none()).unwrap()
+        Reader::open(
+            b.clone() as Arc<dyn Backend>,
+            p.clone(),
+            RetryPolicy::none(),
+            PlfsMetrics::detached(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -305,5 +322,28 @@ mod tests {
         assert_eq!(&buf[..5], b"eeeee");
         assert_eq!(&buf[5..15], b"oooooooooo");
         assert_eq!(&buf[15..25], b"eeeeeeeeee");
+    }
+
+    #[test]
+    fn metrics_record_merge_fanin_and_read_bytes() {
+        let (b, p, m) = setup(4);
+        for rank in 0..6u32 {
+            let mut w = mkwriter(&b, &p, &m, rank);
+            w.write_at(rank as u64 * 10, &[rank as u8; 10]).unwrap();
+            w.close().unwrap();
+        }
+        let rm = PlfsMetrics::detached();
+        let r =
+            Reader::open(b.clone() as Arc<dyn Backend>, p.clone(), RetryPolicy::none(), rm.clone())
+                .unwrap();
+        let reg = &rm.registry;
+        let fanin = reg.histogram("plfs.index.merge_fanin");
+        assert_eq!(fanin.count(), 1);
+        assert_eq!(fanin.max(), 6, "six writers merged");
+        assert_eq!(reg.value("plfs.index.raw_entries"), Some(6));
+        assert!(reg.value("plfs.index.bytes_read").unwrap() > 0);
+        let data = r.read_all().unwrap();
+        assert_eq!(reg.value("plfs.read.ops"), Some(1));
+        assert_eq!(reg.value("plfs.read.bytes"), Some(data.len() as u64));
     }
 }

@@ -15,6 +15,7 @@
 //! of the buffer already landed, and appends only the remaining suffix.
 
 use crate::backend::Backend;
+use obs::{Counter, Registry};
 use std::io;
 use std::time::Duration;
 
@@ -42,8 +43,60 @@ pub fn classify(err: &io::Error) -> ErrorClass {
     }
 }
 
+/// Observable counters for the retry machinery: one clonable bundle of
+/// [`Counter`] handles shared by every policy derived from it.
+///
+/// The counters carry the `retry.*` schema:
+///
+/// - `retry.attempts` — backend operation attempts issued through the
+///   retry layer (first tries included);
+/// - `retry.masked_transient` — transient failures absorbed by a retry
+///   where the store had *not* advanced;
+/// - `retry.torn_recovered` — absorbed append failures where the store
+///   *had* advanced (a torn append resumed mid-buffer);
+/// - `retry.surfaced` — errors returned to the caller (fatal, or budget
+///   exhausted);
+/// - `retry.backoff_ns` — cumulative backoff slept, nanoseconds.
+///
+/// Under zero surfaced errors these tie exactly to the fault injector:
+/// `retry.masked_transient == faults.injected_transient` and
+/// `retry.torn_recovered == faults.injected_torn`.
+#[derive(Debug, Clone)]
+pub struct RetryObs {
+    pub attempts: Counter,
+    pub masked_transient: Counter,
+    pub torn_recovered: Counter,
+    pub surfaced: Counter,
+    pub backoff_ns: Counter,
+}
+
+impl RetryObs {
+    /// Counters registered in `reg` under the `retry.*` names.
+    pub fn registered(reg: &Registry) -> Self {
+        RetryObs {
+            attempts: reg.counter("retry.attempts"),
+            masked_transient: reg.counter("retry.masked_transient"),
+            torn_recovered: reg.counter("retry.torn_recovered"),
+            surfaced: reg.counter("retry.surfaced"),
+            backoff_ns: reg.counter("retry.backoff_ns"),
+        }
+    }
+
+    /// Standalone counters not attached to any registry (the default for
+    /// a bare policy; [`crate::Plfs`] rebinds to its registry on open).
+    pub fn detached() -> Self {
+        Self::registered(&Registry::new())
+    }
+}
+
+impl Default for RetryObs {
+    fn default() -> Self {
+        RetryObs::detached()
+    }
+}
+
 /// Bounded exponential backoff policy.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RetryPolicy {
     /// Additional attempts after the first (0 = never retry).
     pub max_retries: u32,
@@ -54,6 +107,19 @@ pub struct RetryPolicy {
     /// Jitter: each delay is scaled by a deterministic factor in
     /// `[1 - jitter, 1]`. 0 disables.
     pub jitter_frac: f64,
+    /// Counter handles this policy records into.
+    pub obs: RetryObs,
+}
+
+// Equality is over the numeric tuning only: two policies that sleep and
+// give up identically are equal regardless of where they record.
+impl PartialEq for RetryPolicy {
+    fn eq(&self, other: &Self) -> bool {
+        self.max_retries == other.max_retries
+            && self.base_delay == other.base_delay
+            && self.max_delay == other.max_delay
+            && self.jitter_frac == other.jitter_frac
+    }
 }
 
 impl Default for RetryPolicy {
@@ -64,6 +130,7 @@ impl Default for RetryPolicy {
             base_delay: Duration::from_millis(5),
             max_delay: Duration::from_millis(500),
             jitter_frac: 0.5,
+            obs: RetryObs::detached(),
         }
     }
 }
@@ -78,7 +145,15 @@ impl RetryPolicy {
             base_delay: Duration::ZERO,
             max_delay: Duration::ZERO,
             jitter_frac: 0.0,
+            obs: RetryObs::detached(),
         }
+    }
+
+    /// The same policy recording into `reg` (shares `reg`'s `retry.*`
+    /// counters with every other policy bound to it).
+    pub fn bound_to(mut self, reg: &Registry) -> Self {
+        self.obs = RetryObs::registered(reg);
+        self
     }
 
     /// Aggressive and sleepless, for tests: enough attempts that a
@@ -90,6 +165,7 @@ impl RetryPolicy {
             base_delay: Duration::ZERO,
             max_delay: Duration::ZERO,
             jitter_frac: 0.0,
+            obs: RetryObs::detached(),
         }
     }
 
@@ -122,15 +198,19 @@ impl RetryPolicy {
     pub fn run<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
         let mut attempt = 0u32;
         loop {
+            self.obs.attempts.inc();
             match op() {
                 Ok(v) => return Ok(v),
                 Err(e) => {
                     if classify(&e) == ErrorClass::Fatal || attempt >= self.max_retries {
+                        self.obs.surfaced.inc();
                         return Err(e);
                     }
                     attempt += 1;
+                    self.obs.masked_transient.inc();
                     let d = self.backoff(attempt);
                     if !d.is_zero() {
+                        self.obs.backoff_ns.add(d.as_nanos() as u64);
                         std::thread::sleep(d);
                     }
                 }
@@ -171,7 +251,8 @@ impl Backend for RetriedBackend<'_> {
 
     fn append(&self, path: &str, data: &[u8]) -> io::Result<u64> {
         // Single-shot: see type-level docs.
-        self.inner.append(path, data)
+        self.policy.obs.attempts.inc();
+        self.inner.append(path, data).inspect_err(|_| self.policy.obs.surfaced.inc())
     }
 
     fn read_at(&self, path: &str, off: u64, buf: &mut [u8]) -> io::Result<usize> {
@@ -235,9 +316,11 @@ pub fn append_at_reliable(
     }
     let mut attempt = 0u32;
     loop {
+        policy.obs.attempts.inc();
         match backend.append(path, &data[landed..]) {
             Ok(off) => {
                 if off != expected_base + landed as u64 {
+                    policy.obs.surfaced.inc();
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
                         format!(
@@ -251,15 +334,27 @@ pub fn append_at_reliable(
             }
             Err(e) => {
                 if classify(&e) == ErrorClass::Fatal || attempt >= policy.max_retries {
+                    policy.obs.surfaced.inc();
                     return Err(e);
                 }
                 attempt += 1;
                 let d = policy.backoff(attempt);
                 if !d.is_zero() {
+                    policy.obs.backoff_ns.add(d.as_nanos() as u64);
                     std::thread::sleep(d);
                 }
-                // The failed attempt may have torn: re-measure.
+                // The failed attempt may have torn: re-measure. If the
+                // store advanced, this absorbed failure was a torn append
+                // we are now resuming; otherwise it was a plain transient.
+                // (Tears always land a nonempty prefix — see
+                // `FaultyBackend::append` — so the distinction is exact.)
+                let before = landed;
                 landed = recovered_progress(backend, policy, path, expected_base, data.len())?;
+                if landed > before {
+                    policy.obs.torn_recovered.inc();
+                } else {
+                    policy.obs.masked_transient.inc();
+                }
                 if landed >= data.len() {
                     return Ok(());
                 }
@@ -278,6 +373,7 @@ fn recovered_progress(
 ) -> io::Result<usize> {
     let cur = len_or_zero(backend, policy, path)?;
     if cur < expected_base {
+        policy.obs.surfaced.inc();
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("{path} shrank under us: len {cur} < expected base {expected_base}"),
@@ -353,6 +449,7 @@ mod tests {
             base_delay: Duration::from_millis(10),
             max_delay: Duration::from_millis(100),
             jitter_frac: 0.5,
+            obs: RetryObs::detached(),
         };
         for a in 1..=10 {
             let d = p.backoff(a);
@@ -400,5 +497,71 @@ mod tests {
         b.append("/f", b"ab").unwrap();
         let err = append_at_reliable(&b, &RetryPolicy::none(), "/f", 10, b"zz", true).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn run_counts_masked_and_surfaced() {
+        let reg = Registry::new();
+        let policy = RetryPolicy::fast_test().bound_to(&reg);
+        let mut left = 3;
+        policy
+            .run(|| {
+                if left > 0 {
+                    left -= 1;
+                    Err(io::Error::new(io::ErrorKind::Interrupted, "flap"))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap();
+        assert_eq!(reg.value("retry.attempts"), Some(4), "3 failures + 1 success");
+        assert_eq!(reg.value("retry.masked_transient"), Some(3));
+        assert_eq!(reg.value("retry.surfaced"), Some(0));
+
+        let _ = policy.run(|| -> io::Result<()> {
+            Err(io::Error::new(io::ErrorKind::PermissionDenied, "no"))
+        });
+        assert_eq!(reg.value("retry.surfaced"), Some(1));
+    }
+
+    #[test]
+    fn append_recovery_distinguishes_torn_from_transient() {
+        // Torn-only plans: every absorbed failure advanced the store, so
+        // each one must count as torn_recovered, never masked_transient.
+        let payload: Vec<u8> = (0..200u8).collect();
+        let mut torn_seen = 0;
+        for seed in 0..16u64 {
+            let reg = Registry::new();
+            let b = FaultyBackend::new(
+                MemBackend::new(),
+                FaultPlan { torn_append_rate: 0.6, ..FaultPlan::none(seed) },
+            );
+            let policy = RetryPolicy { max_retries: 64, ..RetryPolicy::fast_test() }.bound_to(&reg);
+            append_at_reliable(&b, &policy, "/f", 0, &payload, false).unwrap();
+            assert_eq!(b.inner().read_all("/f").unwrap(), payload);
+            let st = b.stats();
+            torn_seen += st.injected_torn;
+            assert_eq!(reg.value("retry.torn_recovered"), Some(st.injected_torn));
+            assert_eq!(reg.value("retry.masked_transient"), Some(st.injected_transient));
+            assert_eq!(reg.value("retry.surfaced"), Some(0));
+        }
+        assert!(torn_seen > 0, "no seed injected a torn append — weak test");
+
+        // Transient-only plans: no absorbed failure advanced the store.
+        let mut transient_seen = 0;
+        for seed in 0..16u64 {
+            let reg = Registry::new();
+            let b = FaultyBackend::new(
+                MemBackend::new(),
+                FaultPlan { transient_error_rate: 0.4, ..FaultPlan::none(seed) },
+            );
+            let policy = RetryPolicy::fast_test().bound_to(&reg);
+            append_at_reliable(&b, &policy, "/g", 0, &payload, false).unwrap();
+            let st = b.stats();
+            transient_seen += st.injected_transient;
+            assert_eq!(reg.value("retry.masked_transient"), Some(st.injected_transient));
+            assert_eq!(reg.value("retry.torn_recovered"), Some(0));
+        }
+        assert!(transient_seen > 0, "no seed injected a transient — weak test");
     }
 }

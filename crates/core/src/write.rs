@@ -14,9 +14,9 @@
 use crate::backend::Backend;
 use crate::container::ContainerPaths;
 use crate::index::{encode_compressed, encode_raw, IndexEntry};
+use crate::metrics::PlfsMetrics;
 use crate::retry::{append_at_reliable, len_or_zero, RetryPolicy};
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Writer-side knobs.
@@ -61,8 +61,9 @@ pub struct Writer {
     paths: ContainerPaths,
     cfg: WriterConfig,
     rank: u32,
-    /// Shared monotone stamp source (one per `Plfs` instance).
-    clock: Arc<AtomicU64>,
+    /// Shared instrumentation + monotone stamp source (one per `Plfs`
+    /// instance).
+    metrics: Arc<PlfsMetrics>,
     /// Next physical offset in the data dropping.
     cursor: u64,
     max_logical: u64,
@@ -90,7 +91,7 @@ impl Writer {
         paths: ContainerPaths,
         cfg: WriterConfig,
         rank: u32,
-        clock: Arc<AtomicU64>,
+        metrics: Arc<PlfsMetrics>,
         session: u64,
     ) -> io::Result<Self> {
         let open_dropping = paths.open_dropping(rank, session);
@@ -106,7 +107,7 @@ impl Writer {
             paths,
             cfg,
             rank,
-            clock,
+            metrics,
             cursor,
             max_logical: 0,
             buf: Vec::new(),
@@ -137,7 +138,7 @@ impl Writer {
         if data.is_empty() {
             return Ok(());
         }
-        let ts = self.clock.fetch_add(1, Ordering::Relaxed);
+        let ts = self.metrics.clock.stamp();
         let phys = self.cursor;
         self.pending_index.push(IndexEntry {
             logical_offset: offset,
@@ -150,11 +151,14 @@ impl Writer {
         self.max_logical = self.max_logical.max(offset + data.len() as u64);
         self.stats.writes += 1;
         self.stats.bytes += data.len() as u64;
+        self.metrics.write_ops.inc();
+        self.metrics.write_bytes.add(data.len() as u64);
 
         if self.cfg.data_buffer == 0 {
             self.append_data(phys, data)?;
             self.buf_base = self.cursor;
             self.stats.data_appends += 1;
+            self.metrics.data_appends.inc();
         } else {
             self.buf.extend_from_slice(data);
             if self.buf.len() >= self.cfg.data_buffer {
@@ -198,6 +202,7 @@ impl Writer {
             Ok(()) => {
                 self.buf_base += buf.len() as u64;
                 self.stats.data_appends += 1;
+                self.metrics.data_appends.inc();
                 Ok(())
             }
             Err(e) => {
@@ -252,6 +257,8 @@ impl Writer {
             self.index_cursor += encoded.len() as u64;
             self.stats.index_appends += 1;
             self.stats.index_bytes += encoded.len() as u64;
+            self.metrics.index_appends.inc();
+            self.metrics.index_bytes_written.add(encoded.len() as u64);
         }
         res
     }
@@ -266,7 +273,7 @@ impl Writer {
     /// a metadata summary so later opens can shortcut stat calls.
     pub fn close(mut self) -> io::Result<WriterStats> {
         self.sync()?;
-        let max_ts = self.clock.load(Ordering::Relaxed);
+        let max_ts = self.metrics.clock.current();
         let meta = self.paths.meta_dropping(self.rank, self.max_logical, self.stats.bytes, max_ts);
         self.cfg.retry.run(|| self.backend.create(&meta))?;
         let _ = self.cfg.retry.run(|| self.backend.remove(&self.open_dropping));
@@ -291,21 +298,22 @@ mod tests {
     use crate::container::{create_container, ContainerPaths};
     use crate::index::decode;
 
-    fn setup() -> (Arc<MemBackend>, ContainerPaths, Arc<AtomicU64>) {
+    fn setup() -> (Arc<MemBackend>, ContainerPaths, Arc<PlfsMetrics>) {
         let b = Arc::new(MemBackend::new());
         let p = ContainerPaths::new("/f", 2);
         create_container(b.as_ref(), &p).unwrap();
-        (b, p, Arc::new(AtomicU64::new(0)))
+        (b, p, PlfsMetrics::detached())
     }
 
     fn writer(
         b: &Arc<MemBackend>,
         p: &ContainerPaths,
-        clock: &Arc<AtomicU64>,
+        metrics: &Arc<PlfsMetrics>,
         rank: u32,
         cfg: WriterConfig,
     ) -> Writer {
-        Writer::new(b.clone() as Arc<dyn Backend>, p.clone(), cfg, rank, clock.clone(), 0).unwrap()
+        Writer::new(b.clone() as Arc<dyn Backend>, p.clone(), cfg, rank, metrics.clone(), 0)
+            .unwrap()
     }
 
     #[test]
@@ -401,6 +409,23 @@ mod tests {
         let idx = decode(&b.read_all(&p.index_dropping(0)).unwrap()).unwrap();
         assert_eq!(idx[1].physical_offset, 5, "second session must resume at tail");
         assert_eq!(b.read_all(&p.data_dropping(0)).unwrap(), b"12345678");
+    }
+
+    #[test]
+    fn metrics_track_write_path_exactly() {
+        let (b, p, m) = setup();
+        let mut w = writer(&b, &p, &m, 0, WriterConfig { data_buffer: 0, ..Default::default() });
+        w.write_at(0, &[1u8; 100]).unwrap();
+        w.write_at(100, &[2u8; 28]).unwrap();
+        w.sync().unwrap();
+        let reg = &m.registry;
+        assert_eq!(reg.value("plfs.write.ops"), Some(2));
+        assert_eq!(reg.value("plfs.write.bytes"), Some(128));
+        assert_eq!(reg.value("plfs.write.data_appends"), Some(2));
+        assert_eq!(reg.value("plfs.write.index_appends"), Some(1));
+        let idx_bytes = reg.value("plfs.write.index_bytes").unwrap();
+        assert_eq!(idx_bytes, w.stats().index_bytes);
+        assert!(idx_bytes > 0);
     }
 
     #[test]

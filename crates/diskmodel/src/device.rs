@@ -44,6 +44,14 @@ pub struct DeviceStats {
     pub busy: SimDuration,
     /// Requests that continued a sequential stream (no positioning cost).
     pub sequential_hits: u64,
+    /// Busy time spent seeking (arm movement). Zero on flash.
+    pub seek_time: SimDuration,
+    /// Busy time spent in rotational latency. Zero on flash.
+    pub rotate_time: SimDuration,
+    /// Busy time that is not positioning: media transfer plus per-request
+    /// controller overhead (on flash this also covers FTL/GC work), so
+    /// `busy == seek_time + rotate_time + transfer_time` always holds.
+    pub transfer_time: SimDuration,
 }
 
 impl DeviceStats {
@@ -77,6 +85,18 @@ impl DeviceStats {
             0.0
         } else {
             (self.bytes_read + self.bytes_written) as f64 / s
+        }
+    }
+
+    /// Fraction of busy time spent positioning (seek + rotate) rather
+    /// than transferring — the quantity the PDSI report calls the small-IO
+    /// tax.
+    pub fn positioning_fraction(&self) -> f64 {
+        let s = self.busy.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            (self.seek_time + self.rotate_time).as_secs_f64() / s
         }
     }
 }
@@ -126,10 +146,14 @@ mod tests {
             bytes_written: 1_000_000,
             busy: SimDuration::from_secs(2),
             sequential_hits: 5,
+            seek_time: SimDuration::from_secs(1),
+            rotate_time: SimDuration::from_millis(500),
+            transfer_time: SimDuration::from_millis(500),
         };
         assert_eq!(s.ops(), 20);
         assert!((s.busy_iops() - 10.0).abs() < 1e-9);
         assert!((s.busy_bandwidth() - 1_000_000.0).abs() < 1e-6);
         assert!((s.mean_service_secs() - 0.1).abs() < 1e-12);
+        assert!((s.positioning_fraction() - 0.75).abs() < 1e-12);
     }
 }

@@ -386,6 +386,9 @@ impl BlockDevice for FlashDevice {
             }
         };
         self.stats.busy += t;
+        // Flash has no mechanical positioning: the whole service time is
+        // transfer (incl. FTL/GC), keeping busy == seek + rotate + transfer.
+        self.stats.transfer_time += t;
         t
     }
 

@@ -128,16 +128,23 @@ impl BlockDevice for DiskDevice {
     fn service(&mut self, op: DevOp) -> SimDuration {
         debug_assert!(op.end() <= self.params.capacity, "op beyond device capacity");
         let mut t = self.params.overhead;
+        self.stats.transfer_time += self.params.overhead;
         let sequential = self.is_sequential(&op);
         if sequential {
             self.stats.sequential_hits += 1;
         } else {
             let dist = self.head.abs_diff(op.offset);
-            t += self.params.seek_time(dist);
-            t += self.params.avg_rotational_latency();
+            let seek = self.params.seek_time(dist);
+            let rotate = self.params.avg_rotational_latency();
+            t += seek;
+            t += rotate;
+            self.stats.seek_time += seek;
+            self.stats.rotate_time += rotate;
         }
         if op.len > 0 {
-            t += SimDuration::for_bytes(op.len, self.params.rate_at(op.offset));
+            let xfer = SimDuration::for_bytes(op.len, self.params.rate_at(op.offset));
+            t += xfer;
+            self.stats.transfer_time += xfer;
         }
         self.head = op.end();
         self.last_kind = Some(op.kind);

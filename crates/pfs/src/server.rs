@@ -78,6 +78,26 @@ pub struct Server {
     requests: u64,
     crashes: u64,
     downtime: SimDuration,
+    /// Cumulative time flush/read disk work waited behind the disk
+    /// timeline after its data was ready (queueing, not service).
+    queue_wait: SimDuration,
+    /// High-water mark of concurrently dirty (file, stripe) buffers.
+    peak_pending: usize,
+}
+
+/// Queue-level counters for one server, exported into metrics dumps.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueueStats {
+    /// Chunk requests received (reads + writes).
+    pub requests: u64,
+    /// Time disk work sat queued behind earlier reservations.
+    pub queue_wait: SimDuration,
+    /// Peak number of dirty write-back buffers.
+    pub peak_pending: usize,
+    /// Crash/restart cycles.
+    pub crashes: u64,
+    /// Total scheduled outage time.
+    pub downtime: SimDuration,
 }
 
 impl Server {
@@ -95,6 +115,8 @@ impl Server {
             requests: 0,
             crashes: 0,
             downtime: SimDuration::ZERO,
+            queue_wait: SimDuration::ZERO,
+            peak_pending: 0,
         }
     }
 
@@ -104,6 +126,18 @@ impl Server {
 
     pub fn requests(&self) -> u64 {
         self.requests
+    }
+
+    /// Queue-level counters (request count, disk queueing delay, peak
+    /// write-back depth, crash history).
+    pub fn queue_stats(&self) -> QueueStats {
+        QueueStats {
+            requests: self.requests,
+            queue_wait: self.queue_wait,
+            peak_pending: self.peak_pending,
+            crashes: self.crashes,
+            downtime: self.downtime,
+        }
     }
 
     /// Crash/restart cycles this server has been through.
@@ -189,7 +223,9 @@ impl Server {
         e.lo = e.lo.min(lo);
         e.hi = e.hi.max(hi);
         e.ready = e.ready.max_of(received);
-        if e.bytes >= flush_size {
+        let dirty = e.bytes;
+        self.peak_pending = self.peak_pending.max(self.pending.len());
+        if dirty >= flush_size {
             self.flush_stripe(file, stripe);
         }
         received
@@ -209,7 +245,8 @@ impl Server {
             if span < self.cfg.raid_stripe && self.cfg.sub_stripe_rmw > 1.0 {
                 svc = svc.mul_f64(self.cfg.sub_stripe_rmw);
             }
-            let (_, done) = self.disk.reserve(p.ready, svc);
+            let (start, done) = self.disk.reserve(p.ready, svc);
+            self.queue_wait += start.since(p.ready);
             done
         } else {
             self.disk.free_at()
@@ -257,7 +294,8 @@ impl Server {
         }
         let base = self.extent_of(file, stripe);
         let svc = self.device.service(DevOp::read(base + stripe_offset, len));
-        let (_, disk_done) = self.disk.reserve(ready, svc);
+        let (start, disk_done) = self.disk.reserve(ready, svc);
+        self.queue_wait += start.since(ready);
         let xfer = SimDuration::for_bytes(len, self.cfg.net_bw) + self.cfg.rpc_overhead;
         let (_, sent) = self.net.reserve(disk_done, xfer);
         sent

@@ -8,7 +8,7 @@
 
 use crate::layout::{FileId, Layout};
 use crate::lockmgr::{LockManager, LockMode, LockStats};
-use crate::server::{Server, ServerConfig};
+use crate::server::{QueueStats, Server, ServerConfig};
 use diskmodel::hdd::{DiskDevice, DiskParams};
 use diskmodel::profiles::FlashHeadline;
 use diskmodel::{BlockDevice, DeviceStats};
@@ -142,6 +142,9 @@ pub struct PhaseReport {
     pub bytes_read: u64,
     pub lock_stats: LockStats,
     pub server_device: Vec<DeviceStats>,
+    /// Cumulative queue-level counters per server (same order as
+    /// `server_device`).
+    pub server_queue: Vec<QueueStats>,
     pub mds_ops: u64,
     /// OSD crash/restart events that took effect during this phase.
     pub crashes: usize,
@@ -155,6 +158,67 @@ impl PhaseReport {
 
     pub fn read_bandwidth(&self) -> f64 {
         self.makespan.throughput(self.bytes_read)
+    }
+
+    /// Export this report into a metrics registry under `labels`.
+    ///
+    /// Aggregate series (`pfs.*`) are always emitted; when `per_osd` is
+    /// set, each server additionally gets its own `pfs.osd.*` series
+    /// labeled `osd=<index>` with the positioning split and queue
+    /// counters. Counters accumulate, so exporting two phases into the
+    /// same registry sums them — use distinct labels to keep them apart.
+    pub fn export_metrics(&self, reg: &obs::Registry, labels: &[(&str, &str)], per_osd: bool) {
+        let c = |name: &str| reg.counter_with(name, labels);
+        c("pfs.phase.makespan_ns").add(self.makespan.0);
+        c("pfs.phase.client_makespan_ns").add(self.client_makespan.0);
+        c("pfs.phase.bytes_written").add(self.bytes_written);
+        c("pfs.phase.bytes_read").add(self.bytes_read);
+        c("pfs.phase.crashes").add(self.crashes as u64);
+        c("pfs.mds.ops").add(self.mds_ops);
+        c("pfs.lock.acquisitions").add(self.lock_stats.acquisitions);
+        c("pfs.lock.revocations").add(self.lock_stats.revocations);
+        c("pfs.lock.wait_ns").add(self.lock_stats.wait_time.0);
+
+        // Cluster-wide positioning split and queueing, summed over OSDs.
+        let mut seek = 0u64;
+        let mut rotate = 0u64;
+        let mut transfer = 0u64;
+        let mut busy = 0u64;
+        let mut qwait = 0u64;
+        for (d, q) in self.server_device.iter().zip(&self.server_queue) {
+            seek += d.seek_time.0;
+            rotate += d.rotate_time.0;
+            transfer += d.transfer_time.0;
+            busy += d.busy.0;
+            qwait += q.queue_wait.0;
+        }
+        c("pfs.osd.seek_ns").add(seek);
+        c("pfs.osd.rotate_ns").add(rotate);
+        c("pfs.osd.transfer_ns").add(transfer);
+        c("pfs.osd.busy_ns").add(busy);
+        c("pfs.osd.queue_wait_ns").add(qwait);
+
+        if per_osd {
+            for (i, (d, q)) in self.server_device.iter().zip(&self.server_queue).enumerate() {
+                let osd = i.to_string();
+                let mut l: Vec<(&str, &str)> = labels.to_vec();
+                l.push(("osd", &osd));
+                let c = |name: &str| reg.counter_with(name, &l);
+                c("pfs.osd.requests").add(q.requests);
+                c("pfs.osd.reads").add(d.reads);
+                c("pfs.osd.writes").add(d.writes);
+                c("pfs.osd.bytes_read").add(d.bytes_read);
+                c("pfs.osd.bytes_written").add(d.bytes_written);
+                c("pfs.osd.sequential_hits").add(d.sequential_hits);
+                c("pfs.osd.seek_ns").add(d.seek_time.0);
+                c("pfs.osd.rotate_ns").add(d.rotate_time.0);
+                c("pfs.osd.transfer_ns").add(d.transfer_time.0);
+                c("pfs.osd.queue_wait_ns").add(q.queue_wait.0);
+                c("pfs.osd.crashes").add(q.crashes);
+                c("pfs.osd.downtime_ns").add(q.downtime.0);
+                reg.gauge_with("pfs.osd.peak_pending", &l).raise_to(q.peak_pending as i64);
+            }
+        }
     }
 }
 
@@ -300,6 +364,7 @@ impl Cluster {
             bytes_read,
             lock_stats: ls,
             server_device: self.servers.iter().map(|s| s.device_stats()).collect(),
+            server_queue: self.servers.iter().map(|s| s.queue_stats()).collect(),
             mds_ops: self.mds_ops - mds_before,
             crashes,
         }

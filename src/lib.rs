@@ -11,6 +11,7 @@ pub use diskmodel;
 pub use giga;
 pub use miniio;
 pub use netsim;
+pub use obs;
 pub use pfs;
 pub use plfs;
 pub use pnfs;

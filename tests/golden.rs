@@ -1,0 +1,42 @@
+//! Golden-figure regression test: the headline `repro` numbers are
+//! pinned against `tests/fixtures/golden.json` with ±10% tolerance.
+//!
+//! If a change legitimately moves a headline (a better disk model, a
+//! fixed simulator bug), regenerate the fixture with
+//! `cargo run -p pdsi-bench --bin repro -- golden > tests/fixtures/golden.json`
+//! and say why in the commit message.
+
+use pdsi::obs::json::Value;
+
+fn as_f64(v: &Value, key: &str) -> f64 {
+    v.get(key)
+        .and_then(|x| x.as_f64())
+        .unwrap_or_else(|| panic!("missing or non-numeric headline {key:?}"))
+}
+
+#[test]
+fn headline_numbers_match_golden_fixture_within_10_percent() {
+    let fixture = pdsi::obs::json::parse(include_str!("fixtures/golden.json"))
+        .expect("fixture must be valid JSON");
+    let current = pdsi_bench::headline_numbers();
+
+    let keys: Vec<&String> = match &fixture {
+        Value::Obj(pairs) => pairs.iter().map(|(k, _)| k).collect(),
+        _ => panic!("fixture must be a JSON object"),
+    };
+    assert!(!keys.is_empty());
+    for key in keys {
+        let want = as_f64(&fixture, key);
+        let got = as_f64(&current, key);
+        let tol = want.abs() * 0.10;
+        assert!(
+            (got - want).abs() <= tol,
+            "headline {key:?} drifted: fixture {want}, current {got} (±10% tolerance); \
+             if intentional, regenerate tests/fixtures/golden.json"
+        );
+    }
+    // And nothing silently disappeared from the current set.
+    if let Value::Obj(pairs) = &current {
+        assert_eq!(pairs.len(), 5, "headline set changed; update fixture and this count");
+    }
+}

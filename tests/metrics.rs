@@ -1,0 +1,97 @@
+//! Metric-asserting tests: these check the *values* the `obs` layer
+//! records, not stdout — proving the stack computed its answers for the
+//! right reasons (the PR-1 fault-injection work becomes checkable by
+//! invariant instead of by eyeball).
+
+use pdsi::obs::{json, Registry};
+use pdsi::plfs::backend::{Backend, MemBackend};
+use pdsi::plfs::{Plfs, PlfsConfig};
+use std::sync::Arc;
+
+/// The ISSUE's exact masking invariant, on the `repro faults` scenario:
+/// with zero surfaced errors, every injected transient must show up as
+/// exactly one masked retry and every injected torn append as exactly
+/// one torn recovery — counted independently by the injector
+/// (`faults.*`) and the retry layer (`retry.*`).
+#[test]
+fn masked_retries_equal_injected_faults_exactly() {
+    let mut injected_any = false;
+    for (transient, torn) in [(0.0, 0.0), (0.02, 0.01), (0.10, 0.05)] {
+        let (stats, surfaced, reg) = pdsi_bench::faults_masking_run(transient, torn);
+        assert_eq!(surfaced, 0, "scenario must mask everything (p_eio={transient}, p_torn={torn})");
+        injected_any |= stats.injected_transient + stats.injected_torn > 0;
+        // Registry vs injector stats.
+        assert_eq!(reg.value("retry.masked_transient"), Some(stats.injected_transient));
+        assert_eq!(reg.value("retry.torn_recovered"), Some(stats.injected_torn));
+        assert_eq!(reg.value("retry.surfaced"), Some(0));
+        // Registry vs registry: the injector also exports its counts.
+        assert_eq!(reg.value("retry.masked_transient"), reg.value("faults.injected_transient"));
+        assert_eq!(reg.value("retry.torn_recovered"), reg.value("faults.injected_torn"));
+    }
+    assert!(injected_any, "fault plans injected nothing — the invariant was tested vacuously");
+}
+
+/// Every `repro` experiment must emit at least 20 distinct metric
+/// series (the stable schema future perf PRs assert against).
+#[test]
+fn every_experiment_emits_at_least_20_series() {
+    for (id, _) in pdsi_bench::EXPERIMENTS {
+        let reg = Registry::new();
+        pdsi_bench::run_observed(id, &reg).unwrap_or_else(|| panic!("unknown id {id}"));
+        assert!(
+            reg.series_count() >= 20,
+            "{id} emitted only {} series (schema floor is 20)",
+            reg.series_count()
+        );
+    }
+}
+
+/// End-to-end counter check through the public `Plfs` API: the write
+/// and read paths must record exactly what the workload did.
+#[test]
+fn plfs_counters_track_write_and_read_path() {
+    let reg = Registry::new();
+    let fs = Plfs::new(
+        Arc::new(MemBackend::new()) as Arc<dyn Backend>,
+        PlfsConfig { metrics: reg.clone(), ..Default::default() },
+    );
+    for rank in 0..4u32 {
+        let mut w = fs.open_writer("/ckpt", rank).unwrap();
+        for i in 0..8u64 {
+            w.write_at((i * 4 + rank as u64) * 512, &[rank as u8; 512]).unwrap();
+        }
+        w.close().unwrap();
+    }
+    let r = fs.open_reader("/ckpt").unwrap();
+    let data = r.read_all().unwrap();
+    assert_eq!(data.len(), 4 * 8 * 512);
+
+    assert_eq!(reg.value("plfs.write.ops"), Some(32), "4 ranks x 8 writes");
+    assert_eq!(reg.value("plfs.write.bytes"), Some(32 * 512));
+    assert_eq!(reg.value("plfs.read.bytes"), Some(4 * 8 * 512));
+    assert_eq!(reg.value("plfs.index.raw_entries"), Some(32), "one entry per write");
+    let fanin = reg.histogram("plfs.index.merge_fanin");
+    assert_eq!(fanin.count(), 1, "one container open");
+    assert_eq!(fanin.max(), 4, "four droppings merged");
+    // A healthy store still pays one attempt per retried operation.
+    assert!(reg.value("retry.attempts").unwrap() > 0);
+    assert_eq!(reg.value("retry.surfaced"), Some(0));
+}
+
+/// The JSON dump must round-trip through the hand-rolled parser and
+/// preserve every series and its value.
+#[test]
+fn metrics_json_roundtrips() {
+    let reg = Registry::new();
+    reg.counter("a.count").add(41);
+    reg.gauge_with("b.level", &[("osd", "3")]).set(-7);
+    reg.histogram("c.lat").observe(1000);
+    let v = json::parse(&reg.to_json()).expect("dump must be valid JSON");
+    let series = v.get("series").and_then(|s| s.as_arr()).expect("series array");
+    assert_eq!(series.len(), reg.series_count());
+    let a = series
+        .iter()
+        .find(|s| s.get("name").and_then(|n| n.as_str()) == Some("a.count"))
+        .expect("a.count present");
+    assert_eq!(a.get("value").and_then(|x| x.as_i64()), Some(41));
+}

@@ -224,6 +224,110 @@ fn crash_repair_preserves_acked_data_at_every_boundary() {
     }
 }
 
+/// Four concurrent ranks writing interleaved strided records: rank `r`
+/// owns every offset `(j*4 + r) * REC`, so neighbouring records always
+/// belong to different ranks (the pathological N-1 signature). Each
+/// rank syncs (= ack point) every fourth record. Returns the frozen
+/// backend and each rank's independently-tracked acked model.
+fn strided_crash_workload(
+    crash_after: u64,
+    seed: u64,
+) -> (Arc<FaultyBackend<MemBackend>>, Vec<AckedModel>) {
+    const RANKS: usize = 4;
+    const RECORDS: u64 = 16;
+    const REC: u64 = 8;
+    let faulty = Arc::new(FaultyBackend::new(
+        MemBackend::new(),
+        FaultPlan { crash_after_bytes: Some(crash_after), ..FaultPlan::none(seed) },
+    ));
+    let fs = Plfs::new(
+        faulty.clone() as Arc<dyn Backend>,
+        PlfsConfig {
+            hostdirs: 2,
+            writer: WriterConfig {
+                data_buffer: 64,
+                index_flush_every: 3,
+                retry: RetryPolicy::none(),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let size = (RECORDS * RANKS as u64 * REC) as usize;
+    let mut models: Vec<AckedModel> =
+        (0..RANKS).map(|_| AckedModel { bytes: vec![None; size] }).collect();
+    let mut writers = Vec::new();
+    for r in 0..RANKS as u32 {
+        match fs.open_writer("/f", r) {
+            Ok(w) => writers.push(w),
+            Err(_) => return (faulty, models), // crashed during open
+        }
+    }
+    let mut pending: Vec<Vec<(u64, u8)>> = vec![Vec::new(); RANKS];
+    for j in 0..RECORDS {
+        for (r, w) in writers.iter_mut().enumerate() {
+            let off = (j * RANKS as u64 + r as u64) * REC;
+            let fill = 1 + ((r as u64 * 67 + j * 13 + seed) % 251) as u8;
+            if w.write_at(off, &[fill; REC as usize]).is_ok() {
+                pending[r].push((off, fill));
+            }
+            if (j + 1) % 4 == 0 {
+                if w.sync().is_ok() {
+                    for &(o, f) in &pending[r] {
+                        for b in 0..REC {
+                            models[r].bytes[(o + b) as usize] = Some(f);
+                        }
+                    }
+                }
+                pending[r].clear();
+            }
+        }
+    }
+    for (r, w) in writers.into_iter().enumerate() {
+        let flushed = pending[r].clone();
+        if w.close().is_ok() {
+            for (o, f) in flushed {
+                for b in 0..REC {
+                    models[r].bytes[(o + b) as usize] = Some(f);
+                }
+            }
+        }
+    }
+    (faulty, models)
+}
+
+/// Crash-stop the 4-rank interleaved-strided workload at EVERY byte the
+/// backend ever appends, repair, and verify each rank's acked records
+/// read back intact — acked data must survive no matter where in whose
+/// dropping the crash lands.
+#[test]
+fn strided_four_rank_crash_sweep_preserves_per_rank_acked_data() {
+    for seed in [3u64, 19] {
+        // Probe run without a crash to learn the total appended bytes.
+        let (probe, _) = strided_crash_workload(u64::MAX, seed);
+        let total = probe.bytes_appended();
+        assert!(total > 0);
+        for crash_after in 0..=total {
+            let (faulty, models) = strided_crash_workload(crash_after, seed);
+            faulty.heal();
+            let report =
+                fsck::repair(faulty.as_ref(), "/f", 2, &fsck::RepairOptions::default()).unwrap();
+            assert!(
+                report.after.is_clean(),
+                "seed {seed} crash@{crash_after}: repair left errors {:?}",
+                report.after.errors
+            );
+            let fs = Plfs::new(
+                faulty.clone() as Arc<dyn Backend>,
+                PlfsConfig { hostdirs: 2, ..Default::default() },
+            );
+            for (r, model) in models.iter().enumerate() {
+                model.assert_readable(&fs, seed, &format!("rank {r} crash@{crash_after}"));
+            }
+        }
+    }
+}
+
 /// Transient faults below the give-up threshold must be fully masked by
 /// the retry policy: the workload completes with zero surfaced errors.
 #[test]
@@ -247,6 +351,7 @@ fn retry_masks_transient_faults() {
                     ..Default::default()
                 },
                 retry: RetryPolicy::fast_test(),
+                ..Default::default()
             },
         );
         let mut rng = Rng::new(900 + seed);
