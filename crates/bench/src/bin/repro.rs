@@ -7,19 +7,91 @@
 //! repro golden                 # print the headline-numbers JSON
 //! repro --metrics out.json all # also dump every metric series as JSON
 //! repro --metrics - faults     # dump to stdout (after the reports)
+//! repro trace plfs_n1 --out trace.json  # capture a causal trace
 //! ```
 //!
 //! With `--metrics`, every experiment's internal series (bandwidths,
 //! per-OSD seek/rotate/transfer splits, retry/fault counters, ...) are
 //! collected under an `exp=<id>` label, printed as an aligned table,
 //! and written to the given path as JSON (`-` for stdout).
+//!
+//! `repro trace <exp>` reruns a scenario with per-I/O causal tracing
+//! on, prints the critical-path attribution table, and (with `--out`)
+//! writes the span forest as Chrome trace-event JSON loadable in
+//! Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
 
 use std::io::Write;
+
+/// `repro trace <exp> [--out <path>]`: capture, attribute, export.
+fn run_trace_command(mut args: impl Iterator<Item = String>) -> ! {
+    let mut exp: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        if arg == "--out" {
+            match args.next() {
+                Some(p) => out_path = Some(p),
+                None => {
+                    eprintln!("--out needs a path argument");
+                    std::process::exit(2);
+                }
+            }
+        } else if exp.is_none() {
+            exp = Some(arg);
+        } else {
+            eprintln!("trace takes one experiment id (got extra {arg:?})");
+            std::process::exit(2);
+        }
+    }
+    let Some(exp) = exp else {
+        eprintln!("usage: repro trace <exp> [--out <path>]\n\ntrace experiments:");
+        for (id, desc) in pdsi_bench::TRACE_EXPERIMENTS {
+            eprintln!("  {id:<10} {desc}");
+        }
+        std::process::exit(2);
+    };
+    let Some(run) = pdsi_bench::run_trace(&exp) else {
+        eprintln!("unknown trace experiment {exp:?}; run `repro trace` for the list");
+        std::process::exit(2);
+    };
+    print!("{}", run.render());
+    println!("({} spans captured)", run.spans.len());
+    if let Some(path) = out_path {
+        let json = obs::json::pretty(&obs::trace::to_chrome(&run.spans));
+        // Self-check: the export must round-trip through our own
+        // parser before we call it a valid trace file.
+        if let Err(e) = obs::json::parse(&json) {
+            eprintln!("internal error: chrome export is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("cannot write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("(chrome trace written to {path}; open in https://ui.perfetto.dev)");
+    }
+    std::process::exit(0);
+}
 
 fn main() {
     let mut metrics_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
+    if let Some(first) = args.next() {
+        if first == "trace" {
+            run_trace_command(args);
+        }
+        if first == "--metrics" {
+            match args.next() {
+                Some(p) => metrics_path = Some(p),
+                None => {
+                    eprintln!("--metrics needs a path argument ('-' for stdout)");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            ids.push(first);
+        }
+    }
     while let Some(arg) = args.next() {
         if arg == "--metrics" {
             match args.next() {
@@ -39,9 +111,14 @@ fn main() {
     if ids.is_empty() {
         let _ = writeln!(
             out,
-            "usage: repro [--metrics <path>|-] <experiment-id>|all|golden\n\nexperiments:"
+            "usage: repro [--metrics <path>|-] <experiment-id>|all|golden\n       \
+             repro trace <exp> [--out <path>]\n\nexperiments:"
         );
         for (id, desc) in pdsi_bench::EXPERIMENTS {
+            let _ = writeln!(out, "  {id:<10} {desc}");
+        }
+        let _ = writeln!(out, "\ntrace experiments:");
+        for (id, desc) in pdsi_bench::TRACE_EXPERIMENTS {
             let _ = writeln!(out, "  {id:<10} {desc}");
         }
         return;

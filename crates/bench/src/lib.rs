@@ -9,8 +9,10 @@
 //! targets, recorded against the paper in `EXPERIMENTS.md`.
 
 pub mod experiments;
+pub mod trace_experiments;
 
 pub use experiments::*;
+pub use trace_experiments::{run_trace, TraceRun, TRACE_EXPERIMENTS};
 
 /// All experiment ids the harness knows, with a one-line description.
 pub const EXPERIMENTS: &[(&str, &str)] = &[

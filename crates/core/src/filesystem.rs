@@ -14,6 +14,7 @@ use crate::metrics::PlfsMetrics;
 use crate::read::Reader;
 use crate::retry::{append_at_reliable, RetriedBackend, RetryPolicy};
 use crate::write::{Writer, WriterConfig};
+use obs::trace::TraceSink;
 use obs::{Clock, Registry};
 use std::io;
 use std::sync::Arc;
@@ -32,6 +33,9 @@ pub struct PlfsConfig {
     /// `retry.*` series alongside everything else; the default is a
     /// private one.
     pub metrics: Registry,
+    /// Causal trace sink shared by every handle of this instance
+    /// (disabled by default; spans are timed from the instance clock).
+    pub trace: TraceSink,
 }
 
 impl Default for PlfsConfig {
@@ -41,6 +45,7 @@ impl Default for PlfsConfig {
             writer: WriterConfig::default(),
             retry: RetryPolicy::default(),
             metrics: Registry::new(),
+            trace: TraceSink::disabled(),
         }
     }
 }
@@ -72,7 +77,8 @@ impl Plfs {
         cfg.writer.retry = cfg.writer.retry.bound_to(&cfg.metrics);
         // Index timestamps are sequence numbers, so the shared clock is
         // logical; it starts at 1 so stamp 0 stays "never written".
-        let metrics = PlfsMetrics::new(&cfg.metrics, &Clock::logical_at(1));
+        let metrics =
+            PlfsMetrics::new_traced(&cfg.metrics, &Clock::logical_at(1), cfg.trace.clone());
         Plfs { backend, cfg, metrics }
     }
 

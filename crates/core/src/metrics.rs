@@ -27,6 +27,7 @@
 //! fault injection adds `faults.*` (see
 //! [`crate::faults::FaultyBackend::export_into`]).
 
+use obs::trace::{TraceCtx, TraceSink};
 use obs::{Clock, Counter, Histogram, Registry, Timer};
 use std::sync::Arc;
 
@@ -39,6 +40,10 @@ pub struct PlfsMetrics {
     /// timestamps are sequence numbers), wall if the caller wants real
     /// span durations.
     pub clock: Clock,
+    /// Causal trace handle (disabled unless built via
+    /// [`PlfsMetrics::new_traced`]); reads the clock without stamping,
+    /// so enabling tracing never perturbs index timestamps.
+    pub trace: TraceCtx,
     pub write_ops: Counter,
     pub write_bytes: Counter,
     pub data_appends: Counter,
@@ -56,9 +61,16 @@ pub struct PlfsMetrics {
 impl PlfsMetrics {
     /// Handles registered in `registry`, stamping from `clock`.
     pub fn new(registry: &Registry, clock: &Clock) -> Arc<Self> {
+        PlfsMetrics::new_traced(registry, clock, TraceSink::disabled())
+    }
+
+    /// [`PlfsMetrics::new`] with a trace sink: spans are timed from the
+    /// same `clock` the metrics stamp from.
+    pub fn new_traced(registry: &Registry, clock: &Clock, sink: TraceSink) -> Arc<Self> {
         Arc::new(PlfsMetrics {
             registry: registry.clone(),
             clock: clock.clone(),
+            trace: TraceCtx::new(sink, clock.clone()),
             write_ops: registry.counter("plfs.write.ops"),
             write_bytes: registry.counter("plfs.write.bytes"),
             data_appends: registry.counter("plfs.write.data_appends"),

@@ -15,6 +15,7 @@
 //! of the buffer already landed, and appends only the remaining suffix.
 
 use crate::backend::Backend;
+use obs::trace::{Phase, TraceCtx};
 use obs::{Counter, Registry};
 use std::io;
 use std::time::Duration;
@@ -306,6 +307,49 @@ pub fn append_at_reliable(
     data: &[u8],
     verify_first: bool,
 ) -> io::Result<()> {
+    append_at_reliable_traced(
+        backend,
+        policy,
+        path,
+        expected_base,
+        data,
+        verify_first,
+        &TraceCtx::disabled(),
+        "",
+        0,
+    )
+}
+
+/// [`append_at_reliable`] recording each backend attempt (and every
+/// torn-append resume) as a child span of `parent` on `track`. Retry
+/// spans are how checkpoints that *succeeded but crawled* show their
+/// masked-fault tax in a trace.
+#[allow(clippy::too_many_arguments)]
+pub fn append_at_reliable_traced(
+    backend: &dyn Backend,
+    policy: &RetryPolicy,
+    path: &str,
+    expected_base: u64,
+    data: &[u8],
+    verify_first: bool,
+    trace: &TraceCtx,
+    track: &str,
+    parent: u64,
+) -> io::Result<()> {
+    let record_attempt = |n: u32, t0: u64, outcome: &str| {
+        if trace.enabled() {
+            let t1 = trace.clock.now_nanos().max(t0);
+            trace.sink.record_labeled(
+                "retry.attempt",
+                Phase::Retry,
+                track,
+                t0,
+                t1,
+                parent,
+                &[("attempt", &n.to_string()), ("outcome", outcome)],
+            );
+        }
+    };
     let mut landed = if verify_first {
         recovered_progress(backend, policy, path, expected_base, data.len())?
     } else {
@@ -317,10 +361,12 @@ pub fn append_at_reliable(
     let mut attempt = 0u32;
     loop {
         policy.obs.attempts.inc();
+        let t0 = if trace.enabled() { trace.clock.now_nanos() } else { 0 };
         match backend.append(path, &data[landed..]) {
             Ok(off) => {
                 if off != expected_base + landed as u64 {
                     policy.obs.surfaced.inc();
+                    record_attempt(attempt + 1, t0, "inconsistent");
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
                         format!(
@@ -330,14 +376,22 @@ pub fn append_at_reliable(
                         ),
                     ));
                 }
+                // The common first-try success stays invisible: only
+                // actual *re*-tries earn spans, keeping fault-free
+                // traces free of per-append noise.
+                if attempt > 0 {
+                    record_attempt(attempt + 1, t0, "ok");
+                }
                 return Ok(());
             }
             Err(e) => {
                 if classify(&e) == ErrorClass::Fatal || attempt >= policy.max_retries {
                     policy.obs.surfaced.inc();
+                    record_attempt(attempt + 1, t0, "surfaced");
                     return Err(e);
                 }
                 attempt += 1;
+                record_attempt(attempt, t0, "absorbed");
                 let d = policy.backoff(attempt);
                 if !d.is_zero() {
                     policy.obs.backoff_ns.add(d.as_nanos() as u64);
@@ -352,6 +406,18 @@ pub fn append_at_reliable(
                 landed = recovered_progress(backend, policy, path, expected_base, data.len())?;
                 if landed > before {
                     policy.obs.torn_recovered.inc();
+                    if trace.enabled() {
+                        let t = trace.clock.now_nanos();
+                        trace.sink.record_labeled(
+                            "torn.recovery",
+                            Phase::Retry,
+                            track,
+                            t,
+                            t,
+                            parent,
+                            &[("resumed_at", &landed.to_string())],
+                        );
+                    }
                 } else {
                     policy.obs.masked_transient.inc();
                 }

@@ -14,6 +14,7 @@
 //!   metadata creates — everything PLFS actually does, including its
 //!   overheads.
 
+use obs::trace::Phase;
 use pfs::{Cluster, ClusterConfig, Op, PhaseReport};
 
 /// A logical-file write pattern: per-rank lists of `(offset, len)`.
@@ -82,75 +83,106 @@ pub fn run_plfs(
     // log file wholly on the server its id round-robins to.
     cluster_cfg.layout =
         pfs::Layout::new(1 << 30, pfs::Placement::RoundRobin, cluster_cfg.layout.servers);
-    let streams: Vec<Vec<Op>> = pattern
-        .iter()
-        .enumerate()
-        .map(|(rank, ops)| {
-            // File ids: rank's data dropping and index dropping.
-            let data_file = 1 + 2 * rank as u64;
-            let index_file = 2 + 2 * rank as u64;
-            let mut v = Vec::with_capacity(ops.len() / 4 + 4);
-            // Rank 0 creates the container skeleton (hostdirs); every
-            // rank creates its two droppings. Hostdir creates are
-            // directory ops charged at the MDS like creates.
-            if rank == 0 {
-                for _ in 0..opt.hostdirs.min(8) {
-                    v.push(Op::Create(u64::MAX - 1)); // container subdirs
-                }
+    let mut streams: Vec<Vec<Op>> = Vec::with_capacity(pattern.len());
+    // PLFS action naming each op, parallel to `streams` — used to graft
+    // layer-level wrapper spans over the cluster-level trace.
+    let mut kinds: Vec<Vec<&'static str>> = Vec::with_capacity(pattern.len());
+    for (rank, ops) in pattern.iter().enumerate() {
+        // File ids: rank's data dropping and index dropping.
+        let data_file = 1 + 2 * rank as u64;
+        let index_file = 2 + 2 * rank as u64;
+        let mut v = Vec::with_capacity(ops.len() / 4 + 4);
+        let mut k = Vec::with_capacity(ops.len() / 4 + 4);
+        // Rank 0 creates the container skeleton (hostdirs); every
+        // rank creates its two droppings. Hostdir creates are
+        // directory ops charged at the MDS like creates.
+        if rank == 0 {
+            for _ in 0..opt.hostdirs.min(8) {
+                v.push(Op::Create(u64::MAX - 1)); // container subdirs
+                k.push("plfs.container_mkdir");
             }
-            v.push(Op::Create(data_file));
-            v.push(Op::Create(index_file));
+        }
+        v.push(Op::Create(data_file));
+        k.push("plfs.create_dropping");
+        v.push(Op::Create(index_file));
+        k.push("plfs.create_dropping");
 
-            // Data: writes become appends at the rank's private log
-            // cursor, coalesced into buffer-sized appends.
-            let mut cursor = 0u64;
-            let mut buffered = 0u64;
-            let mut index_entries = 0u64;
-            let mut index_appends = 0u64;
-            for &(_, len) in ops {
-                buffered += len;
-                index_entries += 1;
-                if opt.data_buffer == 0 {
-                    v.push(Op::Write { file: data_file, offset: cursor, len });
-                    cursor += len;
-                    buffered = 0;
-                } else if buffered >= opt.data_buffer {
-                    v.push(Op::Write { file: data_file, offset: cursor, len: buffered });
-                    cursor += buffered;
-                    buffered = 0;
-                }
-                if index_entries >= opt.index_flush_every {
-                    index_appends += 1;
-                    index_entries = 0;
-                }
-            }
-            if buffered > 0 {
+        // Data: writes become appends at the rank's private log
+        // cursor, coalesced into buffer-sized appends.
+        let mut cursor = 0u64;
+        let mut buffered = 0u64;
+        let mut index_entries = 0u64;
+        let mut index_appends = 0u64;
+        for &(_, len) in ops {
+            buffered += len;
+            index_entries += 1;
+            if opt.data_buffer == 0 {
+                v.push(Op::Write { file: data_file, offset: cursor, len });
+                k.push("plfs.data_append");
+                cursor += len;
+                buffered = 0;
+            } else if buffered >= opt.data_buffer {
                 v.push(Op::Write { file: data_file, offset: cursor, len: buffered });
+                k.push("plfs.data_append");
+                cursor += buffered;
+                buffered = 0;
             }
-            if index_entries > 0 {
+            if index_entries >= opt.index_flush_every {
                 index_appends += 1;
+                index_entries = 0;
             }
-            // Index appends: tiny sequential writes to the index file.
-            // Pattern compression collapses a whole strided run into a
-            // handful of records.
-            let entries_total = ops.len() as u64;
-            let index_bytes = if opt.compress_index {
-                // one pattern record (~49B) per flush, conservatively x4.
-                index_appends * 4 * INDEX_RECORD
-            } else {
-                entries_total * INDEX_RECORD
-            };
-            let mut ipos = 0u64;
-            let per_append = (index_bytes / index_appends.max(1)).max(1);
-            for _ in 0..index_appends.max(1) {
-                v.push(Op::Write { file: index_file, offset: ipos, len: per_append });
-                ipos += per_append;
-            }
-            v
-        })
-        .collect();
+        }
+        if buffered > 0 {
+            v.push(Op::Write { file: data_file, offset: cursor, len: buffered });
+            k.push("plfs.data_append");
+        }
+        if index_entries > 0 {
+            index_appends += 1;
+        }
+        // Index appends: tiny sequential writes to the index file.
+        // Pattern compression collapses a whole strided run into a
+        // handful of records.
+        let entries_total = ops.len() as u64;
+        let index_bytes = if opt.compress_index {
+            // one pattern record (~49B) per flush, conservatively x4.
+            index_appends * 4 * INDEX_RECORD
+        } else {
+            entries_total * INDEX_RECORD
+        };
+        let mut ipos = 0u64;
+        let per_append = (index_bytes / index_appends.max(1)).max(1);
+        for _ in 0..index_appends.max(1) {
+            v.push(Op::Write { file: index_file, offset: ipos, len: per_append });
+            k.push("plfs.index_append");
+            ipos += per_append;
+        }
+        streams.push(v);
+        kinds.push(k);
+    }
+    let trace = cluster_cfg.trace.clone();
     let mut cluster = Cluster::new(cluster_cfg);
-    cluster.run_phase(&streams)
+    let (report, op_spans) = cluster.run_phase_traced(&streams);
+    if trace.enabled() {
+        // Graft the PLFS layer over the cluster-level trees: one span
+        // per rank, one wrapper per op naming the PLFS action, with the
+        // pfs request root re-parented underneath. Wrapper intervals
+        // equal the op intervals, so the tree stays well-formed and the
+        // critical path flows through unchanged.
+        for (rank, refs) in op_spans.iter().enumerate() {
+            if refs.is_empty() {
+                continue;
+            }
+            let track = format!("plfs.rank.{rank}");
+            let begin = refs[0].begin.0;
+            let end = refs.iter().map(|r| r.end.0).max().unwrap_or(begin);
+            let rank_span = trace.record("plfs.rank", Phase::Other, &track, begin, end, 0);
+            for (r, kind) in refs.iter().zip(&kinds[rank]) {
+                let w = trace.record(kind, Phase::Other, &track, r.begin.0, r.end.0, rank_span);
+                trace.reparent(r.span, w);
+            }
+        }
+    }
+    report
 }
 
 /// Convenience: run both modes on fresh clusters and return
@@ -191,6 +223,25 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn plfs_mode_trace_grafts_layer_spans() {
+        let pattern = strided_n1_pattern(4, 16, 47 * KIB);
+        let mut cfg = ClusterConfig::lustre_like(4, MIB);
+        cfg.trace = obs::trace::TraceSink::bounded(1 << 16);
+        let sink = cfg.trace.clone();
+        run_plfs(cfg, &pattern, &PlfsSimOptions::default());
+        let spans = sink.snapshot();
+        obs::trace::validate(&spans).expect("grafted tree stays well-formed");
+        assert!(spans.iter().any(|s| s.name == "plfs.rank"));
+        assert!(spans.iter().any(|s| s.name == "plfs.create_dropping"));
+        // The pfs request roots were re-parented under PLFS wrappers, so
+        // the layers chain plfs -> pfs -> osd in one causal tree.
+        let w = spans.iter().find(|s| s.name == "plfs.data_append").unwrap();
+        let req = spans.iter().find(|s| s.parent == w.id).expect("pfs root under wrapper");
+        assert_eq!(req.name, "pfs.write");
+        assert!(spans.iter().any(|s| s.name == "osd.ingest"));
     }
 
     #[test]

@@ -15,7 +15,8 @@ use crate::backend::Backend;
 use crate::container::ContainerPaths;
 use crate::index::{encode_compressed, encode_raw, IndexEntry};
 use crate::metrics::PlfsMetrics;
-use crate::retry::{append_at_reliable, len_or_zero, RetryPolicy};
+use crate::retry::{append_at_reliable_traced, len_or_zero, RetryPolicy};
+use obs::trace::Phase;
 use std::io;
 use std::sync::Arc;
 
@@ -131,6 +132,15 @@ impl Writer {
         self.stats
     }
 
+    /// Trace track naming this writer's logical thread.
+    fn track(&self) -> String {
+        if self.metrics.trace.enabled() {
+            format!("rank.{}", self.rank)
+        } else {
+            String::new()
+        }
+    }
+
     /// Write `data` at logical offset `offset` — O(1) regardless of the
     /// logical layout: one log append plus one index record.
     pub fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
@@ -138,6 +148,8 @@ impl Writer {
         if data.is_empty() {
             return Ok(());
         }
+        let op = self.metrics.trace.start("plfs.write_at", Phase::Compute, &self.track(), 0);
+        let op_id = op.id();
         let ts = self.metrics.clock.stamp();
         let phys = self.cursor;
         self.pending_index.push(IndexEntry {
@@ -155,18 +167,18 @@ impl Writer {
         self.metrics.write_bytes.add(data.len() as u64);
 
         if self.cfg.data_buffer == 0 {
-            self.append_data(phys, data)?;
+            self.append_data(phys, data, op_id)?;
             self.buf_base = self.cursor;
             self.stats.data_appends += 1;
             self.metrics.data_appends.inc();
         } else {
             self.buf.extend_from_slice(data);
             if self.buf.len() >= self.cfg.data_buffer {
-                self.flush_data()?;
+                self.flush_data(op_id)?;
             }
         }
         if self.pending_index.len() >= self.cfg.index_flush_every {
-            self.flush_index()?;
+            self.flush_index(op_id)?;
         }
         Ok(())
     }
@@ -174,21 +186,27 @@ impl Writer {
     /// Land `data` at exactly `base` in the data dropping, resuming any
     /// torn previous attempt. On a surfaced failure the tail is marked
     /// uncertain so the next attempt re-measures instead of duplicating.
-    fn append_data(&mut self, base: u64, data: &[u8]) -> io::Result<()> {
+    fn append_data(&mut self, base: u64, data: &[u8], parent: u64) -> io::Result<()> {
         let path = self.paths.data_dropping(self.rank);
-        let res = append_at_reliable(
+        let track = self.track();
+        let span = self.metrics.trace.start("plfs.data_append", Phase::Transfer, &track, parent);
+        let res = append_at_reliable_traced(
             self.backend.as_ref(),
             &self.cfg.retry,
             &path,
             base,
             data,
             self.data_tail_uncertain,
+            &self.metrics.trace,
+            &track,
+            span.id(),
         );
+        span.end();
         self.data_tail_uncertain = res.is_err();
         res
     }
 
-    fn flush_data(&mut self) -> io::Result<()> {
+    fn flush_data(&mut self, parent: u64) -> io::Result<()> {
         if self.buf.is_empty() {
             return Ok(());
         }
@@ -197,7 +215,7 @@ impl Writer {
         // left by a failed flush is still a prefix of the current buf
         // and the resume logic in `append_data` stays valid.
         let buf = std::mem::take(&mut self.buf);
-        let res = self.append_data(base, &buf);
+        let res = self.append_data(base, &buf, parent);
         match res {
             Ok(()) => {
                 self.buf_base += buf.len() as u64;
@@ -212,13 +230,13 @@ impl Writer {
         }
     }
 
-    fn flush_index(&mut self) -> io::Result<()> {
+    fn flush_index(&mut self, parent: u64) -> io::Result<()> {
         // First finish any encoded batch whose append previously failed:
         // its bytes may already partially be on the store, and nothing
         // newer may land before it.
         if !self.pending_encoded.is_empty() {
             let encoded = std::mem::take(&mut self.pending_encoded);
-            if let Err(e) = self.append_index_bytes(&encoded) {
+            if let Err(e) = self.append_index_bytes(&encoded, parent) {
                 self.pending_encoded = encoded;
                 return Err(e);
             }
@@ -232,7 +250,7 @@ impl Writer {
             encode_raw(&self.pending_index)
         };
         self.pending_index.clear();
-        if let Err(e) = self.append_index_bytes(&encoded) {
+        if let Err(e) = self.append_index_bytes(&encoded, parent) {
             // Keep the exact bytes: re-encoding later (after more
             // entries queued) would not be prefix-compatible with what
             // already landed.
@@ -242,16 +260,22 @@ impl Writer {
         Ok(())
     }
 
-    fn append_index_bytes(&mut self, encoded: &[u8]) -> io::Result<()> {
+    fn append_index_bytes(&mut self, encoded: &[u8], parent: u64) -> io::Result<()> {
         let path = self.paths.index_dropping(self.rank);
-        let res = append_at_reliable(
+        let track = self.track();
+        let span = self.metrics.trace.start("plfs.index_append", Phase::Transfer, &track, parent);
+        let res = append_at_reliable_traced(
             self.backend.as_ref(),
             &self.cfg.retry,
             &path,
             self.index_cursor,
             encoded,
             self.index_tail_uncertain,
+            &self.metrics.trace,
+            &track,
+            span.id(),
         );
+        span.end();
         self.index_tail_uncertain = res.is_err();
         if res.is_ok() {
             self.index_cursor += encoded.len() as u64;
@@ -265,8 +289,10 @@ impl Writer {
 
     /// Flush everything to the backing store.
     pub fn sync(&mut self) -> io::Result<()> {
-        self.flush_data()?;
-        self.flush_index()
+        let span = self.metrics.trace.start("plfs.sync", Phase::Compute, &self.track(), 0);
+        let id = span.id();
+        self.flush_data(id)?;
+        self.flush_index(id)
     }
 
     /// Close the handle: flush, drop the openhosts dropping, and leave

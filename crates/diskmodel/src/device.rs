@@ -99,6 +99,49 @@ impl DeviceStats {
             (self.seek_time + self.rotate_time).as_secs_f64() / s
         }
     }
+
+    /// Positioning split accumulated since an earlier snapshot —
+    /// differencing cumulative counters around one `service()` call
+    /// yields that single request's seek/rotate/transfer breakdown
+    /// (the leaf spans of a causal trace).
+    pub fn split_since(&self, before: &DeviceStats) -> ServiceSplit {
+        ServiceSplit {
+            seek: self.seek_time.saturating_sub(before.seek_time),
+            rotate: self.rotate_time.saturating_sub(before.rotate_time),
+            transfer: self.transfer_time.saturating_sub(before.transfer_time),
+        }
+    }
+}
+
+/// One request's service-time breakdown (see [`DeviceStats::split_since`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceSplit {
+    pub seek: SimDuration,
+    pub rotate: SimDuration,
+    pub transfer: SimDuration,
+}
+
+impl ServiceSplit {
+    pub fn total(&self) -> SimDuration {
+        self.seek + self.rotate + self.transfer
+    }
+
+    /// The same proportions rescaled so the parts sum to `target` —
+    /// used when a layer above inflates the raw device service time
+    /// (e.g. a RAID read-modify-write multiplier) and the leaf spans
+    /// must still tile the charged interval exactly.
+    pub fn scaled_to(&self, target: SimDuration) -> ServiceSplit {
+        let total = self.total().0;
+        if total == 0 {
+            return ServiceSplit { transfer: target, ..Default::default() };
+        }
+        let scale = |part: SimDuration| {
+            SimDuration((part.0 as u128 * target.0 as u128 / total as u128) as u64)
+        };
+        let seek = scale(self.seek);
+        let rotate = scale(self.rotate);
+        ServiceSplit { seek, rotate, transfer: target.saturating_sub(seek + rotate) }
+    }
 }
 
 /// A storage device that turns a request into a service time.
@@ -155,5 +198,44 @@ mod tests {
         assert!((s.busy_bandwidth() - 1_000_000.0).abs() < 1e-6);
         assert!((s.mean_service_secs() - 0.1).abs() < 1e-12);
         assert!((s.positioning_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_since_diffs_one_request() {
+        let before = DeviceStats {
+            seek_time: SimDuration::from_millis(4),
+            rotate_time: SimDuration::from_millis(2),
+            transfer_time: SimDuration::from_millis(10),
+            ..Default::default()
+        };
+        let after = DeviceStats {
+            seek_time: SimDuration::from_millis(9),
+            rotate_time: SimDuration::from_millis(4),
+            transfer_time: SimDuration::from_millis(13),
+            ..Default::default()
+        };
+        let split = after.split_since(&before);
+        assert_eq!(split.seek, SimDuration::from_millis(5));
+        assert_eq!(split.rotate, SimDuration::from_millis(2));
+        assert_eq!(split.transfer, SimDuration::from_millis(3));
+        assert_eq!(split.total(), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn scaled_split_tiles_the_target_exactly() {
+        let split = ServiceSplit {
+            seek: SimDuration::from_millis(6),
+            rotate: SimDuration::from_millis(2),
+            transfer: SimDuration::from_millis(4),
+        };
+        let scaled = split.scaled_to(SimDuration::from_millis(30));
+        assert_eq!(scaled.total(), SimDuration::from_millis(30), "parts must tile the target");
+        assert_eq!(scaled.seek, SimDuration::from_millis(15));
+        assert_eq!(scaled.rotate, SimDuration::from_millis(5));
+        assert_eq!(scaled.transfer, SimDuration::from_millis(10));
+        // Degenerate input: everything becomes transfer.
+        let empty = ServiceSplit::default().scaled_to(SimDuration::from_millis(7));
+        assert_eq!(empty.transfer, SimDuration::from_millis(7));
+        assert_eq!(empty.total(), SimDuration::from_millis(7));
     }
 }

@@ -22,6 +22,6 @@ pub mod flash;
 pub mod hdd;
 pub mod profiles;
 
-pub use device::{BlockDevice, DevOp, DeviceStats, IoKind};
+pub use device::{BlockDevice, DevOp, DeviceStats, IoKind, ServiceSplit};
 pub use flash::{FlashDevice, FtlConfig};
 pub use hdd::{DiskDevice, DiskParams};

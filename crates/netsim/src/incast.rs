@@ -10,6 +10,7 @@
 //! 200 ms), plus timeout randomization at very large N.
 
 use crate::tcp::{Flow, RtoPolicy};
+use obs::trace::{Phase, TraceSink};
 use simkit::{EventQueue, Rng, SimDuration, SimTime};
 use std::collections::VecDeque;
 
@@ -32,6 +33,9 @@ pub struct IncastConfig {
     pub blocks: u32,
     pub rto: RtoPolicy,
     pub seed: u64,
+    /// Causal trace sink: per-packet queue/transmit spans plus drop and
+    /// RTO markers. Disabled by default — use a bounded sink to capture.
+    pub trace: TraceSink,
 }
 
 impl IncastConfig {
@@ -48,6 +52,7 @@ impl IncastConfig {
             blocks: 4,
             rto,
             seed: 42,
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -63,6 +68,7 @@ impl IncastConfig {
             blocks: 4,
             rto,
             seed: 42,
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -105,7 +111,8 @@ enum Ev {
 struct Sim {
     cfg: IncastConfig,
     flows: Vec<Flow>,
-    queue: VecDeque<(usize, u32)>,
+    /// Switch output queue: (flow, seq, enqueue time).
+    queue: VecDeque<(usize, u32, SimTime)>,
     link_busy: bool,
     q: EventQueue<Ev>,
     rng: Rng,
@@ -139,7 +146,7 @@ impl Sim {
             self.flows[flow].packets_sent += 1;
             self.sent += 1;
             if self.queue.len() < self.cfg.buffer_packets {
-                self.queue.push_back((flow, seq));
+                self.queue.push_back((flow, seq, now));
                 if !self.link_busy {
                     self.link_busy = true;
                     self.q.schedule(now + self.cfg.slot(), Ev::Dequeue);
@@ -148,6 +155,16 @@ impl Sim {
                 // Tail drop at the switch.
                 self.flows[flow].packets_dropped += 1;
                 self.drops += 1;
+                if self.cfg.trace.enabled() {
+                    self.cfg.trace.record(
+                        "pkt.drop",
+                        Phase::Other,
+                        &format!("flow.{flow}"),
+                        now.0,
+                        now.0,
+                        0,
+                    );
+                }
             }
         }
         // Arm the retransmission timer if data is outstanding and no
@@ -173,12 +190,44 @@ impl Sim {
         while let Some((now, ev)) = self.q.pop() {
             match ev {
                 Ev::Dequeue => {
-                    if let Some((flow, seq)) = self.queue.pop_front() {
+                    if let Some((flow, seq, enq)) = self.queue.pop_front() {
                         // Every arriving packet generates a cumulative
                         // ack — duplicates included (they drive fast
                         // retransmit).
                         let upto = self.flows[flow].receive(seq);
                         self.q.schedule(now + self.cfg.base_rtt, Ev::Ack { flow, upto });
+                        if self.cfg.trace.enabled() {
+                            // The packet sat queued until the link
+                            // started serializing it one slot ago.
+                            let xmit_start = SimTime(now.0.saturating_sub(self.cfg.slot().0));
+                            let track = format!("flow.{flow}");
+                            let pkt = self.cfg.trace.record(
+                                "pkt",
+                                Phase::Network,
+                                &track,
+                                enq.0,
+                                now.0,
+                                0,
+                            );
+                            if xmit_start > enq {
+                                self.cfg.trace.record(
+                                    "pkt.queue",
+                                    Phase::Queue,
+                                    &track,
+                                    enq.0,
+                                    xmit_start.0,
+                                    pkt,
+                                );
+                            }
+                            self.cfg.trace.record(
+                                "pkt.xmit",
+                                Phase::Transfer,
+                                "switch",
+                                xmit_start.0.max(enq.0),
+                                now.0,
+                                pkt,
+                            );
+                        }
                     }
                     if self.queue.is_empty() {
                         self.link_busy = false;
@@ -224,6 +273,16 @@ impl Sim {
                     }
                     f.on_timeout();
                     f.rto_deadline = SimTime::NEVER;
+                    if self.cfg.trace.enabled() {
+                        self.cfg.trace.record(
+                            "flow.rto",
+                            Phase::Retry,
+                            &format!("flow.{flow}"),
+                            now.0,
+                            now.0,
+                            0,
+                        );
+                    }
                     self.inject(flow, now);
                 }
             }
@@ -318,6 +377,25 @@ mod tests {
         let b = run_incast(&IncastConfig::gbe(16, RtoPolicy::hires_1ms_randomized()));
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.timeouts, b.timeouts);
+    }
+
+    #[test]
+    fn incast_trace_captures_queue_drops_and_timeouts() {
+        let plain = run_incast(&IncastConfig::gbe(32, RtoPolicy::legacy_200ms()));
+        let mut cfg = IncastConfig::gbe(32, RtoPolicy::legacy_200ms());
+        cfg.trace = TraceSink::bounded(1 << 18);
+        let sink = cfg.trace.clone();
+        let rep = run_incast(&cfg);
+        assert_eq!(rep.makespan, plain.makespan, "tracing must not perturb the run");
+        let spans = sink.snapshot();
+        assert_eq!(sink.dropped(), 0, "sink too small for this scenario");
+        obs::trace::validate(&spans).expect("well-formed packet trace");
+        assert!(spans.iter().any(|s| s.name == "pkt.queue"), "no queueing under incast?");
+        assert_eq!(spans.iter().filter(|s| s.name == "pkt.drop").count() as u64, rep.drops);
+        assert_eq!(spans.iter().filter(|s| s.name == "flow.rto").count() as u64, rep.timeouts);
+        // Delivered packets all have a span on their flow's track.
+        let pkts = spans.iter().filter(|s| s.name == "pkt").count() as u64;
+        assert_eq!(pkts, rep.packets - rep.drops);
     }
 
     #[test]

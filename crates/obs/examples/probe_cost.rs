@@ -1,0 +1,32 @@
+use obs::trace::{Phase, TraceCtx, TraceSink};
+use std::hint::black_box;
+use std::time::Instant;
+fn main() {
+    let off = TraceSink::disabled();
+    let ctx = TraceCtx::disabled();
+    let n: u64 = 10_000_000;
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..n {
+        acc ^= off.record("op", Phase::Other, "track", i, i + 1, 0);
+    }
+    black_box(acc);
+    println!("record: {:.2} ns/call", t.elapsed().as_secs_f64() * 1e9 / n as f64);
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..n {
+        acc ^= off.alloc() ^ (off.enabled() as u64);
+    }
+    black_box(acc);
+    println!("alloc+enabled: {:.2} ns/pair", t.elapsed().as_secs_f64() * 1e9 / n as f64);
+    let t = Instant::now();
+    for _ in 0..n {
+        black_box(off.clone());
+    }
+    println!("clone: {:.2} ns/call", t.elapsed().as_secs_f64() * 1e9 / n as f64);
+    let t = Instant::now();
+    for _ in 0..n {
+        black_box(ctx.start("op", Phase::Other, "track", 0));
+    }
+    println!("start: {:.2} ns/call", t.elapsed().as_secs_f64() * 1e9 / n as f64);
+}

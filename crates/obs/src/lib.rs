@@ -13,6 +13,9 @@
 //!   care which world it lives in.
 //! * [`Timer`]/[`Span`] — scoped duration measurement feeding a
 //!   histogram.
+//! * [`trace`] — causal span trees collected into a bounded
+//!   [`trace::TraceSink`], with Chrome/Perfetto export and
+//!   critical-path latency attribution.
 //!
 //! Everything is std-only: no external crates, no global state. A
 //! registry is passed explicitly (usually inside a config struct), which
@@ -23,6 +26,7 @@
 //! human table via [`Registry::render_table`].
 
 pub mod json;
+pub mod trace;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -638,6 +642,52 @@ mod tests {
         assert_eq!(h.sum(), 107);
         assert_eq!(h.max(), 100);
         assert!((h.mean() - 21.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero_not_nan() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert!(!h.mean().is_nan());
+        let snap = h.snapshot();
+        assert_eq!(snap.mean(), 0.0);
+        assert!(!snap.mean().is_nan());
+        // And the rendered table stays finite for empty histograms.
+        let reg = Registry::new();
+        reg.histogram("empty");
+        assert!(reg.render_table().contains("mean=0.0"));
+    }
+
+    #[test]
+    fn json_dump_is_deterministic_across_insertion_order() {
+        // Two registries populated in opposite orders (and with label
+        // pairs given in different orders) must serialize byte-for-byte
+        // identically: series sort by (name, labels), labels sort by
+        // key.
+        let a = Registry::new();
+        a.counter_with("ops", &[("osd", "1"), ("kind", "w")]).add(3);
+        a.counter_with("ops", &[("osd", "0"), ("kind", "w")]).add(2);
+        a.gauge("depth").set(4);
+        a.histogram("lat").observe(9);
+
+        let b = Registry::new();
+        b.histogram("lat").observe(9);
+        b.gauge("depth").set(4);
+        b.counter_with("ops", &[("kind", "w"), ("osd", "0")]).add(2);
+        b.counter_with("ops", &[("kind", "w"), ("osd", "1")]).add(3);
+
+        assert_eq!(a.to_json(), b.to_json());
+        let names: Vec<String> = a
+            .snapshot()
+            .iter()
+            .map(|s| {
+                let l: Vec<String> = s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!("{}{{{}}}", s.name, l.join(","))
+            })
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "series must come out sorted by (name, labels)");
     }
 
     #[test]

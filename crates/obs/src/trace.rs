@@ -1,0 +1,874 @@
+//! Causal per-I/O tracing: span trees, Perfetto export, and
+//! critical-path latency attribution.
+//!
+//! The metrics side of this crate answers "how many / how much"; this
+//! module answers **why a given request was slow**. Every simulated (or
+//! real) operation can record a [`SpanRecord`] — an interval on a
+//! logical track with a parent pointer — into a shared [`TraceSink`].
+//! One logical write then shows up as a causal tree spanning crates:
+//! the PLFS `write_at`, the cluster write it becomes, the stripe-lock
+//! wait it serialized on, the per-OSD network ingest, and the disk
+//! seek/rotate/transfer leaves that finally moved the bytes.
+//!
+//! Two consumers ship with the module:
+//!
+//! * [`to_chrome`] — a Chrome trace-event / Perfetto JSON exporter
+//!   (open the file in `ui.perfetto.dev`); one track per client, OSD
+//!   NIC, OSD disk, rank, ...
+//! * [`critical_path`] — walks every request's span tree backwards
+//!   along its blocking chain and attributes the latency to phases
+//!   ([`Phase`]): the table that shows "unaligned N-1: mostly
+//!   stripe-lock wait" against "N-N: mostly media transfer" from the
+//!   trace alone.
+//!
+//! Tracing is off by default. A disabled sink ([`TraceSink::disabled`])
+//! is a `None` inside — recording is a single branch, no allocation, no
+//! lock — so instrumented hot paths cost nothing when nobody is
+//! looking. An enabled sink keeps at most `capacity` spans in a ring
+//! buffer (oldest evicted first) behind one mutex; simulators are
+//! effectively single-threaded per cluster, so contention is nil.
+
+use crate::json::Value;
+use crate::Clock;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Latency category a span's *self time* is attributed to by the
+/// critical-path analyzer. Leaves are pure phases; interior spans use
+/// the phase that best describes time not covered by their children
+/// (for a cluster request that is RPC/NIC slack, i.e. [`Phase::Network`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Waiting for a stripe/range lock grant (incl. revocation and the
+    /// forced durability wait of the previous holder's dirty data).
+    LockWait,
+    /// Metadata server service (create/open).
+    Mds,
+    /// NIC serialization, RPC latency, packet transmit.
+    Network,
+    /// Sitting in a queue behind earlier work (disk queue, switch port).
+    Queue,
+    /// Disk arm movement.
+    Seek,
+    /// Rotational latency.
+    Rotate,
+    /// Media transfer plus per-request controller overhead.
+    Transfer,
+    /// Application compute between I/Os.
+    Compute,
+    /// Retry attempts / torn-append recovery in the PLFS write path.
+    Retry,
+    /// Anything else (wrapper spans, markers).
+    Other,
+}
+
+impl Phase {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Phase::LockWait => "lock_wait",
+            Phase::Mds => "mds",
+            Phase::Network => "network",
+            Phase::Queue => "queue",
+            Phase::Seek => "seek",
+            Phase::Rotate => "rotate",
+            Phase::Transfer => "transfer",
+            Phase::Compute => "compute",
+            Phase::Retry => "retry",
+            Phase::Other => "other",
+        }
+    }
+}
+
+/// One completed span: a `[begin, end]` interval (nanoseconds — sim
+/// time or wall time, whatever clock the recorder used) on a named
+/// track, with a parent pointer (`0` = root) forming the causal tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique nonzero id within one sink.
+    pub id: u64,
+    /// Parent span id; 0 for roots.
+    pub parent: u64,
+    /// What happened, dot-namespaced by layer: `plfs.write_at`,
+    /// `pfs.write`, `lock.wait`, `osd.flush`, `disk.seek`, `pkt.xmit`.
+    pub name: String,
+    /// Attribution category for the span's self time.
+    pub phase: Phase,
+    /// Logical thread: `client.3`, `osd.1.disk`, `rank.0`, `mds`, ...
+    pub track: String,
+    pub begin: u64,
+    pub end: u64,
+    /// Free-form annotations (attempt number, revocation count, ...).
+    pub labels: Vec<(String, String)>,
+}
+
+#[derive(Debug, Default)]
+struct SinkState {
+    next_id: u64,
+    spans: VecDeque<SpanRecord>,
+    dropped: u64,
+}
+
+#[derive(Debug)]
+struct SinkShared {
+    capacity: usize,
+    state: Mutex<SinkState>,
+}
+
+/// Thread-safe span collector with a bounded ring buffer. `Clone`
+/// shares the buffer; a disabled sink (the [`Default`]) records
+/// nothing and costs one branch per call.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    shared: Option<Arc<SinkShared>>,
+}
+
+impl TraceSink {
+    /// The no-op sink: `record` is a branch on `None`, nothing else.
+    pub fn disabled() -> Self {
+        TraceSink { shared: None }
+    }
+
+    /// An enabled sink retaining at most `capacity` spans (oldest
+    /// evicted first; evictions are counted in [`TraceSink::dropped`]).
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace sink capacity must be nonzero");
+        TraceSink {
+            shared: Some(Arc::new(SinkShared {
+                capacity,
+                state: Mutex::new(SinkState { next_id: 1, ..Default::default() }),
+            })),
+        }
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Reserve a span id without recording anything yet — for spans
+    /// whose end is not known when their children need a parent id.
+    /// Returns 0 on a disabled sink.
+    #[inline]
+    pub fn alloc(&self) -> u64 {
+        match &self.shared {
+            None => 0,
+            Some(s) => Self::alloc_slow(s),
+        }
+    }
+
+    fn alloc_slow(s: &SinkShared) -> u64 {
+        let mut st = s.state.lock().unwrap();
+        let id = st.next_id;
+        st.next_id += 1;
+        id
+    }
+
+    /// Record a fully-built span (its `id` coming from [`TraceSink::alloc`]).
+    /// No-op on a disabled sink.
+    #[inline]
+    pub fn push(&self, rec: SpanRecord) {
+        if let Some(s) = &self.shared {
+            Self::push_slow(s, rec);
+        }
+    }
+
+    fn push_slow(s: &SinkShared, rec: SpanRecord) {
+        let mut st = s.state.lock().unwrap();
+        if st.spans.len() >= s.capacity {
+            st.spans.pop_front();
+            st.dropped += 1;
+        }
+        st.spans.push_back(rec);
+    }
+
+    /// Allocate an id and record a span in one call. Returns the new
+    /// span's id (0 on a disabled sink).
+    #[inline]
+    pub fn record(
+        &self,
+        name: &str,
+        phase: Phase,
+        track: &str,
+        begin: u64,
+        end: u64,
+        parent: u64,
+    ) -> u64 {
+        match &self.shared {
+            None => 0,
+            Some(_) => self.record_slow(name, phase, track, begin, end, parent, &[]),
+        }
+    }
+
+    /// [`TraceSink::record`] with annotations.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn record_labeled(
+        &self,
+        name: &str,
+        phase: Phase,
+        track: &str,
+        begin: u64,
+        end: u64,
+        parent: u64,
+        labels: &[(&str, &str)],
+    ) -> u64 {
+        match &self.shared {
+            None => 0,
+            Some(_) => self.record_slow(name, phase, track, begin, end, parent, labels),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record_slow(
+        &self,
+        name: &str,
+        phase: Phase,
+        track: &str,
+        begin: u64,
+        end: u64,
+        parent: u64,
+        labels: &[(&str, &str)],
+    ) -> u64 {
+        let id = self.alloc();
+        self.push(SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            phase,
+            track: track.to_string(),
+            begin,
+            end,
+            labels: labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+        });
+        id
+    }
+
+    /// Re-point `id`'s parent (used to graft layer-level wrapper spans
+    /// above already-recorded children).
+    pub fn reparent(&self, id: u64, parent: u64) {
+        if let Some(s) = &self.shared {
+            let mut st = s.state.lock().unwrap();
+            if let Some(rec) = st.spans.iter_mut().find(|r| r.id == id) {
+                rec.parent = parent;
+            }
+        }
+    }
+
+    /// Spans recorded so far, sorted by `(begin, id)`.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        match &self.shared {
+            None => Vec::new(),
+            Some(s) => {
+                let st = s.state.lock().unwrap();
+                let mut v: Vec<SpanRecord> = st.spans.iter().cloned().collect();
+                v.sort_by_key(|r| (r.begin, r.id));
+                v
+            }
+        }
+    }
+
+    /// Spans currently retained.
+    pub fn len(&self) -> usize {
+        self.shared.as_ref().map_or(0, |s| s.state.lock().unwrap().spans.len())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.shared.as_ref().map_or(0, |s| s.state.lock().unwrap().dropped)
+    }
+
+    /// Forget every retained span (the id sequence keeps advancing).
+    pub fn clear(&self) {
+        if let Some(s) = &self.shared {
+            let mut st = s.state.lock().unwrap();
+            st.spans.clear();
+            st.dropped = 0;
+        }
+    }
+}
+
+/// A sink plus the [`Clock`] it stamps from — the handle functional
+/// (non-simulated) code records through. See [`TraceCtx::start`].
+#[derive(Debug, Clone)]
+pub struct TraceCtx {
+    pub sink: TraceSink,
+    pub clock: Clock,
+}
+
+impl TraceCtx {
+    pub fn new(sink: TraceSink, clock: Clock) -> Self {
+        TraceCtx { sink, clock }
+    }
+
+    /// A no-op context (disabled sink, private clock).
+    pub fn disabled() -> Self {
+        TraceCtx { sink: TraceSink::disabled(), clock: Clock::logical() }
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    /// Begin a span now; it records when the guard is ended or dropped.
+    /// On a disabled context this is free and the guard's id is 0.
+    #[inline]
+    pub fn start(&self, name: &str, phase: Phase, track: &str, parent: u64) -> ActiveSpan {
+        if !self.sink.enabled() {
+            return ActiveSpan { ctx: None, id: 0, begin: 0, rec: None };
+        }
+        self.start_slow(name, phase, track, parent)
+    }
+
+    fn start_slow(&self, name: &str, phase: Phase, track: &str, parent: u64) -> ActiveSpan {
+        let id = self.sink.alloc();
+        ActiveSpan {
+            ctx: Some(self.clone()),
+            id,
+            begin: self.clock.now_nanos(),
+            rec: Some((name.to_string(), phase, track.to_string(), parent)),
+        }
+    }
+}
+
+/// Guard for an in-flight span started via [`TraceCtx::start`].
+#[derive(Debug)]
+pub struct ActiveSpan {
+    ctx: Option<TraceCtx>,
+    id: u64,
+    begin: u64,
+    rec: Option<(String, Phase, String, u64)>,
+}
+
+impl ActiveSpan {
+    /// The span's id, usable as `parent` for children (0 when tracing
+    /// is disabled).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    #[inline]
+    fn finish(&mut self) {
+        if let (Some(ctx), Some((name, phase, track, parent))) = (self.ctx.take(), self.rec.take())
+        {
+            let end = ctx.clock.now_nanos().max(self.begin);
+            ctx.sink.push(SpanRecord {
+                id: self.id,
+                parent,
+                name,
+                phase,
+                track,
+                begin: self.begin,
+                end,
+                labels: Vec::new(),
+            });
+        }
+    }
+
+    /// End and record the span now.
+    pub fn end(mut self) {
+        self.finish();
+    }
+}
+
+impl Drop for ActiveSpan {
+    #[inline]
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Well-formedness
+// ---------------------------------------------------------------------------
+
+/// Shape summary returned by [`validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeStats {
+    pub spans: usize,
+    pub roots: usize,
+    pub max_depth: usize,
+}
+
+/// Check the span set forms well-formed trees: unique ids, `end >=
+/// begin`, every nonzero parent exists (no orphan parents), and every
+/// child interval lies within its parent's. Returns shape stats.
+pub fn validate(spans: &[SpanRecord]) -> Result<TreeStats, String> {
+    let mut by_id: HashMap<u64, &SpanRecord> = HashMap::with_capacity(spans.len());
+    for s in spans {
+        if s.id == 0 {
+            return Err(format!("span {:?} has reserved id 0", s.name));
+        }
+        if s.end < s.begin {
+            return Err(format!("span {} ({}) ends before it begins", s.id, s.name));
+        }
+        if by_id.insert(s.id, s).is_some() {
+            return Err(format!("duplicate span id {}", s.id));
+        }
+    }
+    let mut roots = 0usize;
+    for s in spans {
+        if s.parent == 0 {
+            roots += 1;
+            continue;
+        }
+        let p = by_id
+            .get(&s.parent)
+            .ok_or_else(|| format!("span {} ({}) has orphan parent {}", s.id, s.name, s.parent))?;
+        if s.begin < p.begin || s.end > p.end {
+            return Err(format!(
+                "span {} ({}) [{},{}] escapes parent {} ({}) [{},{}]",
+                s.id, s.name, s.begin, s.end, p.id, p.name, p.begin, p.end
+            ));
+        }
+    }
+    // Depth (and cycle) check: walk parent links, bounded by the span
+    // count.
+    let mut max_depth = 0usize;
+    for s in spans {
+        let mut depth = 1usize;
+        let mut cur = s.parent;
+        while cur != 0 {
+            depth += 1;
+            if depth > spans.len() + 1 {
+                return Err(format!("parent cycle reachable from span {}", s.id));
+            }
+            cur = by_id[&cur].parent;
+        }
+        max_depth = max_depth.max(depth);
+    }
+    Ok(TreeStats { spans: spans.len(), roots, max_depth })
+}
+
+// ---------------------------------------------------------------------------
+// Critical-path attribution
+// ---------------------------------------------------------------------------
+
+/// Per-phase latency attribution over a span set's blocking chains.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Attribution {
+    /// Nanoseconds attributed to each phase.
+    pub by_phase: BTreeMap<Phase, u64>,
+    /// Total attributed time (== sum of `by_phase` values).
+    pub total: u64,
+    /// Root spans walked.
+    pub roots: usize,
+}
+
+impl Attribution {
+    fn add(&mut self, phase: Phase, ns: u64) {
+        if ns == 0 {
+            return;
+        }
+        *self.by_phase.entry(phase).or_insert(0) += ns;
+        self.total += ns;
+    }
+
+    /// Fraction of the attributed total in `phase` (0.0 when empty).
+    pub fn share(&self, phase: Phase) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            *self.by_phase.get(&phase).unwrap_or(&0) as f64 / self.total as f64
+        }
+    }
+
+    /// The phase holding the largest share, if any time was attributed.
+    pub fn dominant(&self) -> Option<Phase> {
+        self.by_phase.iter().max_by_key(|(_, ns)| **ns).map(|(p, _)| *p)
+    }
+
+    /// Aligned text table, phases sorted by share descending.
+    pub fn render_table(&self, title: &str) -> String {
+        let mut rows: Vec<(Phase, u64)> = self.by_phase.iter().map(|(p, n)| (*p, *n)).collect();
+        rows.sort_by_key(|&(p, n)| (std::cmp::Reverse(n), p));
+        let mut out = format!(
+            "critical path — {title} ({} roots, {:.3} s attributed)\n",
+            self.roots,
+            self.total as f64 / 1e9
+        );
+        out.push_str(&format!("{:<10}  {:>9}  {:>8}\n", "phase", "seconds", "share"));
+        for (p, ns) in rows {
+            out.push_str(&format!(
+                "{:<10}  {:>9.3}  {:>7.1}%\n",
+                p.as_str(),
+                ns as f64 / 1e9,
+                100.0 * ns as f64 / self.total.max(1) as f64
+            ));
+        }
+        out
+    }
+}
+
+/// Walk every root span's blocking chain and attribute its latency to
+/// phases.
+///
+/// For each span covering `[lo, hi]` the walk moves a cursor backwards
+/// from `hi`: repeatedly pick the child with the latest `end <=
+/// cursor` (the operation whose completion gated progress), attribute
+/// the gap `child.end .. cursor` to the span's own phase, recurse into
+/// the child clipped to the remaining window, and continue from
+/// `child.begin`. Whatever reaches `lo` uncovered is the span's self
+/// time. Children overlapping a later-chosen child are concurrent with
+/// the chain and contribute nothing — exactly the "who was I actually
+/// waiting for" semantics.
+///
+/// Spans whose parent is missing from the set (evicted or deliberately
+/// detached, e.g. background flushes) are treated as roots, so disk
+/// drain work is attributed even though no single request waited on it.
+pub fn critical_path(spans: &[SpanRecord]) -> Attribution {
+    let by_id: HashMap<u64, usize> = spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+    let mut children: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        if s.parent != 0 && by_id.contains_key(&s.parent) {
+            children.entry(s.parent).or_default().push(i);
+        } else {
+            roots.push(i);
+        }
+    }
+    // Children sorted by end descending: the blocking-chain walk scans
+    // them once per parent visit.
+    for v in children.values_mut() {
+        v.sort_by_key(|&i| std::cmp::Reverse((spans[i].end, spans[i].id)));
+    }
+
+    let mut attr = Attribution { roots: roots.len(), ..Default::default() };
+    for &r in &roots {
+        walk(spans, &children, r, spans[r].begin, spans[r].end, &mut attr, 0);
+    }
+    attr
+}
+
+fn walk(
+    spans: &[SpanRecord],
+    children: &HashMap<u64, Vec<usize>>,
+    idx: usize,
+    lo: u64,
+    hi: u64,
+    attr: &mut Attribution,
+    depth: usize,
+) {
+    let s = &spans[idx];
+    if hi <= lo {
+        return;
+    }
+    // Defensive bound: validate() rejects cycles, but the analyzer must
+    // not hang on un-validated input.
+    if depth > spans.len() {
+        attr.add(s.phase, hi - lo);
+        return;
+    }
+    let mut cursor = hi;
+    if let Some(kids) = children.get(&s.id) {
+        for &k in kids {
+            let c = &spans[k];
+            if cursor <= lo {
+                break;
+            }
+            if c.end > cursor || c.end <= lo {
+                // Concurrent with the chain (or entirely before the
+                // window): not on the blocking path.
+                continue;
+            }
+            if c.end < cursor {
+                attr.add(s.phase, cursor - c.end);
+            }
+            let clo = c.begin.max(lo);
+            walk(spans, children, k, clo, c.end, attr, depth + 1);
+            cursor = clo;
+        }
+    }
+    if cursor > lo {
+        attr.add(s.phase, cursor - lo);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event / Perfetto export
+// ---------------------------------------------------------------------------
+
+/// Export spans as a Chrome trace-event JSON document (the format
+/// `ui.perfetto.dev` and `chrome://tracing` load): one complete-event
+/// (`"ph":"X"`) per span, one `tid` per track (named via metadata
+/// events), timestamps in microseconds. Parent/phase/labels ride in
+/// `args`.
+pub fn to_chrome(spans: &[SpanRecord]) -> Value {
+    let mut tracks: Vec<&str> = Vec::new();
+    let mut track_tid: HashMap<&str, i64> = HashMap::new();
+    for s in spans {
+        if !track_tid.contains_key(s.track.as_str()) {
+            track_tid.insert(s.track.as_str(), tracks.len() as i64 + 1);
+            tracks.push(s.track.as_str());
+        }
+    }
+    let mut events: Vec<Value> = Vec::with_capacity(spans.len() + tracks.len() + 1);
+    events.push(Value::Obj(vec![
+        ("name".into(), Value::Str("process_name".into())),
+        ("ph".into(), Value::Str("M".into())),
+        ("pid".into(), Value::Int(1)),
+        ("tid".into(), Value::Int(0)),
+        ("args".into(), Value::Obj(vec![("name".into(), Value::Str("pdsi".into()))])),
+    ]));
+    for t in &tracks {
+        events.push(Value::Obj(vec![
+            ("name".into(), Value::Str("thread_name".into())),
+            ("ph".into(), Value::Str("M".into())),
+            ("pid".into(), Value::Int(1)),
+            ("tid".into(), Value::Int(track_tid[t])),
+            ("args".into(), Value::Obj(vec![("name".into(), Value::Str((*t).to_string()))])),
+        ]));
+    }
+    for s in spans {
+        let mut args = vec![
+            ("id".to_string(), Value::Int(s.id as i64)),
+            ("parent".to_string(), Value::Int(s.parent as i64)),
+        ];
+        for (k, v) in &s.labels {
+            args.push((k.clone(), Value::Str(v.clone())));
+        }
+        events.push(Value::Obj(vec![
+            ("name".into(), Value::Str(s.name.clone())),
+            ("cat".into(), Value::Str(s.phase.as_str().into())),
+            ("ph".into(), Value::Str("X".into())),
+            ("ts".into(), Value::Float(s.begin as f64 / 1e3)),
+            ("dur".into(), Value::Float((s.end - s.begin) as f64 / 1e3)),
+            ("pid".into(), Value::Int(1)),
+            ("tid".into(), Value::Int(track_tid[s.track.as_str()])),
+            ("args".into(), Value::Obj(args)),
+        ]));
+    }
+    Value::Obj(vec![
+        ("traceEvents".into(), Value::Arr(events)),
+        ("displayTimeUnit".into(), Value::Str("ms".into())),
+    ])
+}
+
+/// Prepare `spans` (from one sink) for merging with spans from another:
+/// shift every id/parent by `id_offset` and prefix every track, so two
+/// runs export into one document without colliding.
+pub fn rebase(spans: &mut [SpanRecord], id_offset: u64, track_prefix: &str) {
+    for s in spans.iter_mut() {
+        s.id += id_offset;
+        if s.parent != 0 {
+            s.parent += id_offset;
+        }
+        if !track_prefix.is_empty() {
+            s.track = format!("{track_prefix}{}", s.track);
+        }
+    }
+}
+
+/// Largest span id in `spans` (0 when empty) — the offset to [`rebase`]
+/// a second set onto.
+pub fn max_id(spans: &[SpanRecord]) -> u64 {
+    spans.iter().map(|s| s.id).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn span(id: u64, parent: u64, phase: Phase, begin: u64, end: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: format!("s{id}"),
+            phase,
+            track: "t".into(),
+            begin,
+            end,
+            labels: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn disabled_sink_is_a_noop() {
+        let s = TraceSink::disabled();
+        assert!(!s.enabled());
+        assert_eq!(s.record("x", Phase::Other, "t", 0, 1, 0), 0);
+        assert_eq!(s.alloc(), 0);
+        assert_eq!(s.len(), 0);
+        assert!(s.snapshot().is_empty());
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest_and_counts_drops() {
+        let s = TraceSink::bounded(3);
+        for i in 0..5u64 {
+            s.record("x", Phase::Other, "t", i, i + 1, 0);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dropped(), 2);
+        let snap = s.snapshot();
+        assert_eq!(snap.first().unwrap().begin, 2, "oldest spans evicted first");
+        // Ids keep advancing across evictions.
+        assert!(s.record("y", Phase::Other, "t", 9, 10, 0) > 5);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let a = TraceSink::bounded(16);
+        let b = a.clone();
+        a.record("x", Phase::Other, "t", 0, 1, 0);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn reparent_rewires_the_tree() {
+        let s = TraceSink::bounded(16);
+        let child = s.record("c", Phase::Seek, "t", 2, 3, 0);
+        let parent = s.record("p", Phase::Other, "t", 0, 5, 0);
+        s.reparent(child, parent);
+        let snap = s.snapshot();
+        let c = snap.iter().find(|r| r.id == child).unwrap();
+        assert_eq!(c.parent, parent);
+        validate(&snap).unwrap();
+    }
+
+    #[test]
+    fn active_span_guard_records_on_end_and_drop() {
+        let clock = Clock::logical();
+        let ctx = TraceCtx::new(TraceSink::bounded(8), clock.clone());
+        let root = ctx.start("root", Phase::Other, "t", 0);
+        let root_id = root.id();
+        assert!(root_id > 0);
+        {
+            let _child = ctx.start("child", Phase::Retry, "t", root_id);
+            clock.advance_to(5);
+            // dropped here -> recorded
+        }
+        clock.advance_to(9);
+        root.end();
+        let spans = ctx.sink.snapshot();
+        assert_eq!(spans.len(), 2);
+        validate(&spans).unwrap();
+        let child = spans.iter().find(|s| s.name == "child").unwrap();
+        assert_eq!(child.parent, root_id);
+        assert_eq!(child.end, 5);
+    }
+
+    #[test]
+    fn disabled_ctx_guard_is_free() {
+        let ctx = TraceCtx::disabled();
+        let g = ctx.start("x", Phase::Other, "t", 0);
+        assert_eq!(g.id(), 0);
+        g.end();
+        assert_eq!(ctx.sink.len(), 0);
+    }
+
+    #[test]
+    fn validate_accepts_nested_and_rejects_broken() {
+        let good = vec![
+            span(1, 0, Phase::Other, 0, 10),
+            span(2, 1, Phase::Seek, 1, 4),
+            span(3, 1, Phase::Transfer, 4, 10),
+        ];
+        let st = validate(&good).unwrap();
+        assert_eq!(st, TreeStats { spans: 3, roots: 1, max_depth: 2 });
+
+        let orphan = vec![span(1, 99, Phase::Other, 0, 10)];
+        assert!(validate(&orphan).unwrap_err().contains("orphan"));
+
+        let escapes = vec![span(1, 0, Phase::Other, 5, 10), span(2, 1, Phase::Seek, 0, 7)];
+        assert!(validate(&escapes).unwrap_err().contains("escapes"));
+
+        let backwards = vec![span(1, 0, Phase::Other, 10, 5)];
+        assert!(validate(&backwards).unwrap_err().contains("ends before"));
+
+        let dup = vec![span(1, 0, Phase::Other, 0, 1), span(1, 0, Phase::Other, 0, 1)];
+        assert!(validate(&dup).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn critical_path_attributes_blocking_chain_only() {
+        // root [0,100] (phase Network): blocked by lock wait [0,60],
+        // then a disk child [60,90] that splits into seek [60,80] and
+        // transfer [80,90]; the tail [90,100] is the root's own (rpc).
+        // A concurrent child [0,85] overlapping the chain must not
+        // contribute.
+        let spans = vec![
+            span(1, 0, Phase::Network, 0, 100),
+            span(2, 1, Phase::LockWait, 0, 60),
+            SpanRecord { phase: Phase::Other, ..span(3, 1, Phase::Other, 60, 90) },
+            span(4, 3, Phase::Seek, 60, 80),
+            span(5, 3, Phase::Transfer, 80, 90),
+            span(6, 1, Phase::Queue, 0, 85), // concurrent: end > cursor when visited
+        ];
+        let a = critical_path(&spans);
+        assert_eq!(a.roots, 1);
+        assert_eq!(a.total, 100);
+        assert_eq!(a.by_phase[&Phase::LockWait], 60);
+        assert_eq!(a.by_phase[&Phase::Seek], 20);
+        assert_eq!(a.by_phase[&Phase::Transfer], 10);
+        assert_eq!(a.by_phase[&Phase::Network], 10);
+        assert!(!a.by_phase.contains_key(&Phase::Queue));
+        assert_eq!(a.dominant(), Some(Phase::LockWait));
+        assert!((a.share(Phase::LockWait) - 0.6).abs() < 1e-12);
+        let table = a.render_table("unit");
+        assert!(table.contains("lock_wait"));
+        assert!(table.contains("60.0%"));
+    }
+
+    #[test]
+    fn critical_path_treats_detached_spans_as_roots() {
+        let spans = vec![span(1, 0, Phase::Other, 0, 10), span(2, 77, Phase::Transfer, 0, 4)];
+        let a = critical_path(&spans);
+        assert_eq!(a.roots, 2);
+        assert_eq!(a.total, 14);
+        assert_eq!(a.by_phase[&Phase::Transfer], 4);
+    }
+
+    #[test]
+    fn chrome_export_parses_and_names_tracks() {
+        let s = TraceSink::bounded(16);
+        let root = s.record("pfs.write", Phase::Network, "client.0", 1000, 9000, 0);
+        s.record("disk.seek", Phase::Seek, "osd.0.disk", 2000, 7000, root);
+        let doc = to_chrome(&s.snapshot());
+        let text = doc.to_string();
+        let parsed = json::parse(&text).unwrap();
+        let events = parsed.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+        // 1 process meta + 2 thread metas + 2 spans.
+        assert_eq!(events.len(), 5);
+        let meta_names: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+            .filter_map(|e| e.get("args").and_then(|a| a.get("name")).and_then(|n| n.as_str()))
+            .collect();
+        assert!(meta_names.contains(&"client.0"));
+        assert!(meta_names.contains(&"osd.0.disk"));
+        let x: Vec<_> =
+            events.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")).collect();
+        assert_eq!(x.len(), 2);
+        for e in &x {
+            assert!(e.get("ts").and_then(|v| v.as_f64()).is_some());
+            assert!(e.get("dur").and_then(|v| v.as_f64()).is_some());
+            assert!(e.get("name").and_then(|v| v.as_str()).is_some());
+        }
+        // ts is microseconds.
+        assert_eq!(x[0].get("ts").and_then(|v| v.as_f64()), Some(1.0));
+    }
+
+    #[test]
+    fn rebase_shifts_ids_and_prefixes_tracks() {
+        let a = TraceSink::bounded(8);
+        let ra = a.record("x", Phase::Other, "client.0", 0, 5, 0);
+        a.record("y", Phase::Seek, "client.0", 1, 2, ra);
+        let b = TraceSink::bounded(8);
+        b.record("z", Phase::Other, "client.0", 0, 3, 0);
+        let mut sa = a.snapshot();
+        let sb = b.snapshot();
+        rebase(&mut sa, max_id(&sb), "direct/");
+        let mut all = sb;
+        all.extend(sa);
+        validate(&all).unwrap();
+        assert!(all.iter().any(|s| s.track == "direct/client.0"));
+        let ids: std::collections::HashSet<u64> = all.iter().map(|s| s.id).collect();
+        assert_eq!(ids.len(), all.len(), "merged ids must be unique");
+    }
+}

@@ -24,4 +24,4 @@ pub mod sim;
 pub use layout::{Chunk, FileId, Layout, Placement};
 pub use lockmgr::{LockManager, LockMode, LockStats};
 pub use server::QueueStats;
-pub use sim::{Cluster, ClusterConfig, DeviceSpec, Op, PhaseReport};
+pub use sim::{Cluster, ClusterConfig, DeviceSpec, Op, OpSpanRef, PhaseReport};

@@ -10,6 +10,7 @@
 
 use crate::layout::FileId;
 use diskmodel::{BlockDevice, DevOp, DeviceStats};
+use obs::trace::{Phase, TraceSink};
 use simkit::{SimDuration, SimTime, Timeline};
 use std::collections::HashMap;
 
@@ -83,6 +84,10 @@ pub struct Server {
     queue_wait: SimDuration,
     /// High-water mark of concurrently dirty (file, stripe) buffers.
     peak_pending: usize,
+    /// Causal trace sink (disabled by default; see [`Server::set_trace`]).
+    trace: TraceSink,
+    /// This server's index in the cluster, naming its trace tracks.
+    osd: usize,
 }
 
 /// Queue-level counters for one server, exported into metrics dumps.
@@ -117,7 +122,45 @@ impl Server {
             downtime: SimDuration::ZERO,
             queue_wait: SimDuration::ZERO,
             peak_pending: 0,
+            trace: TraceSink::disabled(),
+            osd: 0,
         }
+    }
+
+    /// Attach a trace sink; `osd` names this server's tracks
+    /// (`osd.<i>.net` / `osd.<i>.disk` / `osd.<i>.queue`).
+    pub fn set_trace(&mut self, trace: TraceSink, osd: usize) {
+        self.trace = trace;
+        self.osd = osd;
+    }
+
+    /// Record one disk-service span plus its seek/rotate/transfer leaf
+    /// children, rescaled so the leaves tile `[start, done)` exactly even
+    /// when an upper layer inflated the raw device time (RMW multiplier).
+    fn record_disk_spans(
+        &self,
+        name: &str,
+        before: DeviceStats,
+        start: SimTime,
+        done: SimTime,
+        parent: u64,
+    ) -> u64 {
+        let track = format!("osd.{}.disk", self.osd);
+        let split = self.device.stats().split_since(&before).scaled_to(done.since(start));
+        let op = self.trace.record(name, Phase::Other, &track, start.0, done.0, parent);
+        let mut t = start;
+        if !split.seek.is_zero() {
+            self.trace.record("disk.seek", Phase::Seek, &track, t.0, (t + split.seek).0, op);
+            t += split.seek;
+        }
+        if !split.rotate.is_zero() {
+            self.trace.record("disk.rotate", Phase::Rotate, &track, t.0, (t + split.rotate).0, op);
+            t += split.rotate;
+        }
+        if !split.transfer.is_zero() {
+            self.trace.record("disk.transfer", Phase::Transfer, &track, t.0, done.0, op);
+        }
+        op
     }
 
     pub fn device_stats(&self) -> DeviceStats {
@@ -206,9 +249,27 @@ impl Server {
         stripe_offset: u64,
         len: u64,
     ) -> SimTime {
+        self.write_chunk_traced(ready, file, stripe, stripe_offset, len, 0)
+    }
+
+    /// [`Server::write_chunk`] with the issuing request's span id so the
+    /// server-side ingest span lands under the client's causal tree.
+    pub fn write_chunk_traced(
+        &mut self,
+        ready: SimTime,
+        file: FileId,
+        stripe: u64,
+        stripe_offset: u64,
+        len: u64,
+        parent: u64,
+    ) -> SimTime {
         self.requests += 1;
         let xfer = SimDuration::for_bytes(len, self.cfg.net_bw) + self.cfg.rpc_overhead;
-        let (_, received) = self.net.reserve(ready, xfer);
+        let (nstart, received) = self.net.reserve(ready, xfer);
+        if self.trace.enabled() {
+            let track = format!("osd.{}.net", self.osd);
+            self.trace.record("osd.ingest", Phase::Network, &track, nstart.0, received.0, parent);
+        }
         let base = self.extent_of(file, stripe);
         let lo = base + stripe_offset;
         let hi = lo + len;
@@ -241,12 +302,19 @@ impl Server {
             // ranges under-count a few intra-flush seeks, which is the
             // right side to err on for a write-back cache).
             let span = p.bytes.min(p.hi - p.lo);
+            let before = self.trace.enabled().then(|| self.device.stats());
             let mut svc = self.device.service(DevOp::write(p.lo, span));
             if span < self.cfg.raid_stripe && self.cfg.sub_stripe_rmw > 1.0 {
                 svc = svc.mul_f64(self.cfg.sub_stripe_rmw);
             }
             let (start, done) = self.disk.reserve(p.ready, svc);
             self.queue_wait += start.since(p.ready);
+            if let Some(before) = before {
+                // Flushes are asynchronous write-back drain: they are
+                // roots on the disk track, not children of whichever
+                // request happened to trip them.
+                self.record_disk_spans("osd.flush", before, start, done, 0);
+            }
             done
         } else {
             self.disk.free_at()
@@ -287,17 +355,42 @@ impl Server {
         stripe_offset: u64,
         len: u64,
     ) -> SimTime {
+        self.read_chunk_traced(ready, file, stripe, stripe_offset, len, 0)
+    }
+
+    /// [`Server::read_chunk`] with the issuing request's span id so
+    /// queue-wait, disk service, and the return transfer land under the
+    /// client's causal tree.
+    pub fn read_chunk_traced(
+        &mut self,
+        ready: SimTime,
+        file: FileId,
+        stripe: u64,
+        stripe_offset: u64,
+        len: u64,
+        parent: u64,
+    ) -> SimTime {
         self.requests += 1;
         // Reads must observe prior buffered writes.
         if self.pending.contains_key(&(file, stripe)) {
             self.flush_stripe(file, stripe);
         }
         let base = self.extent_of(file, stripe);
+        let before = self.trace.enabled().then(|| self.device.stats());
         let svc = self.device.service(DevOp::read(base + stripe_offset, len));
         let (start, disk_done) = self.disk.reserve(ready, svc);
         self.queue_wait += start.since(ready);
         let xfer = SimDuration::for_bytes(len, self.cfg.net_bw) + self.cfg.rpc_overhead;
-        let (_, sent) = self.net.reserve(disk_done, xfer);
+        let (nstart, sent) = self.net.reserve(disk_done, xfer);
+        if let Some(before) = before {
+            if start > ready {
+                let qtrack = format!("osd.{}.queue", self.osd);
+                self.trace.record("disk.queue", Phase::Queue, &qtrack, ready.0, start.0, parent);
+            }
+            self.record_disk_spans("osd.read", before, start, disk_done, parent);
+            let ntrack = format!("osd.{}.net", self.osd);
+            self.trace.record("osd.send", Phase::Network, &ntrack, nstart.0, sent.0, parent);
+        }
         sent
     }
 

@@ -12,6 +12,7 @@ use crate::server::{QueueStats, Server, ServerConfig};
 use diskmodel::hdd::{DiskDevice, DiskParams};
 use diskmodel::profiles::FlashHeadline;
 use diskmodel::{BlockDevice, DeviceStats};
+use obs::trace::{Phase, SpanRecord, TraceSink};
 use simkit::units::GIB;
 use simkit::{SimDuration, SimTime, Timeline};
 use std::cmp::Reverse;
@@ -57,6 +58,9 @@ pub struct ClusterConfig {
     pub mds_create: SimDuration,
     /// Metadata server service time per open of an existing file.
     pub mds_open: SimDuration,
+    /// Causal trace sink shared by clients, servers, and the MDS.
+    /// Disabled by default; install a bounded sink to capture spans.
+    pub trace: TraceSink,
 }
 
 impl ClusterConfig {
@@ -75,6 +79,7 @@ impl ClusterConfig {
             rpc_latency: SimDuration::from_micros(30),
             mds_create: SimDuration::from_micros(800),
             mds_open: SimDuration::from_micros(250),
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -222,6 +227,20 @@ impl PhaseReport {
     }
 }
 
+/// Trace handle for one executed client op: the root span id of its
+/// causal tree plus its simulated interval. Returned (per client, in
+/// stream order) by [`Cluster::run_phase_traced`] so adapter layers can
+/// graft their own wrapper spans over the cluster-level trees.
+#[derive(Debug, Clone, Copy)]
+pub struct OpSpanRef {
+    /// Root span id in the cluster's trace sink (0 if tracing is off).
+    pub span: u64,
+    /// When the op became ready to issue.
+    pub begin: SimTime,
+    /// When the op completed at the client.
+    pub end: SimTime,
+}
+
 /// A scheduled OSD failure.
 #[derive(Debug, Clone, Copy)]
 struct CrashEvent {
@@ -246,7 +265,12 @@ pub struct Cluster {
 impl Cluster {
     pub fn new(cfg: ClusterConfig) -> Self {
         let servers = (0..cfg.layout.servers)
-            .map(|_| Server::new(cfg.server.clone(), cfg.device.build(), cfg.layout.stripe_size))
+            .map(|i| {
+                let mut s =
+                    Server::new(cfg.server.clone(), cfg.device.build(), cfg.layout.stripe_size);
+                s.set_trace(cfg.trace.clone(), i);
+                s
+            })
             .collect();
         let locks = LockManager::new(cfg.lock_mode);
         Cluster {
@@ -300,6 +324,14 @@ impl Cluster {
     /// and executes its op stream serially; the phase ends when all
     /// clients are done and all dirty buffers are on media.
     pub fn run_phase(&mut self, streams: &[Vec<Op>]) -> PhaseReport {
+        self.run_phase_traced(streams).0
+    }
+
+    /// [`Cluster::run_phase`], additionally returning one [`OpSpanRef`]
+    /// per executed op (outer index = client, inner = stream order).
+    /// With a disabled sink the span ids are all 0 and nothing is
+    /// recorded; behaviour and the report are identical either way.
+    pub fn run_phase_traced(&mut self, streams: &[Vec<Op>]) -> (PhaseReport, Vec<Vec<OpSpanRef>>) {
         let start = self.now;
         let mut bytes_written = 0u64;
         let mut bytes_read = 0u64;
@@ -324,6 +356,8 @@ impl Cluster {
             .collect();
         let mut client_done = start;
         let mut crashes = 0usize;
+        let mut op_spans: Vec<Vec<OpSpanRef>> =
+            streams.iter().map(|s| Vec::with_capacity(s.len())).collect();
 
         while let Some(Reverse((ready, c))) = heap.pop() {
             // Fire scheduled OSD failures before any op at or after
@@ -333,8 +367,9 @@ impl Cluster {
             crashes += self.apply_crashes_up_to(ready);
             let op = streams[c][cursor[c]];
             cursor[c] += 1;
-            let finished =
+            let (finished, span) =
                 self.execute(c, op, ready, &mut links[c], &mut bytes_written, &mut bytes_read);
+            op_spans[c].push(OpSpanRef { span, begin: ready, end: finished });
             client_done = client_done.max_of(finished);
             if cursor[c] < streams[c].len() {
                 heap.push(Reverse((finished, c)));
@@ -357,7 +392,7 @@ impl Cluster {
         ls.revocations -= before.revocations;
         ls.wait_time = ls.wait_time.saturating_sub(before.wait_time);
 
-        PhaseReport {
+        let report = PhaseReport {
             makespan: drained.since(start),
             client_makespan: client_done.since(start),
             bytes_written,
@@ -367,7 +402,8 @@ impl Cluster {
             server_queue: self.servers.iter().map(|s| s.queue_stats()).collect(),
             mds_ops: self.mds_ops - mds_before,
             crashes,
-        }
+        };
+        (report, op_spans)
     }
 
     fn execute(
@@ -378,18 +414,28 @@ impl Cluster {
         link: &mut Timeline,
         bytes_written: &mut u64,
         bytes_read: &mut u64,
-    ) -> SimTime {
-        match op {
-            Op::Compute(d) => ready + d,
+    ) -> (SimTime, u64) {
+        let trace = self.cfg.trace.clone();
+        // Root id is reserved up front so children recorded mid-op can
+        // point at it; the root record itself lands once the op's
+        // completion time is known.
+        let root = trace.alloc();
+        let track = if trace.enabled() { format!("client.{client}") } else { String::new() };
+        let (name, phase, finished) = match op {
+            Op::Compute(d) => ("pfs.compute", Phase::Compute, ready + d),
             Op::Create(_) => {
                 self.mds_ops += 1;
-                let (_, done) = self.mds.reserve(ready + self.cfg.rpc_latency, self.cfg.mds_create);
-                done + self.cfg.rpc_latency
+                let (mstart, done) =
+                    self.mds.reserve(ready + self.cfg.rpc_latency, self.cfg.mds_create);
+                trace.record("mds.create", Phase::Mds, "mds", mstart.0, done.0, root);
+                ("pfs.create", Phase::Network, done + self.cfg.rpc_latency)
             }
             Op::Open(_) => {
                 self.mds_ops += 1;
-                let (_, done) = self.mds.reserve(ready + self.cfg.rpc_latency, self.cfg.mds_open);
-                done + self.cfg.rpc_latency
+                let (mstart, done) =
+                    self.mds.reserve(ready + self.cfg.rpc_latency, self.cfg.mds_open);
+                trace.record("mds.open", Phase::Mds, "mds", mstart.0, done.0, root);
+                ("pfs.open", Phase::Network, done + self.cfg.rpc_latency)
             }
             Op::Write { file, offset, len } => {
                 *bytes_written += len;
@@ -405,42 +451,70 @@ impl Cluster {
                         start = start.max_of(durable);
                     }
                 }
+                if trace.enabled() && start > ready {
+                    trace.record_labeled(
+                        "lock.wait",
+                        Phase::LockWait,
+                        &track,
+                        ready.0,
+                        start.0,
+                        root,
+                        &[("revoked", &revoked.to_string())],
+                    );
+                }
                 let mut completion = start;
                 for chunk in chunks {
                     // Client NIC serializes this client's outbound data.
                     let xfer = SimDuration::for_bytes(chunk.len, self.cfg.client_net_bw);
-                    let (_, sent) = link.reserve(start, xfer);
-                    let ack = self.servers[chunk.server].write_chunk(
+                    let (nic_start, sent) = link.reserve(start, xfer);
+                    trace.record("net.send", Phase::Network, &track, nic_start.0, sent.0, root);
+                    let ack = self.servers[chunk.server].write_chunk_traced(
                         sent + self.cfg.rpc_latency,
                         file,
                         chunk.stripe,
                         chunk.stripe_offset,
                         chunk.len,
+                        root,
                     );
                     completion = completion.max_of(ack + self.cfg.rpc_latency);
                 }
                 self.locks.release(client, file, offset, len, completion);
-                completion
+                ("pfs.write", Phase::Network, completion)
             }
             Op::Read { file, offset, len } => {
                 *bytes_read += len;
                 let mut completion = ready;
                 for chunk in self.cfg.layout.chunks(file, offset, len) {
-                    let got = self.servers[chunk.server].read_chunk(
+                    let got = self.servers[chunk.server].read_chunk_traced(
                         ready + self.cfg.rpc_latency,
                         file,
                         chunk.stripe,
                         chunk.stripe_offset,
                         chunk.len,
+                        root,
                     );
                     // Client NIC serializes inbound data.
                     let xfer = SimDuration::for_bytes(chunk.len, self.cfg.client_net_bw);
-                    let (_, received) = link.reserve(got, xfer);
+                    let (rstart, received) = link.reserve(got, xfer);
+                    trace.record("net.recv", Phase::Network, &track, rstart.0, received.0, root);
                     completion = completion.max_of(received);
                 }
-                completion
+                ("pfs.read", Phase::Network, completion)
             }
+        };
+        if trace.enabled() {
+            trace.push(SpanRecord {
+                id: root,
+                parent: 0,
+                name: name.to_string(),
+                phase,
+                track,
+                begin: ready.0,
+                end: finished.0.max(ready.0),
+                labels: Vec::new(),
+            });
         }
+        (finished, root)
     }
 }
 
@@ -617,6 +691,46 @@ mod tests {
         // Burn time past the event, then the crash fires.
         let r2 = c.run_phase(&[vec![Op::Compute(SimDuration::from_secs(15))]]);
         assert_eq!(r2.crashes, 1);
+    }
+
+    #[test]
+    fn traced_phase_produces_valid_span_tree() {
+        let mut cfg = ClusterConfig::lustre_like(8, MIB);
+        cfg.trace = TraceSink::bounded(1 << 16);
+        let sink = cfg.trace.clone();
+        let mut c = Cluster::new(cfg);
+        let (rep, ops) = c.run_phase_traced(&n1_strided(4, 8, 47 * KIB));
+        assert!(rep.bytes_written > 0);
+        let spans = sink.snapshot();
+        let stats = obs::trace::validate(&spans).expect("well-formed span tree");
+        assert!(stats.roots > 0);
+        assert!(stats.max_depth >= 2, "expected request -> osd -> disk leaves");
+        // Every returned op ref resolves to a recorded root of its interval.
+        for r in ops.iter().flatten() {
+            let rec = spans.iter().find(|s| s.id == r.span).expect("root recorded");
+            assert_eq!(rec.parent, 0);
+            assert_eq!(rec.begin, r.begin.0);
+            assert_eq!(rec.end, r.end.0);
+        }
+        // False sharing on the strided N-1 pattern must surface as
+        // lock-wait spans, and disk drain as transfer leaves.
+        assert!(spans.iter().any(|s| s.name == "lock.wait"));
+        assert!(spans.iter().any(|s| s.name == "disk.transfer"));
+        assert!(spans.iter().any(|s| s.name == "osd.ingest"));
+    }
+
+    #[test]
+    fn disabled_trace_changes_nothing() {
+        let cfg = ClusterConfig::lustre_like(8, MIB);
+        let mut plain = Cluster::new(cfg.clone());
+        let base = plain.run_phase(&n1_strided(4, 8, 47 * KIB));
+        let mut traced_cfg = cfg;
+        traced_cfg.trace = TraceSink::bounded(1 << 16);
+        let mut traced = Cluster::new(traced_cfg);
+        let (rep, _) = traced.run_phase_traced(&n1_strided(4, 8, 47 * KIB));
+        assert_eq!(base.makespan, rep.makespan, "tracing must not perturb the simulation");
+        assert_eq!(base.bytes_written, rep.bytes_written);
+        assert_eq!(base.lock_stats.revocations, rep.lock_stats.revocations);
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! End-to-end tests for the causal per-I/O tracing layer: span-tree
+//! well-formedness across the whole stack, the pinned critical-path
+//! diagnoses from the report, and the Chrome trace-event export.
+
+use obs::trace::{self, Phase, TraceSink};
+use pfs::ClusterConfig;
+use simkit::units::{KIB, MIB};
+
+fn names(spans: &[obs::trace::SpanRecord]) -> Vec<&str> {
+    spans.iter().map(|s| s.name.as_str()).collect()
+}
+
+/// The headline scenario: an unaligned strided N-1 checkpoint written
+/// directly must attribute the majority of its critical path to
+/// stripe-lock wait — the report's diagnosis of the N-1 collapse.
+#[test]
+fn unaligned_n1_critical_path_is_lock_wait_dominated() {
+    let pattern = plfs::strided_n1_pattern(16, 48, 47 * KIB);
+    let sink = TraceSink::bounded(1 << 18);
+    let mut cfg = ClusterConfig::lustre_like(8, MIB);
+    cfg.trace = sink.clone();
+    let rep = plfs::run_direct(cfg, &pattern);
+    assert!(rep.lock_stats.revocations > 0, "scenario must exercise lock sharing");
+
+    let spans = sink.snapshot();
+    assert_eq!(sink.dropped(), 0, "sink too small for the run");
+    let stats = trace::validate(&spans).expect("span forest must be well-formed");
+    assert!(stats.max_depth >= 2, "expected root -> op -> disk-leaf nesting");
+
+    let attr = trace::critical_path(&spans);
+    assert!(
+        attr.share(Phase::LockWait) >= 0.5,
+        "lock wait must dominate the unaligned N-1 critical path, got {:.2} ({:?})",
+        attr.share(Phase::LockWait),
+        attr.by_phase
+    );
+}
+
+/// The friendly pattern: per-rank files with aligned records. No lock
+/// sharing, so the critical path collapses onto media transfer.
+#[test]
+fn aligned_nn_critical_path_is_transfer_plurality() {
+    use pfs::{Cluster, Op};
+    let clients = 16usize;
+    let rec = MIB;
+    let streams: Vec<Vec<Op>> = (0..clients)
+        .map(|r| {
+            let file = 1 + r as u64;
+            let mut ops = vec![Op::Create(file)];
+            for i in 0..48u64 {
+                ops.push(Op::Write { file, offset: i * rec, len: rec });
+            }
+            ops
+        })
+        .collect();
+    let sink = TraceSink::bounded(1 << 18);
+    let mut cfg = ClusterConfig::lustre_like(8, MIB);
+    cfg.trace = sink.clone();
+    let rep = Cluster::new(cfg).run_phase(&streams);
+    assert_eq!(rep.lock_stats.revocations, 0);
+
+    let spans = sink.snapshot();
+    trace::validate(&spans).expect("well-formed");
+    let attr = trace::critical_path(&spans);
+    assert_eq!(
+        attr.dominant(),
+        Some(Phase::Transfer),
+        "aligned N-N should be media-bound, got {:?}",
+        attr.by_phase
+    );
+}
+
+/// One captured trace must cover every layer: PLFS actions, pfs client
+/// ops, lock waits, OSD network/disk service, and positioning leaves.
+#[test]
+fn n1_trace_covers_plfs_pfs_and_disk_layers() {
+    let run = pdsi_bench::run_trace("plfs_n1").expect("known experiment");
+    trace::validate(&run.spans).expect("merged forest must stay well-formed");
+    let names = names(&run.spans);
+    for expected in [
+        "plfs.rank",        // PLFS layer wrapper (plfs/ half)
+        "plfs.data_append", // PLFS action naming
+        "plfs.create_dropping",
+        "pfs.write",     // pfs client op root
+        "lock.wait",     // stripe-lock acquisition (direct/ half)
+        "net.send",      // client NIC serialization
+        "osd.ingest",    // server-side receive
+        "osd.flush",     // write-back drain
+        "disk.transfer", // diskmodel leaf
+        "disk.seek",
+        "mds.create",
+    ] {
+        assert!(names.contains(&expected), "no {expected:?} span in plfs_n1 trace");
+    }
+    // The two replay modes stay distinguishable in one export.
+    assert!(run.spans.iter().any(|s| s.track.starts_with("direct/client.")));
+    assert!(run.spans.iter().any(|s| s.track.starts_with("plfs/plfs.rank.")));
+    assert!(run
+        .spans
+        .iter()
+        .any(|s| s.track.starts_with("direct/osd.") && s.track.ends_with(".disk")));
+}
+
+/// The functional (non-simulated) write path over a flaky store emits
+/// retry and torn-append-recovery spans nested under the write ops.
+#[test]
+fn functional_write_path_traces_retries_and_torn_recoveries() {
+    let run = pdsi_bench::run_trace("plfs_io").expect("known experiment");
+    trace::validate(&run.spans).expect("well-formed");
+    let retries: Vec<_> = run.spans.iter().filter(|s| s.name == "retry.attempt").collect();
+    let torn: Vec<_> = run.spans.iter().filter(|s| s.name == "torn.recovery").collect();
+    assert!(!retries.is_empty(), "flaky plan must surface retry.attempt spans");
+    assert!(!torn.is_empty(), "flaky plan must surface torn.recovery spans");
+    for r in &retries {
+        assert_ne!(r.parent, 0, "retry spans attach to their append span");
+        assert!(r.labels.iter().any(|(k, _)| k == "attempt"));
+        assert!(r.labels.iter().any(|(k, _)| k == "outcome"));
+    }
+    for t in &torn {
+        assert!(t.labels.iter().any(|(k, _)| k == "resumed_at"));
+    }
+    assert!(names(&run.spans).contains(&"plfs.write_at"));
+}
+
+/// The Chrome export is valid JSON (per our own parser), carries one
+/// complete event per span, metadata naming every track, and µs
+/// timestamps consistent with the span nanoseconds.
+#[test]
+fn chrome_export_roundtrips_and_matches_spans() {
+    let run = pdsi_bench::run_trace("plfs_nn").expect("known experiment");
+    let doc = trace::to_chrome(&run.spans);
+    let text = obs::json::pretty(&doc);
+    let parsed = obs::json::parse(&text).expect("export must be parseable JSON");
+
+    let events = parsed.get("traceEvents").and_then(|v| v.as_arr()).expect("traceEvents array");
+    let xs: Vec<_> =
+        events.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")).collect();
+    let ms: Vec<_> =
+        events.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M")).collect();
+    assert_eq!(xs.len(), run.spans.len(), "one X event per span");
+    let track_count =
+        run.spans.iter().map(|s| s.track.as_str()).collect::<std::collections::HashSet<_>>().len();
+    assert_eq!(ms.len(), track_count + 1, "thread_name per track + process_name");
+
+    // Spot-check the first complete event against its span record.
+    let first = xs[0];
+    let span = &run.spans[0];
+    assert_eq!(first.get("name").and_then(|v| v.as_str()), Some(span.name.as_str()));
+    assert_eq!(first.get("cat").and_then(|v| v.as_str()), Some(span.phase.as_str()));
+    let ts = first.get("ts").and_then(|v| v.as_f64()).unwrap();
+    let dur = first.get("dur").and_then(|v| v.as_f64()).unwrap();
+    assert!((ts - span.begin as f64 / 1e3).abs() < 1e-6);
+    assert!((dur - (span.end - span.begin) as f64 / 1e3).abs() < 1e-6);
+    assert_eq!(
+        first.get("args").and_then(|a| a.get("id")).and_then(|v| v.as_i64()),
+        Some(span.id as i64)
+    );
+}
+
+/// Every registered trace experiment runs, validates, and renders.
+#[test]
+fn all_trace_experiments_run_clean() {
+    for (id, _) in pdsi_bench::TRACE_EXPERIMENTS {
+        let run = pdsi_bench::run_trace(id).unwrap_or_else(|| panic!("{id} missing"));
+        trace::validate(&run.spans).unwrap_or_else(|e| panic!("{id}: {e}"));
+        let rendered = run.render();
+        assert!(rendered.contains("critical path"), "{id}: no attribution table");
+    }
+}

@@ -1,0 +1,79 @@
+//! Guard: tracing left disabled (the default everywhere) must be
+//! effectively free.
+//!
+//! There is no tracing-free build to A/B against — the probes are
+//! compiled in — so the guard is synthetic but honest: count how many
+//! spans an *enabled* run of a real workload records (the disabled
+//! path executes roughly one gate probe per would-be span, plus a few
+//! per-op allocs/clones — the census comes out near the span count),
+//! measure the disabled probe cost directly with the loop overhead
+//! subtracted, and demand the charged total stays under 5% of the
+//! workload's untraced wall time.
+//!
+//! The 5% bound only means something for optimized builds, where the
+//! `#[inline]` gates collapse to a predicted branch; debug builds pay
+//! un-inlined call overhead on every probe, so there the test only
+//! sanity-checks a loose bound.
+
+use obs::trace::{Phase, TraceSink};
+use pfs::ClusterConfig;
+use simkit::units::{KIB, MIB};
+use std::hint::black_box;
+use std::time::Instant;
+
+#[test]
+fn disabled_tracing_costs_under_five_percent_of_workload() {
+    let pattern = plfs::strided_n1_pattern(16, 48, 47 * KIB);
+
+    // Untraced workload wall time, best of three runs.
+    let mut wall = std::time::Duration::MAX;
+    for _ in 0..3 {
+        let cfg = ClusterConfig::lustre_like(8, MIB);
+        let t0 = Instant::now();
+        let rep = plfs::run_direct(cfg, &pattern);
+        wall = wall.min(t0.elapsed());
+        black_box(rep.bytes_written);
+    }
+
+    // How many spans an *enabled* run of the same workload records.
+    let sink = TraceSink::bounded(1 << 18);
+    let mut cfg = ClusterConfig::lustre_like(8, MIB);
+    cfg.trace = sink.clone();
+    plfs::run_direct(cfg, &pattern);
+    let spans = sink.len().max(1);
+    assert_eq!(sink.dropped(), 0);
+
+    // Disabled-path probe cost: a gate check plus an early-returning
+    // record(), minus the cost of the bare measurement loop. Two
+    // probes per span over-covers the real call census (the sim does
+    // ~one ungated record plus a handful of cheaper enabled()/alloc()
+    // probes per executed op, and ops fan out into several spans each).
+    let off = TraceSink::disabled();
+    let iters: u64 = 2_000_000;
+    let t = Instant::now();
+    for i in 0..iters {
+        black_box(i);
+    }
+    let baseline = t.elapsed();
+    let t = Instant::now();
+    for i in 0..iters {
+        let s = black_box(&off);
+        black_box(s.enabled());
+        black_box(s.record("op", Phase::Other, "track", i, i + 1, 0));
+    }
+    let probes = t.elapsed().saturating_sub(baseline);
+    let per_span = probes.as_secs_f64() / iters as f64;
+    let disabled_total = per_span * spans as f64;
+
+    let limit = if cfg!(debug_assertions) { 0.50 } else { 0.05 };
+    let budget = limit * wall.as_secs_f64();
+    assert!(
+        disabled_total < budget,
+        "disabled tracing would add {:.3} ms over {spans} spans, \
+         budget is {:.3} ms ({:.0}% of {:.3} ms workload)",
+        disabled_total * 1e3,
+        budget * 1e3,
+        limit * 100.0,
+        wall.as_secs_f64() * 1e3
+    );
+}
