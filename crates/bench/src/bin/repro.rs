@@ -145,6 +145,21 @@ fn main() {
         }
     }
 
+    // `repro openscale` (also via `all`) leaves its machine-readable
+    // results next to the reports for CI to archive.
+    if ids.iter().any(|a| a == "openscale" || a == "all") {
+        let json = obs::json::pretty(&pdsi_bench::openscale_json());
+        match std::fs::write("BENCH_openscale.json", &json) {
+            Ok(()) => {
+                let _ = writeln!(out, "(openscale data written to BENCH_openscale.json)");
+            }
+            Err(e) => {
+                eprintln!("cannot write BENCH_openscale.json: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     if let Some(path) = metrics_path {
         let _ = writeln!(out, "\n== metrics ({} series) ==", reg.series_count());
         let _ = write!(out, "{}", reg.render_table());

@@ -1022,6 +1022,234 @@ pub fn faults_report(reg: &Registry) -> String {
     out
 }
 
+// ---------------------------------------------------------------- openscale
+
+/// One read-open merge scaling cell: a worst-case interleaved N-1
+/// index of `ranks * per_rank` entries merged by the O(n log n) sweep,
+/// with the splice baseline's cost simulated on the same input (see
+/// `plfs::index::splice_merge_cost`). Costs are logical merge steps —
+/// deterministic and machine-independent; `merge_wall_ns` is the only
+/// wall-clock number and goes to `BENCH_openscale.json`, not the report.
+pub struct OpenScaleCell {
+    pub ranks: usize,
+    pub per_rank: usize,
+    pub entries: usize,
+    pub sweep_steps: u64,
+    pub splice_steps: u64,
+    pub extents: usize,
+    pub merge_wall_ns: u64,
+}
+
+/// The workload the original PLFS paper calls out as pathological for
+/// read-open: every rank writes strided records interleaved with every
+/// other rank's, so sorted-by-time insertion lands each entry in the
+/// middle of the growing extent list. A ~6% sprinkle of overwrites
+/// (seeded, deterministic) keeps the overlap-resolution path honest.
+fn openscale_entries(ranks: usize, per_rank: usize) -> Vec<plfs::IndexEntry> {
+    const REC: u64 = 47 * 1024;
+    let mut rng = Rng::new(0x6f70656e7363 ^ (ranks * per_rank) as u64);
+    let mut out = Vec::with_capacity(ranks * per_rank);
+    for r in 0..ranks {
+        for i in 0..per_rank {
+            let record = (i * ranks + r) as u64;
+            let logical =
+                if record > 0 && rng.below(16) == 0 { (record - 1) * REC } else { record * REC };
+            out.push(plfs::IndexEntry {
+                logical_offset: logical,
+                length: REC,
+                physical_offset: i as u64 * REC,
+                writer: r as u32,
+                timestamp: (r * per_rank + i) as u64,
+            });
+        }
+    }
+    out
+}
+
+/// Merge one cell's workload both ways and collect the costs.
+pub fn openscale_cell(ranks: usize, per_rank: usize) -> OpenScaleCell {
+    let entries = openscale_entries(ranks, per_rank);
+    let n = entries.len();
+    let splice_steps = plfs::index::splice_merge_cost(&entries);
+    let t0 = std::time::Instant::now();
+    let map = plfs::IndexMap::build(entries);
+    let merge_wall_ns = t0.elapsed().as_nanos() as u64;
+    OpenScaleCell {
+        ranks,
+        per_rank,
+        entries: n,
+        sweep_steps: map.merge_steps(),
+        splice_steps,
+        extents: map.extents().len(),
+        merge_wall_ns,
+    }
+}
+
+/// The sweep grid (`repro openscale` and `tests/openscale.rs` share it).
+pub fn openscale_results() -> Vec<OpenScaleCell> {
+    [(4usize, 1000usize), (16, 1000), (64, 1000), (64, 10_000)]
+        .iter()
+        .map(|&(r, p)| openscale_cell(r, p))
+        .collect()
+}
+
+/// End-to-end open latency through the real stack: cold open (fetch +
+/// decode + merge every dropping) vs warm open (flattened-index cache).
+pub struct OpenScaleE2e {
+    pub ranks: u32,
+    pub writes_per_rank: u64,
+    pub cold_ns: u64,
+    pub warm_ns: u64,
+    pub cold_raw_entries: usize,
+    pub warm_raw_entries: usize,
+    pub cold_merge_steps: u64,
+    pub warm_merge_steps: u64,
+    pub merged_extents: usize,
+}
+
+pub fn openscale_e2e() -> OpenScaleE2e {
+    use plfs::backend::{Backend, MemBackend};
+    use std::sync::Arc;
+
+    let ranks = 16u32;
+    let writes_per_rank = 64u64;
+    let backend = Arc::new(MemBackend::new()) as Arc<dyn Backend>;
+    let fs = plfs::Plfs::new(backend.clone(), plfs::PlfsConfig::default());
+    let rec = 4096u64;
+    let mut writers: Vec<_> = (0..ranks).map(|r| fs.open_writer("/ckpt", r).unwrap()).collect();
+    for i in 0..writes_per_rank {
+        for (r, w) in writers.iter_mut().enumerate() {
+            let record = i * ranks as u64 + r as u64;
+            w.write_at(record * rec, &[r as u8; 4096]).unwrap();
+        }
+    }
+    for w in writers {
+        w.close().unwrap();
+    }
+
+    // Cold and warm opens on fresh Plfs instances so each gets its own
+    // registry and nothing is cached in memory between them.
+    let open = |_| {
+        let reg = Registry::new();
+        let fs = plfs::Plfs::new(
+            backend.clone(),
+            plfs::PlfsConfig { metrics: reg.clone(), ..Default::default() },
+        );
+        let t0 = std::time::Instant::now();
+        let r = fs.open_reader("/ckpt").unwrap();
+        (t0.elapsed().as_nanos() as u64, r.stats())
+    };
+    let (cold_ns, cold) = open(());
+    let (warm_ns, warm) = open(());
+    assert!(warm.from_canonical, "second open must hit the flattened-index cache");
+    OpenScaleE2e {
+        ranks,
+        writes_per_rank,
+        cold_ns,
+        warm_ns,
+        cold_raw_entries: cold.raw_entries,
+        warm_raw_entries: warm.raw_entries,
+        cold_merge_steps: cold.merge_steps,
+        warm_merge_steps: warm.merge_steps,
+        merged_extents: warm.merged_extents,
+    }
+}
+
+/// The `openscale` experiment: merge-cost scaling table plus the
+/// cold/warm open comparison. Every printed number is deterministic;
+/// wall-clock latencies are exported only via [`openscale_json`].
+pub fn openscale_report(reg: &Registry) -> String {
+    let mut out = String::new();
+    header(&mut out, "Read-open index merge: O(n log n) sweep vs splice baseline");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>10} {:>9} {:>13} {:>14} {:>9}",
+        "ranks", "ents/rank", "entries", "sweep steps", "splice steps", "speedup"
+    );
+    for c in openscale_results() {
+        let r_s = c.ranks.to_string();
+        let p_s = c.per_rank.to_string();
+        let labels = [("ranks", r_s.as_str()), ("per_rank", p_s.as_str())];
+        reg.counter_with("openscale.entries", &labels).add(c.entries as u64);
+        reg.counter_with("openscale.sweep_steps", &labels).add(c.sweep_steps);
+        reg.counter_with("openscale.splice_steps", &labels).add(c.splice_steps);
+        reg.counter_with("openscale.extents", &labels).add(c.extents as u64);
+        let speedup = c.splice_steps as f64 / c.sweep_steps as f64;
+        gauge(reg, "openscale.speedup_milli", &labels, milli(speedup));
+        let _ = writeln!(
+            out,
+            "{:>6} {:>10} {:>9} {:>13} {:>14} {:>8.1}x",
+            c.ranks, c.per_rank, c.entries, c.sweep_steps, c.splice_steps, speedup
+        );
+    }
+    let e = openscale_e2e();
+    let _ = writeln!(
+        out,
+        "\nEnd-to-end open, {} ranks x {} writes (in-memory store):",
+        e.ranks, e.writes_per_rank
+    );
+    let _ = writeln!(
+        out,
+        "  cold open: {} raw entries decoded, {} merge steps",
+        e.cold_raw_entries, e.cold_merge_steps
+    );
+    let _ = writeln!(
+        out,
+        "  warm open: {} raw entries decoded, {} merge steps (flattened-index cache)",
+        e.warm_raw_entries, e.warm_merge_steps
+    );
+    reg.counter("openscale.cold_raw_entries").add(e.cold_raw_entries as u64);
+    reg.counter("openscale.warm_raw_entries").add(e.warm_raw_entries as u64);
+    reg.counter("openscale.cold_merge_steps").add(e.cold_merge_steps);
+    reg.counter("openscale.warm_merge_steps").add(e.warm_merge_steps);
+    reg.counter("openscale.merged_extents").add(e.merged_extents as u64);
+    let _ = writeln!(
+        out,
+        "(steps are logical merge cost, machine-independent; wall-clock open\n\
+         latencies are exported to BENCH_openscale.json by `repro openscale`)"
+    );
+    out
+}
+
+/// The `BENCH_openscale.json` payload: the scaling grid plus the
+/// end-to-end cold/warm open numbers, wall-clock included.
+pub fn openscale_json() -> obs::json::Value {
+    use obs::json::Value;
+    let cells = openscale_results()
+        .into_iter()
+        .map(|c| {
+            Value::Obj(vec![
+                ("ranks".into(), Value::Int(c.ranks as i64)),
+                ("per_rank".into(), Value::Int(c.per_rank as i64)),
+                ("entries".into(), Value::Int(c.entries as i64)),
+                ("sweep_steps".into(), Value::Int(c.sweep_steps as i64)),
+                ("splice_steps".into(), Value::Int(c.splice_steps as i64)),
+                ("speedup".into(), Value::Float(c.splice_steps as f64 / c.sweep_steps as f64)),
+                ("extents".into(), Value::Int(c.extents as i64)),
+                ("merge_wall_ns".into(), Value::Int(c.merge_wall_ns as i64)),
+            ])
+        })
+        .collect();
+    let e = openscale_e2e();
+    Value::Obj(vec![
+        ("cells".into(), Value::Arr(cells)),
+        (
+            "e2e".into(),
+            Value::Obj(vec![
+                ("ranks".into(), Value::Int(e.ranks as i64)),
+                ("writes_per_rank".into(), Value::Int(e.writes_per_rank as i64)),
+                ("cold_open_ns".into(), Value::Int(e.cold_ns as i64)),
+                ("warm_open_ns".into(), Value::Int(e.warm_ns as i64)),
+                ("cold_raw_entries".into(), Value::Int(e.cold_raw_entries as i64)),
+                ("warm_raw_entries".into(), Value::Int(e.warm_raw_entries as i64)),
+                ("cold_merge_steps".into(), Value::Int(e.cold_merge_steps as i64)),
+                ("warm_merge_steps".into(), Value::Int(e.warm_merge_steps as i64)),
+                ("merged_extents".into(), Value::Int(e.merged_extents as i64)),
+            ]),
+        ),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

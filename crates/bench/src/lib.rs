@@ -33,6 +33,7 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("faults", "degraded-mode bandwidth under OSD crash/restart; PLFS retry masking"),
     ("pnfs", "pNFS vs plain NFS aggregate bandwidth scaling"),
     ("spyglass", "partitioned metadata search vs full scan"),
+    ("openscale", "read-open index merge scaling: sweep vs splice; flattened-index cache"),
 ];
 
 /// Run one experiment by id, discarding its metrics.
@@ -65,6 +66,7 @@ pub fn run_observed(id: &str, reg: &obs::Registry) -> Option<String> {
         "faults" => faults_report(&local),
         "pnfs" => pnfs_report(&local),
         "spyglass" => spyglass_report(&local),
+        "openscale" => openscale_report(&local),
         _ => return None,
     };
     local.counter("bench.runs").inc();

@@ -1,0 +1,192 @@
+//! The flattened-index cache (`canonical.index`).
+//!
+//! Read-open pays PLFS's deferred bill: fetch, decode, and merge every
+//! rank's index dropping. The result of that merge — a disjoint extent
+//! list — is itself a valid index, so after a successful merge the
+//! reader persists it as a `canonical.index` dropping at the container
+//! root. The next open loads it instead of re-merging the world, and
+//! only merges index bytes that appended *after* the cache's stamp.
+//!
+//! Staleness is decided by two stamps taken when the merge ran:
+//!
+//! - the container's **session count** (`openhosts` + `meta` entries):
+//!   a new writer session changes it, and [`crate::write::Writer`]
+//!   additionally deletes the cache on open (belt and braces);
+//! - the **covered byte length of every index dropping**: a writer in
+//!   a still-open session appends without changing the session count,
+//!   so a grown dropping means "decode just the tail"; a shrunk or
+//!   vanished one means the world changed under us — rebuild.
+//!
+//! `fsck` reports a stale cache and `fsck::repair` deletes it (repair
+//! rewrites droppings, which silently invalidates any flattened view).
+//! Every decode error here is treated as "no cache" by readers — the
+//! cache is an optimization, never a correctness dependency.
+
+use crate::backend::Backend;
+use crate::container::{discover_droppings, session_count, ContainerPaths};
+use crate::index::{self, GetLe, IndexEntry, PutLe};
+use std::io;
+
+/// Magic tag at byte 0 of every canonical index ("PLFSCAN1").
+pub const CANONICAL_MAGIC: u64 = u64::from_le_bytes(*b"PLFSCAN1");
+
+/// A decoded flattened-index cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalIndex {
+    /// `session_count` of the container when the merge ran.
+    pub session_count: u64,
+    /// `(rank, index dropping byte length)` covered by the merge.
+    pub covered: Vec<(u32, u64)>,
+    /// The merged extent list as disjoint entries, logical order,
+    /// original timestamps preserved (so tails merge correctly).
+    pub fragments: Vec<IndexEntry>,
+}
+
+fn bad(why: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("canonical index: {why}"))
+}
+
+impl CanonicalIndex {
+    /// Wire format: magic, session count, covered table, payload length,
+    /// then the fragments raw-encoded. The explicit payload length makes
+    /// a torn write detectable (the file is created then appended once;
+    /// a tear can only shorten it).
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = index::encode_raw(&self.fragments);
+        let mut buf = Vec::with_capacity(28 + self.covered.len() * 12 + payload.len());
+        buf.put_u64_le(CANONICAL_MAGIC);
+        buf.put_u64_le(self.session_count);
+        buf.put_u32_le(self.covered.len() as u32);
+        for &(rank, len) in &self.covered {
+            buf.put_u32_le(rank);
+            buf.put_u64_le(len);
+        }
+        buf.put_u64_le(payload.len() as u64);
+        buf.extend_from_slice(&payload);
+        buf
+    }
+
+    pub fn decode(data: &[u8]) -> io::Result<CanonicalIndex> {
+        let mut cur = GetLe::new(data);
+        if cur.remaining() < 20 {
+            return Err(bad("short header"));
+        }
+        if cur.get_u64_le() != CANONICAL_MAGIC {
+            return Err(bad("bad magic"));
+        }
+        let session_count = cur.get_u64_le();
+        let n = cur.get_u32_le() as usize;
+        if cur.remaining() < n * 12 + 8 {
+            return Err(bad("short covered table"));
+        }
+        let mut covered = Vec::with_capacity(n);
+        for _ in 0..n {
+            let rank = cur.get_u32_le();
+            let len = cur.get_u64_le();
+            covered.push((rank, len));
+        }
+        let payload_len = cur.get_u64_le() as usize;
+        if cur.remaining() != payload_len {
+            return Err(bad("torn payload"));
+        }
+        let fragments = index::decode(cur.rest()).map_err(|e| bad(&e.to_string()))?;
+        Ok(CanonicalIndex { session_count, covered, fragments })
+    }
+}
+
+/// One index dropping that grew past what a canonical index covered:
+/// its tail `[covered, len)` holds the only entries left to merge.
+#[derive(Debug, Clone)]
+pub struct Tail {
+    pub rank: u32,
+    pub index_path: String,
+    pub covered: u64,
+    pub len: u64,
+}
+
+/// Validate a decoded canonical index against the container's current
+/// state. `Ok(tails)` means usable — merge the listed dropping tails on
+/// top (empty = fully warm). `Err(reason)` means stale: discard it.
+///
+/// `backend` should already mask transient faults (callers pass a
+/// retried backend); any hard error is reported as staleness.
+pub fn freshness(
+    backend: &dyn Backend,
+    paths: &ContainerPaths,
+    canon: &CanonicalIndex,
+) -> Result<Vec<Tail>, String> {
+    let session = session_count(backend, paths);
+    if session != canon.session_count {
+        return Err(format!("writer sessions advanced ({} -> {session})", canon.session_count));
+    }
+    let droppings = match discover_droppings(backend, paths) {
+        Ok(d) => d,
+        Err(e) => return Err(format!("discovery failed: {e}")),
+    };
+    let mut covered: std::collections::HashMap<u32, u64> = canon.covered.iter().copied().collect();
+    let mut tails = Vec::new();
+    for (rank, index_path, _) in droppings {
+        let len = match backend.len(&index_path) {
+            Ok(l) => l,
+            Err(e) => return Err(format!("len({index_path}) failed: {e}")),
+        };
+        let Some(cov) = covered.remove(&rank) else {
+            return Err(format!("rank {rank} appeared after the merge"));
+        };
+        if len < cov {
+            return Err(format!("rank {rank} index shrank ({cov} -> {len})"));
+        }
+        if len > cov {
+            tails.push(Tail { rank, index_path, covered: cov, len });
+        }
+    }
+    if let Some((&rank, _)) = covered.iter().next() {
+        return Err(format!("rank {rank}'s index dropping vanished"));
+    }
+    Ok(tails)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frag(lo: u64, len: u64, phys: u64, writer: u32, ts: u64) -> IndexEntry {
+        IndexEntry { logical_offset: lo, length: len, physical_offset: phys, writer, timestamp: ts }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = CanonicalIndex {
+            session_count: 7,
+            covered: vec![(0, 111), (3, 222)],
+            fragments: vec![frag(0, 10, 0, 0, 5), frag(10, 20, 0, 3, 9)],
+        };
+        let enc = c.encode();
+        assert_eq!(CanonicalIndex::decode(&enc).unwrap(), c);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let c = CanonicalIndex { session_count: 0, covered: vec![], fragments: vec![] };
+        assert_eq!(CanonicalIndex::decode(&c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn torn_and_garbage_blobs_rejected() {
+        let c = CanonicalIndex {
+            session_count: 1,
+            covered: vec![(0, 37)],
+            fragments: vec![frag(0, 10, 0, 0, 5)],
+        };
+        let enc = c.encode();
+        for cut in [0, 5, 19, enc.len() - 1] {
+            assert!(CanonicalIndex::decode(&enc[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut grown = enc.clone();
+        grown.push(0);
+        assert!(CanonicalIndex::decode(&grown).is_err(), "trailing junk");
+        let mut wrong_magic = enc;
+        wrong_magic[0] ^= 0xFF;
+        assert!(CanonicalIndex::decode(&wrong_magic).is_err());
+    }
+}

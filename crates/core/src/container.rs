@@ -24,6 +24,8 @@ use std::io;
 
 /// Marker file name inside every container.
 pub const ACCESS: &str = "access";
+/// Flattened-index cache file name (see [`crate::canonical`]).
+pub const CANONICAL: &str = "canonical.index";
 /// Subdirectory holding open-session droppings.
 pub const OPENHOSTS: &str = "openhosts";
 /// Subdirectory holding close-time metadata droppings.
@@ -80,6 +82,13 @@ impl ContainerPaths {
 
     pub fn meta_dropping(&self, rank: u32, eof: u64, bytes: u64, max_ts: u64) -> String {
         format!("{}/{rank}.{eof}.{bytes}.{max_ts}", self.meta_dir())
+    }
+
+    /// The flattened-index cache. Lives at the container root, outside
+    /// the `hostdir.*` subtrees, so [`discover_droppings`] never
+    /// mistakes it for a writer's dropping.
+    pub fn canonical_index(&self) -> String {
+        format!("{}/{CANONICAL}", self.base)
     }
 }
 

@@ -20,6 +20,7 @@
 //! belongs to writes that were never acked — truncating them is safe.
 
 use crate::backend::Backend;
+use crate::canonical::{freshness, CanonicalIndex};
 use crate::container::{discover_droppings, is_container, ContainerPaths};
 use crate::index::{decode, decode_prefix, encode_raw, IndexEntry};
 use std::io;
@@ -52,6 +53,12 @@ pub enum FsckError {
     /// An openhosts dropping from a session that never closed.
     StaleOpenSession {
         name: String,
+    },
+    /// The flattened-index cache no longer matches the droppings (or is
+    /// undecodable). Not fatal: readers ignore a bad cache and rebuild,
+    /// but `repair` removes it.
+    StaleCanonicalIndex {
+        detail: String,
     },
 }
 
@@ -155,6 +162,22 @@ pub fn fsck(backend: &dyn Backend, logical: &str, hostdirs: u32) -> io::Result<F
             }
         }
     }
+
+    // Flattened-index cache consistency (see `crate::canonical`).
+    let canonical_path = paths.canonical_index();
+    if backend.exists(&canonical_path) {
+        let stale = match backend
+            .read_all(&canonical_path)
+            .map_err(|e| e.to_string())
+            .and_then(|blob| CanonicalIndex::decode(&blob).map_err(|e| e.to_string()))
+        {
+            Ok(canon) => freshness(backend, &paths, &canon).err(),
+            Err(e) => Some(e),
+        };
+        if let Some(detail) = stale {
+            report.errors.push(FsckError::StaleCanonicalIndex { detail });
+        }
+    }
     Ok(report)
 }
 
@@ -189,6 +212,10 @@ pub enum RepairAction {
     SalvagedOrphan { rank: u32, bytes: u64, logical_offset: u64 },
     /// Removed an openhosts dropping left by a session that died.
     ClearedStaleSession { name: String },
+    /// Removed a flattened-index cache that was stale, undecodable, or
+    /// invalidated by the repairs above (rewriting a dropping silently
+    /// breaks any cached merge of it).
+    DroppedStaleCanonical,
 }
 
 /// What `repair` found and did.
@@ -358,6 +385,25 @@ pub fn repair(
         for name in names {
             backend.remove(&format!("{}/{name}", paths.openhosts_dir()))?;
             actions.push(RepairAction::ClearedStaleSession { name });
+        }
+    }
+
+    // Pass 6: the flattened-index cache. Runs last because the passes
+    // above rewrite droppings and change the session count — both
+    // silently invalidate a cached merge. An already-stale or
+    // undecodable cache goes too; a fresh one on an untouched
+    // container is kept.
+    let canonical_path = paths.canonical_index();
+    if backend.exists(&canonical_path) {
+        let fresh = backend
+            .read_all(&canonical_path)
+            .ok()
+            .and_then(|blob| CanonicalIndex::decode(&blob).ok())
+            .map(|canon| freshness(backend, &paths, &canon).is_ok())
+            .unwrap_or(false);
+        if !actions.is_empty() || !fresh {
+            backend.remove(&canonical_path)?;
+            actions.push(RepairAction::DroppedStaleCanonical);
         }
     }
 
@@ -568,6 +614,51 @@ mod tests {
         assert!(data[2000..3000].iter().all(|&x| x == 2));
         assert_eq!(data[3000..3050], [7u8; 50][..]);
         assert_eq!(data[3050..], [8u8; 20][..]);
+    }
+
+    #[test]
+    fn corrupt_canonical_reported_and_repair_drops_it() {
+        let (fs, b) = setup();
+        healthy(&fs);
+        // A read-open persists the flattened-index cache...
+        let _ = fs.open_reader("/f").unwrap();
+        let paths = crate::container::ContainerPaths::new("/f", 4);
+        assert!(b.exists(&paths.canonical_index()));
+        let rep = fsck(b.as_ref(), "/f", 4).unwrap();
+        assert!(rep.is_clean(), "fresh cache is not an error: {:?}", rep.errors);
+        // ...which trailing junk turns into detectable corruption.
+        b.append(&paths.canonical_index(), &[0xFF]).unwrap();
+        let rep = fsck(b.as_ref(), "/f", 4).unwrap();
+        assert!(rep.errors.iter().any(|e| matches!(e, FsckError::StaleCanonicalIndex { .. })));
+        assert_eq!(rep.fatal_count(), 0, "the cache is never load-bearing");
+        let rep = repair(b.as_ref(), "/f", 4, &RepairOptions::default()).unwrap();
+        assert!(rep.actions.contains(&RepairAction::DroppedStaleCanonical));
+        assert!(rep.after.is_clean(), "{:?}", rep.after.errors);
+        assert!(!b.exists(&paths.canonical_index()));
+    }
+
+    #[test]
+    fn repair_keeps_fresh_canonical_but_drops_it_when_droppings_change() {
+        let (fs, b) = setup();
+        healthy(&fs);
+        let _ = fs.open_reader("/f").unwrap();
+        let paths = crate::container::ContainerPaths::new("/f", 4);
+        // Clean container, fresh cache: repair must not touch it.
+        let rep = repair(b.as_ref(), "/f", 4, &RepairOptions::default()).unwrap();
+        assert!(rep.actions.is_empty(), "{:?}", rep.actions);
+        assert!(b.exists(&paths.canonical_index()));
+        // An orphaned data tail leaves the index droppings untouched, so
+        // the cache still looks fresh — but repair rewrites the data
+        // dropping, so the cache must go with it.
+        b.append(&paths.data_dropping(0), &[9u8; 21]).unwrap();
+        let rep = repair(b.as_ref(), "/f", 4, &RepairOptions::default()).unwrap();
+        assert!(rep
+            .actions
+            .iter()
+            .any(|a| matches!(a, RepairAction::TruncatedOrphanTail { rank: 0, .. })));
+        assert!(rep.actions.contains(&RepairAction::DroppedStaleCanonical));
+        assert!(rep.after.is_clean(), "{:?}", rep.after.errors);
+        assert!(!b.exists(&paths.canonical_index()));
     }
 
     #[test]

@@ -55,6 +55,7 @@
 //! ```
 
 pub mod backend;
+pub mod canonical;
 pub mod container;
 pub mod faults;
 pub mod filesystem;
@@ -62,12 +63,14 @@ pub mod fsck;
 pub mod index;
 pub mod metrics;
 pub mod mpiio;
+pub mod pool;
 pub mod read;
 pub mod retry;
 pub mod simadapter;
 pub mod write;
 
 pub use backend::{Backend, DirBackend, MemBackend};
+pub use canonical::CanonicalIndex;
 pub use container::ContainerPaths;
 pub use faults::{FaultPlan, FaultStats, FaultyBackend};
 pub use filesystem::{FileStat, Plfs, PlfsConfig};

@@ -20,8 +20,13 @@
 //! | `plfs.read.open_ns` | histogram | container-open (index merge) spans |
 //! | `plfs.index.merge_fanin` | histogram | writers merged per open |
 //! | `plfs.index.raw_entries` | counter | index entries decoded |
+//! | `plfs.index.tail_entries` | counter | entries decoded from dropping tails past a cache stamp |
 //! | `plfs.index.merged_extents` | counter | extents after overlap merge |
 //! | `plfs.index.bytes_read` | counter | index-dropping bytes fetched |
+//! | `plfs.index.merge_steps` | counter | logical merge cost (see [`crate::index::IndexMap::merge_steps`]) |
+//! | `plfs.index.decode_concurrency` | histogram | peak concurrent fetch+decode workers per open |
+//! | `plfs.index.canonical_hits` | counter | opens served from the flattened-index cache |
+//! | `plfs.index.canonical_writes` | counter | flattened-index caches persisted |
 //!
 //! The retry layer adds `retry.*` (see [`crate::retry::RetryObs`]) and
 //! fault injection adds `faults.*` (see
@@ -53,8 +58,13 @@ pub struct PlfsMetrics {
     pub read_bytes: Counter,
     pub index_bytes_read: Counter,
     pub raw_entries: Counter,
+    pub tail_entries: Counter,
     pub merged_extents: Counter,
+    pub merge_steps: Counter,
+    pub canonical_hits: Counter,
+    pub canonical_writes: Counter,
     pub merge_fanin: Histogram,
+    pub decode_concurrency: Histogram,
     pub open_timer: Timer,
 }
 
@@ -80,8 +90,13 @@ impl PlfsMetrics {
             read_bytes: registry.counter("plfs.read.bytes"),
             index_bytes_read: registry.counter("plfs.index.bytes_read"),
             raw_entries: registry.counter("plfs.index.raw_entries"),
+            tail_entries: registry.counter("plfs.index.tail_entries"),
             merged_extents: registry.counter("plfs.index.merged_extents"),
+            merge_steps: registry.counter("plfs.index.merge_steps"),
+            canonical_hits: registry.counter("plfs.index.canonical_hits"),
+            canonical_writes: registry.counter("plfs.index.canonical_writes"),
             merge_fanin: registry.histogram("plfs.index.merge_fanin"),
+            decode_concurrency: registry.histogram("plfs.index.decode_concurrency"),
             open_timer: registry.timer("plfs.read.open_ns", clock),
         })
     }

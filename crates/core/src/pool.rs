@@ -1,0 +1,98 @@
+//! Bounded worker pool for the read-open path.
+//!
+//! Index ingest (fetch + decode per rank) wants parallelism, but one
+//! OS thread per dropping melts down at scale — a 1024-rank container
+//! would spawn 1024 decoder threads. This pool runs any number of
+//! indexed jobs on at most `cap` scoped worker threads (callers cap at
+//! [`available_parallelism`]) and reports the peak number of jobs that
+//! actually ran concurrently, so tests can assert the bound holds.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// `std::thread::available_parallelism` with a sane fallback when the
+/// platform cannot answer.
+pub fn available_parallelism() -> usize {
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// Run `jobs` closures (`f(0) .. f(jobs-1)`) on at most `cap` worker
+/// threads. Returns the results in job order plus the peak number of
+/// jobs observed running at once (always ≤ `cap`).
+pub fn run_bounded<T, F>(jobs: usize, cap: usize, f: F) -> (Vec<T>, usize)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs == 0 {
+        return (Vec::new(), 0);
+    }
+    let workers = cap.max(1).min(jobs);
+    if workers == 1 {
+        return ((0..jobs).map(&f).collect(), 1);
+    }
+    let next = AtomicUsize::new(0);
+    let active = AtomicUsize::new(0);
+    let peak = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= jobs {
+                    break;
+                }
+                let running = active.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(running, Ordering::SeqCst);
+                let out = f(i);
+                active.fetch_sub(1, Ordering::SeqCst);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    let results =
+        slots.into_iter().map(|m| m.into_inner().unwrap().expect("job completed")).collect();
+    (results, peak.load(Ordering::SeqCst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn results_arrive_in_job_order() {
+        let (out, peak) = run_bounded(100, 8, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        assert!(peak <= 8);
+        assert!(peak >= 1);
+    }
+
+    #[test]
+    fn peak_concurrency_stays_within_cap() {
+        // Many more jobs than workers, each slow enough that an
+        // unbounded spawn would overlap them all.
+        let cap = 4;
+        let (out, peak) = run_bounded(64, cap, |i| {
+            thread::sleep(Duration::from_millis(1));
+            i
+        });
+        assert_eq!(out.len(), 64);
+        assert!(peak <= cap, "peak {peak} exceeded cap {cap}");
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let (out, peak) = run_bounded(5, 1, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        assert_eq!(peak, 1);
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        let (out, peak) = run_bounded(0, 8, |i| i);
+        assert!(out.is_empty());
+        assert_eq!(peak, 0);
+    }
+}

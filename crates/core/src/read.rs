@@ -1,17 +1,27 @@
 //! The PLFS read path.
 //!
 //! Reading is where the deferred work happens: every writer's index
-//! dropping is fetched and decoded (in parallel — the "parallelize index
-//! redistribution" extension of report §1.1 item 5), merged into one
-//! overlap-resolved [`IndexMap`], and then `read_at` scatter-gathers
-//! from the per-rank data droppings. Unwritten holes read as zeros,
-//! POSIX-style.
+//! dropping is fetched and decoded on a bounded worker pool (the
+//! "parallelize index redistribution" extension of report §1.1 item 5),
+//! pre-merged per rank, k-way merged into one overlap-resolved
+//! [`IndexMap`], and then `read_at` scatter-gathers from the per-rank
+//! data droppings. Unwritten holes read as zeros, POSIX-style.
+//!
+//! After a successful merge the reader persists the flattened extent
+//! list as a `canonical.index` dropping (see [`crate::canonical`]); a
+//! warm re-open loads it and decodes zero raw entries, or just the
+//! tails of droppings that grew since. The cache is best-effort both
+//! ways: failing to write it never fails the open, and anything
+//! suspicious about it falls back to a full rebuild.
 
 use crate::backend::Backend;
-use crate::container::{discover_droppings, ContainerPaths};
+use crate::canonical::{freshness, CanonicalIndex, Tail};
+use crate::container::{discover_droppings, session_count, ContainerPaths};
 use crate::index::{decode, IndexEntry, IndexMap};
 use crate::metrics::PlfsMetrics;
+use crate::pool;
 use crate::retry::{RetriedBackend, RetryPolicy};
+use obs::trace::Phase;
 use std::io;
 use std::sync::Arc;
 
@@ -19,9 +29,17 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ReadStats {
     pub writers: usize,
+    /// Raw index entries decoded by this open. A warm open served
+    /// entirely from the flattened-index cache decodes zero.
     pub raw_entries: usize,
     pub merged_extents: usize,
     pub index_bytes: u64,
+    /// Whether a valid `canonical.index` seeded the merge.
+    pub from_canonical: bool,
+    /// Entries decoded from dropping tails newer than the cache stamp.
+    pub tail_entries: usize,
+    /// Logical merge cost (see [`IndexMap::merge_steps`]).
+    pub merge_steps: u64,
 }
 
 /// An open read handle on a container.
@@ -34,10 +52,26 @@ pub struct Reader {
     metrics: Arc<PlfsMetrics>,
 }
 
+/// What the ingest stage produced for the merge.
+struct Ingest {
+    /// Per-source pre-merged fragments (canonical cache and/or ranks).
+    fragment_lists: Vec<Vec<IndexEntry>>,
+    raw_entries: usize,
+    tail_entries: usize,
+    index_bytes: u64,
+    from_canonical: bool,
+    /// Peak concurrently-running fetch+decode jobs.
+    peak_workers: usize,
+    /// Cache stamps to persist after the merge (`None`: don't persist —
+    /// the cache is already exactly current).
+    persist: Option<(u64, Vec<(u32, u64)>)>,
+}
+
 impl Reader {
-    /// Open the container: discover droppings, decode all indices
-    /// (parallel when more than one), merge. Transient backend errors
-    /// during discovery and index fetch are masked per `retry`.
+    /// Open the container: discover droppings, fetch + decode every
+    /// index concurrently (bounded by the host's parallelism), merge.
+    /// Transient backend errors during discovery and index fetch are
+    /// masked per `retry`.
     pub(crate) fn open(
         backend: Arc<dyn Backend>,
         paths: ContainerPaths,
@@ -45,38 +79,61 @@ impl Reader {
         metrics: Arc<PlfsMetrics>,
     ) -> io::Result<Self> {
         let span = metrics.open_timer.start();
+        let root = metrics.trace.start("plfs.open", Phase::Compute, "plfs.read", 0);
+        let root_id = root.id();
         // Per-operation retry: wrapping the whole discovery (dozens of
         // backend calls) in one retry unit would compound the per-call
         // fault probability instead of masking it.
         let retried = RetriedBackend::new(backend.as_ref(), &retry);
         let droppings = discover_droppings(&retried, &paths)?;
-        let mut index_bytes = 0u64;
-        let blobs: Vec<(u32, Vec<u8>)> = droppings
-            .iter()
-            .map(|(rank, idx_path, _)| {
-                let blob = retried.read_all(idx_path)?;
-                index_bytes += blob.len() as u64;
-                Ok((*rank, blob))
-            })
-            .collect::<io::Result<Vec<_>>>()?;
+        let writers = droppings.len();
 
-        let entries = decode_all(&blobs)?;
-        let raw_entries = entries.len();
-        let map = IndexMap::build(entries);
-        metrics.merge_fanin.observe(droppings.len() as u64);
-        metrics.raw_entries.add(raw_entries as u64);
+        let ingest = ingest(&retried, &paths, &droppings, &metrics, root_id)?;
+
+        let merge_span = metrics.trace.start("index.merge", Phase::Compute, "plfs.read", root_id);
+        let total_fragments: usize = ingest.fragment_lists.iter().map(Vec::len).sum();
+        let mut all = Vec::with_capacity(total_fragments);
+        for list in &ingest.fragment_lists {
+            all.extend_from_slice(list);
+        }
+        let mut map = IndexMap::build(all);
+        map.set_entries_seen(ingest.raw_entries);
+        merge_span.end();
+
+        // Persist the flattened view for the next open (best-effort:
+        // the cache is never load-bearing).
+        if let Some((session, covered)) = ingest.persist {
+            let canon =
+                CanonicalIndex { session_count: session, covered, fragments: map.fragments() };
+            if write_canonical(&retried, &paths, &canon).is_ok() {
+                metrics.canonical_writes.inc();
+            }
+        }
+
+        metrics.merge_fanin.observe(writers as u64);
+        metrics.raw_entries.add(ingest.raw_entries as u64);
+        metrics.tail_entries.add(ingest.tail_entries as u64);
         metrics.merged_extents.add(map.extents().len() as u64);
-        metrics.index_bytes_read.add(index_bytes);
+        metrics.index_bytes_read.add(ingest.index_bytes);
+        metrics.merge_steps.add(map.merge_steps());
+        metrics.decode_concurrency.observe(ingest.peak_workers as u64);
+        if ingest.from_canonical {
+            metrics.canonical_hits.inc();
+        }
+        root.end();
         span.stop();
         Ok(Reader {
             backend,
             paths,
             retry,
             stats: ReadStats {
-                writers: droppings.len(),
-                raw_entries,
+                writers,
+                raw_entries: ingest.raw_entries,
                 merged_extents: map.extents().len(),
-                index_bytes,
+                index_bytes: ingest.index_bytes,
+                from_canonical: ingest.from_canonical,
+                tail_entries: ingest.tail_entries,
+                merge_steps: map.merge_steps(),
             },
             map,
             metrics,
@@ -143,25 +200,160 @@ impl Reader {
     }
 }
 
-/// Decode many index droppings, using scoped threads when there are
-/// enough to benefit.
-fn decode_all(blobs: &[(u32, Vec<u8>)]) -> io::Result<Vec<IndexEntry>> {
-    if blobs.len() <= 2 {
-        let mut all = Vec::new();
-        for (_, blob) in blobs {
-            all.extend(decode(blob)?);
+/// Load, validate, fetch, and decode everything the merge needs:
+/// the canonical cache if fresh, plus whole droppings (cold) or just
+/// grown tails (warm-with-appends) on the bounded pool.
+fn ingest(
+    retried: &RetriedBackend<'_>,
+    paths: &ContainerPaths,
+    droppings: &[(u32, String, String)],
+    metrics: &Arc<PlfsMetrics>,
+    root_id: u64,
+) -> io::Result<Ingest> {
+    // Try the flattened-index cache first.
+    if let Some((canon, tails)) = load_canonical(retried, paths) {
+        if tails.is_empty() {
+            return Ok(Ingest {
+                index_bytes: canon.covered.iter().map(|&(_, l)| l).sum(),
+                fragment_lists: vec![canon.fragments],
+                raw_entries: 0,
+                tail_entries: 0,
+                from_canonical: true,
+                peak_workers: 0,
+                persist: None, // exactly current already
+            });
         }
-        return Ok(all);
+        if let Some(mut ingest) = ingest_tails(retried, paths, &canon, &tails, metrics, root_id) {
+            // Stamp the refreshed cache with the grown lengths.
+            let mut covered: std::collections::HashMap<u32, u64> =
+                canon.covered.iter().copied().collect();
+            for t in &tails {
+                covered.insert(t.rank, t.len);
+            }
+            let mut covered: Vec<(u32, u64)> = covered.into_iter().collect();
+            covered.sort_unstable();
+            ingest.persist = Some((canon.session_count, covered));
+            ingest.fragment_lists.push(canon.fragments);
+            ingest.from_canonical = true;
+            ingest.index_bytes += canon.covered.iter().map(|&(_, l)| l).sum::<u64>();
+            return Ok(ingest);
+        }
+        // A torn or undecodable tail: fall through to a cold rebuild.
     }
-    let results: Vec<io::Result<Vec<IndexEntry>>> = std::thread::scope(|s| {
-        let handles: Vec<_> = blobs.iter().map(|(_, blob)| s.spawn(move || decode(blob))).collect();
-        handles.into_iter().map(|h| h.join().expect("decoder panicked")).collect()
+
+    // Cold path: fetch + decode + pre-merge every rank concurrently.
+    let session = session_count(retried, paths);
+    let cap = pool::available_parallelism();
+    let results: Vec<io::Result<(Vec<IndexEntry>, usize, u64)>>;
+    let peak;
+    (results, peak) = pool::run_bounded(droppings.len(), cap, |i| {
+        let (_, idx_path, _) = &droppings[i];
+        let fetch = metrics.trace.start("index.fetch", Phase::Transfer, "plfs.read", root_id);
+        let blob = retried.read_all(idx_path)?;
+        fetch.end();
+        let span = metrics.trace.start("index.decode", Phase::Compute, "plfs.read", root_id);
+        let entries = decode(&blob)?;
+        span.end();
+        let raw = entries.len();
+        // Pre-merge this rank's entries so the global merge is a k-way
+        // merge of already-disjoint runs.
+        let pre = crate::index::sweep_merge(entries);
+        Ok((pre.frags, raw, blob.len() as u64))
     });
-    let mut all = Vec::new();
-    for r in results {
-        all.extend(r?);
+    let mut fragment_lists = Vec::with_capacity(droppings.len());
+    let mut raw_entries = 0usize;
+    let mut index_bytes = 0u64;
+    let mut covered = Vec::with_capacity(droppings.len());
+    for (r, (rank, ..)) in results.into_iter().zip(droppings) {
+        let (frags, raw, bytes) = r?;
+        raw_entries += raw;
+        index_bytes += bytes;
+        covered.push((*rank, bytes));
+        fragment_lists.push(frags);
     }
-    Ok(all)
+    Ok(Ingest {
+        fragment_lists,
+        raw_entries,
+        tail_entries: 0,
+        index_bytes,
+        from_canonical: false,
+        peak_workers: peak,
+        persist: Some((session, covered)),
+    })
+}
+
+/// Fetch + decode just the grown tails listed by [`freshness`].
+/// `None` means a tail was unreadable — caller rebuilds cold.
+fn ingest_tails(
+    retried: &RetriedBackend<'_>,
+    _paths: &ContainerPaths,
+    canon: &CanonicalIndex,
+    tails: &[Tail],
+    metrics: &Arc<PlfsMetrics>,
+    root_id: u64,
+) -> Option<Ingest> {
+    let cap = pool::available_parallelism();
+    let (results, peak) = pool::run_bounded(tails.len(), cap, |i| {
+        let t = &tails[i];
+        let fetch = metrics.trace.start("index.fetch", Phase::Transfer, "plfs.read", root_id);
+        let mut buf = vec![0u8; (t.len - t.covered) as usize];
+        let got = retried.read_at(&t.index_path, t.covered, &mut buf).ok()?;
+        buf.truncate(got);
+        fetch.end();
+        let span = metrics.trace.start("index.decode", Phase::Compute, "plfs.read", root_id);
+        // The covered stamp always ends on a record boundary (it was a
+        // whole dropping when stamped), so the tail decodes standalone.
+        let entries = decode(&buf).ok()?;
+        span.end();
+        Some((entries, buf.len() as u64))
+    });
+    let mut fragment_lists = Vec::with_capacity(tails.len() + 1);
+    let mut raw_entries = 0usize;
+    let mut index_bytes = 0u64;
+    for r in results {
+        let (entries, bytes) = r?;
+        raw_entries += entries.len();
+        index_bytes += bytes;
+        fragment_lists.push(entries);
+    }
+    let _ = canon;
+    Some(Ingest {
+        fragment_lists,
+        raw_entries,
+        tail_entries: raw_entries,
+        index_bytes,
+        from_canonical: false, // caller flips after attaching fragments
+        peak_workers: peak,
+        persist: None, // caller stamps
+    })
+}
+
+/// Load and validate `canonical.index`; `None` covers every failure
+/// mode (absent, torn, undecodable, stale) — callers just rebuild.
+fn load_canonical(
+    retried: &RetriedBackend<'_>,
+    paths: &ContainerPaths,
+) -> Option<(CanonicalIndex, Vec<Tail>)> {
+    let path = paths.canonical_index();
+    if !retried.exists(&path) {
+        return None;
+    }
+    let blob = retried.read_all(&path).ok()?;
+    let canon = CanonicalIndex::decode(&blob).ok()?;
+    let tails = freshness(retried, paths, &canon).ok()?;
+    Some((canon, tails))
+}
+
+/// Persist a canonical index (create truncates any stale one first).
+fn write_canonical(
+    retried: &RetriedBackend<'_>,
+    paths: &ContainerPaths,
+    canon: &CanonicalIndex,
+) -> io::Result<()> {
+    let path = paths.canonical_index();
+    retried.create(&path)?;
+    retried.append(&path, &canon.encode())?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -304,6 +496,30 @@ mod tests {
     }
 
     #[test]
+    fn decoder_concurrency_stays_bounded() {
+        let (b, p, clock) = setup(8);
+        let ranks = (pool::available_parallelism() * 3).max(12) as u32;
+        for rank in 0..ranks {
+            let mut w = mkwriter(&b, &p, &clock, rank);
+            w.write_at(rank as u64 * 10, &[rank as u8; 10]).unwrap();
+            w.close().unwrap();
+        }
+        let rm = PlfsMetrics::detached();
+        let r =
+            Reader::open(b.clone() as Arc<dyn Backend>, p.clone(), RetryPolicy::none(), rm.clone())
+                .unwrap();
+        assert_eq!(r.stats().writers, ranks as usize);
+        let h = rm.registry.histogram("plfs.index.decode_concurrency");
+        assert_eq!(h.count(), 1);
+        assert!(
+            h.max() <= pool::available_parallelism() as u64,
+            "peak decoder concurrency {} exceeds available parallelism {}",
+            h.max(),
+            pool::available_parallelism()
+        );
+    }
+
+    #[test]
     fn unaligned_reads_cross_extents() {
         let (b, p, clock) = setup(2);
         let mut w0 = mkwriter(&b, &p, &clock, 0);
@@ -345,5 +561,133 @@ mod tests {
         let data = r.read_all().unwrap();
         assert_eq!(reg.value("plfs.read.ops"), Some(1));
         assert_eq!(reg.value("plfs.read.bytes"), Some(data.len() as u64));
+    }
+
+    #[test]
+    fn warm_open_decodes_zero_raw_entries() {
+        let (b, p, m) = setup(4);
+        for rank in 0..6u32 {
+            let mut w = mkwriter(&b, &p, &m, rank);
+            w.write_at(rank as u64 * 10, &[rank as u8; 10]).unwrap();
+            w.close().unwrap();
+        }
+        // Cold open builds and persists the flattened index.
+        let cold = reader(&b, &p);
+        assert!(!cold.stats().from_canonical);
+        assert_eq!(cold.stats().raw_entries, 6);
+        assert!(b.exists(&p.canonical_index()), "cold open persists the cache");
+
+        // Warm open: everything from the cache, zero raw decodes.
+        let rm = PlfsMetrics::detached();
+        let warm =
+            Reader::open(b.clone() as Arc<dyn Backend>, p.clone(), RetryPolicy::none(), rm.clone())
+                .unwrap();
+        assert!(warm.stats().from_canonical);
+        assert_eq!(warm.stats().raw_entries, 0);
+        assert_eq!(rm.registry.value("plfs.index.raw_entries"), Some(0));
+        assert_eq!(rm.registry.value("plfs.index.canonical_hits"), Some(1));
+        assert_eq!(warm.read_all().unwrap(), cold.read_all().unwrap());
+        assert_eq!(warm.size(), cold.size());
+        assert_eq!(warm.stats().merged_extents, cold.stats().merged_extents);
+    }
+
+    #[test]
+    fn canonical_tail_merge_after_midsession_appends() {
+        let (b, p, m) = setup(2);
+        let mut w = mkwriter(&b, &p, &m, 0);
+        w.write_at(0, &[b'a'; 100]).unwrap();
+        w.sync().unwrap();
+        // Reader opens mid-session: cache stamped at the current index
+        // length, session still open.
+        let r1 = reader(&b, &p);
+        assert_eq!(r1.size(), 100);
+        // The same session appends more (session count unchanged!).
+        w.write_at(50, &[b'b'; 100]).unwrap();
+        w.sync().unwrap();
+        let rm = PlfsMetrics::detached();
+        let r2 =
+            Reader::open(b.clone() as Arc<dyn Backend>, p.clone(), RetryPolicy::none(), rm.clone())
+                .unwrap();
+        assert!(r2.stats().from_canonical, "cache plus tail, not a rebuild");
+        assert_eq!(r2.stats().tail_entries, 1);
+        assert_eq!(r2.stats().raw_entries, 1, "only the tail is decoded");
+        let data = r2.read_all().unwrap();
+        assert_eq!(data.len(), 150);
+        assert!(data[..50].iter().all(|&x| x == b'a'));
+        assert!(data[50..].iter().all(|&x| x == b'b'));
+        // The refreshed cache covers the tail: a third open is fully warm.
+        let r3 = reader(&b, &p);
+        assert!(r3.stats().from_canonical);
+        assert_eq!(r3.stats().raw_entries, 0);
+        w.close().unwrap();
+    }
+
+    #[test]
+    fn new_writer_session_invalidates_canonical() {
+        let (b, p, m) = setup(2);
+        let mut w = mkwriter(&b, &p, &m, 0);
+        w.write_at(0, &[b'a'; 10]).unwrap();
+        w.close().unwrap();
+        let _ = reader(&b, &p); // persists the cache
+        assert!(b.exists(&p.canonical_index()));
+        // A new session must not see stale cached extents.
+        let mut w2 = Writer::new(
+            b.clone() as Arc<dyn Backend>,
+            p.clone(),
+            WriterConfig::default(),
+            0,
+            m.clone(),
+            1,
+        )
+        .unwrap();
+        assert!(!b.exists(&p.canonical_index()), "writer open deletes the cache");
+        w2.write_at(3, &[b'b'; 4]).unwrap();
+        w2.close().unwrap();
+        let r = reader(&b, &p);
+        assert!(!r.stats().from_canonical);
+        assert_eq!(r.read_all().unwrap(), b"aaabbbbaaa");
+    }
+
+    #[test]
+    fn corrupt_canonical_falls_back_to_rebuild() {
+        let (b, p, m) = setup(2);
+        let mut w = mkwriter(&b, &p, &m, 0);
+        w.write_at(0, b"payload").unwrap();
+        w.close().unwrap();
+        let _ = reader(&b, &p);
+        // Tear the cache mid-file.
+        let blob = b.read_all(&p.canonical_index()).unwrap();
+        b.remove(&p.canonical_index()).unwrap();
+        b.append(&p.canonical_index(), &blob[..blob.len() / 2]).unwrap();
+        let r = reader(&b, &p);
+        assert!(!r.stats().from_canonical, "torn cache ignored");
+        assert_eq!(r.read_all().unwrap(), b"payload");
+    }
+
+    #[test]
+    fn open_emits_causal_spans() {
+        use obs::trace::TraceSink;
+        let (b, p, m) = setup(4);
+        for rank in 0..4u32 {
+            let mut w = mkwriter(&b, &p, &m, rank);
+            w.write_at(rank as u64 * 8, &[rank as u8; 8]).unwrap();
+            w.close().unwrap();
+        }
+        let sink = TraceSink::bounded(4096);
+        let rm =
+            PlfsMetrics::new_traced(&obs::Registry::new(), &obs::Clock::logical(), sink.clone());
+        let _ = Reader::open(b.clone() as Arc<dyn Backend>, p.clone(), RetryPolicy::none(), rm)
+            .unwrap();
+        let spans = sink.snapshot();
+        obs::trace::validate(&spans).unwrap();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"plfs.open"));
+        assert!(names.contains(&"index.fetch"));
+        assert!(names.contains(&"index.decode"));
+        assert!(names.contains(&"index.merge"));
+        let root = spans.iter().find(|s| s.name == "plfs.open").unwrap();
+        for child in spans.iter().filter(|s| s.name.starts_with("index.")) {
+            assert_eq!(child.parent, root.id, "{} hangs off plfs.open", child.name);
+        }
     }
 }

@@ -97,6 +97,17 @@ impl Writer {
     ) -> io::Result<Self> {
         let open_dropping = paths.open_dropping(rank, session);
         cfg.retry.run(|| backend.create(&open_dropping))?;
+        // A new writer session invalidates any flattened-index cache a
+        // previous reader left behind (see `crate::canonical`). The
+        // `exists` gate keeps this free for the common no-cache case;
+        // a concurrent delete racing us is fine (NotFound == done).
+        let canonical = paths.canonical_index();
+        if backend.exists(&canonical) {
+            cfg.retry.run(|| match backend.remove(&canonical) {
+                Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+                r => r,
+            })?;
+        }
         // Appending to an existing dropping resumes at its tail. The
         // length queries are retried: silently treating a transient
         // failure as "empty" would restart the cursor at 0 and corrupt

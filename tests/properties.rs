@@ -78,6 +78,62 @@ fn index_map_matches_naive_model() {
     }
 }
 
+/// The O(n log n) sweep merge and the old splice merge are two
+/// implementations of the same specification: on arbitrary
+/// overlapping, out-of-order writes they must produce identical
+/// extent lists, and the ghost cost model used by `repro openscale`
+/// must charge the splice baseline exactly what the real splice pays.
+#[test]
+fn sweep_and_splice_merges_agree_with_each_other_and_the_oracle() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(7_000 + seed);
+        let writes = random_writes(&mut rng);
+        let mut naive: Vec<Option<u32>> = vec![None; 64_000];
+        let mut entries = Vec::new();
+        let mut phys = [0u64; 8];
+        for (ts, &(off, len, writer)) in writes.iter().enumerate() {
+            for b in off..off + len {
+                naive[b as usize] = Some(writer);
+            }
+            entries.push(IndexEntry {
+                logical_offset: off,
+                length: len,
+                physical_offset: phys[writer as usize],
+                writer,
+                timestamp: ts as u64,
+            });
+            phys[writer as usize] += len;
+        }
+        let sweep = IndexMap::build(entries.clone());
+        let splice = IndexMap::build_splice_baseline(entries.clone());
+        sweep.check_invariants();
+        splice.check_invariants();
+        assert_eq!(sweep.extents(), splice.extents(), "seed {seed}: merges disagree");
+        assert_eq!(sweep.fragments(), splice.fragments(), "seed {seed}: stamps disagree");
+        assert_eq!(
+            pdsi::plfs::index::splice_merge_cost(&entries),
+            splice.merge_steps(),
+            "seed {seed}: ghost cost model drifted from the real splice"
+        );
+        // Both agree with the byte-level oracle on who owns each byte.
+        for map in [&sweep, &splice] {
+            for (b, cell) in naive.iter().enumerate() {
+                let pieces = map.lookup(b as u64, 1);
+                match cell {
+                    None => {
+                        if !pieces.is_empty() {
+                            assert!(pieces[0].2.is_none(), "seed {seed}: byte {b} not a hole");
+                        }
+                    }
+                    Some(writer) => {
+                        assert_eq!(pieces[0].2.expect("mapped").writer, *writer, "seed {seed}");
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Raw and compressed encodings always decode to the same entries.
 #[test]
 fn index_encodings_roundtrip() {
