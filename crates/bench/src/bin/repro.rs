@@ -160,6 +160,35 @@ fn main() {
         }
     }
 
+    // Likewise for `repro readscale`: the grid is computed once, then
+    // shared between the JSON export and the regression gate. Setting
+    // READSCALE_GATE=1 (CI does) makes a warm-read bandwidth regression
+    // below the serial baseline — or an oracle mismatch — fail the run.
+    if ids.iter().any(|a| a == "readscale" || a == "all") {
+        let cells = pdsi_bench::readscale_results();
+        let json = obs::json::pretty(&pdsi_bench::readscale_json_from(&cells));
+        match std::fs::write("BENCH_readscale.json", &json) {
+            Ok(()) => {
+                let _ = writeln!(out, "(readscale data written to BENCH_readscale.json)");
+            }
+            Err(e) => {
+                eprintln!("cannot write BENCH_readscale.json: {e}");
+                std::process::exit(1);
+            }
+        }
+        if std::env::var_os("READSCALE_GATE").is_some() {
+            match pdsi_bench::readscale_gate(&cells) {
+                Ok(msg) => {
+                    let _ = writeln!(out, "({msg})");
+                }
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
     if let Some(path) = metrics_path {
         let _ = writeln!(out, "\n== metrics ({} series) ==", reg.series_count());
         let _ = write!(out, "{}", reg.render_table());

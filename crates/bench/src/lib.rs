@@ -34,6 +34,7 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("pnfs", "pNFS vs plain NFS aggregate bandwidth scaling"),
     ("spyglass", "partitioned metadata search vs full scan"),
     ("openscale", "read-open index merge scaling: sweep vs splice; flattened-index cache"),
+    ("readscale", "restart read-back: parallel coalesced engine vs serial per-piece reads"),
 ];
 
 /// Run one experiment by id, discarding its metrics.
@@ -67,6 +68,7 @@ pub fn run_observed(id: &str, reg: &obs::Registry) -> Option<String> {
         "pnfs" => pnfs_report(&local),
         "spyglass" => spyglass_report(&local),
         "openscale" => openscale_report(&local),
+        "readscale" => readscale_report(&local),
         _ => return None,
     };
     local.counter("bench.runs").inc();

@@ -33,16 +33,21 @@ pub trait Backend: Send + Sync {
 
     /// Read up to `buf.len()` bytes at `off`.
     ///
-    /// EOF contract (every implementation must uphold it; callers like
-    /// the PLFS reader and `fsck` depend on it to distinguish "file is
-    /// shorter than the index claims" from an I/O failure):
+    /// Partial-read contract (POSIX `pread` semantics):
     ///
-    /// - A read entirely below EOF fills `buf` completely — EOF is the
-    ///   *only* cause of a short read, so `got < buf.len()` means the
-    ///   file ends at `off + got`.
-    /// - A read straddling EOF returns exactly `len - off` bytes.
-    /// - A read at or past EOF returns `Ok(0)`, not an error.
+    /// - A short-but-nonzero read (`0 < got < buf.len()`) is *legal*
+    ///   anywhere in the file, exactly as `pread(2)` may deliver fewer
+    ///   bytes than asked for. Callers that need the buffer filled must
+    ///   loop at the advanced offset (the PLFS read engine and the
+    ///   default [`Backend::read_all`] do).
+    /// - `Ok(0)` means EOF — true end of data at `off`, never a
+    ///   transient condition. This is what lets callers distinguish
+    ///   "file is shorter than the index claims" from a slow read.
     /// - A missing file is `Err(NotFound)`, never `Ok(0)`.
+    ///
+    /// The in-repo implementations ([`MemBackend`], [`DirBackend`]) go
+    /// further and fill `buf` completely below EOF, but callers must
+    /// not rely on that: any backend is free to return short.
     fn read_at(&self, path: &str, off: u64, buf: &mut [u8]) -> io::Result<usize>;
 
     /// Length of a file.
@@ -59,12 +64,19 @@ pub trait Backend: Send + Sync {
     /// Remove a directory tree.
     fn remove_dir_all(&self, path: &str) -> io::Result<()>;
 
-    /// Read a whole file.
+    /// Read a whole file. Loops on short-but-nonzero reads, so it is
+    /// correct over any `read_at` honouring the partial-read contract.
     fn read_all(&self, path: &str) -> io::Result<Vec<u8>> {
         let n = self.len(path)? as usize;
         let mut buf = vec![0u8; n];
-        let got = self.read_at(path, 0, &mut buf)?;
-        buf.truncate(got);
+        let mut filled = 0usize;
+        while filled < n {
+            match self.read_at(path, filled as u64, &mut buf[filled..])? {
+                0 => break,
+                got => filled += got,
+            }
+        }
+        buf.truncate(filled);
         Ok(buf)
     }
 }
@@ -313,9 +325,10 @@ mod tests {
         assert!(!b.exists("/cp/hostdir.0/data.0"));
     }
 
-    /// The `read_at` EOF contract spelled out on the trait: EOF is the
-    /// only cause of a short read, straddling reads return the exact
-    /// remainder, reads at/past EOF are `Ok(0)`, missing files error.
+    /// The EOF half of the `read_at` contract, plus the stronger
+    /// fill-completely behaviour the in-repo backends provide:
+    /// straddling reads return the exact remainder, reads at/past EOF
+    /// are `Ok(0)`, missing files error.
     fn exercise_read_at_eof(b: &dyn Backend) {
         b.mkdir_all("/eof").unwrap();
         b.append("/eof/f", b"0123456789").unwrap();

@@ -46,6 +46,12 @@ pub struct FaultPlan {
     /// have been appended: the append crossing the budget is truncated
     /// at exactly the budget and the backend freezes.
     pub crash_after_bytes: Option<u64>,
+    /// Clamp every `read_at` to at most this many bytes per call —
+    /// the POSIX-`pread` short-read behaviour real stores exhibit under
+    /// load. `Some(1)` is the pathological one-byte-at-a-time store the
+    /// read path must tolerate. Not an error: the data is correct, just
+    /// delivered in slivers.
+    pub short_read_cap: Option<usize>,
 }
 
 impl FaultPlan {
@@ -56,6 +62,7 @@ impl FaultPlan {
             transient_error_rate: 0.0,
             torn_append_rate: 0.0,
             crash_after_bytes: None,
+            short_read_cap: None,
         }
     }
 
@@ -67,6 +74,7 @@ impl FaultPlan {
             transient_error_rate: 0.05,
             torn_append_rate: 0.02,
             crash_after_bytes: None,
+            short_read_cap: None,
         }
     }
 }
@@ -277,7 +285,11 @@ impl<B: Backend> Backend for FaultyBackend<B> {
 
     fn read_at(&self, path: &str, off: u64, buf: &mut [u8]) -> io::Result<usize> {
         self.gate()?;
-        self.inner.read_at(path, off, buf)
+        let n = match self.state.lock().unwrap().plan.short_read_cap {
+            Some(cap) => buf.len().min(cap.max(1)),
+            None => buf.len(),
+        };
+        self.inner.read_at(path, off, &mut buf[..n])
     }
 
     fn len(&self, path: &str) -> io::Result<u64> {

@@ -78,7 +78,10 @@ pub use fsck::{fsck, repair, FsckError, FsckReport, RepairAction, RepairOptions,
 pub use index::{IndexEntry, IndexMap};
 pub use metrics::PlfsMetrics;
 pub use mpiio::{segmented_n1_pattern, strided_n1_pattern, ParallelFile};
-pub use read::Reader;
+pub use read::{Reader, DEFAULT_READAHEAD, READ_CHUNK};
 pub use retry::{RetryObs, RetryPolicy};
-pub use simadapter::{compare, run_direct, run_plfs, PlfsSimOptions};
+pub use simadapter::{
+    compare, compare_restart, run_direct, run_direct_restart, run_plfs, run_plfs_restart,
+    PlfsSimOptions,
+};
 pub use write::{Writer, WriterConfig, WriterStats};

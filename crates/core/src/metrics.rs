@@ -16,7 +16,12 @@
 //! | `plfs.write.index_appends` | counter | index-dropping appends issued |
 //! | `plfs.write.index_bytes` | counter | encoded index bytes persisted |
 //! | `plfs.read.ops` | counter | `read_at` calls |
-//! | `plfs.read.bytes` | counter | logical bytes returned |
+//! | `plfs.read.bytes` | counter | logical bytes actually delivered (failed reads count nothing) |
+//! | `plfs.read.batches` | counter | coalesced per-dropping read batches issued |
+//! | `plfs.read.backend_ops` | counter | backend `read_at` calls the engine issued |
+//! | `plfs.read.coalesced_bytes` | counter | bytes served by batches that merged ≥ 2 extents |
+//! | `plfs.read.readahead_hits` | counter | batches served entirely from the readahead cache |
+//! | `plfs.read.parallelism` | histogram | peak concurrent batch workers per `read_at` |
 //! | `plfs.read.open_ns` | histogram | container-open (index merge) spans |
 //! | `plfs.index.merge_fanin` | histogram | writers merged per open |
 //! | `plfs.index.raw_entries` | counter | index entries decoded |
@@ -56,6 +61,10 @@ pub struct PlfsMetrics {
     pub index_bytes_written: Counter,
     pub read_ops: Counter,
     pub read_bytes: Counter,
+    pub read_batches: Counter,
+    pub read_backend_ops: Counter,
+    pub read_coalesced_bytes: Counter,
+    pub read_readahead_hits: Counter,
     pub index_bytes_read: Counter,
     pub raw_entries: Counter,
     pub tail_entries: Counter,
@@ -65,6 +74,7 @@ pub struct PlfsMetrics {
     pub canonical_writes: Counter,
     pub merge_fanin: Histogram,
     pub decode_concurrency: Histogram,
+    pub read_parallelism: Histogram,
     pub open_timer: Timer,
 }
 
@@ -88,6 +98,10 @@ impl PlfsMetrics {
             index_bytes_written: registry.counter("plfs.write.index_bytes"),
             read_ops: registry.counter("plfs.read.ops"),
             read_bytes: registry.counter("plfs.read.bytes"),
+            read_batches: registry.counter("plfs.read.batches"),
+            read_backend_ops: registry.counter("plfs.read.backend_ops"),
+            read_coalesced_bytes: registry.counter("plfs.read.coalesced_bytes"),
+            read_readahead_hits: registry.counter("plfs.read.readahead_hits"),
             index_bytes_read: registry.counter("plfs.index.bytes_read"),
             raw_entries: registry.counter("plfs.index.raw_entries"),
             tail_entries: registry.counter("plfs.index.tail_entries"),
@@ -97,6 +111,7 @@ impl PlfsMetrics {
             canonical_writes: registry.counter("plfs.index.canonical_writes"),
             merge_fanin: registry.histogram("plfs.index.merge_fanin"),
             decode_concurrency: registry.histogram("plfs.index.decode_concurrency"),
+            read_parallelism: registry.histogram("plfs.read.parallelism"),
             open_timer: registry.timer("plfs.read.open_ns", clock),
         })
     }

@@ -1,20 +1,24 @@
-//! Bounded worker pool for the read-open path.
+//! Bounded worker pool for the read path.
 //!
-//! Index ingest (fetch + decode per rank) wants parallelism, but one
-//! OS thread per dropping melts down at scale — a 1024-rank container
-//! would spawn 1024 decoder threads. This pool runs any number of
-//! indexed jobs on at most `cap` scoped worker threads (callers cap at
-//! [`available_parallelism`]) and reports the peak number of jobs that
-//! actually ran concurrently, so tests can assert the bound holds.
+//! Index ingest (fetch + decode per rank) and the coalescing read
+//! engine both want parallelism, but one OS thread per dropping melts
+//! down at scale — a 1024-rank container would spawn 1024 decoder
+//! threads. This pool runs any number of indexed jobs on at most `cap`
+//! scoped worker threads (callers cap at [`available_parallelism`]) and
+//! reports the peak number of jobs that actually ran concurrently, so
+//! tests can assert the bound holds.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::thread;
 
 /// `std::thread::available_parallelism` with a sane fallback when the
-/// platform cannot answer.
+/// platform cannot answer. Cached after the first call: the read
+/// engine consults this on every `read_at`, and the underlying value
+/// is a syscall on most platforms.
 pub fn available_parallelism() -> usize {
-    thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
 }
 
 /// Run `jobs` closures (`f(0) .. f(jobs-1)`) on at most `cap` worker

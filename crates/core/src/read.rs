@@ -7,6 +7,19 @@
 //! [`IndexMap`], and then `read_at` scatter-gathers from the per-rank
 //! data droppings. Unwritten holes read as zeros, POSIX-style.
 //!
+//! `read_at` is a parallel, coalescing engine: the extent pieces a
+//! request maps to are grouped per data dropping, physically-adjacent
+//! runs are coalesced into single backend reads (one open batch
+//! per writer, built in a single pass over the pieces), and the
+//! per-dropping batches fan out onto the bounded worker pool with
+//! results scattered straight into the caller's buffer. A
+//! per-reader dropping cache keeps the resolved dropping paths and a
+//! readahead block per writer, so sequential [`Reader::read_all`]-style
+//! scans stream instead of paying per-piece path resolution and one
+//! backend op per extent. The serial per-piece path survives as
+//! [`Reader::read_at_serial`] — the differential-testing oracle and the
+//! baseline `repro readscale` measures the engine against.
+//!
 //! After a successful merge the reader persists the flattened extent
 //! list as a `canonical.index` dropping (see [`crate::canonical`]); a
 //! warm re-open loads it and decodes zero raw entries, or just the
@@ -22,8 +35,21 @@ use crate::metrics::PlfsMetrics;
 use crate::pool;
 use crate::retry::{RetriedBackend, RetryPolicy};
 use obs::trace::Phase;
+use std::collections::HashMap;
 use std::io;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// Upper bound on bytes buffered at once by whole-file reads
+/// ([`Reader::read_all`] / [`Reader::for_each_chunk`]). A sparse file
+/// with one byte at a multi-GB offset streams through a scratch buffer
+/// of at most this size instead of materializing `eof` bytes up front.
+pub const READ_CHUNK: usize = 8 << 20;
+
+/// Default per-dropping readahead for sequential scans: when a batch
+/// continues exactly where the previous read of that dropping ended,
+/// the engine over-reads by up to this much and serves the follow-on
+/// batch from memory.
+pub const DEFAULT_READAHEAD: u64 = 128 * 1024;
 
 /// Statistics about an assembled container index.
 #[derive(Debug, Clone, Copy, Default)]
@@ -50,6 +76,73 @@ pub struct Reader {
     map: IndexMap,
     stats: ReadStats,
     metrics: Arc<PlfsMetrics>,
+    /// Per-dropping handle/readahead cache (see [`DropState`]). The
+    /// index is immutable for the reader's lifetime and droppings are
+    /// append-only, so cached bytes can never go stale.
+    drops: Mutex<HashMap<u32, DropState>>,
+    readahead: u64,
+}
+
+/// Cached per-dropping state: the resolved path (the "handle" — path
+/// formatting is the per-piece cost the cache exists to kill) plus the
+/// most recent readahead surplus.
+struct DropState {
+    path: Arc<str>,
+    /// Physical offset the cached block starts at.
+    cache_phys: u64,
+    /// Bytes `[cache_phys, cache_phys + cache.len())` of the dropping.
+    cache: Vec<u8>,
+    /// Physical offset one past the last read — the sequential-scan
+    /// detector that arms readahead.
+    next_phys: u64,
+}
+
+/// One coalesced backend read: a contiguous physical run of one
+/// writer's data dropping, scattered into (possibly many) disjoint
+/// segments of the caller's buffer. Built by [`Reader::read_at`] in a
+/// single pass over the lookup pieces — each writer keeps one open
+/// batch, and a piece continuing that batch's physical run is appended
+/// instead of starting a new backend read. No sorting: the pieces tile
+/// the buffer in logical order, which is also per-writer physical
+/// order for append-only droppings, so the common N-1 strided restart
+/// collapses to one batch per dropping.
+struct Batch<'a> {
+    writer: u32,
+    physical: u64,
+    len: u64,
+    /// `(offset within the run, destination slice of the caller's buf)`.
+    segs: Vec<(u64, &'a mut [u8])>,
+}
+
+/// Read at least `need` bytes of `buf` starting at `off`, looping at
+/// the advanced offset on short-but-nonzero reads (POSIX `pread` may
+/// deliver fewer bytes than asked anywhere in the file; only `Ok(0)`
+/// means EOF). Each backend call is individually retried per `retry`.
+/// Returns the total bytes read (may exceed `need` up to `buf.len()` —
+/// the readahead surplus); errors with `UnexpectedEof` only when true
+/// EOF arrives before `need` bytes.
+fn read_at_least(
+    backend: &dyn Backend,
+    retry: &RetryPolicy,
+    path: &str,
+    off: u64,
+    buf: &mut [u8],
+    need: usize,
+    backend_ops: &mut u64,
+) -> io::Result<usize> {
+    let mut filled = 0usize;
+    while filled < need {
+        *backend_ops += 1;
+        let got = retry.run(|| backend.read_at(path, off + filled as u64, &mut buf[filled..]))?;
+        if got == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("data dropping {path} truncated: wanted {need} at {off}, got {filled}"),
+            ));
+        }
+        filled += got;
+    }
+    Ok(filled)
 }
 
 /// What the ingest stage produced for the merge.
@@ -137,7 +230,15 @@ impl Reader {
             },
             map,
             metrics,
+            drops: Mutex::new(HashMap::new()),
+            readahead: DEFAULT_READAHEAD,
         })
+    }
+
+    /// Tune the per-dropping readahead (bytes; 0 disables over-reads).
+    /// Benchmarks use this to isolate coalescing from readahead.
+    pub fn set_readahead(&mut self, bytes: u64) {
+        self.readahead = bytes;
     }
 
     pub fn stats(&self) -> ReadStats {
@@ -156,46 +257,232 @@ impl Reader {
 
     /// Read into `buf` at `offset`. Returns bytes read (short at EOF);
     /// holes within the file read as zeros.
+    ///
+    /// This is the parallel coalescing engine: extent pieces are
+    /// grouped per data dropping, physically-adjacent runs become one
+    /// backend read each, and the batches fan out
+    /// onto the bounded worker pool with results scattered straight
+    /// into `buf`. `plfs.read.bytes` counts only bytes actually
+    /// delivered: a failed read contributes nothing.
     pub fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
         let eof = self.map.eof();
         self.metrics.read_ops.inc();
         if offset >= eof {
             return Ok(0);
         }
-        let want = (buf.len() as u64).min(eof - offset);
-        self.metrics.read_bytes.add(want);
-        for (piece_off, piece_len, extent) in self.map.lookup(offset, want) {
-            let dst = (piece_off - offset) as usize;
-            let dst_end = dst + piece_len as usize;
-            match extent {
-                None => {
-                    buf[dst..dst_end].fill(0);
+        let want = (buf.len() as u64).min(eof - offset) as usize;
+        let mut buf = &mut buf[..want];
+        let pieces = self.map.lookup(offset, want as u64);
+        let root = self.metrics.trace.start("plfs.read", Phase::Transfer, "plfs.read", 0);
+        let root_id = root.id();
+
+        // One pass over the pieces — they tile `[offset, offset+want)`
+        // in logical order, so the caller's buffer is peeled into
+        // disjoint per-piece slices as we go: holes are zero-filled
+        // immediately, data slices attach to the writer's open batch
+        // when they continue its physical run, else start a new one.
+        let mut batches: Vec<Batch> = Vec::new();
+        let mut open: HashMap<u32, usize> = HashMap::new();
+        for (_, piece_len, extent) in pieces {
+            let tail = std::mem::take(&mut buf);
+            let (seg, tail) = tail.split_at_mut(piece_len as usize);
+            buf = tail;
+            let Some(x) = extent else {
+                seg.fill(0);
+                continue;
+            };
+            match open.get(&x.writer) {
+                Some(&j) if batches[j].physical + batches[j].len == x.physical => {
+                    let b = &mut batches[j];
+                    b.segs.push((b.len, seg));
+                    b.len += piece_len;
                 }
-                Some(x) => {
-                    let data_path = self.paths.data_dropping(x.writer);
-                    let got = self.retry.run(|| {
-                        self.backend.read_at(&data_path, x.physical, &mut buf[dst..dst_end])
-                    })?;
-                    if got < piece_len as usize {
-                        return Err(io::Error::new(
-                            io::ErrorKind::UnexpectedEof,
-                            format!(
-                                "data dropping {data_path} truncated: wanted {piece_len} at {}, got {got}",
-                                x.physical
-                            ),
-                        ));
-                    }
+                _ => {
+                    open.insert(x.writer, batches.len());
+                    batches.push(Batch {
+                        writer: x.writer,
+                        physical: x.physical,
+                        len: piece_len,
+                        segs: vec![(0, seg)],
+                    });
                 }
             }
         }
-        Ok(want as usize)
+
+        // Fan out, one job per batch. Each batch sits in a Mutex so the
+        // shared `Fn` closure can hand its worker exclusive access.
+        let coalesced: u64 = batches.iter().filter(|b| b.segs.len() >= 2).map(|b| b.len).sum();
+        let n_batches = batches.len();
+        let jobs: Vec<Mutex<Batch>> = batches.into_iter().map(Mutex::new).collect();
+        let cap = pool::available_parallelism();
+        let (results, peak) = pool::run_bounded(n_batches, cap, |i| {
+            self.serve_batch(&mut jobs[i].lock().unwrap(), root_id)
+        });
+        let mut backend_ops = 0u64;
+        for r in results {
+            backend_ops += r?;
+        }
+
+        if n_batches > 0 {
+            self.metrics.read_batches.add(n_batches as u64);
+            self.metrics.read_backend_ops.add(backend_ops);
+            self.metrics.read_parallelism.observe(peak as u64);
+            self.metrics.read_coalesced_bytes.add(coalesced);
+        }
+        self.metrics.read_bytes.add(want as u64);
+        root.end();
+        Ok(want)
+    }
+
+    /// Serve one coalesced batch: one contiguous physical run of one
+    /// dropping, scattered into its routed buffer segments. Returns the
+    /// number of backend reads issued (0 on a readahead-cache hit).
+    fn serve_batch(&self, b: &mut Batch<'_>, root_id: u64) -> io::Result<u64> {
+        let span = self.metrics.trace.start("read.batch", Phase::Transfer, "plfs.read", root_id);
+        let blen = b.len as usize;
+        let mut ops = 0u64;
+
+        let mut drops = self.drops.lock().unwrap();
+        let st = drops.entry(b.writer).or_insert_with(|| DropState {
+            path: Arc::from(self.paths.data_dropping(b.writer).as_str()),
+            cache_phys: 0,
+            cache: Vec::new(),
+            next_phys: 0,
+        });
+        // Served entirely from the readahead block?
+        if b.physical >= st.cache_phys
+            && b.physical + b.len <= st.cache_phys + st.cache.len() as u64
+        {
+            let base = (b.physical - st.cache_phys) as usize;
+            for (run_off, seg) in b.segs.iter_mut() {
+                let s = base + *run_off as usize;
+                seg.copy_from_slice(&st.cache[s..s + seg.len()]);
+            }
+            st.next_phys = b.physical + b.len;
+            self.metrics.read_readahead_hits.inc();
+            span.end();
+            return Ok(0);
+        }
+        // A batch continuing exactly where the last one ended is a
+        // sequential scan: over-read so the next batch hits the cache.
+        let sequential = st.next_phys == b.physical && self.readahead > 0;
+        let path = st.path.clone();
+        st.next_phys = b.physical + b.len;
+        // Never hold the dropping-map lock across backend I/O — other
+        // batches of this read would serialize behind it.
+        drop(drops);
+
+        let ext = if sequential { self.readahead as usize } else { 0 };
+        if ext == 0 && b.segs.len() == 1 && b.segs[0].1.len() == blen {
+            // Single-segment batch, no over-read: straight into `buf`.
+            let (_, seg) = &mut b.segs[0];
+            read_at_least(
+                self.backend.as_ref(),
+                &self.retry,
+                &path,
+                b.physical,
+                seg,
+                blen,
+                &mut ops,
+            )?;
+            span.end();
+            return Ok(ops);
+        }
+        let mut scratch = vec![0u8; blen + ext];
+        let got = read_at_least(
+            self.backend.as_ref(),
+            &self.retry,
+            &path,
+            b.physical,
+            &mut scratch,
+            blen,
+            &mut ops,
+        )?;
+        for (run_off, seg) in b.segs.iter_mut() {
+            let s = *run_off as usize;
+            seg.copy_from_slice(&scratch[s..s + seg.len()]);
+        }
+        if got > blen {
+            // Stash the over-read surplus for the follow-on batch.
+            let mut drops = self.drops.lock().unwrap();
+            if let Some(st) = drops.get_mut(&b.writer) {
+                scratch.copy_within(blen..got, 0);
+                scratch.truncate(got - blen);
+                st.cache = scratch;
+                st.cache_phys = b.physical + b.len;
+            }
+        }
+        span.end();
+        Ok(ops)
+    }
+
+    /// The serial per-piece read path: one backend read per extent, no
+    /// coalescing, no fan-out, no readahead. Kept as the differential-
+    /// testing oracle for the engine and the baseline `repro readscale`
+    /// measures against. Same POSIX semantics as [`Reader::read_at`]
+    /// (short reads looped, holes zeroed, bytes counted on delivery).
+    pub fn read_at_serial(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        let eof = self.map.eof();
+        self.metrics.read_ops.inc();
+        if offset >= eof {
+            return Ok(0);
+        }
+        let want = (buf.len() as u64).min(eof - offset) as usize;
+        let mut ops = 0u64;
+        for (piece_off, piece_len, extent) in self.map.lookup(offset, want as u64) {
+            let dst = (piece_off - offset) as usize;
+            let dst_end = dst + piece_len as usize;
+            match extent {
+                None => buf[dst..dst_end].fill(0),
+                Some(x) => {
+                    let data_path = self.paths.data_dropping(x.writer);
+                    read_at_least(
+                        self.backend.as_ref(),
+                        &self.retry,
+                        &data_path,
+                        x.physical,
+                        &mut buf[dst..dst_end],
+                        piece_len as usize,
+                        &mut ops,
+                    )?;
+                }
+            }
+        }
+        self.metrics.read_backend_ops.add(ops);
+        self.metrics.read_bytes.add(want as u64);
+        Ok(want)
+    }
+
+    /// Stream the whole logical file through `f(offset, chunk)` in
+    /// chunks of at most [`READ_CHUNK`] bytes. Peak buffering is one
+    /// chunk regardless of EOF — a sparse file with one byte at a
+    /// multi-GB offset never materializes the hole.
+    pub fn for_each_chunk<F>(&self, mut f: F) -> io::Result<()>
+    where
+        F: FnMut(u64, &[u8]) -> io::Result<()>,
+    {
+        let eof = self.size();
+        let mut scratch = vec![0u8; eof.min(READ_CHUNK as u64) as usize];
+        let mut off = 0u64;
+        while off < eof {
+            let n = ((eof - off) as usize).min(READ_CHUNK);
+            let got = self.read_at(off, &mut scratch[..n])?;
+            debug_assert_eq!(got, n, "mid-file reads are never short");
+            f(off, &scratch[..got])?;
+            off += got as u64;
+        }
+        Ok(())
     }
 
     /// Read the whole logical file (convenience for flatten/tests).
+    /// Streams via [`Reader::for_each_chunk`], so transient buffering
+    /// stays bounded even though the returned vector is the full file.
     pub fn read_all(&self) -> io::Result<Vec<u8>> {
-        let mut out = vec![0u8; self.size() as usize];
-        let n = self.read_at(0, &mut out)?;
-        out.truncate(n);
+        let mut out = Vec::with_capacity(self.size() as usize);
+        self.for_each_chunk(|_, chunk| {
+            out.extend_from_slice(chunk);
+            Ok(())
+        })?;
         Ok(out)
     }
 }
@@ -662,6 +949,253 @@ mod tests {
         let r = reader(&b, &p);
         assert!(!r.stats().from_canonical, "torn cache ignored");
         assert_eq!(r.read_all().unwrap(), b"payload");
+    }
+
+    /// A pathological but POSIX-legal backend: every `read_at` delivers
+    /// exactly one byte. The old read path treated any short-but-
+    /// nonzero read as `UnexpectedEof`; the engine must loop at the
+    /// advanced offset instead.
+    struct ShortReadBackend(Arc<MemBackend>);
+
+    impl Backend for ShortReadBackend {
+        fn mkdir_all(&self, path: &str) -> io::Result<()> {
+            self.0.mkdir_all(path)
+        }
+        fn create(&self, path: &str) -> io::Result<()> {
+            self.0.create(path)
+        }
+        fn append(&self, path: &str, data: &[u8]) -> io::Result<u64> {
+            self.0.append(path, data)
+        }
+        fn read_at(&self, path: &str, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+            let n = buf.len().min(1);
+            self.0.read_at(path, offset, &mut buf[..n])
+        }
+        fn len(&self, path: &str) -> io::Result<u64> {
+            self.0.len(path)
+        }
+        fn list(&self, dir: &str) -> io::Result<Vec<String>> {
+            self.0.list(dir)
+        }
+        fn exists(&self, path: &str) -> bool {
+            self.0.exists(path)
+        }
+        fn remove(&self, path: &str) -> io::Result<()> {
+            self.0.remove(path)
+        }
+        fn remove_dir_all(&self, path: &str) -> io::Result<()> {
+            self.0.remove_dir_all(path)
+        }
+    }
+
+    #[test]
+    fn short_read_backend_roundtrips_byte_at_a_time() {
+        // Regression: a backend delivering 1 byte per read is legal
+        // POSIX behaviour, not EOF. Before the fix this errored with
+        // UnexpectedEof on any multi-byte piece.
+        let (b, p, m) = setup(2);
+        let mut w = mkwriter(&b, &p, &m, 0);
+        w.write_at(0, b"hello world, short reads are legal").unwrap();
+        w.close().unwrap();
+        let short = Arc::new(ShortReadBackend(b));
+        let r = Reader::open(
+            short as Arc<dyn Backend>,
+            p,
+            RetryPolicy::none(),
+            PlfsMetrics::detached(),
+        )
+        .unwrap();
+        assert_eq!(r.read_all().unwrap(), b"hello world, short reads are legal");
+        let mut buf = [0u8; 9];
+        assert_eq!(r.read_at(6, &mut buf).unwrap(), 9);
+        assert_eq!(&buf, b"world, sh");
+        assert_eq!(r.read_at_serial(6, &mut buf).unwrap(), 9);
+        assert_eq!(&buf, b"world, sh");
+    }
+
+    #[test]
+    fn sparse_multi_gb_file_streams_bounded() {
+        // Regression: read_all used to allocate `vec![0; eof]` up
+        // front, so one byte at an 8 GiB offset OOMed the reader.
+        // for_each_chunk must buffer at most READ_CHUNK at a time.
+        let (b, p, m) = setup(1);
+        let eof: u64 = 8 << 30;
+        let mut w = mkwriter(&b, &p, &m, 0);
+        w.write_at(eof - 1, b"z").unwrap();
+        w.close().unwrap();
+        let r = reader(&b, &p);
+        assert_eq!(r.size(), eof);
+        let mut seen = 0u64;
+        let mut last = Vec::new();
+        r.for_each_chunk(|off, chunk| {
+            assert_eq!(off, seen);
+            assert!(chunk.len() <= READ_CHUNK, "chunk {} exceeds bound", chunk.len());
+            // Spot-check hole bytes without scanning 8 GiB per-byte.
+            if off + (chunk.len() as u64) < eof {
+                assert_eq!(chunk[0], 0);
+            }
+            seen += chunk.len() as u64;
+            if seen == eof {
+                last = chunk.to_vec();
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, eof);
+        assert_eq!(*last.last().unwrap(), b'z');
+        assert!(last[..last.len() - 1].iter().rev().take(64).all(|&x| x == 0));
+    }
+
+    #[test]
+    fn engine_coalesces_and_matches_serial_oracle() {
+        // 4 ranks × 64 strided records: the engine should need ~1
+        // coalesced backend read per dropping where the serial path
+        // pays one per record.
+        let (b, p, m) = setup(2);
+        let ranks = 4u32;
+        let rec = 100usize;
+        let total = 64u64;
+        let mut writers: Vec<Writer> = (0..ranks).map(|r| mkwriter(&b, &p, &m, r)).collect();
+        for i in 0..total {
+            let rank = (i % ranks as u64) as usize;
+            writers[rank].write_at(i * rec as u64, &vec![(i % 251) as u8; rec]).unwrap();
+        }
+        for w in writers {
+            w.close().unwrap();
+        }
+        let rm = PlfsMetrics::detached();
+        let r =
+            Reader::open(b.clone() as Arc<dyn Backend>, p.clone(), RetryPolicy::none(), rm.clone())
+                .unwrap();
+        let mut fast = vec![0u8; (total as usize) * rec];
+        let mut slow = vec![1u8; (total as usize) * rec];
+        assert_eq!(r.read_at(0, &mut fast).unwrap(), fast.len());
+        let engine_ops = rm.registry.value("plfs.read.backend_ops").unwrap();
+        assert_eq!(r.read_at_serial(0, &mut slow).unwrap(), slow.len());
+        let serial_ops = rm.registry.value("plfs.read.backend_ops").unwrap() - engine_ops;
+        assert_eq!(fast, slow, "engine and serial oracle must agree byte-for-byte");
+        assert_eq!(engine_ops, ranks as u64, "one coalesced read per dropping");
+        assert_eq!(serial_ops, total, "serial pays one read per record");
+        assert_eq!(rm.registry.value("plfs.read.batches"), Some(ranks as u64));
+        assert_eq!(
+            rm.registry.value("plfs.read.coalesced_bytes"),
+            Some(total * rec as u64),
+            "every batch merged ≥ 2 extents"
+        );
+        let par = rm.registry.histogram("plfs.read.parallelism");
+        assert_eq!(par.count(), 1);
+        assert!(par.max() >= 1 && par.max() <= pool::available_parallelism() as u64);
+    }
+
+    #[test]
+    fn readahead_serves_sequential_scans_from_cache() {
+        let (b, p, m) = setup(1);
+        let mut w = mkwriter(&b, &p, &m, 0);
+        let total = 64 * 1024;
+        for i in 0..(total / 1024) as u64 {
+            w.write_at(i * 1024, &[(i % 7) as u8 + 1; 1024]).unwrap();
+        }
+        w.close().unwrap();
+        let rm = PlfsMetrics::detached();
+        let r =
+            Reader::open(b.clone() as Arc<dyn Backend>, p.clone(), RetryPolicy::none(), rm.clone())
+                .unwrap();
+        // Sequential 4 KiB reads: the first read arms readahead (the
+        // scan starts at physical 0) and over-reads DEFAULT_READAHEAD,
+        // so follow-on reads hit the cache with zero backend ops.
+        let mut buf = vec![0u8; 4096];
+        let mut off = 0u64;
+        while off < total as u64 {
+            assert_eq!(r.read_at(off, &mut buf).unwrap(), 4096);
+            for (j, block) in buf.chunks(1024).enumerate() {
+                let rec = off / 1024 + j as u64;
+                assert!(block.iter().all(|&x| x == (rec % 7) as u8 + 1), "record {rec} corrupt");
+            }
+            off += 4096;
+        }
+        let hits = rm.registry.value("plfs.read.readahead_hits").unwrap();
+        let ops = rm.registry.value("plfs.read.backend_ops").unwrap();
+        assert!(hits >= 12, "most sequential reads served from readahead, got {hits}");
+        assert!(ops <= 2, "sequential scan needs almost no backend reads, got {ops}");
+    }
+
+    #[test]
+    fn readahead_can_be_disabled() {
+        let (b, p, m) = setup(1);
+        let mut w = mkwriter(&b, &p, &m, 0);
+        w.write_at(0, &[7u8; 8192]).unwrap();
+        w.close().unwrap();
+        let rm = PlfsMetrics::detached();
+        let mut r =
+            Reader::open(b.clone() as Arc<dyn Backend>, p.clone(), RetryPolicy::none(), rm.clone())
+                .unwrap();
+        r.set_readahead(0);
+        let mut buf = vec![0u8; 4096];
+        assert_eq!(r.read_at(0, &mut buf).unwrap(), 4096);
+        assert_eq!(r.read_at(4096, &mut buf).unwrap(), 4096);
+        assert_eq!(rm.registry.value("plfs.read.readahead_hits"), Some(0));
+        assert_eq!(rm.registry.value("plfs.read.backend_ops"), Some(2));
+    }
+
+    #[test]
+    fn failed_read_counts_no_delivered_bytes() {
+        // Regression: read_bytes used to be incremented with `want`
+        // before the backend was ever touched, so failed reads inflated
+        // the delivered-bytes counter.
+        let (b, p, m) = setup(1);
+        let mut w = mkwriter(&b, &p, &m, 0);
+        w.write_at(0, &[1u8; 512]).unwrap();
+        w.close().unwrap();
+        let rm = PlfsMetrics::detached();
+        let r =
+            Reader::open(b.clone() as Arc<dyn Backend>, p.clone(), RetryPolicy::none(), rm.clone())
+                .unwrap();
+        // Truncate the data dropping behind the reader's back so the
+        // read fails with UnexpectedEof.
+        let data_path = p.data_dropping(0);
+        b.remove(&data_path).unwrap();
+        b.create(&data_path).unwrap();
+        b.append(&data_path, &[1u8; 100]).unwrap();
+        let mut buf = vec![0u8; 512];
+        assert!(r.read_at(0, &mut buf).is_err());
+        assert_eq!(rm.registry.value("plfs.read.bytes"), Some(0), "no bytes delivered");
+        // A successful read after healing counts exactly what arrived.
+        b.append(&data_path, &[1u8; 412]).unwrap();
+        let fresh = PlfsMetrics::detached();
+        let r2 = Reader::open(
+            b.clone() as Arc<dyn Backend>,
+            p.clone(),
+            RetryPolicy::none(),
+            fresh.clone(),
+        )
+        .unwrap();
+        assert_eq!(r2.read_at(0, &mut buf).unwrap(), 512);
+        assert_eq!(fresh.registry.value("plfs.read.bytes"), Some(512));
+    }
+
+    #[test]
+    fn read_emits_batch_spans() {
+        use obs::trace::TraceSink;
+        let (b, p, m) = setup(2);
+        for rank in 0..3u32 {
+            let mut w = mkwriter(&b, &p, &m, rank);
+            w.write_at(rank as u64 * 16, &[rank as u8; 16]).unwrap();
+            w.close().unwrap();
+        }
+        let sink = TraceSink::bounded(4096);
+        let rm =
+            PlfsMetrics::new_traced(&obs::Registry::new(), &obs::Clock::logical(), sink.clone());
+        let r = Reader::open(b.clone() as Arc<dyn Backend>, p.clone(), RetryPolicy::none(), rm)
+            .unwrap();
+        let _ = r.read_all().unwrap();
+        let spans = sink.snapshot();
+        obs::trace::validate(&spans).unwrap();
+        let root = spans.iter().find(|s| s.name == "plfs.read").expect("plfs.read span");
+        let kids: Vec<_> = spans.iter().filter(|s| s.name == "read.batch").collect();
+        assert_eq!(kids.len(), 3, "one batch span per dropping");
+        for k in &kids {
+            assert_eq!(k.parent, root.id, "read.batch hangs off plfs.read");
+        }
     }
 
     #[test]

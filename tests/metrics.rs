@@ -78,6 +78,41 @@ fn plfs_counters_track_write_and_read_path() {
     assert_eq!(reg.value("retry.surfaced"), Some(0));
 }
 
+/// `plfs.read.bytes` counts what a read *delivered*, not what it
+/// attempted: a read that surfaces an error must contribute zero, and
+/// the counter must equal exactly the bytes handed back once the
+/// backend heals.
+#[test]
+fn read_bytes_counts_only_delivered_bytes() {
+    use pdsi::plfs::faults::{FaultPlan, FaultyBackend};
+    use pdsi::plfs::retry::RetryPolicy;
+
+    let reg = Registry::new();
+    let faulty = Arc::new(FaultyBackend::new(MemBackend::new(), FaultPlan::none(11)));
+    let fs = Plfs::new(
+        faulty.clone() as Arc<dyn Backend>,
+        PlfsConfig { metrics: reg.clone(), retry: RetryPolicy::none(), ..Default::default() },
+    );
+    let mut w = fs.open_writer("/ckpt", 0).unwrap();
+    w.write_at(0, &[7u8; 512]).unwrap();
+    w.close().unwrap();
+
+    // Open while healthy (the index must be readable), then break the
+    // data path: every backend read now fails and nothing is retried.
+    let reader = fs.open_reader("/ckpt").unwrap();
+    faulty.set_plan(FaultPlan { transient_error_rate: 1.0, ..FaultPlan::none(11) });
+    let mut buf = vec![0u8; 512];
+    assert!(reader.read_at(0, &mut buf).is_err(), "unretried faulty read must surface");
+    assert_eq!(reg.value("plfs.read.bytes"), Some(0), "failed read delivered nothing");
+
+    faulty.set_plan(FaultPlan::none(11));
+    assert_eq!(reader.read_at(0, &mut buf).unwrap(), 512);
+    assert_eq!(buf, vec![7u8; 512]);
+    assert_eq!(reg.value("plfs.read.bytes"), Some(512), "exactly the delivered bytes");
+    assert!(reg.value("plfs.read.backend_ops").unwrap() >= 1);
+    assert_eq!(reg.value("plfs.read.batches"), Some(1), "only the delivered read counts");
+}
+
 /// The JSON dump must round-trip through the hand-rolled parser and
 /// preserve every series and its value.
 #[test]
