@@ -189,6 +189,36 @@ fn main() {
         }
     }
 
+    // And for `repro integrity`: verify-on-read overhead, the bit-flip
+    // detection sweep, and scrub throughput. With INTEGRITY_GATE set
+    // (CI does), anything short of 100% detection, any false positive
+    // on a clean container, or warm verified reads more than 10%
+    // behind unverified ones fails the run.
+    if ids.iter().any(|a| a == "integrity" || a == "all") {
+        let summary = pdsi_bench::integrity_results();
+        let json = obs::json::pretty(&pdsi_bench::integrity_json_from(&summary));
+        match std::fs::write("BENCH_integrity.json", &json) {
+            Ok(()) => {
+                let _ = writeln!(out, "(integrity data written to BENCH_integrity.json)");
+            }
+            Err(e) => {
+                eprintln!("cannot write BENCH_integrity.json: {e}");
+                std::process::exit(1);
+            }
+        }
+        if std::env::var_os("INTEGRITY_GATE").is_some() {
+            match pdsi_bench::integrity_gate(&summary) {
+                Ok(msg) => {
+                    let _ = writeln!(out, "({msg})");
+                }
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
     if let Some(path) = metrics_path {
         let _ = writeln!(out, "\n== metrics ({} series) ==", reg.series_count());
         let _ = write!(out, "{}", reg.render_table());

@@ -35,6 +35,7 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("spyglass", "partitioned metadata search vs full scan"),
     ("openscale", "read-open index merge scaling: sweep vs splice; flattened-index cache"),
     ("readscale", "restart read-back: parallel coalesced engine vs serial per-piece reads"),
+    ("integrity", "end-to-end corruption detection: verify-on-read, bit-flip sweep, scrub"),
 ];
 
 /// Run one experiment by id, discarding its metrics.
@@ -69,6 +70,7 @@ pub fn run_observed(id: &str, reg: &obs::Registry) -> Option<String> {
         "spyglass" => spyglass_report(&local),
         "openscale" => openscale_report(&local),
         "readscale" => readscale_report(&local),
+        "integrity" => integrity_report(&local),
         _ => return None,
     };
     local.counter("bench.runs").inc();

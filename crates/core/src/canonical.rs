@@ -27,8 +27,13 @@ use crate::container::{discover_droppings, session_count, ContainerPaths};
 use crate::index::{self, GetLe, IndexEntry, PutLe};
 use std::io;
 
-/// Magic tag at byte 0 of every canonical index ("PLFSCAN1").
-pub const CANONICAL_MAGIC: u64 = u64::from_le_bytes(*b"PLFSCAN1");
+/// Magic tag at byte 0 of every canonical index ("PLFSCAN2").
+///
+/// Version 2 added a content checksum: a CRC32 of every byte after the
+/// checksum field, directly after the magic. Version-1 caches (no
+/// checksum) fail the magic check and are rebuilt — acceptable because
+/// the cache is never a correctness dependency.
+pub const CANONICAL_MAGIC: u64 = u64::from_le_bytes(*b"PLFSCAN2");
 
 /// A decoded flattened-index cache.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,14 +52,17 @@ fn bad(why: &str) -> io::Error {
 }
 
 impl CanonicalIndex {
-    /// Wire format: magic, session count, covered table, payload length,
-    /// then the fragments raw-encoded. The explicit payload length makes
-    /// a torn write detectable (the file is created then appended once;
-    /// a tear can only shorten it).
+    /// Wire format: magic, content CRC32, session count, covered table,
+    /// payload length, then the fragments raw-encoded. The CRC covers
+    /// every byte after itself, so the stamp-match check can never trust
+    /// a silently corrupted cache; the explicit payload length makes a
+    /// torn write detectable (the file is created then appended once; a
+    /// tear can only shorten it).
     pub fn encode(&self) -> Vec<u8> {
         let payload = index::encode_raw(&self.fragments);
-        let mut buf = Vec::with_capacity(28 + self.covered.len() * 12 + payload.len());
+        let mut buf = Vec::with_capacity(32 + self.covered.len() * 12 + payload.len());
         buf.put_u64_le(CANONICAL_MAGIC);
+        buf.put_u32_le(0); // CRC placeholder, patched below
         buf.put_u64_le(self.session_count);
         buf.put_u32_le(self.covered.len() as u32);
         for &(rank, len) in &self.covered {
@@ -63,16 +71,22 @@ impl CanonicalIndex {
         }
         buf.put_u64_le(payload.len() as u64);
         buf.extend_from_slice(&payload);
+        let crc = crate::checksum::crc32(&buf[12..]);
+        buf[8..12].copy_from_slice(&crc.to_le_bytes());
         buf
     }
 
     pub fn decode(data: &[u8]) -> io::Result<CanonicalIndex> {
         let mut cur = GetLe::new(data);
-        if cur.remaining() < 20 {
+        if cur.remaining() < 24 {
             return Err(bad("short header"));
         }
         if cur.get_u64_le() != CANONICAL_MAGIC {
             return Err(bad("bad magic"));
+        }
+        let stored = cur.get_u32_le();
+        if crate::checksum::crc32(cur.rest()) != stored {
+            return Err(bad("content checksum mismatch"));
         }
         let session_count = cur.get_u64_le();
         let n = cur.get_u32_le() as usize;
@@ -188,5 +202,28 @@ mod tests {
         let mut wrong_magic = enc;
         wrong_magic[0] ^= 0xFF;
         assert!(CanonicalIndex::decode(&wrong_magic).is_err());
+    }
+
+    #[test]
+    fn any_single_byte_corruption_is_rejected() {
+        // Regression: the cache used to be trusted on stamp match
+        // alone, so a flipped bit silently poisoned every warm open.
+        let c = CanonicalIndex {
+            session_count: 3,
+            covered: vec![(0, 100), (1, 200), (9, 50)],
+            fragments: (0..20).map(|i| frag(i * 32, 16, i * 16, (i % 3) as u32, 100 + i)).collect(),
+        };
+        let enc = c.encode();
+        assert_eq!(CanonicalIndex::decode(&enc).unwrap(), c);
+        for pos in 0..enc.len() {
+            for bit in [0x01u8, 0x80] {
+                let mut bad = enc.clone();
+                bad[pos] ^= bit;
+                assert!(
+                    CanonicalIndex::decode(&bad).is_err(),
+                    "flip at byte {pos} decoded cleanly"
+                );
+            }
+        }
     }
 }

@@ -76,6 +76,19 @@ impl ContainerPaths {
         format!("{}/index.{rank}", self.hostdir(rank))
     }
 
+    /// Checksum sidecar covering the rank's data dropping (see
+    /// [`crate::checksum`]). The `chk.` prefix collides with neither
+    /// the `index.` scan in [`discover_droppings`] nor the `data.`
+    /// scans in `fsck`, so legacy tooling skips it cleanly.
+    pub fn chk_dropping(&self, rank: u32) -> String {
+        format!("{}/chk.{rank}", self.hostdir(rank))
+    }
+
+    /// Checksum sidecar covering the rank's index dropping.
+    pub fn index_chk_dropping(&self, rank: u32) -> String {
+        format!("{}/chki.{rank}", self.hostdir(rank))
+    }
+
     pub fn open_dropping(&self, rank: u32, session: u64) -> String {
         format!("{}/host.{rank}.{session}", self.openhosts_dir())
     }

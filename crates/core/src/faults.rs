@@ -52,6 +52,20 @@ pub struct FaultPlan {
     /// read path must tolerate. Not an error: the data is correct, just
     /// delivered in slivers.
     pub short_read_cap: Option<usize>,
+    /// Probability that any given *stored byte* has silently rotted:
+    /// reads of it return a bit-flipped value, with no error. Whether a
+    /// byte is rotten is a pure function of `(seed, path, offset)` — the
+    /// same byte is corrupt on every read path that touches it (engine,
+    /// oracle, cache fill, scrub), which is what lets differential tests
+    /// agree under corruption. The store's real content is untouched.
+    pub bit_flip_rate: f64,
+    /// Deterministically corrupt one exact byte: `(path suffix, byte
+    /// offset, XOR mask)`. Reads of files whose path ends with the
+    /// suffix see the byte at that offset XORed with the mask (`0`
+    /// normalizes to `0x01` so the target is never a silent no-op).
+    /// Composes with `bit_flip_rate`; targeting beats rate for the
+    /// detection-completeness sweep, which must hit *every* byte once.
+    pub corrupt_byte_at: Option<(String, u64, u8)>,
 }
 
 impl FaultPlan {
@@ -63,6 +77,8 @@ impl FaultPlan {
             torn_append_rate: 0.0,
             crash_after_bytes: None,
             short_read_cap: None,
+            bit_flip_rate: 0.0,
+            corrupt_byte_at: None,
         }
     }
 
@@ -75,6 +91,8 @@ impl FaultPlan {
             torn_append_rate: 0.02,
             crash_after_bytes: None,
             short_read_cap: None,
+            bit_flip_rate: 0.0,
+            corrupt_byte_at: None,
         }
     }
 }
@@ -92,6 +110,10 @@ pub struct FaultStats {
     pub rejected_while_crashed: u64,
     /// 1 once the crash budget fired (or `crash_now` was called).
     pub crashes: u64,
+    /// Corrupted bytes *served*: every read of a rotten byte counts, so
+    /// the same byte read twice counts twice (it models observations,
+    /// not distinct bad sectors).
+    pub injected_bit_flips: u64,
 }
 
 struct FaultState {
@@ -163,6 +185,7 @@ impl<B: Backend> FaultyBackend<B> {
         reg.counter_with("faults.injected_torn", labels).add(st.injected_torn);
         reg.counter_with("faults.rejected_while_crashed", labels).add(st.rejected_while_crashed);
         reg.counter_with("faults.crashes", labels).add(st.crashes);
+        reg.counter_with("faults.injected_bit_flips", labels).add(st.injected_bit_flips);
     }
 
     /// Has the crash-stop fired?
@@ -212,6 +235,34 @@ impl<B: Backend> FaultyBackend<B> {
         }
         Ok(())
     }
+}
+
+/// SplitMix64 finalizer — the per-byte rot decision must be a pure
+/// function of `(seed, path, offset)`, independent of the shared RNG
+/// stream, so every read path observes the same corruption.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn path_hash(seed: u64, path: &str) -> u64 {
+    let mut h = mix64(seed ^ 0x5DEE_CE66_D1CE_5BBD);
+    for chunk in path.as_bytes().chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = mix64(h ^ u64::from_le_bytes(word));
+    }
+    h
+}
+
+/// Is the byte at `offset` rotten, and if so which bit flips?
+fn rot_bit(path_h: u64, offset: u64, rate: f64) -> Option<u8> {
+    let r = mix64(path_h ^ offset);
+    // 53 high bits → uniform in [0, 1).
+    let u = (r >> 11) as f64 / (1u64 << 53) as f64;
+    (u < rate).then_some(1u8 << (r & 7))
 }
 
 fn transient_error(rng: &mut Rng) -> io::Error {
@@ -285,11 +336,45 @@ impl<B: Backend> Backend for FaultyBackend<B> {
 
     fn read_at(&self, path: &str, off: u64, buf: &mut [u8]) -> io::Result<usize> {
         self.gate()?;
-        let n = match self.state.lock().unwrap().plan.short_read_cap {
+        let (cap, seed, rate, target) = {
+            let st = self.state.lock().unwrap();
+            (
+                st.plan.short_read_cap,
+                st.plan.seed,
+                st.plan.bit_flip_rate,
+                st.plan.corrupt_byte_at.clone(),
+            )
+        };
+        let n = match cap {
             Some(cap) => buf.len().min(cap.max(1)),
             None => buf.len(),
         };
-        self.inner.read_at(path, off, &mut buf[..n])
+        let got = self.inner.read_at(path, off, &mut buf[..n])?;
+        if rate > 0.0 || target.is_some() {
+            let ph = path_hash(seed, path);
+            let targeted = target.as_ref().filter(|(suffix, _, _)| path.ends_with(suffix.as_str()));
+            let mut flipped = 0u64;
+            for (i, byte) in buf[..got].iter_mut().enumerate() {
+                let abs = off + i as u64;
+                if let Some((_, t_off, mask)) = targeted {
+                    if *t_off == abs {
+                        *byte ^= if *mask == 0 { 0x01 } else { *mask };
+                        flipped += 1;
+                        continue;
+                    }
+                }
+                if rate > 0.0 {
+                    if let Some(bit) = rot_bit(ph, abs, rate) {
+                        *byte ^= bit;
+                        flipped += 1;
+                    }
+                }
+            }
+            if flipped > 0 {
+                self.state.lock().unwrap().stats.injected_bit_flips += flipped;
+            }
+        }
+        Ok(got)
     }
 
     fn len(&self, path: &str) -> io::Result<u64> {
@@ -427,6 +512,51 @@ mod tests {
         assert_eq!(st.injected_torn, 0);
         assert_eq!(st.injected_transient, 1);
         assert_eq!(b.inner().len("/f").unwrap_or(0), 0, "store untouched");
+    }
+
+    #[test]
+    fn bit_flips_are_deterministic_per_byte() {
+        let b = FaultyBackend::new(
+            MemBackend::new(),
+            FaultPlan { bit_flip_rate: 0.1, ..FaultPlan::none(11) },
+        );
+        let clean: Vec<u8> = (0..2000u32).map(|i| (i % 256) as u8).collect();
+        b.append("/f", &clean).unwrap();
+        // Same corruption no matter how the region is read.
+        let whole = b.read_all("/f").unwrap();
+        let mut pieces = vec![0u8; 2000];
+        for (i, chunk) in pieces.chunks_mut(63).enumerate() {
+            let got = b.read_at("/f", (i * 63) as u64, chunk).unwrap();
+            assert_eq!(got, chunk.len());
+        }
+        assert_eq!(whole, pieces, "rot must not depend on read slicing");
+        let rotten = whole.iter().zip(&clean).filter(|(a, b)| a != b).count();
+        assert!((50..400).contains(&rotten), "rate wildly off: {rotten}/2000");
+        assert!(b.stats().injected_bit_flips >= rotten as u64 * 2);
+        // Other files rot independently.
+        b.set_plan(FaultPlan { bit_flip_rate: 0.1, ..FaultPlan::none(11) });
+        b.append("/g", &clean).unwrap();
+        let other = b.read_all("/g").unwrap();
+        assert_ne!(whole, other, "per-path rot must differ");
+    }
+
+    #[test]
+    fn corrupt_byte_at_targets_one_exact_byte() {
+        let b = FaultyBackend::new(
+            MemBackend::new(),
+            FaultPlan {
+                corrupt_byte_at: Some(("data.3".to_string(), 5, 0x40)),
+                ..FaultPlan::none(4)
+            },
+        );
+        b.append("/c/hostdir.0/data.3", &[0u8; 16]).unwrap();
+        b.append("/c/hostdir.0/index.3", &[0u8; 16]).unwrap();
+        let data = b.read_all("/c/hostdir.0/data.3").unwrap();
+        let mut want = vec![0u8; 16];
+        want[5] = 0x40;
+        assert_eq!(data, want, "exactly byte 5 of the target flips");
+        assert_eq!(b.read_all("/c/hostdir.0/index.3").unwrap(), vec![0u8; 16]);
+        assert_eq!(b.stats().injected_bit_flips, 1);
     }
 
     #[test]

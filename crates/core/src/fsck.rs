@@ -21,8 +21,10 @@
 
 use crate::backend::Backend;
 use crate::canonical::{freshness, CanonicalIndex};
+use crate::checksum::{crc32, parse_chk, CHK_HEADER_BYTES};
 use crate::container::{discover_droppings, is_container, ContainerPaths};
 use crate::index::{decode, decode_prefix, encode_raw, IndexEntry};
+use crate::pool;
 use std::io;
 
 /// One detected problem.
@@ -69,6 +71,12 @@ pub struct FsckReport {
     pub entries: usize,
     pub logical_eof: u64,
     pub errors: Vec<FsckError>,
+    /// Per rank: dropping bytes (data + index) not covered by a
+    /// checksum sidecar — legacy sessions, checksumming disabled, or a
+    /// crash before the sidecar flush. Informational, never an error:
+    /// uncovered bytes read fine, they just can't be verified. Use
+    /// [`scrub`] to checksum-walk what *is* covered.
+    pub uncovered: Vec<(u32, u64)>,
 }
 
 impl FsckReport {
@@ -146,6 +154,11 @@ pub fn fsck(backend: &dyn Backend, logical: &str, hostdirs: u32) -> io::Result<F
                 orphaned_bytes: data_len - highest_physical,
             });
         }
+        let unc = uncovered_bytes(backend, data_path, &paths.chk_dropping(*rank))
+            + uncovered_bytes(backend, idx_path, &paths.index_chk_dropping(*rank));
+        if unc > 0 {
+            report.uncovered.push((*rank, unc));
+        }
     }
 
     // Data droppings with no index at all.
@@ -181,6 +194,209 @@ pub fn fsck(backend: &dyn Backend, logical: &str, hostdirs: u32) -> io::Result<F
     Ok(report)
 }
 
+// ----------------------------------------------------------------- scrub
+
+/// Bytes of `covered` that `sidecar` does not checksum (whole file when
+/// the sidecar is absent or unparseable). O(sidecar), never O(data).
+fn uncovered_bytes(backend: &dyn Backend, covered: &str, sidecar: &str) -> u64 {
+    let clen = backend.len(covered).unwrap_or(0);
+    let Ok(blob) = backend.read_all(sidecar) else {
+        return clen;
+    };
+    match parse_chk(&blob) {
+        Ok((block, crcs)) => clen.saturating_sub((crcs.len() as u64 * block).min(clen)),
+        Err(_) => clen,
+    }
+}
+
+/// Loop short reads until `buf` is full.
+fn read_exact_at(backend: &dyn Backend, path: &str, off: u64, buf: &mut [u8]) -> io::Result<()> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        let got = backend.read_at(path, off + filled as u64, &mut buf[filled..])?;
+        if got == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("{path} truncated at {}", off + filled as u64),
+            ));
+        }
+        filled += got;
+    }
+    Ok(())
+}
+
+/// One corrupt region [`scrub`] found. `path` is the file whose bytes
+/// can't be trusted: the covered dropping for a checksum mismatch, the
+/// sidecar itself when it is unparseable or claims coverage past EOF.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubFinding {
+    pub rank: u32,
+    pub path: String,
+    pub offset: u64,
+    pub len: u64,
+}
+
+/// What a full-container checksum walk found.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubReport {
+    pub ranks: usize,
+    /// Checksum blocks walked (data + index droppings).
+    pub checked_blocks: u64,
+    /// Bytes those blocks cover.
+    pub checked_bytes: u64,
+    pub findings: Vec<ScrubFinding>,
+    /// Per rank: bytes no sidecar covers (same as [`FsckReport`]).
+    pub uncovered: Vec<(u32, u64)>,
+    /// `canonical.index` exists but fails its content checksum /
+    /// decode. Not load-bearing (readers rebuild), but worth surfacing:
+    /// it is the only corruption the cache's own CRC can see.
+    pub canonical_corrupt: bool,
+}
+
+impl ScrubReport {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && !self.canonical_corrupt
+    }
+}
+
+/// Per-rank scrub accumulator.
+#[derive(Default)]
+struct RankScrub {
+    blocks: u64,
+    bytes: u64,
+    uncovered: u64,
+    findings: Vec<ScrubFinding>,
+}
+
+/// Blocks per scrub read: 4 MiB chunks at the default block size, so
+/// the walk streams instead of materializing whole droppings.
+const SCRUB_BLOCKS_PER_READ: usize = 1024;
+
+/// Checksum-walk one covered/sidecar pair, appending findings.
+fn scrub_pair(
+    backend: &dyn Backend,
+    rank: u32,
+    covered: &str,
+    sidecar: &str,
+    out: &mut RankScrub,
+) -> io::Result<()> {
+    let clen = backend.len(covered).unwrap_or(0);
+    if !backend.exists(sidecar) {
+        out.uncovered += clen;
+        return Ok(());
+    }
+    let blob = backend.read_all(sidecar)?;
+    let Ok((block, crcs)) = parse_chk(&blob) else {
+        out.findings.push(ScrubFinding {
+            rank,
+            path: sidecar.to_string(),
+            offset: 0,
+            len: blob.len() as u64,
+        });
+        out.uncovered += clen;
+        return Ok(());
+    };
+    let mut k = 0usize;
+    while k < crcs.len() {
+        let bstart = k as u64 * block;
+        if bstart >= clen {
+            // The sidecar claims coverage of bytes that don't exist:
+            // the sidecar (not the dropping) is the corrupt artifact.
+            out.findings.push(ScrubFinding {
+                rank,
+                path: sidecar.to_string(),
+                offset: CHK_HEADER_BYTES as u64 + 4 * k as u64,
+                len: 4 * (crcs.len() - k) as u64,
+            });
+            break;
+        }
+        let nblocks = (crcs.len() - k).min(SCRUB_BLOCKS_PER_READ);
+        let want = (nblocks as u64 * block).min(clen - bstart) as usize;
+        let mut buf = vec![0u8; want];
+        read_exact_at(backend, covered, bstart, &mut buf)?;
+        for j in 0..nblocks {
+            let s = (j as u64 * block) as usize;
+            if s >= want {
+                break; // entries past EOF: caught on the next iteration
+            }
+            let e = (s + block as usize).min(want);
+            out.blocks += 1;
+            out.bytes += (e - s) as u64;
+            if crc32(&buf[s..e]) != crcs[k + j] {
+                out.findings.push(ScrubFinding {
+                    rank,
+                    path: covered.to_string(),
+                    offset: bstart + s as u64,
+                    len: (e - s) as u64,
+                });
+            }
+        }
+        k += nblocks;
+    }
+    out.uncovered += clen.saturating_sub((crcs.len() as u64 * block).min(clen));
+    Ok(())
+}
+
+/// Full-container checksum walk: verify every sidecar-covered block of
+/// every data and index dropping, one bounded worker per rank (same
+/// pool the read engine fans out on). Unlike verify-on-read, which only
+/// checks blocks a read touches, scrub proves (or indicts) the whole
+/// container — run it periodically to catch latent sector rot before a
+/// restart depends on the bytes.
+pub fn scrub(backend: &dyn Backend, logical: &str, hostdirs: u32) -> io::Result<ScrubReport> {
+    if !is_container(backend, logical) {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{logical}: not a PLFS container"),
+        ));
+    }
+    let paths = ContainerPaths::new(logical, hostdirs);
+    let droppings = discover_droppings(backend, &paths)?;
+    let jobs: Vec<(u32, [(String, String); 2])> = droppings
+        .iter()
+        .map(|(rank, idx_path, data_path)| {
+            (
+                *rank,
+                [
+                    (data_path.clone(), paths.chk_dropping(*rank)),
+                    (idx_path.clone(), paths.index_chk_dropping(*rank)),
+                ],
+            )
+        })
+        .collect();
+    let cap = pool::available_parallelism();
+    let (results, _) = pool::run_bounded(jobs.len(), cap, |i| {
+        let (rank, pairs) = &jobs[i];
+        let mut out = RankScrub::default();
+        for (covered, sidecar) in pairs {
+            scrub_pair(backend, *rank, covered, sidecar, &mut out)?;
+        }
+        Ok::<(u32, RankScrub), io::Error>((*rank, out))
+    });
+
+    let mut report = ScrubReport { ranks: jobs.len(), ..Default::default() };
+    for r in results {
+        let (rank, out) = r?;
+        report.checked_blocks += out.blocks;
+        report.checked_bytes += out.bytes;
+        report.findings.extend(out.findings);
+        if out.uncovered > 0 {
+            report.uncovered.push((rank, out.uncovered));
+        }
+    }
+    report.uncovered.sort_unstable();
+
+    let canonical_path = paths.canonical_index();
+    if backend.exists(&canonical_path) {
+        report.canonical_corrupt = backend
+            .read_all(&canonical_path)
+            .ok()
+            .and_then(|blob| CanonicalIndex::decode(&blob).ok())
+            .is_none();
+    }
+    Ok(report)
+}
+
 // ---------------------------------------------------------------- repair
 
 /// Repair knobs.
@@ -191,6 +407,12 @@ pub struct RepairOptions {
     /// logical file. Their original logical offsets are unknowable —
     /// this is forensic salvage, off by default.
     pub salvage_orphans: bool,
+    /// Scrub each dropping first and truncate it at its first
+    /// checksum-mismatched block, salvaging the verified prefix and
+    /// letting the later passes drop the index entries that pointed
+    /// into the cut tail. Destructive (corrupt bytes might still be
+    /// wanted forensically), off by default.
+    pub truncate_corrupt_tails: bool,
 }
 
 /// One mutation `repair` performed.
@@ -216,6 +438,20 @@ pub enum RepairAction {
     /// invalidated by the repairs above (rewriting a dropping silently
     /// breaks any cached merge of it).
     DroppedStaleCanonical,
+    /// Cut a dropping at its first checksum-mismatched block
+    /// ([`RepairOptions::truncate_corrupt_tails`]); the verified prefix
+    /// survives, later passes reconcile the index.
+    TruncatedCorruptTail { rank: u32, dropped_bytes: u64 },
+    /// Removed a checksum sidecar that was unparseable, orphaned (its
+    /// covered dropping is gone), or invalidated wholesale by a rewrite
+    /// of the covered file. CRCs are never recomputed from bytes repair
+    /// can't vouch for — the dropping reads as "uncovered" until the
+    /// next writer session rebuilds its sidecar.
+    RemovedChecksumSidecar { rank: u32 },
+    /// Dropped sidecar entries that no longer match the covered file
+    /// (coverage past EOF after a truncation, or a torn trailing
+    /// partial entry).
+    TrimmedChecksumTail { rank: u32, dropped_entries: usize },
 }
 
 /// What `repair` found and did.
@@ -246,17 +482,116 @@ fn truncate_file(backend: &dyn Backend, path: &str, keep: u64) -> io::Result<()>
     Ok(())
 }
 
+/// Offset of the first checksum-mismatched block of `covered`, or
+/// `None` when everything verifiable verifies (absent/unparseable
+/// sidecars verify nothing — sidecar reconciliation handles those).
+fn first_corrupt_block(
+    backend: &dyn Backend,
+    covered: &str,
+    sidecar: &str,
+) -> io::Result<Option<u64>> {
+    let Ok(blob) = backend.read_all(sidecar) else {
+        return Ok(None);
+    };
+    let Ok((block, crcs)) = parse_chk(&blob) else {
+        return Ok(None);
+    };
+    let clen = backend.len(covered).unwrap_or(0);
+    let mut k = 0usize;
+    while k < crcs.len() {
+        let bstart = k as u64 * block;
+        if bstart >= clen {
+            break;
+        }
+        let nblocks = (crcs.len() - k).min(SCRUB_BLOCKS_PER_READ);
+        let want = (nblocks as u64 * block).min(clen - bstart) as usize;
+        let mut buf = vec![0u8; want];
+        read_exact_at(backend, covered, bstart, &mut buf)?;
+        for j in 0..nblocks {
+            let s = (j as u64 * block) as usize;
+            if s >= want {
+                break;
+            }
+            let e = (s + block as usize).min(want);
+            if crc32(&buf[s..e]) != crcs[k + j] {
+                return Ok(Some(bstart + s as u64));
+            }
+        }
+        k += nblocks;
+    }
+    Ok(None)
+}
+
+/// Reconcile one checksum sidecar with its covered file after the
+/// repair passes rewrote droppings. Entries are only ever *dropped* —
+/// recomputing a CRC from bytes repair can't vouch for would launder
+/// corruption into "verified". `modified` says the covered file was
+/// rewritten this run: then the boundary partial-block entry (a
+/// close-time tail CRC) is dropped too, since the tail it hashed may
+/// not be the tail that survived.
+fn reconcile_sidecar(
+    backend: &dyn Backend,
+    rank: u32,
+    covered: &str,
+    sidecar: &str,
+    modified: bool,
+    actions: &mut Vec<RepairAction>,
+) -> io::Result<()> {
+    if !backend.exists(sidecar) {
+        return Ok(());
+    }
+    if !backend.exists(covered) {
+        backend.remove(sidecar)?;
+        actions.push(RepairAction::RemovedChecksumSidecar { rank });
+        return Ok(());
+    }
+    let blob = backend.read_all(sidecar)?;
+    let Ok((block, crcs)) = parse_chk(&blob) else {
+        backend.remove(sidecar)?;
+        actions.push(RepairAction::RemovedChecksumSidecar { rank });
+        return Ok(());
+    };
+    let clen = backend.len(covered).unwrap_or(0);
+    let mut keep = crcs.len();
+    while keep > 0 {
+        let k = (keep - 1) as u64;
+        if (k + 1) * block <= clen {
+            break; // full block: always valid to keep
+        }
+        if k * block < clen && !modified && keep == crcs.len() {
+            break; // untouched file's own close-time tail CRC
+        }
+        keep -= 1;
+    }
+    let want_len = CHK_HEADER_BYTES + 4 * keep;
+    if keep == crcs.len() && blob.len() == want_len {
+        return Ok(()); // consistent, no torn trailing bytes either
+    }
+    if keep == 0 {
+        backend.remove(sidecar)?;
+        actions.push(RepairAction::RemovedChecksumSidecar { rank });
+        return Ok(());
+    }
+    truncate_file(backend, sidecar, want_len as u64)?;
+    actions.push(RepairAction::TrimmedChecksumTail { rank, dropped_entries: crcs.len() - keep });
+    Ok(())
+}
+
 /// Repair a crashed container in place.
 ///
 /// Fix order matters — each step can only expose problems a later step
 /// handles:
 ///
+/// 0. (opt-in) truncate droppings at their first checksum-mismatched
+///    block — the cut tail becomes torn/dangling state for 1–3;
 /// 1. truncate torn index tails to the last fully-decodable record;
 /// 2. drop index entries whose extents dangle past their data dropping
 ///    (rewriting that index dropping);
 /// 3. truncate (or, in salvage mode, index) unindexed data tails;
 /// 4. remove (or salvage) data droppings that have no index dropping;
-/// 5. clear stale `openhosts` sessions.
+/// 5. clear stale `openhosts` sessions, then reconcile checksum
+///    sidecars with whatever the passes above rewrote (entries are
+///    only dropped, never recomputed).
 ///
 /// Everything removed was, by the writer's data-before-index flush
 /// ordering, never acknowledged; acked bytes survive verbatim.
@@ -274,6 +609,35 @@ pub fn repair(
     }
     let paths = ContainerPaths::new(logical, hostdirs);
     let droppings = discover_droppings(backend, &paths)?;
+
+    // Which ranks' data/index files this run rewrites — their sidecars'
+    // close-time tail CRCs are reconciled at the end.
+    let mut data_mod = std::collections::HashSet::new();
+    let mut index_mod = std::collections::HashSet::new();
+
+    // Pass 0 (opt-in): salvage the verified prefix of corrupt
+    // droppings. Cutting at the first bad block turns silent corruption
+    // into the torn-tail / dangling-extent shapes passes 1–3 already
+    // repair.
+    if opts.truncate_corrupt_tails {
+        for (rank, idx_path, data_path) in &droppings {
+            let pairs = [
+                (data_path.as_str(), paths.chk_dropping(*rank), &mut data_mod),
+                (idx_path.as_str(), paths.index_chk_dropping(*rank), &mut index_mod),
+            ];
+            for (covered, sidecar, modified) in pairs {
+                if let Some(first_bad) = first_corrupt_block(backend, covered, &sidecar)? {
+                    let clen = backend.len(covered).unwrap_or(0);
+                    truncate_file(backend, covered, first_bad)?;
+                    modified.insert(*rank);
+                    actions.push(RepairAction::TruncatedCorruptTail {
+                        rank: *rank,
+                        dropped_bytes: clen - first_bad,
+                    });
+                }
+            }
+        }
+    }
 
     // Passes 1–3 per writer; remember each writer's surviving entries
     // so salvage can place orphans past the global logical EOF.
@@ -385,6 +749,62 @@ pub fn repair(
         for name in names {
             backend.remove(&format!("{}/{name}", paths.openhosts_dir()))?;
             actions.push(RepairAction::ClearedStaleSession { name });
+        }
+    }
+
+    // Sidecar reconciliation. Prefix-preserving truncations invalidate
+    // at most the close-time tail CRC (`*_mod`); a wholesale index
+    // re-encode (dangling-extent trim) invalidates every `chki` block,
+    // so that sidecar is removed outright.
+    let mut index_rewritten = std::collections::HashSet::new();
+    for a in &actions {
+        match a {
+            RepairAction::TruncatedIndexTail { rank, .. } => {
+                index_mod.insert(*rank);
+            }
+            RepairAction::TrimmedDanglingExtents { rank, .. } => {
+                index_rewritten.insert(*rank);
+            }
+            RepairAction::TruncatedOrphanTail { rank, .. } => {
+                data_mod.insert(*rank);
+            }
+            RepairAction::SalvagedOrphan { rank, .. } => {
+                // The index grew (tail CRC stale) and bytes beyond the
+                // data sidecar's close-time coverage became live — the
+                // data tail CRC hashed a shorter tail than now exists.
+                index_mod.insert(*rank);
+                data_mod.insert(*rank);
+            }
+            _ => {}
+        }
+    }
+    for entry in backend.list(paths.base())? {
+        if !entry.starts_with("hostdir.") {
+            continue;
+        }
+        let dir = format!("{}/{entry}", paths.base());
+        for name in backend.list(&dir)? {
+            let (rank, covered, modified, rewritten) = if let Some(r) =
+                name.strip_prefix("chki.").and_then(|r| r.parse::<u32>().ok())
+            {
+                (
+                    r,
+                    format!("{dir}/index.{r}"),
+                    index_mod.contains(&r),
+                    index_rewritten.contains(&r),
+                )
+            } else if let Some(r) = name.strip_prefix("chk.").and_then(|r| r.parse::<u32>().ok()) {
+                (r, format!("{dir}/data.{r}"), data_mod.contains(&r), false)
+            } else {
+                continue;
+            };
+            let sidecar = format!("{dir}/{name}");
+            if rewritten {
+                backend.remove(&sidecar)?;
+                actions.push(RepairAction::RemovedChecksumSidecar { rank });
+                continue;
+            }
+            reconcile_sidecar(backend, rank, &covered, &sidecar, modified, &mut actions)?;
         }
     }
 
@@ -602,7 +1022,13 @@ mod tests {
         let paths = crate::container::ContainerPaths::new("/f", 4);
         b.append(&paths.data_dropping(0), &[7u8; 50]).unwrap();
         b.append(&paths.data_dropping(9), &[8u8; 20]).unwrap();
-        let rep = repair(b.as_ref(), "/f", 4, &RepairOptions { salvage_orphans: true }).unwrap();
+        let rep = repair(
+            b.as_ref(),
+            "/f",
+            4,
+            &RepairOptions { salvage_orphans: true, ..Default::default() },
+        )
+        .unwrap();
         assert!(rep.after.is_clean(), "{:?}", rep.after.errors);
         assert_eq!(
             rep.actions.iter().filter(|a| matches!(a, RepairAction::SalvagedOrphan { .. })).count(),
@@ -667,5 +1093,151 @@ mod tests {
         let rep = repair(b.as_ref(), "/nope", 4, &RepairOptions::default()).unwrap();
         assert_eq!(rep.after.errors, vec![FsckError::NotAContainer]);
         assert!(rep.actions.is_empty());
+    }
+
+    // ------------------------------------------------------------- scrub
+
+    fn flip_byte(b: &MemBackend, path: &str, offset: usize, mask: u8) {
+        let mut blob = b.read_all(path).unwrap();
+        blob[offset] ^= mask;
+        b.remove(path).unwrap();
+        b.create(path).unwrap();
+        b.append(path, &blob).unwrap();
+    }
+
+    #[test]
+    fn scrub_clean_container_finds_nothing() {
+        let (fs, b) = setup();
+        healthy(&fs);
+        let rep = scrub(b.as_ref(), "/f", 4).unwrap();
+        assert!(rep.is_clean(), "{:?}", rep.findings);
+        assert_eq!(rep.ranks, 3);
+        assert!(rep.uncovered.is_empty(), "{:?}", rep.uncovered);
+        // 3 ranks × (one 1000-byte data block + one index block).
+        assert_eq!(rep.checked_blocks, 6);
+        assert!(rep.checked_bytes > 3000);
+        assert!(!rep.canonical_corrupt);
+    }
+
+    #[test]
+    fn scrub_finds_a_single_flipped_data_bit() {
+        let (fs, b) = setup();
+        healthy(&fs);
+        let paths = crate::container::ContainerPaths::new("/f", 4);
+        flip_byte(&b, &paths.data_dropping(1), 500, 0x01);
+        let rep = scrub(b.as_ref(), "/f", 4).unwrap();
+        assert_eq!(
+            rep.findings,
+            vec![ScrubFinding { rank: 1, path: paths.data_dropping(1), offset: 0, len: 1000 }]
+        );
+        // fsck's structural checks can't see it — that's scrub's job.
+        assert!(fsck(b.as_ref(), "/f", 4).unwrap().is_clean());
+    }
+
+    #[test]
+    fn scrub_reports_unparseable_sidecar_as_finding_and_uncovered() {
+        let (fs, b) = setup();
+        healthy(&fs);
+        let paths = crate::container::ContainerPaths::new("/f", 4);
+        flip_byte(&b, &paths.chk_dropping(0), 0, 0xFF); // break the magic
+        let rep = scrub(b.as_ref(), "/f", 4).unwrap();
+        assert!(rep.findings.iter().any(|f| f.rank == 0 && f.path == paths.chk_dropping(0)));
+        assert!(rep.uncovered.iter().any(|&(r, bytes)| r == 0 && bytes == 1000));
+    }
+
+    #[test]
+    fn scrub_flags_corrupt_canonical_cache() {
+        let (fs, b) = setup();
+        healthy(&fs);
+        let _ = fs.open_reader("/f").unwrap();
+        let paths = crate::container::ContainerPaths::new("/f", 4);
+        assert!(!scrub(b.as_ref(), "/f", 4).unwrap().canonical_corrupt);
+        flip_byte(&b, &paths.canonical_index(), 30, 0x04);
+        assert!(scrub(b.as_ref(), "/f", 4).unwrap().canonical_corrupt);
+    }
+
+    #[test]
+    fn unchecksummed_containers_scrub_clean_but_report_uncovered() {
+        let b = Arc::new(MemBackend::new());
+        let fs = Plfs::new(
+            b.clone() as Arc<dyn Backend>,
+            PlfsConfig {
+                hostdirs: 4,
+                writer: crate::write::WriterConfig { checksum: false, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        let mut w = fs.open_writer("/f", 0).unwrap();
+        w.write_at(0, &[7u8; 2000]).unwrap();
+        w.close().unwrap();
+        let rep = scrub(b.as_ref(), "/f", 4).unwrap();
+        assert!(rep.is_clean());
+        assert_eq!(rep.checked_blocks, 0);
+        assert_eq!(rep.uncovered.len(), 1);
+        assert!(rep.uncovered[0].1 > 2000, "data + index bytes all uncovered");
+        let fr = fsck(b.as_ref(), "/f", 4).unwrap();
+        assert!(fr.is_clean(), "uncovered is informational: {:?}", fr.errors);
+        assert_eq!(fr.uncovered, rep.uncovered);
+    }
+
+    #[test]
+    fn repair_reconciles_sidecars_after_truncations() {
+        let (fs, b) = setup();
+        healthy(&fs);
+        let paths = crate::container::ContainerPaths::new("/f", 4);
+        // Rank 0 grows an unindexed tail: repair truncates the data
+        // dropping back, which invalidates the close-time tail CRC.
+        b.append(&paths.data_dropping(0), &[9u8; 33]).unwrap();
+        let rep = repair(b.as_ref(), "/f", 4, &RepairOptions::default()).unwrap();
+        assert!(rep
+            .actions
+            .iter()
+            .any(|a| matches!(a, RepairAction::TruncatedOrphanTail { rank: 0, .. })));
+        assert!(rep.actions.contains(&RepairAction::RemovedChecksumSidecar { rank: 0 }));
+        assert!(rep.after.is_clean(), "{:?}", rep.after.errors);
+        // The repaired container scrubs clean and reads clean.
+        assert!(scrub(b.as_ref(), "/f", 4).unwrap().is_clean());
+        let data = fs.open_reader("/f").unwrap().read_all().unwrap();
+        assert_eq!(data.len(), 3000);
+    }
+
+    #[test]
+    fn repair_truncate_corrupt_tails_salvages_verified_prefix() {
+        let (fs, b) = setup();
+        let mut w = fs.open_writer("/g", 0).unwrap();
+        for i in 0..10u64 {
+            w.write_at(i * 1000, &[i as u8; 1000]).unwrap();
+        }
+        w.close().unwrap();
+        let paths = crate::container::ContainerPaths::new("/g", 4);
+        // Rot a byte in the third checksum block (bytes 8192..10000).
+        flip_byte(&b, &paths.data_dropping(0), 9000, 0x20);
+        // Fail-stop default: the read surfaces the corruption.
+        let r = fs.open_reader("/g").unwrap();
+        assert!(r.read_all().is_err());
+        // Repair with tail truncation: the verified prefix survives.
+        let rep = repair(
+            b.as_ref(),
+            "/g",
+            4,
+            &RepairOptions { truncate_corrupt_tails: true, ..Default::default() },
+        )
+        .unwrap();
+        assert!(rep
+            .actions
+            .iter()
+            .any(|a| matches!(a, RepairAction::TruncatedCorruptTail { rank: 0, dropped_bytes } if *dropped_bytes == 10000 - 8192)));
+        assert!(rep.after.is_clean(), "{:?}", rep.after.errors);
+        assert!(scrub(b.as_ref(), "/g", 4).unwrap().is_clean());
+        // Writes fully inside the verified prefix read back verbatim
+        // (verification on); the cut tail reads as a hole.
+        let data = fs.open_reader("/g").unwrap().read_all().unwrap();
+        assert_eq!(data.len(), 8000, "entries past the cut were trimmed");
+        for i in 0..8u64 {
+            assert!(
+                data[(i * 1000) as usize..((i + 1) * 1000) as usize].iter().all(|&x| x == i as u8),
+                "write {i} must survive"
+            );
+        }
     }
 }

@@ -7,11 +7,20 @@
 //! at read time by merging every rank's index (SC09 §3).
 //!
 //! Two encodings are implemented:
-//! - **raw**: one 48-byte record per write;
+//! - **raw**: one fixed-size record per write;
 //! - **pattern-compressed**: arithmetic-progression runs (the strided
 //!   N-1 checkpoint pattern) collapse into one record per run — the
 //!   index-compression extension the report lists among post-PDSI PLFS
 //!   work (§1.1, item 5).
+//!
+//! Since the integrity work, records are *framed with a checksum*: the
+//! encoder emits tags [`3`](TAG_RAW_C)/[`4`](TAG_PATTERN_C), whose body
+//! is followed by a CRC32 of the tag byte plus body. The decoder still
+//! accepts the legacy unchecksummed tags `1`/`2`, so containers written
+//! before this format stay readable (they are merely reported as
+//! "uncovered" by `fsck`); a checksum mismatch decodes as a corrupt
+//! record, exactly like a bad tag — detected at open on the cold path,
+//! or by `fsck::scrub` on warm (canonical-cache) opens.
 //!
 //! Merging is a sweep-line over write boundaries: O(n log n) in the
 //! number of entries regardless of how pathologically they interleave.
@@ -100,14 +109,21 @@ pub struct IndexEntry {
     pub timestamp: u64,
 }
 
-/// Size of one raw record on the wire.
+/// Size of one raw record body on the wire (excluding tag and CRC).
 pub const RAW_RECORD_BYTES: usize = 8 + 8 + 8 + 4 + 8;
 
-/// Size of one pattern record on the wire (excluding the tag byte).
+/// Size of one pattern record body on the wire (excluding tag and CRC).
 pub const PATTERN_RECORD_BYTES: usize = 8 + 8 + 8 + 4 + 8 + 4 + 8;
 
+/// Trailing CRC32 on every checksummed record.
+pub const RECORD_CRC_BYTES: usize = 4;
+
+/// Legacy unchecksummed tags — decoded, never emitted.
 const TAG_RAW: u8 = 1;
 const TAG_PATTERN: u8 = 2;
+/// Checksummed framing: tag + body + CRC32(tag ‖ body).
+const TAG_RAW_C: u8 = 3;
+const TAG_PATTERN_C: u8 = 4;
 
 /// A compressed run: `count` writes of `length` bytes, logical offsets
 /// advancing by `logical_stride` (which may be negative — a rank
@@ -165,16 +181,24 @@ fn pattern_in_range(p: &PatternEntry) -> bool {
     p.timestamp_start.checked_add(n1 as u64).is_some()
 }
 
+/// Append `CRC32(tag ‖ body)` for the record that started at `start`.
+fn seal_record(buf: &mut Vec<u8>, start: usize) {
+    let crc = crate::checksum::crc32(&buf[start..]);
+    buf.put_u32_le(crc);
+}
+
 /// Encode a batch of entries, raw.
 pub fn encode_raw(entries: &[IndexEntry]) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(entries.len() * (RAW_RECORD_BYTES + 1));
+    let mut buf = Vec::with_capacity(entries.len() * (RAW_RECORD_BYTES + 1 + RECORD_CRC_BYTES));
     for e in entries {
-        buf.put_u8(TAG_RAW);
+        let start = buf.len();
+        buf.put_u8(TAG_RAW_C);
         buf.put_u64_le(e.logical_offset);
         buf.put_u64_le(e.length);
         buf.put_u64_le(e.physical_offset);
         buf.put_u32_le(e.writer);
         buf.put_u64_le(e.timestamp);
+        seal_record(&mut buf, start);
     }
     buf
 }
@@ -190,7 +214,8 @@ pub fn encode_compressed(entries: &[IndexEntry]) -> Vec<u8> {
         if run >= 3 {
             let e0 = entries[i];
             let stride = (entries[i + 1].logical_offset as i128 - e0.logical_offset as i128) as i64;
-            buf.put_u8(TAG_PATTERN);
+            let start = buf.len();
+            buf.put_u8(TAG_PATTERN_C);
             buf.put_u64_le(e0.logical_offset);
             buf.put_u64_le(e0.length);
             buf.put_u64_le(stride as u64);
@@ -198,15 +223,18 @@ pub fn encode_compressed(entries: &[IndexEntry]) -> Vec<u8> {
             buf.put_u64_le(e0.physical_offset);
             buf.put_u32_le(e0.writer);
             buf.put_u64_le(e0.timestamp);
+            seal_record(&mut buf, start);
             i += run;
         } else {
             let e = entries[i];
-            buf.put_u8(TAG_RAW);
+            let start = buf.len();
+            buf.put_u8(TAG_RAW_C);
             buf.put_u64_le(e.logical_offset);
             buf.put_u64_le(e.length);
             buf.put_u64_le(e.physical_offset);
             buf.put_u32_le(e.writer);
             buf.put_u64_le(e.timestamp);
+            seal_record(&mut buf, start);
             i += 1;
         }
     }
@@ -264,8 +292,57 @@ enum RecordError {
 /// cursor position is unspecified; callers rewind to their last good
 /// offset.
 fn decode_record(cur: &mut GetLe, out: &mut Vec<IndexEntry>) -> Result<(), RecordError> {
+    let start = cur.pos;
     let tag = cur.get_u8();
+    // Checksummed tags: verify CRC32(tag ‖ body) before parsing the
+    // body, so a corrupt record can never parse into plausible entries.
+    let check_crc = |cur: &mut GetLe, body: usize| -> Result<(), RecordError> {
+        if cur.remaining() < body + RECORD_CRC_BYTES {
+            return Err(RecordError::Truncated);
+        }
+        let stored = u32::from_le_bytes(
+            cur.data[start + 1 + body..start + 1 + body + RECORD_CRC_BYTES].try_into().unwrap(),
+        );
+        if crate::checksum::crc32(&cur.data[start..start + 1 + body]) != stored {
+            return Err(RecordError::Invalid("index record checksum mismatch"));
+        }
+        Ok(())
+    };
     match tag {
+        TAG_RAW_C => {
+            check_crc(cur, RAW_RECORD_BYTES)?;
+            let e = IndexEntry {
+                logical_offset: cur.get_u64_le(),
+                length: cur.get_u64_le(),
+                physical_offset: cur.get_u64_le(),
+                writer: cur.get_u32_le(),
+                timestamp: cur.get_u64_le(),
+            };
+            cur.pos += RECORD_CRC_BYTES;
+            if !entry_in_range(&e) {
+                return Err(RecordError::Invalid("entry extent overflows u64"));
+            }
+            out.push(e);
+            Ok(())
+        }
+        TAG_PATTERN_C => {
+            check_crc(cur, PATTERN_RECORD_BYTES)?;
+            let p = PatternEntry {
+                logical_start: cur.get_u64_le(),
+                length: cur.get_u64_le(),
+                logical_stride: cur.get_u64_le() as i64,
+                count: cur.get_u32_le(),
+                physical_start: cur.get_u64_le(),
+                writer: cur.get_u32_le(),
+                timestamp_start: cur.get_u64_le(),
+            };
+            cur.pos += RECORD_CRC_BYTES;
+            if !pattern_in_range(&p) {
+                return Err(RecordError::Invalid("pattern extent overflows u64"));
+            }
+            out.extend(p.expand());
+            Ok(())
+        }
         TAG_RAW => {
             if cur.remaining() < RAW_RECORD_BYTES {
                 return Err(RecordError::Truncated);
@@ -838,7 +915,54 @@ mod tests {
         // The good prefix is still salvageable.
         let (entries, consumed) = decode_prefix(&blob);
         assert_eq!(entries, vec![e(0, 10, 0, 0, 1)]);
-        assert_eq!(consumed, RAW_RECORD_BYTES + 1);
+        assert_eq!(consumed, RAW_RECORD_BYTES + 1 + RECORD_CRC_BYTES);
+    }
+
+    #[test]
+    fn legacy_unchecksummed_tags_still_decode() {
+        // Pre-integrity containers framed records without a CRC; the
+        // decoder must keep reading them.
+        let entries = [e(0, 10, 0, 0, 1), e(20, 5, 10, 0, 2)];
+        let mut blob = Vec::new();
+        for e in &entries {
+            blob.put_u8(1); // legacy TAG_RAW
+            blob.put_u64_le(e.logical_offset);
+            blob.put_u64_le(e.length);
+            blob.put_u64_le(e.physical_offset);
+            blob.put_u32_le(e.writer);
+            blob.put_u64_le(e.timestamp);
+        }
+        blob.put_u8(2); // legacy TAG_PATTERN
+        blob.put_u64_le(100);
+        blob.put_u64_le(4);
+        blob.put_u64_le(8);
+        blob.put_u32_le(3);
+        blob.put_u64_le(40);
+        blob.put_u32_le(7);
+        blob.put_u64_le(9);
+        let decoded = decode(&blob).unwrap();
+        assert_eq!(&decoded[..2], &entries);
+        assert_eq!(decoded.len(), 5);
+        assert_eq!(decoded[2], e(100, 4, 40, 7, 9));
+    }
+
+    #[test]
+    fn checksummed_records_detect_any_single_byte_corruption() {
+        // Flip one bit in every byte of both encodings; every flip must
+        // decode as an error (never as different-but-plausible entries).
+        let entries: Vec<_> = (0..9).map(|i| e(i * 64, 32, i * 32, 2, 10 + i)).collect();
+        for blob in [encode_raw(&entries), encode_compressed(&entries)] {
+            assert_eq!(decode(&blob).unwrap(), entries);
+            for pos in 0..blob.len() {
+                let mut bad = blob.clone();
+                bad[pos] ^= 0x10;
+                assert!(
+                    decode(&bad).is_err(),
+                    "byte {pos} of {} corrupted yet decoded cleanly",
+                    blob.len()
+                );
+            }
+        }
     }
 
     #[test]

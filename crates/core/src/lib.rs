@@ -56,6 +56,7 @@
 
 pub mod backend;
 pub mod canonical;
+pub mod checksum;
 pub mod container;
 pub mod faults;
 pub mod filesystem;
@@ -71,15 +72,19 @@ pub mod write;
 
 pub use backend::{Backend, DirBackend, MemBackend};
 pub use canonical::CanonicalIndex;
+pub use checksum::{crc32, Crc32, VERIFY_BLOCK};
 pub use container::ContainerPaths;
 pub use faults::{FaultPlan, FaultStats, FaultyBackend};
 pub use filesystem::{FileStat, Plfs, PlfsConfig};
-pub use fsck::{fsck, repair, FsckError, FsckReport, RepairAction, RepairOptions, RepairReport};
+pub use fsck::{
+    fsck, repair, scrub, FsckError, FsckReport, RepairAction, RepairOptions, RepairReport,
+    ScrubFinding, ScrubReport,
+};
 pub use index::{IndexEntry, IndexMap};
 pub use metrics::PlfsMetrics;
 pub use mpiio::{segmented_n1_pattern, strided_n1_pattern, ParallelFile};
-pub use read::{Reader, DEFAULT_READAHEAD, READ_CHUNK};
-pub use retry::{RetryObs, RetryPolicy};
+pub use read::{QuarantinePolicy, Reader, DEFAULT_READAHEAD, READ_CHUNK};
+pub use retry::{is_integrity, IntegrityError, RetryObs, RetryPolicy};
 pub use simadapter::{
     compare, compare_restart, run_direct, run_direct_restart, run_plfs, run_plfs_restart,
     PlfsSimOptions,

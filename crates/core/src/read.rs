@@ -29,14 +29,16 @@
 
 use crate::backend::Backend;
 use crate::canonical::{freshness, CanonicalIndex, Tail};
+use crate::checksum::{crc32, parse_chk};
 use crate::container::{discover_droppings, session_count, ContainerPaths};
 use crate::index::{decode, IndexEntry, IndexMap};
 use crate::metrics::PlfsMetrics;
 use crate::pool;
-use crate::retry::{RetriedBackend, RetryPolicy};
+use crate::retry::{IntegrityError, RetriedBackend, RetryPolicy};
 use obs::trace::Phase;
 use std::collections::HashMap;
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Upper bound on bytes buffered at once by whole-file reads
@@ -68,6 +70,67 @@ pub struct ReadStats {
     pub merge_steps: u64,
 }
 
+/// What a reader does upon detecting corrupt (checksum-mismatched)
+/// data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QuarantinePolicy {
+    /// Surface an [`IntegrityError`] — no corrupt byte ever reaches the
+    /// caller. The right default for checkpoint restart: a silently
+    /// wrong restart is worse than a failed one.
+    #[default]
+    FailStop,
+    /// Serve zeros for the bad block, count the failure, keep going —
+    /// graceful degradation for bulk analysis over mostly-good data.
+    /// Bytes from an *unverifiable* dropping (corrupt sidecar) are
+    /// served raw under this policy.
+    ZeroFill,
+}
+
+/// Verification state of one writer's data dropping, loaded at open.
+enum ChkState {
+    /// No sidecar (legacy container or checksumming disabled).
+    Uncovered,
+    /// Sidecar loaded; per-block verification runs lazily on first
+    /// touch, memoized in the bitmaps.
+    Covered(ChkTable),
+    /// The sidecar itself is unreadable/inconsistent: nothing about the
+    /// dropping can be trusted.
+    Corrupt(String),
+}
+
+/// Per-block CRCs plus verify-once memoization. Entry `k` covers bytes
+/// `[k·block, min((k+1)·block, data_len))`; bytes past the last entry's
+/// coverage are uncovered (a crash or mid-session tail).
+struct ChkTable {
+    block: u64,
+    crcs: Vec<u32>,
+    /// Dropping length at open; coverage never extends past it.
+    data_len: u64,
+    verified: Vec<AtomicU64>,
+    corrupt: Vec<AtomicU64>,
+}
+
+impl ChkTable {
+    fn new(block: u64, crcs: Vec<u32>, data_len: u64) -> Self {
+        let words = crcs.len().div_ceil(64);
+        ChkTable {
+            block,
+            crcs,
+            data_len,
+            verified: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            corrupt: (0..words).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn get(bits: &[AtomicU64], k: u64) -> bool {
+        bits[(k / 64) as usize].load(Ordering::Relaxed) >> (k % 64) & 1 == 1
+    }
+
+    fn set(bits: &[AtomicU64], k: u64) {
+        bits[(k / 64) as usize].fetch_or(1 << (k % 64), Ordering::Relaxed);
+    }
+}
+
 /// An open read handle on a container.
 pub struct Reader {
     backend: Arc<dyn Backend>,
@@ -81,6 +144,12 @@ pub struct Reader {
     /// append-only, so cached bytes can never go stale.
     drops: Mutex<HashMap<u32, DropState>>,
     readahead: u64,
+    /// Per-writer checksum tables, loaded once at open (droppings and
+    /// sidecars are append-only; the table never goes stale for the
+    /// bytes it covers).
+    chk: HashMap<u32, ChkState>,
+    verify: bool,
+    quarantine: QuarantinePolicy,
 }
 
 /// Cached per-dropping state: the resolved path (the "handle" — path
@@ -143,6 +212,43 @@ fn read_at_least(
         filled += got;
     }
     Ok(filled)
+}
+
+/// Load the checksum sidecar for one writer's data dropping (at open).
+/// Absent sidecar → [`ChkState::Uncovered`]; unparseable, unreadable,
+/// or inconsistent with the dropping → [`ChkState::Corrupt`].
+fn load_chk_state(
+    backend: &dyn Backend,
+    paths: &ContainerPaths,
+    rank: u32,
+    data_path: &str,
+) -> ChkState {
+    let path = paths.chk_dropping(rank);
+    if !backend.exists(&path) {
+        return ChkState::Uncovered;
+    }
+    let blob = match backend.read_all(&path) {
+        Ok(b) => b,
+        Err(e) => return ChkState::Corrupt(format!("sidecar unreadable: {e}")),
+    };
+    let (block, crcs) = match parse_chk(&blob) {
+        Ok(p) => p,
+        Err(e) => return ChkState::Corrupt(e.to_string()),
+    };
+    if crcs.is_empty() {
+        // Header-only sidecar: a session that never completed a block.
+        return ChkState::Uncovered;
+    }
+    let data_len = backend.len(data_path).unwrap_or(0);
+    if (crcs.len() as u64 - 1) * block >= data_len {
+        // An entry starts at/after EOF: the sidecar claims coverage of
+        // bytes that don't exist. Trust nothing about this dropping.
+        return ChkState::Corrupt(format!(
+            "sidecar covers {} blocks but dropping holds {data_len} bytes",
+            crcs.len()
+        ));
+    }
+    ChkState::Covered(ChkTable::new(block, crcs, data_len))
 }
 
 /// What the ingest stage produced for the merge.
@@ -213,6 +319,15 @@ impl Reader {
         if ingest.from_canonical {
             metrics.canonical_hits.inc();
         }
+        // Load checksum sidecars (verify-on-read). Droppings and
+        // sidecars are append-only and a new writer session deletes its
+        // rank's sidecars before touching data, so a table loaded here
+        // stays valid for every byte it covers.
+        let mut chk = HashMap::new();
+        for (rank, _, data_path) in &droppings {
+            chk.insert(*rank, load_chk_state(&retried, &paths, *rank, data_path));
+        }
+
         root.end();
         span.stop();
         Ok(Reader {
@@ -232,6 +347,9 @@ impl Reader {
             metrics,
             drops: Mutex::new(HashMap::new()),
             readahead: DEFAULT_READAHEAD,
+            chk,
+            verify: true,
+            quarantine: QuarantinePolicy::default(),
         })
     }
 
@@ -239,6 +357,110 @@ impl Reader {
     /// Benchmarks use this to isolate coalescing from readahead.
     pub fn set_readahead(&mut self, bytes: u64) {
         self.readahead = bytes;
+    }
+
+    /// Enable/disable checksum verification on reads (default on).
+    /// Disabling is for benchmarking the verification overhead; data
+    /// from unchecksummed (legacy) droppings is served either way.
+    pub fn set_verify(&mut self, on: bool) {
+        self.verify = on;
+    }
+
+    /// Choose what happens when verification detects corruption.
+    pub fn set_quarantine(&mut self, policy: QuarantinePolicy) {
+        self.quarantine = policy;
+    }
+
+    /// Verify the checksummed blocks overlapping `buf`, which holds the
+    /// bytes at physical `[phys, phys + buf.len())` of `writer`'s data
+    /// dropping. Each covered block is CRC-checked once per reader
+    /// (memoized in the table's bitmaps); blocks only partially inside
+    /// `buf` are re-read in full from the backend (counted in `ops`).
+    /// On mismatch: `FailStop` surfaces an [`IntegrityError`];
+    /// `ZeroFill` zeroes the block's overlap with `buf` and continues.
+    fn verify_span(&self, writer: u32, phys: u64, buf: &mut [u8], ops: &mut u64) -> io::Result<()> {
+        if !self.verify || buf.is_empty() {
+            return Ok(());
+        }
+        let table = match self.chk.get(&writer) {
+            None | Some(ChkState::Uncovered) => return Ok(()),
+            Some(ChkState::Corrupt(detail)) => {
+                return match self.quarantine {
+                    QuarantinePolicy::FailStop => Err(IntegrityError {
+                        path: self.paths.chk_dropping(writer),
+                        offset: 0,
+                        detail: detail.clone(),
+                    }
+                    .into_io()),
+                    // Nothing provably bad, nothing verifiable: serve
+                    // the bytes raw. `fsck::scrub` reports the sidecar.
+                    QuarantinePolicy::ZeroFill => Ok(()),
+                };
+            }
+            Some(ChkState::Covered(t)) => t,
+        };
+        let bsz = table.block;
+        let span_end = phys + buf.len() as u64;
+        for k in phys / bsz..=(span_end - 1) / bsz {
+            if k as usize >= table.crcs.len() {
+                break; // uncovered tail (crash or mid-session bytes)
+            }
+            let bstart = k * bsz;
+            let bend = ((k + 1) * bsz).min(table.data_len);
+            if bend <= bstart {
+                break;
+            }
+            let mut bad = ChkTable::get(&table.corrupt, k);
+            if !bad && !ChkTable::get(&table.verified, k) {
+                let crc = if bstart >= phys && bend <= span_end {
+                    crc32(&buf[(bstart - phys) as usize..(bend - phys) as usize])
+                } else {
+                    // Block straddles the span: verify a full re-read.
+                    let mut whole = vec![0u8; (bend - bstart) as usize];
+                    let need = whole.len();
+                    read_at_least(
+                        self.backend.as_ref(),
+                        &self.retry,
+                        &self.paths.data_dropping(writer),
+                        bstart,
+                        &mut whole,
+                        need,
+                        ops,
+                    )?;
+                    crc32(&whole)
+                };
+                self.metrics.verify_blocks.inc();
+                self.metrics.verify_bytes.add(bend - bstart);
+                if crc == table.crcs[k as usize] {
+                    ChkTable::set(&table.verified, k);
+                } else {
+                    ChkTable::set(&table.corrupt, k);
+                    self.metrics.verify_failures.inc();
+                    bad = true;
+                }
+            }
+            if bad {
+                match self.quarantine {
+                    QuarantinePolicy::FailStop => {
+                        return Err(IntegrityError {
+                            path: self.paths.data_dropping(writer),
+                            offset: bstart,
+                            detail: format!(
+                                "block {k} checksum mismatch ({} bytes)",
+                                bend - bstart
+                            ),
+                        }
+                        .into_io());
+                    }
+                    QuarantinePolicy::ZeroFill => {
+                        let zs = (bstart.max(phys) - phys) as usize;
+                        let ze = (bend.min(span_end) - phys) as usize;
+                        buf[zs..ze].fill(0);
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     pub fn stats(&self) -> ReadStats {
@@ -334,6 +556,25 @@ impl Reader {
         Ok(want)
     }
 
+    /// [`Reader::verify_span`] under a `read.verify` trace span
+    /// parented to the batch that fetched the bytes.
+    fn verify_traced(
+        &self,
+        writer: u32,
+        phys: u64,
+        buf: &mut [u8],
+        ops: &mut u64,
+        parent: u64,
+    ) -> io::Result<()> {
+        if !self.verify {
+            return Ok(());
+        }
+        let span = self.metrics.trace.start("read.verify", Phase::Compute, "plfs.read", parent);
+        let res = self.verify_span(writer, phys, buf, ops);
+        span.end();
+        res
+    }
+
     /// Serve one coalesced batch: one contiguous physical run of one
     /// dropping, scattered into its routed buffer segments. Returns the
     /// number of backend reads issued (0 on a readahead-cache hit).
@@ -385,6 +626,7 @@ impl Reader {
                 blen,
                 &mut ops,
             )?;
+            self.verify_traced(b.writer, b.physical, seg, &mut ops, span.id())?;
             span.end();
             return Ok(ops);
         }
@@ -398,6 +640,10 @@ impl Reader {
             blen,
             &mut ops,
         )?;
+        // Verify everything fetched — including readahead surplus — so
+        // the cache only ever holds verified (or quarantine-zeroed)
+        // bytes; the cache-hit path above serves without re-checking.
+        self.verify_traced(b.writer, b.physical, &mut scratch[..got], &mut ops, span.id())?;
         for (run_off, seg) in b.segs.iter_mut() {
             let s = *run_off as usize;
             seg.copy_from_slice(&scratch[s..s + seg.len()]);
@@ -445,6 +691,7 @@ impl Reader {
                         piece_len as usize,
                         &mut ops,
                     )?;
+                    self.verify_span(x.writer, x.physical, &mut buf[dst..dst_end], &mut ops)?;
                 }
             }
         }
@@ -1223,5 +1470,167 @@ mod tests {
         for child in spans.iter().filter(|s| s.name.starts_with("index.")) {
             assert_eq!(child.parent, root.id, "{} hangs off plfs.open", child.name);
         }
+    }
+
+    // ----------------------------------------------------- verify-on-read
+
+    /// Corrupt one byte of a file out from under the container.
+    fn rot(b: &MemBackend, path: &str, offset: usize, mask: u8) {
+        let mut blob = b.read_all(path).unwrap();
+        blob[offset] ^= mask;
+        b.remove(path).unwrap();
+        b.create(path).unwrap();
+        b.append(path, &blob).unwrap();
+    }
+
+    #[test]
+    fn clean_reads_verify_every_covered_block_without_failures() {
+        let (b, p, m) = setup(2);
+        let mut w = mkwriter(&b, &p, &m, 0);
+        w.write_at(0, &[5u8; 9000]).unwrap(); // 3 blocks: 2 full + tail
+        w.close().unwrap();
+        let r = reader(&b, &p);
+        assert_eq!(r.read_all().unwrap(), vec![5u8; 9000]);
+        let reg = &r.metrics.registry;
+        assert_eq!(reg.value("plfs.verify.blocks"), Some(3));
+        assert_eq!(reg.value("plfs.verify.bytes"), Some(9000));
+        assert_eq!(reg.value("plfs.verify.failures"), Some(0));
+        // Verify-once: a second pass re-checks nothing.
+        assert_eq!(r.read_all().unwrap().len(), 9000);
+        assert_eq!(reg.value("plfs.verify.blocks"), Some(3));
+    }
+
+    #[test]
+    fn failstop_surfaces_integrity_error_from_both_paths() {
+        let (b, p, m) = setup(2);
+        let mut w = mkwriter(&b, &p, &m, 0);
+        w.write_at(0, &[7u8; 6000]).unwrap();
+        w.close().unwrap();
+        rot(&b, &p.data_dropping(0), 4500, 0x08); // block 1
+        let r = reader(&b, &p);
+        let err = r.read_all().unwrap_err();
+        assert!(crate::retry::is_integrity(&err), "typed error survives: {err}");
+        // The engine delivered nothing for the failed read.
+        assert_eq!(r.metrics.registry.value("plfs.read.bytes"), Some(0));
+        // The serial oracle detects the same corruption.
+        let r2 = reader(&b, &p);
+        let mut buf = vec![0u8; 6000];
+        assert!(crate::retry::is_integrity(&r2.read_at_serial(0, &mut buf).unwrap_err()));
+        // Bytes fully inside the clean block still read (serial path
+        // touches only the pieces asked for).
+        let mut head = vec![0u8; 1000];
+        assert_eq!(r2.read_at_serial(0, &mut head).unwrap(), 1000);
+        assert_eq!(head, vec![7u8; 1000]);
+    }
+
+    #[test]
+    fn zero_fill_quarantine_zeroes_bad_block_and_counts_it() {
+        let (b, p, m) = setup(2);
+        let mut w = mkwriter(&b, &p, &m, 0);
+        w.write_at(0, &[9u8; 6000]).unwrap();
+        w.close().unwrap();
+        rot(&b, &p.data_dropping(0), 100, 0x01); // block 0
+        let mut r = reader(&b, &p);
+        r.set_quarantine(QuarantinePolicy::ZeroFill);
+        let data = r.read_all().unwrap();
+        assert_eq!(&data[..4096], &vec![0u8; 4096][..], "bad block zeroed");
+        assert_eq!(&data[4096..], &vec![9u8; 6000 - 4096][..], "good tail intact");
+        let reg = &r.metrics.registry;
+        assert_eq!(reg.value("plfs.verify.failures"), Some(1));
+        // The corrupt-block bitmap memoizes: re-reads stay zeroed and
+        // don't recount the failure.
+        assert_eq!(&r.read_all().unwrap()[..4096], &vec![0u8; 4096][..]);
+        assert_eq!(reg.value("plfs.verify.failures"), Some(1));
+    }
+
+    #[test]
+    fn verify_off_serves_corrupt_bytes_raw() {
+        let (b, p, m) = setup(2);
+        let mut w = mkwriter(&b, &p, &m, 0);
+        w.write_at(0, &[3u8; 1000]).unwrap();
+        w.close().unwrap();
+        rot(&b, &p.data_dropping(0), 10, 0xFF);
+        let mut r = reader(&b, &p);
+        r.set_verify(false);
+        let data = r.read_all().unwrap();
+        assert_eq!(data[10], 3u8 ^ 0xFF);
+        assert_eq!(r.metrics.registry.value("plfs.verify.blocks"), Some(0));
+    }
+
+    #[test]
+    fn unchecksummed_legacy_container_reads_without_verification() {
+        let (b, p, m) = setup(2);
+        let mut w = Writer::new(
+            b.clone() as Arc<dyn Backend>,
+            p.clone(),
+            WriterConfig { checksum: false, ..Default::default() },
+            0,
+            m.clone(),
+            0,
+        )
+        .unwrap();
+        w.write_at(0, &[4u8; 2000]).unwrap();
+        w.close().unwrap();
+        assert!(!b.exists(&p.chk_dropping(0)));
+        let r = reader(&b, &p);
+        assert_eq!(r.read_all().unwrap(), vec![4u8; 2000]);
+        assert_eq!(r.metrics.registry.value("plfs.verify.blocks"), Some(0));
+        assert_eq!(r.metrics.registry.value("plfs.verify.failures"), Some(0));
+    }
+
+    #[test]
+    fn corrupt_sidecar_failstops_but_zero_fill_serves_raw() {
+        let (b, p, m) = setup(2);
+        let mut w = mkwriter(&b, &p, &m, 0);
+        w.write_at(0, &[6u8; 1000]).unwrap();
+        w.close().unwrap();
+        rot(&b, &p.chk_dropping(0), 2, 0x40); // break the magic
+        let r = reader(&b, &p);
+        assert!(crate::retry::is_integrity(&r.read_all().unwrap_err()));
+        let mut r2 = reader(&b, &p);
+        r2.set_quarantine(QuarantinePolicy::ZeroFill);
+        assert_eq!(r2.read_all().unwrap(), vec![6u8; 1000], "unverifiable ≠ provably bad");
+        assert_eq!(r2.metrics.registry.value("plfs.verify.failures"), Some(0));
+    }
+
+    #[test]
+    fn verification_covers_readahead_cache_stash() {
+        // The surplus stashed by readahead must be verified at stash
+        // time: a later cache hit serves it without re-checking.
+        let (b, p, m) = setup(2);
+        let mut w = mkwriter(&b, &p, &m, 0);
+        let data: Vec<u8> = (0..65536u32).map(|i| (i % 241) as u8).collect();
+        w.write_at(0, &data).unwrap();
+        w.close().unwrap();
+        rot(&b, &p.data_dropping(0), 40_000, 0x10); // lands in readahead surplus
+        let r = reader(&b, &p);
+        let mut head = vec![0u8; 4096];
+        // Sequential scan: first batch over-reads 128 KiB — the whole
+        // file — and verification must catch the rot in the surplus
+        // before it is stashed, even though the caller only asked for
+        // the (clean) first block.
+        let err = r.read_at(0, &mut head).unwrap_err();
+        assert!(crate::retry::is_integrity(&err), "{err}");
+    }
+
+    #[test]
+    fn read_emits_verify_spans_under_batches() {
+        use obs::trace::TraceSink;
+        let (b, p, m) = setup(2);
+        let mut w = mkwriter(&b, &p, &m, 0);
+        w.write_at(0, &[8u8; 2000]).unwrap();
+        w.close().unwrap();
+        let sink = TraceSink::bounded(4096);
+        let rm =
+            PlfsMetrics::new_traced(&obs::Registry::new(), &obs::Clock::logical(), sink.clone());
+        let r = Reader::open(b.clone() as Arc<dyn Backend>, p.clone(), RetryPolicy::none(), rm)
+            .unwrap();
+        let mut buf = vec![0u8; 2000];
+        r.read_at(0, &mut buf).unwrap();
+        let spans = sink.snapshot();
+        obs::trace::validate(&spans).unwrap();
+        let batch = spans.iter().find(|s| s.name == "read.batch").expect("batch span");
+        let verify = spans.iter().find(|s| s.name == "read.verify").expect("verify span");
+        assert_eq!(verify.parent, batch.id, "verify hangs off its batch");
     }
 }

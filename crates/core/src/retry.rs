@@ -17,8 +17,49 @@
 use crate::backend::Backend;
 use obs::trace::{Phase, TraceCtx};
 use obs::{Counter, Registry};
+use std::fmt;
 use std::io;
 use std::time::Duration;
+
+/// A checksum-verified read observed data that does not match its
+/// recorded checksum: silent corruption, detected.
+///
+/// Always **fatal** to the retry machinery — the store happily serves
+/// the same rotten bytes again, so a retry can only mask the corruption
+/// and burn the retry budget (see [`classify`]). Carried as the source
+/// of an [`io::ErrorKind::InvalidData`] error so it flows through every
+/// `io::Result` path unchanged; use [`is_integrity`] to tell it apart
+/// from other invalid-data errors (e.g. a bad record tag).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntegrityError {
+    /// The dropping (or sidecar) holding the bad bytes.
+    pub path: String,
+    /// Byte offset of the start of the failing verify block.
+    pub offset: u64,
+    /// Human-readable detail (what was checked, what mismatched).
+    pub detail: String,
+}
+
+impl fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "integrity violation in {} at byte {}: {}", self.path, self.offset, self.detail)
+    }
+}
+
+impl std::error::Error for IntegrityError {}
+
+impl IntegrityError {
+    /// Wrap into the `io::Error` the read path surfaces.
+    pub fn into_io(self) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, self)
+    }
+}
+
+/// Does this error carry an [`IntegrityError`] (at any wrap depth the
+/// read path produces)?
+pub fn is_integrity(err: &io::Error) -> bool {
+    err.get_ref().is_some_and(|inner| inner.is::<IntegrityError>())
+}
 
 /// Retryability of an I/O error.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +76,15 @@ pub enum ErrorClass {
 /// `Interrupted` (EINTR), `WouldBlock` (EAGAIN) and `TimedOut` are
 /// transient; everything else — `NotFound`, `PermissionDenied`,
 /// `BrokenPipe` (our crash-stop marker), `InvalidData`, ... — is fatal.
+///
+/// [`IntegrityError`] is checked *first* and is always fatal, even if a
+/// future wrapping ever gave it a retryable kind: re-reading silently
+/// corrupted data returns the same corrupted data, so a retry would
+/// count the corruption as a masked transient and hide it.
 pub fn classify(err: &io::Error) -> ErrorClass {
+    if is_integrity(err) {
+        return ErrorClass::Fatal;
+    }
     match err.kind() {
         io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
             ErrorClass::Transient
@@ -467,6 +516,33 @@ mod tests {
         ] {
             assert_eq!(classify(&io::Error::new(k, "x")), ErrorClass::Fatal);
         }
+    }
+
+    #[test]
+    fn integrity_errors_are_fatal_and_never_retried() {
+        let err = IntegrityError {
+            path: "/c/hostdir.0/data.3".into(),
+            offset: 8192,
+            detail: "block CRC mismatch".into(),
+        }
+        .into_io();
+        assert!(is_integrity(&err));
+        assert!(!is_integrity(&io::Error::new(io::ErrorKind::InvalidData, "bad tag")));
+        assert_eq!(classify(&err), ErrorClass::Fatal);
+
+        // The retry loop must surface it on the first attempt and count
+        // nothing as masked.
+        let reg = Registry::new();
+        let policy = RetryPolicy::fast_test().bound_to(&reg);
+        let mut calls = 0;
+        let got: io::Result<()> = policy.run(|| {
+            calls += 1;
+            Err(IntegrityError { path: "/f".into(), offset: 0, detail: "rot".into() }.into_io())
+        });
+        assert!(is_integrity(&got.unwrap_err()), "identity survives the retry layer");
+        assert_eq!(calls, 1, "corrupt data must not be re-read");
+        assert_eq!(reg.value("retry.masked_transient"), Some(0));
+        assert_eq!(reg.value("retry.surfaced"), Some(1));
     }
 
     #[test]

@@ -12,10 +12,11 @@
 //! physical offsets are assigned from the writer's private cursor.
 
 use crate::backend::Backend;
+use crate::checksum::{chk_header, ChkBuilder, VERIFY_BLOCK};
 use crate::container::ContainerPaths;
 use crate::index::{encode_compressed, encode_raw, IndexEntry};
 use crate::metrics::PlfsMetrics;
-use crate::retry::{append_at_reliable_traced, len_or_zero, RetryPolicy};
+use crate::retry::{append_at_reliable, append_at_reliable_traced, len_or_zero, RetryPolicy};
 use obs::trace::Phase;
 use std::io;
 use std::sync::Arc;
@@ -33,6 +34,11 @@ pub struct WriterConfig {
     pub index_flush_every: usize,
     /// How hard to mask transient backend errors (see [`crate::retry`]).
     pub retry: RetryPolicy,
+    /// Maintain per-block checksum sidecars (`chk.R` / `chki.R`, see
+    /// [`crate::checksum`]) alongside the droppings. Off produces a
+    /// legacy container: readable everywhere, reported as "uncovered"
+    /// by `fsck` and unverifiable by `scrub`.
+    pub checksum: bool,
 }
 
 impl Default for WriterConfig {
@@ -42,6 +48,46 @@ impl Default for WriterConfig {
             compress_index: true,
             index_flush_every: 4096,
             retry: RetryPolicy::default(),
+            checksum: true,
+        }
+    }
+}
+
+/// In-flight state of one checksum sidecar (`chk.R` or `chki.R`).
+struct SidecarState {
+    path: String,
+    builder: ChkBuilder,
+    /// Encoded sidecar bytes not yet on the store (header first, then
+    /// completed-block CRC entries).
+    pending: Vec<u8>,
+    /// Byte length of the sidecar on the store.
+    cursor: u64,
+    /// Last sidecar append failed and may have torn.
+    uncertain: bool,
+}
+
+/// Flush a sidecar's pending bytes, resuming any torn prior attempt.
+fn flush_sidecar(
+    backend: &dyn Backend,
+    retry: &RetryPolicy,
+    sc: &mut SidecarState,
+) -> io::Result<()> {
+    let completed = sc.builder.take_pending();
+    sc.pending.extend_from_slice(&completed);
+    if sc.pending.is_empty() {
+        return Ok(());
+    }
+    let pending = std::mem::take(&mut sc.pending);
+    match append_at_reliable(backend, retry, &sc.path, sc.cursor, &pending, sc.uncertain) {
+        Ok(()) => {
+            sc.cursor += pending.len() as u64;
+            sc.uncertain = false;
+            Ok(())
+        }
+        Err(e) => {
+            sc.pending = pending;
+            sc.uncertain = true;
+            Err(e)
         }
     }
 }
@@ -81,6 +127,12 @@ pub struct Writer {
     /// to that file must re-measure the tail before writing.
     data_tail_uncertain: bool,
     index_tail_uncertain: bool,
+    /// Checksum sidecars (`None` when `cfg.checksum` is off): bytes are
+    /// hashed the moment their append succeeds, sidecar entries land
+    /// lazily on sync/close — so a sidecar may under-cover its file
+    /// (crash artifact, reported as "uncovered") but never over-cover.
+    chk: Option<SidecarState>,
+    chki: Option<SidecarState>,
     stats: WriterStats,
     open_dropping: String,
     closed: bool,
@@ -114,6 +166,44 @@ impl Writer {
         // the log.
         let cursor = len_or_zero(backend.as_ref(), &cfg.retry, &paths.data_dropping(rank))?;
         let index_cursor = len_or_zero(backend.as_ref(), &cfg.retry, &paths.index_dropping(rank))?;
+        // A previous session's sidecars go stale the moment this session
+        // appends to the covered files (their close-time tail CRC no
+        // longer matches the grown tail block), so remove them *before*
+        // any append — a reader must never see a stale sidecar next to
+        // grown data. Done even with checksumming off: better an
+        // uncovered dropping than a wrongly-covered one.
+        for stale in [paths.chk_dropping(rank), paths.index_chk_dropping(rank)] {
+            if backend.exists(&stale) {
+                cfg.retry.run(|| match backend.remove(&stale) {
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+                    r => r,
+                })?;
+            }
+        }
+        let (chk, chki) = if cfg.checksum {
+            // Resuming a session re-hashes the whole existing dropping:
+            // the rank is the sole writer of its log, so the writer
+            // trusts its own bytes (verification is the reader's and
+            // scrub's job). This also invalidates a previous close's
+            // tail CRC, which the resumed appends would outgrow.
+            let mk =
+                |path: String, covered_path: String, covered: u64| -> io::Result<SidecarState> {
+                    let mut builder = ChkBuilder::new(VERIFY_BLOCK);
+                    let mut pending = chk_header(VERIFY_BLOCK as u32);
+                    if covered > 0 {
+                        let existing = cfg.retry.run(|| backend.read_all(&covered_path))?;
+                        builder.absorb(&existing);
+                        pending.extend_from_slice(&builder.take_pending());
+                    }
+                    Ok(SidecarState { path, builder, pending, cursor: 0, uncertain: false })
+                };
+            (
+                Some(mk(paths.chk_dropping(rank), paths.data_dropping(rank), cursor)?),
+                Some(mk(paths.index_chk_dropping(rank), paths.index_dropping(rank), index_cursor)?),
+            )
+        } else {
+            (None, None)
+        };
         Ok(Writer {
             backend,
             paths,
@@ -129,6 +219,8 @@ impl Writer {
             index_cursor,
             data_tail_uncertain: false,
             index_tail_uncertain: false,
+            chk,
+            chki,
             stats: WriterStats::default(),
             open_dropping,
             closed: false,
@@ -214,6 +306,11 @@ impl Writer {
         );
         span.end();
         self.data_tail_uncertain = res.is_err();
+        if res.is_ok() {
+            if let Some(sc) = &mut self.chk {
+                sc.builder.absorb(data);
+            }
+        }
         res
     }
 
@@ -294,8 +391,52 @@ impl Writer {
             self.stats.index_bytes += encoded.len() as u64;
             self.metrics.index_appends.inc();
             self.metrics.index_bytes_written.add(encoded.len() as u64);
+            if let Some(sc) = &mut self.chki {
+                sc.builder.absorb(encoded);
+            }
         }
         res
+    }
+
+    /// Land pending sidecar entries (completed-block CRCs) after the
+    /// bytes they cover. Sidecar appends bypass the data/index append
+    /// counters: they are integrity overhead, not workload I/O.
+    fn flush_sidecars(&mut self, parent: u64) -> io::Result<()> {
+        if self.chk.is_none() && self.chki.is_none() {
+            return Ok(());
+        }
+        let span =
+            self.metrics.trace.start("plfs.chk_append", Phase::Transfer, &self.track(), parent);
+        let mut res = Ok(());
+        for sc in [&mut self.chk, &mut self.chki].into_iter().flatten() {
+            let r = flush_sidecar(self.backend.as_ref(), &self.cfg.retry, sc);
+            if res.is_ok() {
+                res = r;
+            }
+        }
+        span.end();
+        res
+    }
+
+    /// Close-time only: cover the final partial block of each dropping,
+    /// so a cleanly closed container is checksummed to its last byte.
+    fn seal_sidecars(&mut self) -> io::Result<()> {
+        for sc in [&mut self.chk, &mut self.chki].into_iter().flatten() {
+            if let Some(crc) = sc.builder.tail_crc() {
+                let entry = crc.to_le_bytes();
+                append_at_reliable(
+                    self.backend.as_ref(),
+                    &self.cfg.retry,
+                    &sc.path,
+                    sc.cursor,
+                    &entry,
+                    sc.uncertain,
+                )?;
+                sc.cursor += entry.len() as u64;
+                sc.uncertain = false;
+            }
+        }
+        Ok(())
     }
 
     /// Flush everything to the backing store.
@@ -303,13 +444,15 @@ impl Writer {
         let span = self.metrics.trace.start("plfs.sync", Phase::Compute, &self.track(), 0);
         let id = span.id();
         self.flush_data(id)?;
-        self.flush_index(id)
+        self.flush_index(id)?;
+        self.flush_sidecars(id)
     }
 
     /// Close the handle: flush, drop the openhosts dropping, and leave
     /// a metadata summary so later opens can shortcut stat calls.
     pub fn close(mut self) -> io::Result<WriterStats> {
         self.sync()?;
+        self.seal_sidecars()?;
         let max_ts = self.metrics.clock.current();
         let meta = self.paths.meta_dropping(self.rank, self.max_logical, self.stats.bytes, max_ts);
         self.cfg.retry.run(|| self.backend.create(&meta))?;
@@ -463,6 +606,54 @@ mod tests {
         let idx_bytes = reg.value("plfs.write.index_bytes").unwrap();
         assert_eq!(idx_bytes, w.stats().index_bytes);
         assert!(idx_bytes > 0);
+    }
+
+    fn assert_sidecar_covers(b: &MemBackend, sidecar: &str, covered: &str) {
+        let data = b.read_all(covered).unwrap();
+        let (block, crcs) = crate::checksum::parse_chk(&b.read_all(sidecar).unwrap()).unwrap();
+        assert_eq!(block, VERIFY_BLOCK);
+        assert_eq!(crcs.len(), data.len().div_ceil(block as usize), "{sidecar} coverage");
+        for (k, crc) in crcs.iter().enumerate() {
+            let s = k * block as usize;
+            let e = (s + block as usize).min(data.len());
+            assert_eq!(*crc, crate::checksum::crc32(&data[s..e]), "{sidecar} block {k}");
+        }
+    }
+
+    #[test]
+    fn close_leaves_sidecars_covering_every_byte() {
+        let (b, p, m) = setup();
+        let mut w = writer(&b, &p, &m, 0, WriterConfig { data_buffer: 0, ..Default::default() });
+        w.write_at(0, &vec![3u8; 5000]).unwrap(); // spans a block boundary
+        w.write_at(5000, b"tail").unwrap();
+        w.close().unwrap();
+        assert_sidecar_covers(&b, &p.chk_dropping(0), &p.data_dropping(0));
+        assert_sidecar_covers(&b, &p.index_chk_dropping(0), &p.index_dropping(0));
+    }
+
+    #[test]
+    fn reopen_rebuilds_sidecars_over_all_sessions() {
+        let (b, p, m) = setup();
+        let mut w = writer(&b, &p, &m, 0, WriterConfig::default());
+        w.write_at(0, &vec![1u8; 3000]).unwrap();
+        w.close().unwrap();
+        // Session two grows the same partial block the first close's
+        // tail CRC covered — the sidecar must be rebuilt, not extended.
+        let mut w2 = writer(&b, &p, &m, 0, WriterConfig::default());
+        w2.write_at(3000, &vec![2u8; 3000]).unwrap();
+        w2.close().unwrap();
+        assert_sidecar_covers(&b, &p.chk_dropping(0), &p.data_dropping(0));
+        assert_sidecar_covers(&b, &p.index_chk_dropping(0), &p.index_dropping(0));
+    }
+
+    #[test]
+    fn checksum_off_writes_no_sidecars() {
+        let (b, p, m) = setup();
+        let mut w = writer(&b, &p, &m, 0, WriterConfig { checksum: false, ..Default::default() });
+        w.write_at(0, &[1u8; 64]).unwrap();
+        w.close().unwrap();
+        assert!(!b.exists(&p.chk_dropping(0)));
+        assert!(!b.exists(&p.index_chk_dropping(0)));
     }
 
     #[test]

@@ -113,6 +113,52 @@ fn read_bytes_counts_only_delivered_bytes() {
     assert_eq!(reg.value("plfs.read.batches"), Some(1), "only the delivered read counts");
 }
 
+/// Silent corruption is not a transient fault: the retry layer must
+/// never "mask" it (a retried read of a rotten sector returns the same
+/// rotten bytes), and the reader's typed [`IntegrityError`] must
+/// surface on the first detection. Transient I/O errors injected at
+/// the same time keep being masked — the two failure classes stay in
+/// separate ledgers.
+///
+/// [`IntegrityError`]: pdsi::plfs::retry::IntegrityError
+#[test]
+fn corruption_is_never_counted_as_a_masked_transient() {
+    use pdsi::plfs::faults::{FaultPlan, FaultyBackend};
+    use pdsi::plfs::retry::is_integrity;
+
+    let reg = Registry::new();
+    let faulty = Arc::new(FaultyBackend::new(MemBackend::new(), FaultPlan::none(23)));
+    let fs = Plfs::new(
+        faulty.clone() as Arc<dyn Backend>,
+        PlfsConfig { metrics: reg.clone(), ..Default::default() },
+    );
+    let mut w = fs.open_writer("/ckpt", 0).unwrap();
+    w.write_at(0, &[1u8; 2048]).unwrap();
+    w.close().unwrap();
+    let reader = fs.open_reader("/ckpt").unwrap();
+
+    // Rot one data byte and make the store flaky at the same time:
+    // transients must keep getting masked, corruption must surface.
+    faulty.set_plan(FaultPlan {
+        transient_error_rate: 0.05,
+        corrupt_byte_at: Some(("data.0".into(), 100, 0x01)),
+        ..FaultPlan::none(23)
+    });
+    let mut buf = vec![0u8; 2048];
+    let err = reader.read_at(0, &mut buf).unwrap_err();
+    assert!(is_integrity(&err), "corruption surfaces typed, not as I/O noise: {err}");
+    assert_eq!(reg.value("plfs.read.bytes"), Some(0), "nothing delivered");
+    assert_eq!(reg.value("plfs.verify.failures"), Some(1));
+
+    faulty.export_into(&reg);
+    let stats = faulty.stats();
+    assert!(stats.injected_bit_flips >= 1, "the rotten byte was read");
+    // Every injected transient was masked by a retry; the bit flips
+    // contributed nothing to that ledger.
+    assert_eq!(reg.value("retry.masked_transient"), Some(stats.injected_transient));
+    assert_eq!(reg.value("retry.surfaced"), Some(0), "retry layer never saw the corruption");
+}
+
 /// The JSON dump must round-trip through the hand-rolled parser and
 /// preserve every series and its value.
 #[test]

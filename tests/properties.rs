@@ -12,7 +12,10 @@ use pdsi::plfs::backend::{Backend, MemBackend};
 use pdsi::plfs::faults::{FaultPlan, FaultyBackend};
 use pdsi::plfs::index::{decode, encode_compressed, encode_raw, IndexEntry, IndexMap};
 use pdsi::plfs::retry::RetryPolicy;
-use pdsi::plfs::{fsck, Plfs, PlfsConfig, WriterConfig};
+use pdsi::plfs::{
+    fsck, is_integrity, ContainerPaths, Plfs, PlfsConfig, QuarantinePolicy, WriterConfig,
+    VERIFY_BLOCK,
+};
 use pdsi::simkit::stats::Cdf;
 use pdsi::simkit::Rng;
 use pdsi::workloads::{Trace, TraceOp};
@@ -499,6 +502,213 @@ fn read_engine_matches_serial_oracle_and_byte_map() {
         injected_any |= faulty.stats().injected_transient > 0;
     }
     assert!(injected_any, "fault plans injected nothing — engine never saw an error");
+}
+
+/// Detection-completeness sweep: flip one seeded bit at *every byte* of
+/// every covered file of a multi-writer container — data and index
+/// droppings, both checksum sidecars, and the canonical index — and
+/// assert the corruption machinery catches 100% of them: `scrub` must
+/// report a finding (or flag the canonical cache), and for data bytes
+/// verify-on-read must independently fail stop with a typed integrity
+/// error.
+///
+/// The single tolerated exception is a flip inside a sidecar's 4-byte
+/// block-size field that leaves the coverage geometry equivalent (a
+/// single-entry sidecar whose block size is still >= the covered
+/// length: every CRC still covers exactly the same bytes). Those are
+/// not detectable *by construction* — nothing observable changed — so
+/// the sweep instead proves them harmless: scrub stays fully clean and
+/// the whole file reads back byte-identical.
+#[test]
+fn every_injected_bit_flip_in_covered_regions_is_detected() {
+    const RANKS: u32 = 3;
+    const REC: u64 = 1500;
+    let faulty = Arc::new(FaultyBackend::new(MemBackend::new(), FaultPlan::none(77)));
+    let fs = Plfs::new(
+        faulty.clone() as Arc<dyn Backend>,
+        PlfsConfig { hostdirs: 2, ..Default::default() },
+    );
+    for r in 0..RANKS {
+        let mut w = fs.open_writer("/f", r).unwrap();
+        for j in 0..3u64 {
+            // > VERIFY_BLOCK bytes per rank, position-dependent fill:
+            // multi-entry sidecars whose blocks all hash differently.
+            let off = (j * RANKS as u64 + r as u64) * REC;
+            let buf: Vec<u8> =
+                (0..REC).map(|i| (((off + i) * 7 + r as u64) % 251 + 1) as u8).collect();
+            w.write_at(off, &buf).unwrap();
+        }
+        w.close().unwrap();
+    }
+    // Clean read-open persists the canonical index and establishes the
+    // zero-false-positive baseline.
+    let baseline = fs.open_reader("/f").unwrap().read_all().unwrap();
+    assert!(fsck::scrub(faulty.as_ref(), "/f", 2).unwrap().is_clean(), "clean container flagged");
+    assert!(fsck::fsck(faulty.as_ref(), "/f", 2).unwrap().is_clean());
+
+    let paths = ContainerPaths::new("/f", 2);
+    let mut targets: Vec<String> = vec![paths.canonical_index()];
+    for r in 0..RANKS {
+        targets.extend([
+            paths.data_dropping(r),
+            paths.index_dropping(r),
+            paths.chk_dropping(r),
+            paths.index_chk_dropping(r),
+        ]);
+    }
+    let (mut total, mut benign) = (0u64, 0u64);
+    for path in &targets {
+        let len = faulty.len(path).unwrap();
+        assert!(len > 0, "{path} empty — sweep would be vacuous");
+        let is_data = path.contains("/data.");
+        let is_sidecar = path.contains("/chk.") || path.contains("/chki.");
+        for off in 0..len {
+            total += 1;
+            let mask = 1u8 << (off % 8);
+            faulty.set_plan(FaultPlan {
+                corrupt_byte_at: Some((path.clone(), off, mask)),
+                ..FaultPlan::none(77)
+            });
+            let report = fsck::scrub(faulty.as_ref(), "/f", 2).unwrap();
+            if is_data {
+                // Verify-on-read must catch every data flip on its own.
+                let err = fs.open_reader("/f").unwrap().read_all().unwrap_err();
+                assert!(is_integrity(&err), "{path}@{off}: read served rotten bytes ({err})");
+            }
+            if !report.is_clean() {
+                continue;
+            }
+            assert!(
+                is_sidecar && (9..13).contains(&off),
+                "{path}@{off} mask {mask:#04x}: undetected bit flip"
+            );
+            let reread = fs.open_reader("/f").unwrap().read_all().unwrap();
+            assert_eq!(reread, baseline, "{path}@{off}: undetected flip changed read bytes");
+            benign += 1;
+        }
+    }
+    faulty.set_plan(FaultPlan::none(77));
+    assert!(total > 10_000, "sweep too small to mean anything: {total} bytes");
+    assert!(benign <= 4 * RANKS as u64, "benign corner wider than the block-size field: {benign}");
+}
+
+/// The engine/oracle differential must survive *corruption*, not just
+/// transient faults: with one rotten byte planted in a random data
+/// dropping and a zero-fill quarantine, `read_at` and `read_at_serial`
+/// must stay byte-identical in both verification orders (whichever path
+/// detects first, the verify-once memoization hands the other the same
+/// quarantined answer), every delivered byte is either the model's or a
+/// zero from the quarantined block, and a fail-stop reader over the
+/// same rot either surfaces a typed integrity error or delivers exactly
+/// the model bytes — never silently wrong data.
+#[test]
+fn read_engine_and_serial_oracle_agree_under_corruption() {
+    let mut any_quarantined = false;
+    for seed in 0..16u64 {
+        let mut rng = Rng::new(8_000 + seed);
+        let faulty = Arc::new(FaultyBackend::new(MemBackend::new(), FaultPlan::none(seed)));
+        let fs = Plfs::new(
+            faulty.clone() as Arc<dyn Backend>,
+            PlfsConfig { hostdirs: 2, ..Default::default() },
+        );
+        let writes = random_writes(&mut rng);
+        let mut writers: Vec<_> = (0..6u32).map(|r| fs.open_writer("/f", r).unwrap()).collect();
+        let mut naive: Vec<Option<u8>> = vec![None; 64_000];
+        for (i, &(off, len, writer)) in writes.iter().enumerate() {
+            let fill = 1 + ((i as u64 * 31 + seed) % 250) as u8;
+            writers[writer as usize].write_at(off, &vec![fill; len as usize]).unwrap();
+            for b in off..off + len {
+                naive[b as usize] = Some(fill);
+            }
+        }
+        for w in writers {
+            w.close().unwrap();
+        }
+        let naive_eof = naive.iter().rposition(|x| x.is_some()).map(|i| i as u64 + 1).unwrap_or(0);
+        // Open every reader while the store is healthy, then plant one
+        // rotten byte in a random nonempty data dropping.
+        let mut ra = fs.open_reader("/f").unwrap();
+        let mut rb = fs.open_reader("/f").unwrap();
+        let rc = fs.open_reader("/f").unwrap();
+        let rd = fs.open_reader("/f").unwrap();
+        let paths = ContainerPaths::new("/f", 2);
+        let candidates: Vec<(String, u64)> = (0..6u32)
+            .map(|r| paths.data_dropping(r))
+            .filter_map(|p| faulty.len(&p).ok().map(|l| (p, l)))
+            .filter(|&(_, l)| l > 0)
+            .collect();
+        let (path, flen) = candidates[rng.below(candidates.len() as u64) as usize].clone();
+        let target = rng.below(flen);
+        faulty.set_plan(FaultPlan {
+            corrupt_byte_at: Some((path, target, 1u8 << rng.below(8))),
+            ..FaultPlan::none(seed)
+        });
+        for (which, reader) in [&mut ra, &mut rb].into_iter().enumerate() {
+            reader.set_quarantine(QuarantinePolicy::ZeroFill);
+            let mut windows: Vec<(u64, usize)> = (0..4)
+                .map(|_| (rng.below(64_000), rng.range_inclusive(1, 4_000) as usize))
+                .collect();
+            windows.push((0, naive_eof as usize));
+            for (off, len) in windows {
+                let mut fast = vec![0u8; len];
+                let mut slow = vec![0u8; len];
+                // Alternate which path verifies first; memoization must
+                // hand the other path the same quarantined answer.
+                let (n_fast, n_slow) = if which == 0 {
+                    let nf = reader.read_at(off, &mut fast).unwrap();
+                    (nf, reader.read_at_serial(off, &mut slow).unwrap())
+                } else {
+                    let ns = reader.read_at_serial(off, &mut slow).unwrap();
+                    (reader.read_at(off, &mut fast).unwrap(), ns)
+                };
+                assert_eq!(n_fast, n_slow, "seed {seed}: lengths diverge at ({off}, {len})");
+                assert_eq!(
+                    fast[..n_fast],
+                    slow[..n_slow],
+                    "seed {seed}: paths diverge at ({off}, {len})"
+                );
+                let mut zeroed = 0usize;
+                for (j, &got) in fast[..n_fast].iter().enumerate() {
+                    let want = naive[(off + j as u64) as usize].unwrap_or(0);
+                    assert!(
+                        got == want || got == 0,
+                        "seed {seed}: byte {} is neither model nor quarantine zero",
+                        off + j as u64
+                    );
+                    zeroed += (got != want) as usize;
+                }
+                assert!(
+                    zeroed <= VERIFY_BLOCK as usize,
+                    "seed {seed}: quarantine zeroed {zeroed} bytes, more than one block"
+                );
+                any_quarantined |= zeroed > 0;
+            }
+        }
+        // Fail-stop over the same rot: a typed error or the exact model
+        // bytes (the rotten byte may be dead — superseded physical
+        // bytes are only pulled in by coalescing, never delivered).
+        let mut buf = vec![0u8; naive_eof as usize];
+        match rc.read_at(0, &mut buf) {
+            Err(e) => assert!(is_integrity(&e), "seed {seed}: wrong error class: {e}"),
+            Ok(n) => {
+                for (j, &got) in buf[..n].iter().enumerate() {
+                    assert_eq!(got, naive[j].unwrap_or(0), "seed {seed}: silent wrong byte {j}");
+                }
+            }
+        }
+        // Rate-based rot on the data path: fail-stop still never
+        // delivers a wrong byte, whether or not a flip lands.
+        faulty.set_plan(FaultPlan { bit_flip_rate: 0.0005, ..FaultPlan::none(seed) });
+        match rd.read_at(0, &mut buf) {
+            Err(e) => assert!(is_integrity(&e), "seed {seed}: wrong error class: {e}"),
+            Ok(n) => {
+                for (j, &got) in buf[..n].iter().enumerate() {
+                    assert_eq!(got, naive[j].unwrap_or(0), "seed {seed}: silent wrong byte {j}");
+                }
+            }
+        }
+    }
+    assert!(any_quarantined, "no sweep window ever covered the rotten block — test was vacuous");
 }
 
 // ------------------------------------------------------- GIGA+
