@@ -8,6 +8,9 @@
 //! repro --metrics out.json all # also dump every metric series as JSON
 //! repro --metrics - faults     # dump to stdout (after the reports)
 //! repro trace plfs_n1 --out trace.json  # capture a causal trace
+//! repro genlog n1-strided --ranks 64 --out ckpt.oplog   # emit an op log
+//! repro replay ckpt.oplog --mode asap                   # drive it
+//! repro replay                 # the gated replay experiment itself
 //! ```
 //!
 //! With `--metrics`, every experiment's internal series (bandwidths,
@@ -72,26 +75,176 @@ fn run_trace_command(mut args: impl Iterator<Item = String>) -> ! {
     std::process::exit(0);
 }
 
+/// `repro genlog <scenario> [--ranks N] [--ops N] [--size SPEC]
+/// [--arrival SPEC] [--seed N] [--out <path>]`: emit an op log.
+fn run_genlog_command(mut args: impl Iterator<Item = String>) -> ! {
+    use workloads::gen::{generate, GenConfig, Scenario, SCENARIOS};
+    use workloads::sample::{ArrivalDist, SizeDist};
+
+    let usage = || -> ! {
+        eprintln!(
+            "usage: repro genlog <scenario> [--ranks N] [--ops N] [--size SPEC]\n       \
+             [--arrival SPEC] [--seed N] [--out <path>]\n\n\
+             size specs:    fixed:N | uniform:MIN:MAX | lognormal:MEDIAN:SIGMA:MIN:MAX\n\
+             arrival specs: immediate | fixed:NS | poisson:MEAN_NS | burst:K:INTRA_NS:INTER_NS\n\n\
+             scenarios:"
+        );
+        for (name, _) in SCENARIOS {
+            eprintln!("  {name}");
+        }
+        std::process::exit(2);
+    };
+    let die = |msg: String| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    let mut scenario: Option<Scenario> = None;
+    let mut cfg = GenConfig::default();
+    let mut out_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        let mut flag = |name: &str| -> String {
+            args.next().unwrap_or_else(|| die(format!("{name} needs an argument")))
+        };
+        match arg.as_str() {
+            "--ranks" => {
+                cfg.ranks = flag("--ranks").parse().unwrap_or_else(|_| die("bad --ranks".into()))
+            }
+            "--ops" => {
+                cfg.ops_per_rank = flag("--ops").parse().unwrap_or_else(|_| die("bad --ops".into()))
+            }
+            "--seed" => {
+                cfg.seed = flag("--seed").parse().unwrap_or_else(|_| die("bad --seed".into()))
+            }
+            "--size" => cfg.size = SizeDist::parse_spec(&flag("--size")).unwrap_or_else(|e| die(e)),
+            "--arrival" => {
+                cfg.arrival = ArrivalDist::parse_spec(&flag("--arrival")).unwrap_or_else(|e| die(e))
+            }
+            "--out" => out_path = Some(flag("--out")),
+            name if scenario.is_none() && !name.starts_with('-') => {
+                scenario = Some(
+                    Scenario::by_name(name)
+                        .unwrap_or_else(|| die(format!("unknown scenario {name:?}"))),
+                )
+            }
+            other => die(format!("unknown genlog argument {other:?}")),
+        }
+    }
+    let Some(scenario) = scenario else { usage() };
+    let log = generate(scenario, &cfg);
+    let text = log.to_text();
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!(
+                "wrote {} ops ({} ranks, {} B written, {} B read) to {path}",
+                log.ops.len(),
+                log.ranks,
+                log.write_bytes(),
+                log.read_bytes()
+            );
+        }
+        None => print!("{text}"),
+    }
+    std::process::exit(0);
+}
+
+/// `repro replay <log> [--mode M] [--backend SPEC] [--speedup F]
+/// [--serial-reads] [--readahead N] [--verify on|off] [--out <path>]`:
+/// drive an op log against a backend and report what happened.
+fn run_replay_command(mut args: impl Iterator<Item = String>) -> ! {
+    use plfs::replay::{ReplayMode, ReplayOptions};
+
+    let die = |msg: String| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    let mut log_path: Option<String> = None;
+    let mut backend_spec = "mem".to_string();
+    let mut opts = ReplayOptions::default();
+    let mut out_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        let mut flag = |name: &str| -> String {
+            args.next().unwrap_or_else(|| die(format!("{name} needs an argument")))
+        };
+        match arg.as_str() {
+            "--mode" => {
+                let m = flag("--mode");
+                opts.mode = ReplayMode::by_name(&m).unwrap_or_else(|| {
+                    die(format!("unknown mode {m:?} (asap | sequential | timing-faithful)"))
+                });
+            }
+            "--backend" => backend_spec = flag("--backend"),
+            "--speedup" => {
+                opts.speedup =
+                    flag("--speedup").parse().unwrap_or_else(|_| die("bad --speedup".into()))
+            }
+            "--serial-reads" => opts.serial_reads = true,
+            "--readahead" => {
+                opts.readahead = Some(
+                    flag("--readahead").parse().unwrap_or_else(|_| die("bad --readahead".into())),
+                )
+            }
+            "--verify" => match flag("--verify").as_str() {
+                "on" => opts.verify = Some(true),
+                "off" => opts.verify = Some(false),
+                v => die(format!("bad --verify {v:?} (want on|off)")),
+            },
+            "--out" => out_path = Some(flag("--out")),
+            name if log_path.is_none() && !name.starts_with('-') => log_path = Some(arg),
+            other => die(format!("unknown replay argument {other:?}")),
+        }
+    }
+    let Some(log_path) = log_path else {
+        die("usage: repro replay <log> [--mode M] [--backend mem|dir:PATH|faulty[:SEED]]\n       \
+             [--speedup F] [--serial-reads] [--readahead N] [--verify on|off] [--out <path>]"
+            .into())
+    };
+    let text = std::fs::read_to_string(&log_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {log_path}: {e}");
+        std::process::exit(1);
+    });
+    let log = workloads::oplog::OpLog::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{log_path}: bad op log: {e}");
+        std::process::exit(1);
+    });
+    let backend = pdsi_bench::backend_from_spec(&backend_spec).unwrap_or_else(|e| die(e));
+    match pdsi_bench::drive_log(&log, backend, &opts) {
+        Ok((report, replayed)) => {
+            print!("{report}");
+            if let Some(path) = out_path {
+                if let Err(e) = std::fs::write(&path, replayed.to_text()) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!("(replayed log with observed results written to {path})");
+            }
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let mut metrics_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
-    if let Some(first) = args.next() {
-        if first == "trace" {
-            run_trace_command(args);
-        }
-        if first == "--metrics" {
-            match args.next() {
-                Some(p) => metrics_path = Some(p),
-                None => {
-                    eprintln!("--metrics needs a path argument ('-' for stdout)");
-                    std::process::exit(2);
-                }
-            }
-        } else {
-            ids.push(first);
-        }
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let first = argv.first().cloned();
+    match first.as_deref() {
+        Some("trace") => run_trace_command(argv.into_iter().skip(1)),
+        Some("genlog") => run_genlog_command(argv.into_iter().skip(1)),
+        // `repro replay` alone runs the gated experiment (handled by
+        // the normal id path below); with any further argument it
+        // becomes the log-driving subcommand.
+        Some("replay") if argv.len() > 1 => run_replay_command(argv.into_iter().skip(1)),
+        _ => {}
     }
+    let mut args = argv.into_iter();
     while let Some(arg) = args.next() {
         if arg == "--metrics" {
             match args.next() {
@@ -112,7 +265,9 @@ fn main() {
         let _ = writeln!(
             out,
             "usage: repro [--metrics <path>|-] <experiment-id>|all|golden\n       \
-             repro trace <exp> [--out <path>]\n\nexperiments:"
+             repro trace <exp> [--out <path>]\n       \
+             repro genlog <scenario> [--ranks N] [--ops N] [--size SPEC] [--arrival SPEC] [--out <path>]\n       \
+             repro replay <log> [--mode M] [--backend SPEC] [--out <path>]\n\nexperiments:"
         );
         for (id, desc) in pdsi_bench::EXPERIMENTS {
             let _ = writeln!(out, "  {id:<10} {desc}");
@@ -121,6 +276,11 @@ fn main() {
         for (id, desc) in pdsi_bench::TRACE_EXPERIMENTS {
             let _ = writeln!(out, "  {id:<10} {desc}");
         }
+        let _ = writeln!(
+            out,
+            "\n`repro genlog` with no scenario lists scenarios and spec grammars;\n\
+             `repro replay <log> --mode timing-faithful --speedup F` paces to the log."
+        );
         return;
     }
 
@@ -208,6 +368,36 @@ fn main() {
         }
         if std::env::var_os("INTEGRITY_GATE").is_some() {
             match pdsi_bench::integrity_gate(&summary) {
+                Ok(msg) => {
+                    let _ = writeln!(out, "({msg})");
+                }
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    // And for `repro replay`: the capture→replay summary (per-mode
+    // hashes and wall clocks, differential pair verdicts). With
+    // REPLAY_GATE set (CI does), any mode failing to reproduce the
+    // capture's delivered-byte hash, any differential pair divergence,
+    // or an unpaced timing-faithful run fails the run.
+    if ids.iter().any(|a| a == "replay" || a == "all") {
+        let summary = pdsi_bench::replay_results();
+        let json = obs::json::pretty(&pdsi_bench::replay_json_from(&summary));
+        match std::fs::write("BENCH_replay.json", &json) {
+            Ok(()) => {
+                let _ = writeln!(out, "(replay data written to BENCH_replay.json)");
+            }
+            Err(e) => {
+                eprintln!("cannot write BENCH_replay.json: {e}");
+                std::process::exit(1);
+            }
+        }
+        if std::env::var_os("REPLAY_GATE").is_some() {
+            match pdsi_bench::replay_gate(&summary) {
                 Ok(msg) => {
                     let _ = writeln!(out, "({msg})");
                 }

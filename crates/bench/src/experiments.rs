@@ -19,6 +19,7 @@ use reliability::{
 };
 use simkit::units::{ascii_bar, fmt_bytes, fmt_ops, fmt_rate, MIB};
 use simkit::{Rng, SimDuration};
+use workloads::sample::uniform_aligned_offset;
 use workloads::{AppProfile, IoShape, Trace, APP_PROFILES};
 
 fn header(out: &mut String, title: &str) {
@@ -521,12 +522,12 @@ pub fn fig11_flash_report(reg: &Registry) -> String {
     let pages = 64 * MIB / 4096;
     let mut tr = SimDuration::ZERO;
     for _ in 0..2000 {
-        tr += d.service(DevOp::read(rng.below(pages) * 4096, 4096));
+        tr += d.service(DevOp::read(uniform_aligned_offset(&mut rng, pages * 4096, 4096), 4096));
     }
     let read_iops = 2000.0 / tr.as_secs_f64();
     let mut tw = SimDuration::ZERO;
     for _ in 0..2000 {
-        tw += d.service(DevOp::write(rng.below(pages) * 4096, 4096));
+        tw += d.service(DevOp::write(uniform_aligned_offset(&mut rng, pages * 4096, 4096), 4096));
     }
     let write_iops = 2000.0 / tw.as_secs_f64();
     gauge(reg, "flash.read_iops", &[], read_iops);
@@ -568,12 +569,14 @@ pub fn tab1_flash_table(reg: &Registry) -> String {
         let n = 1000;
         let mut tr = SimDuration::ZERO;
         for _ in 0..n {
-            tr += d.service(DevOp::read(rng.below(pages) * 4096, 4096));
+            tr +=
+                d.service(DevOp::read(uniform_aligned_offset(&mut rng, pages * 4096, 4096), 4096));
         }
         let r_kiops = n as f64 / tr.as_secs_f64() / 1e3;
         let mut tw = SimDuration::ZERO;
         for _ in 0..n {
-            tw += d.service(DevOp::write(rng.below(pages) * 4096, 4096));
+            tw +=
+                d.service(DevOp::write(uniform_aligned_offset(&mut rng, pages * 4096, 4096), 4096));
         }
         let w_kiops = n as f64 / tw.as_secs_f64() / 1e3;
         let seq_r = {
@@ -653,7 +656,8 @@ pub fn fig14_degradation_report(reg: &Registry) -> String {
         // Fresh-device rate over the first 1000 writes.
         let mut t = SimDuration::ZERO;
         for _ in 0..1000 {
-            t += d.service(DevOp::write(rng.below(pages) * 4096, 4096));
+            t +=
+                d.service(DevOp::write(uniform_aligned_offset(&mut rng, pages * 4096, 4096), 4096));
         }
         let fresh = 1000.0 / t.as_secs_f64();
         // Then hammer: several full overwrites split into windows.
@@ -662,7 +666,10 @@ pub fn fig14_degradation_report(reg: &Registry) -> String {
         for _ in 0..windows {
             let mut t = SimDuration::ZERO;
             for _ in 0..per_window {
-                t += d.service(DevOp::write(rng.below(pages) * 4096, 4096));
+                t += d.service(DevOp::write(
+                    uniform_aligned_offset(&mut rng, pages * 4096, 4096),
+                    4096,
+                ));
             }
             rates.push(per_window as f64 / t.as_secs_f64());
         }

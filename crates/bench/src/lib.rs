@@ -9,9 +9,14 @@
 //! targets, recorded against the paper in `EXPERIMENTS.md`.
 
 pub mod experiments;
+pub mod replay_experiments;
 pub mod trace_experiments;
 
 pub use experiments::*;
+pub use replay_experiments::{
+    backend_from_spec, drive_log, replay_gate, replay_json, replay_json_from, replay_report,
+    replay_results, DiffCell, ReplayModeCell, ReplaySummary,
+};
 pub use trace_experiments::{run_trace, TraceRun, TRACE_EXPERIMENTS};
 
 /// All experiment ids the harness knows, with a one-line description.
@@ -36,6 +41,7 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("openscale", "read-open index merge scaling: sweep vs splice; flattened-index cache"),
     ("readscale", "restart read-back: parallel coalesced engine vs serial per-piece reads"),
     ("integrity", "end-to-end corruption detection: verify-on-read, bit-flip sweep, scrub"),
+    ("replay", "workload capture & replay: 3-mode determinism + differential engine pairs"),
 ];
 
 /// Run one experiment by id, discarding its metrics.
@@ -71,6 +77,7 @@ pub fn run_observed(id: &str, reg: &obs::Registry) -> Option<String> {
         "openscale" => openscale_report(&local),
         "readscale" => readscale_report(&local),
         "integrity" => integrity_report(&local),
+        "replay" => replay_report(&local),
         _ => return None,
     };
     local.counter("bench.runs").inc();

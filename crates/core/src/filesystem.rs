@@ -13,12 +13,14 @@ use crate::container::{
 use crate::fsck::{scrub, ScrubReport};
 use crate::metrics::PlfsMetrics;
 use crate::read::Reader;
+use crate::record::{err_token, OpLogRecorder};
 use crate::retry::{append_at_reliable, RetriedBackend, RetryPolicy};
 use crate::write::{Writer, WriterConfig};
 use obs::trace::TraceSink;
 use obs::{Clock, Registry};
 use std::io;
 use std::sync::Arc;
+use workloads::oplog::{OpKind, OpResult};
 
 /// Global PLFS configuration.
 #[derive(Debug, Clone)]
@@ -37,6 +39,10 @@ pub struct PlfsConfig {
     /// Causal trace sink shared by every handle of this instance
     /// (disabled by default; spans are timed from the instance clock).
     pub trace: TraceSink,
+    /// Op-log capture (see [`crate::record`]): when set, every
+    /// operation this instance performs on the recorder's logical file
+    /// is appended to the recorder. Off by default.
+    pub record: Option<Arc<OpLogRecorder>>,
 }
 
 impl Default for PlfsConfig {
@@ -47,6 +53,7 @@ impl Default for PlfsConfig {
             retry: RetryPolicy::default(),
             metrics: Registry::new(),
             trace: TraceSink::disabled(),
+            record: None,
         }
     }
 }
@@ -78,8 +85,12 @@ impl Plfs {
         cfg.writer.retry = cfg.writer.retry.bound_to(&cfg.metrics);
         // Index timestamps are sequence numbers, so the shared clock is
         // logical; it starts at 1 so stamp 0 stays "never written".
-        let metrics =
-            PlfsMetrics::new_traced(&cfg.metrics, &Clock::logical_at(1), cfg.trace.clone());
+        let metrics = PlfsMetrics::new_full(
+            &cfg.metrics,
+            &Clock::logical_at(1),
+            cfg.trace.clone(),
+            cfg.record.clone(),
+        );
         Plfs { backend, cfg, metrics }
     }
 
@@ -108,9 +119,40 @@ impl Plfs {
         RetriedBackend::new(self.backend.as_ref(), &self.cfg.retry)
     }
 
+    /// Append one op to the capture log, if capture is on.
+    fn record(
+        &self,
+        logical: &str,
+        rank: u32,
+        op: OpKind,
+        offset: u64,
+        len: u64,
+        result: OpResult,
+    ) {
+        if let Some(rec) = &self.metrics.recorder {
+            rec.record(logical, rank, op, offset, len, result);
+        }
+    }
+
+    /// `Ok`/`err:<kind>` result of a metadata op, recorded pass-through.
+    fn record_meta<T>(
+        &self,
+        logical: &str,
+        op: OpKind,
+        len: u64,
+        res: io::Result<T>,
+    ) -> io::Result<T> {
+        match &res {
+            Ok(_) => self.record(logical, 0, op, 0, len, OpResult::Ok),
+            Err(e) => self.record(logical, 0, op, 0, len, err_token(e)),
+        }
+        res
+    }
+
     /// Create a logical file (container). Idempotent.
     pub fn create(&self, logical: &str) -> io::Result<()> {
-        create_container(&self.retried(), &self.paths(logical))
+        let res = create_container(&self.retried(), &self.paths(logical));
+        self.record_meta(logical, OpKind::Create, 0, res)
     }
 
     /// Does the logical file exist?
@@ -129,35 +171,64 @@ impl Plfs {
         // reserve a fresh epoch in the high bits.
         let epoch_floor = (session + 1) << 40;
         self.metrics.clock.advance_to(epoch_floor);
-        Writer::new(
+        let res = Writer::new(
             self.backend.clone(),
             paths,
             self.cfg.writer.clone(),
             rank,
             self.metrics.clone(),
             session,
-        )
+        );
+        match &res {
+            Ok(_) => self.record(logical, rank, OpKind::OpenWriter, 0, 0, OpResult::Ok),
+            Err(e) => self.record(logical, rank, OpKind::OpenWriter, 0, 0, err_token(e)),
+        }
+        res
     }
 
     /// Open a read handle (merges all indices).
     pub fn open_reader(&self, logical: &str) -> io::Result<Reader> {
+        self.open_reader_as(logical, 0)
+    }
+
+    /// [`Plfs::open_reader`] attributed to `rank` in the capture log.
+    /// Only readers opened through this API record their ops — internal
+    /// reads (stat's slow path, flatten) stay out of the log.
+    pub fn open_reader_as(&self, logical: &str, rank: u32) -> io::Result<Reader> {
         if !self.exists(logical) {
-            return Err(io::Error::new(
-                io::ErrorKind::NotFound,
-                format!("no such file: {logical}"),
-            ));
+            let e = io::Error::new(io::ErrorKind::NotFound, format!("no such file: {logical}"));
+            self.record(logical, rank, OpKind::OpenReader, 0, 0, err_token(&e));
+            return Err(e);
         }
-        Reader::open(
+        let res = Reader::open(
             self.backend.clone(),
             self.paths(logical),
             self.cfg.retry.clone(),
             self.metrics.clone(),
-        )
+        );
+        match res {
+            Ok(mut r) => {
+                r.enable_recording(rank);
+                self.record(logical, rank, OpKind::OpenReader, 0, 0, OpResult::Ok);
+                Ok(r)
+            }
+            Err(e) => {
+                self.record(logical, rank, OpKind::OpenReader, 0, 0, err_token(&e));
+                Err(e)
+            }
+        }
     }
 
     /// `stat` without a full index merge when possible: closed
     /// containers answer from metadata droppings.
     pub fn stat(&self, logical: &str) -> io::Result<FileStat> {
+        let res = self.stat_inner(logical);
+        // `len` carries the observed size — stat's replay-checkable fact.
+        let size = res.as_ref().map(|s| s.size).unwrap_or(0);
+        self.record_meta(logical, OpKind::Stat, size, res)
+    }
+
+    fn stat_inner(&self, logical: &str) -> io::Result<FileStat> {
         if !self.exists(logical) {
             return Err(io::Error::new(
                 io::ErrorKind::NotFound,
@@ -189,13 +260,12 @@ impl Plfs {
 
     /// Remove a logical file and all its droppings.
     pub fn unlink(&self, logical: &str) -> io::Result<()> {
-        if !self.exists(logical) {
-            return Err(io::Error::new(
-                io::ErrorKind::NotFound,
-                format!("no such file: {logical}"),
-            ));
-        }
-        self.cfg.retry.run(|| self.backend.remove_dir_all(logical.trim_end_matches('/')))
+        let res = if !self.exists(logical) {
+            Err(io::Error::new(io::ErrorKind::NotFound, format!("no such file: {logical}")))
+        } else {
+            self.cfg.retry.run(|| self.backend.remove_dir_all(logical.trim_end_matches('/')))
+        };
+        self.record_meta(logical, OpKind::Unlink, 0, res)
     }
 
     /// Checksum-walk a container's droppings on the bounded worker pool

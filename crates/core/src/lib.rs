@@ -66,6 +66,8 @@ pub mod metrics;
 pub mod mpiio;
 pub mod pool;
 pub mod read;
+pub mod record;
+pub mod replay;
 pub mod retry;
 pub mod simadapter;
 pub mod write;
@@ -84,6 +86,10 @@ pub use index::{IndexEntry, IndexMap};
 pub use metrics::PlfsMetrics;
 pub use mpiio::{segmented_n1_pattern, strided_n1_pattern, ParallelFile};
 pub use read::{QuarantinePolicy, Reader, DEFAULT_READAHEAD, READ_CHUNK};
+pub use record::OpLogRecorder;
+pub use replay::{
+    content_hash, differential, replay, DiffOutcome, ReplayMode, ReplayOptions, ReplayOutcome,
+};
 pub use retry::{is_integrity, IntegrityError, RetryObs, RetryPolicy};
 pub use simadapter::{
     compare, compare_restart, run_direct, run_direct_restart, run_plfs, run_plfs_restart,

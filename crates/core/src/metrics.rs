@@ -42,6 +42,7 @@
 //! fault injection adds `faults.*` (see
 //! [`crate::faults::FaultyBackend::export_into`]).
 
+use crate::record::OpLogRecorder;
 use obs::trace::{TraceCtx, TraceSink};
 use obs::{Clock, Counter, Histogram, Registry, Timer};
 use std::sync::Arc;
@@ -86,6 +87,10 @@ pub struct PlfsMetrics {
     pub decode_concurrency: Histogram,
     pub read_parallelism: Histogram,
     pub open_timer: Timer,
+    /// Op-log capture hook (see [`crate::record`]); `None` = capture
+    /// off, the default. Rides in the metrics bundle because writers
+    /// and readers already receive exactly this bundle.
+    pub recorder: Option<Arc<OpLogRecorder>>,
 }
 
 impl PlfsMetrics {
@@ -97,6 +102,16 @@ impl PlfsMetrics {
     /// [`PlfsMetrics::new`] with a trace sink: spans are timed from the
     /// same `clock` the metrics stamp from.
     pub fn new_traced(registry: &Registry, clock: &Clock, sink: TraceSink) -> Arc<Self> {
+        PlfsMetrics::new_full(registry, clock, sink, None)
+    }
+
+    /// The full bundle: trace sink plus optional op-log capture.
+    pub fn new_full(
+        registry: &Registry,
+        clock: &Clock,
+        sink: TraceSink,
+        recorder: Option<Arc<OpLogRecorder>>,
+    ) -> Arc<Self> {
         Arc::new(PlfsMetrics {
             registry: registry.clone(),
             clock: clock.clone(),
@@ -128,6 +143,7 @@ impl PlfsMetrics {
             decode_concurrency: registry.histogram("plfs.index.decode_concurrency"),
             read_parallelism: registry.histogram("plfs.read.parallelism"),
             open_timer: registry.timer("plfs.read.open_ns", clock),
+            recorder,
         })
     }
 

@@ -40,6 +40,7 @@ use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use workloads::oplog::{OpKind, OpResult};
 
 /// Upper bound on bytes buffered at once by whole-file reads
 /// ([`Reader::read_all`] / [`Reader::for_each_chunk`]). A sparse file
@@ -150,6 +151,10 @@ pub struct Reader {
     chk: HashMap<u32, ChkState>,
     verify: bool,
     quarantine: QuarantinePolicy,
+    /// `Some(rank)` when this handle's reads go into the capture log
+    /// attributed to `rank` (set by [`crate::Plfs::open_reader_as`]);
+    /// internal readers (stat, flatten) stay `None` and record nothing.
+    record_rank: Option<u32>,
 }
 
 /// Cached per-dropping state: the resolved path (the "handle" — path
@@ -350,7 +355,32 @@ impl Reader {
             chk,
             verify: true,
             quarantine: QuarantinePolicy::default(),
+            record_rank: None,
         })
+    }
+
+    /// Attribute this handle's ops to `rank` in the instance capture
+    /// log. Only [`crate::Plfs::open_reader_as`] calls this — internal
+    /// readers never record.
+    pub(crate) fn enable_recording(&mut self, rank: u32) {
+        self.record_rank = rank.into();
+    }
+
+    /// Capture one delivered read: requested length in the len column,
+    /// delivered count + CRC32 of the delivered bytes in the result.
+    fn record_read(&self, offset: u64, requested: usize, delivered: &[u8]) {
+        if let Some(rank) = self.record_rank {
+            if let Some(rec) = &self.metrics.recorder {
+                rec.record(
+                    self.paths.base(),
+                    rank,
+                    OpKind::Read,
+                    offset,
+                    requested as u64,
+                    OpResult::Read { got: delivered.len() as u64, crc: crc32(delivered) },
+                );
+            }
+        }
     }
 
     /// Tune the per-dropping readahead (bytes; 0 disables over-reads).
@@ -488,12 +518,14 @@ impl Reader {
     /// delivered: a failed read contributes nothing.
     pub fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
         let eof = self.map.eof();
+        let requested = buf.len();
         self.metrics.read_ops.inc();
         if offset >= eof {
+            self.record_read(offset, requested, &[]);
             return Ok(0);
         }
         let want = (buf.len() as u64).min(eof - offset) as usize;
-        let mut buf = &mut buf[..want];
+        let mut rest = &mut buf[..want];
         let pieces = self.map.lookup(offset, want as u64);
         let root = self.metrics.trace.start("plfs.read", Phase::Transfer, "plfs.read", 0);
         let root_id = root.id();
@@ -506,9 +538,9 @@ impl Reader {
         let mut batches: Vec<Batch> = Vec::new();
         let mut open: HashMap<u32, usize> = HashMap::new();
         for (_, piece_len, extent) in pieces {
-            let tail = std::mem::take(&mut buf);
+            let tail = std::mem::take(&mut rest);
             let (seg, tail) = tail.split_at_mut(piece_len as usize);
-            buf = tail;
+            rest = tail;
             let Some(x) = extent else {
                 seg.fill(0);
                 continue;
@@ -553,6 +585,9 @@ impl Reader {
         }
         self.metrics.read_bytes.add(want as u64);
         root.end();
+        // The batch borrows end here; capture sees the delivered bytes.
+        drop(jobs);
+        self.record_read(offset, requested, &buf[..want]);
         Ok(want)
     }
 
@@ -669,8 +704,10 @@ impl Reader {
     /// (short reads looped, holes zeroed, bytes counted on delivery).
     pub fn read_at_serial(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
         let eof = self.map.eof();
+        let requested = buf.len();
         self.metrics.read_ops.inc();
         if offset >= eof {
+            self.record_read(offset, requested, &[]);
             return Ok(0);
         }
         let want = (buf.len() as u64).min(eof - offset) as usize;
@@ -697,6 +734,7 @@ impl Reader {
         }
         self.metrics.read_backend_ops.add(ops);
         self.metrics.read_bytes.add(want as u64);
+        self.record_read(offset, requested, &buf[..want]);
         Ok(want)
     }
 
@@ -731,6 +769,18 @@ impl Reader {
             Ok(())
         })?;
         Ok(out)
+    }
+}
+
+impl Drop for Reader {
+    fn drop(&mut self) {
+        // Capture-visible readers bracket their reads with rclose so a
+        // replayed log tears down read handles where the capture did.
+        if let Some(rank) = self.record_rank {
+            if let Some(rec) = &self.metrics.recorder {
+                rec.record(self.paths.base(), rank, OpKind::CloseReader, 0, 0, OpResult::Ok);
+            }
+        }
     }
 }
 

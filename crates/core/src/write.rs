@@ -16,10 +16,12 @@ use crate::checksum::{chk_header, ChkBuilder, VERIFY_BLOCK};
 use crate::container::ContainerPaths;
 use crate::index::{encode_compressed, encode_raw, IndexEntry};
 use crate::metrics::PlfsMetrics;
+use crate::record::err_token;
 use crate::retry::{append_at_reliable, append_at_reliable_traced, len_or_zero, RetryPolicy};
 use obs::trace::Phase;
 use std::io;
 use std::sync::Arc;
+use workloads::oplog::{OpKind, OpResult};
 
 /// Writer-side knobs.
 #[derive(Debug, Clone)]
@@ -247,13 +249,51 @@ impl Writer {
     /// Write `data` at logical offset `offset` — O(1) regardless of the
     /// logical layout: one log append plus one index record.
     pub fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
+        self.write_at_opt(offset, data, None)
+    }
+
+    /// [`Writer::write_at`] with a caller-supplied index timestamp
+    /// instead of a fresh clock stamp. This is the replay entry point:
+    /// re-issuing a captured write with its *recorded* stamp makes the
+    /// read path resolve cross-rank overlaps exactly as the capture run
+    /// did, regardless of replay mode or parallelism. Callers own stamp
+    /// hygiene — replays use recorded capture stamps or the generated
+    /// epoch well above any live clock value.
+    pub fn write_at_stamped(&mut self, offset: u64, data: &[u8], ts: u64) -> io::Result<()> {
+        self.write_at_opt(offset, data, Some(ts))
+    }
+
+    fn write_at_opt(&mut self, offset: u64, data: &[u8], ts: Option<u64>) -> io::Result<()> {
+        let res = self.write_at_inner(offset, data, ts);
+        if let Some(rec) = &self.metrics.recorder {
+            let result = match &res {
+                Ok(used) => OpResult::Write { stamp: *used },
+                Err(e) => err_token(e),
+            };
+            rec.record(
+                self.paths.base(),
+                self.rank,
+                OpKind::Write,
+                offset,
+                data.len() as u64,
+                result,
+            );
+        }
+        res.map(|_| ())
+    }
+
+    /// Returns the index stamp the write used (caller-supplied, or
+    /// freshly taken from the instance clock).
+    fn write_at_inner(&mut self, offset: u64, data: &[u8], ts: Option<u64>) -> io::Result<u64> {
         assert!(!self.closed, "write on closed Writer");
         if data.is_empty() {
-            return Ok(());
+            return Ok(ts.unwrap_or(0));
         }
         let op = self.metrics.trace.start("plfs.write_at", Phase::Compute, &self.track(), 0);
         let op_id = op.id();
-        let ts = self.metrics.clock.stamp();
+        // A fresh stamp is taken *inside* the span: on the logical
+        // clock, span durations are measured in stamps.
+        let ts = ts.unwrap_or_else(|| self.metrics.clock.stamp());
         let phys = self.cursor;
         self.pending_index.push(IndexEntry {
             logical_offset: offset,
@@ -283,7 +323,7 @@ impl Writer {
         if self.pending_index.len() >= self.cfg.index_flush_every {
             self.flush_index(op_id)?;
         }
-        Ok(())
+        Ok(ts)
     }
 
     /// Land `data` at exactly `base` in the data dropping, resuming any
@@ -443,22 +483,43 @@ impl Writer {
     pub fn sync(&mut self) -> io::Result<()> {
         let span = self.metrics.trace.start("plfs.sync", Phase::Compute, &self.track(), 0);
         let id = span.id();
-        self.flush_data(id)?;
-        self.flush_index(id)?;
-        self.flush_sidecars(id)
+        let res = (|| {
+            self.flush_data(id)?;
+            self.flush_index(id)?;
+            self.flush_sidecars(id)
+        })();
+        if let Some(rec) = &self.metrics.recorder {
+            let result = match &res {
+                Ok(()) => OpResult::Ok,
+                Err(e) => err_token(e),
+            };
+            rec.record(self.paths.base(), self.rank, OpKind::Sync, 0, 0, result);
+        }
+        res
     }
 
     /// Close the handle: flush, drop the openhosts dropping, and leave
     /// a metadata summary so later opens can shortcut stat calls.
     pub fn close(mut self) -> io::Result<WriterStats> {
-        self.sync()?;
-        self.seal_sidecars()?;
-        let max_ts = self.metrics.clock.current();
-        let meta = self.paths.meta_dropping(self.rank, self.max_logical, self.stats.bytes, max_ts);
-        self.cfg.retry.run(|| self.backend.create(&meta))?;
-        let _ = self.cfg.retry.run(|| self.backend.remove(&self.open_dropping));
-        self.closed = true;
-        Ok(self.stats)
+        let res = (|| {
+            self.sync()?;
+            self.seal_sidecars()?;
+            let max_ts = self.metrics.clock.current();
+            let meta =
+                self.paths.meta_dropping(self.rank, self.max_logical, self.stats.bytes, max_ts);
+            self.cfg.retry.run(|| self.backend.create(&meta))?;
+            let _ = self.cfg.retry.run(|| self.backend.remove(&self.open_dropping));
+            self.closed = true;
+            Ok(())
+        })();
+        if let Some(rec) = &self.metrics.recorder {
+            let result = match &res {
+                Ok(()) => OpResult::Ok,
+                Err(e) => err_token(e),
+            };
+            rec.record(self.paths.base(), self.rank, OpKind::CloseWriter, 0, 0, result);
+        }
+        res.map(|()| self.stats)
     }
 }
 

@@ -1,0 +1,549 @@
+//! Seeded workload generators that emit op logs directly.
+//!
+//! Each [`Scenario`] is a canned builder for one of the checkpoint
+//! traffic shapes the PDSI characterization work kept meeting — N-1
+//! strided checkpoints, N-N per-rank files, read-heavy restarts, mixed
+//! read/write phases, and metadata storms — parameterized by a
+//! [`SizeDist`]/[`ArrivalDist`] pair from the shared distribution
+//! module and a seed. The output is a plain [`OpLog`]: a generated
+//! scenario and a captured run are the same kind of artifact, and both
+//! replay through the same engine.
+//!
+//! Determinism contract: `generate(scenario, cfg)` is a pure function
+//! of its arguments. Per-rank randomness comes from `fork`ed
+//! [`simkit::Rng`] streams, write stamps are pre-assigned from
+//! [`GEN_STAMP_BASE`] in final log order, and payloads are the
+//! canonical [`crate::oplog::fill_payload`] bytes — so every replay of
+//! a generated log, in any mode at any parallelism, produces identical
+//! container contents.
+
+use crate::oplog::{OpKind, OpLog, OpRecord, OpResult, Shape};
+use crate::sample::{ArrivalDist, SizeDist};
+use simkit::Rng;
+
+/// Base for pre-assigned write stamps in generated logs: far above any
+/// capture-clock stamp a real run of plausible size produces, so
+/// generated and captured stamps can never collide in one container.
+pub const GEN_STAMP_BASE: u64 = 1 << 55;
+
+/// Knobs shared by every scenario builder.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    pub ranks: u32,
+    /// Write records per rank (scenarios derive their read/metadata op
+    /// counts from this).
+    pub ops_per_rank: u32,
+    pub size: SizeDist,
+    pub arrival: ArrivalDist,
+    pub seed: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            ranks: 4,
+            ops_per_rank: 8,
+            size: SizeDist::Uniform { min: 4096, max: 65536 },
+            arrival: ArrivalDist::Poisson { mean_gap_ns: 200_000 },
+            seed: 42,
+        }
+    }
+}
+
+/// The canned scenario shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// All ranks interleave records round-robin into one shared file —
+    /// the classic strided N-1 checkpoint.
+    N1Strided,
+    /// Each rank streams sequentially into its own file.
+    NN,
+    /// A small segmented write phase, then a 3× larger shifted-and-
+    /// random read phase — restart with a different decomposition.
+    ReadHeavyRestart,
+    /// Two write phases with a read phase between and after; the second
+    /// write phase overwrites earlier ranges, exercising cross-phase
+    /// overlap resolution.
+    Mixed,
+    /// Open/close/stat churn with tiny writes — metadata-bound traffic.
+    MetadataStorm,
+}
+
+/// CLI name table.
+pub const SCENARIOS: &[(&str, Scenario)] = &[
+    ("n1-strided", Scenario::N1Strided),
+    ("nn", Scenario::NN),
+    ("read-heavy-restart", Scenario::ReadHeavyRestart),
+    ("mixed", Scenario::Mixed),
+    ("metadata-storm", Scenario::MetadataStorm),
+];
+
+impl Scenario {
+    pub fn name(self) -> &'static str {
+        SCENARIOS.iter().find(|(_, s)| *s == self).map(|(n, _)| *n).unwrap_or("?")
+    }
+
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        SCENARIOS.iter().find(|(n, _)| *n == name).map(|(_, s)| *s)
+    }
+}
+
+/// Per-rank op accumulator: tracks one rank's arrival clock and pushes
+/// records stamped with it.
+struct RankStream {
+    rank: u32,
+    rng: Rng,
+    t: u64,
+    issued: u64,
+    ops: Vec<OpRecord>,
+}
+
+impl RankStream {
+    fn tick(&mut self, arrival: &ArrivalDist) -> u64 {
+        self.t += arrival.next_gap(&mut self.rng, self.issued);
+        self.issued += 1;
+        self.t
+    }
+
+    fn push(&mut self, arrival: &ArrivalDist, op: OpKind, offset: u64, len: u64) {
+        let t_ns = self.tick(arrival);
+        self.ops.push(OpRecord {
+            t_ns,
+            rank: self.rank,
+            op,
+            offset,
+            len,
+            result: OpResult::Pending,
+        });
+    }
+}
+
+fn streams(cfg: &GenConfig, base_t: u64) -> Vec<RankStream> {
+    let mut root = Rng::new(cfg.seed);
+    (0..cfg.ranks)
+        .map(|r| RankStream {
+            rank: r,
+            rng: root.fork(r as u64),
+            t: base_t,
+            issued: 0,
+            ops: Vec::new(),
+        })
+        .collect()
+}
+
+/// Drain a phase's streams into `out` and return the time the next
+/// phase starts at (strictly after everything in this one, so replay
+/// epochs line up with the phase structure).
+fn finish_phase(mut ranks: Vec<RankStream>, out: &mut Vec<OpRecord>) -> u64 {
+    let end = ranks.iter().map(|s| s.t).max().unwrap_or(0) + 1;
+    for s in &mut ranks {
+        out.append(&mut s.ops);
+    }
+    end
+}
+
+/// Build the scenario's op log. Pure in `(scenario, cfg)`.
+pub fn generate(scenario: Scenario, cfg: &GenConfig) -> OpLog {
+    let mut log = match scenario {
+        Scenario::N1Strided => gen_n1_strided(cfg),
+        Scenario::NN => gen_nn(cfg),
+        Scenario::ReadHeavyRestart => gen_restart(cfg),
+        Scenario::Mixed => gen_mixed(cfg),
+        Scenario::MetadataStorm => gen_storm(cfg),
+    };
+    log.ranks = cfg.ranks;
+    // Global time order (stable: preserves per-rank and cross-rank
+    // generation order on ties), then pre-assign write stamps by final
+    // log position so every replay resolves overlaps identically.
+    log.ops.sort_by_key(|o| o.t_ns);
+    for (i, op) in log.ops.iter_mut().enumerate() {
+        if op.op == OpKind::Write {
+            op.result = OpResult::Write { stamp: GEN_STAMP_BASE + i as u64 };
+        }
+    }
+    log
+}
+
+/// Sample every rank's record sizes up front (strided layout needs the
+/// full grid before any offset is known).
+fn size_grid(cfg: &GenConfig, ranks: &mut [RankStream]) -> Vec<Vec<u64>> {
+    ranks
+        .iter_mut()
+        .map(|s| (0..cfg.ops_per_rank).map(|_| cfg.size.sample(&mut s.rng)).collect())
+        .collect()
+}
+
+fn gen_n1_strided(cfg: &GenConfig) -> OpLog {
+    let mut ops = Vec::new();
+    let mut ranks = streams(cfg, 0);
+    let sizes = size_grid(cfg, &mut ranks);
+
+    // Strided layout: round j holds record j of every rank, in rank
+    // order, packed back to back.
+    let mut offsets = vec![vec![0u64; cfg.ops_per_rank as usize]; cfg.ranks as usize];
+    let mut base = 0u64;
+    for j in 0..cfg.ops_per_rank as usize {
+        for r in 0..cfg.ranks as usize {
+            offsets[r][j] = base;
+            base += sizes[r][j];
+        }
+    }
+
+    for s in ranks.iter_mut() {
+        let r = s.rank as usize;
+        s.push(&cfg.arrival, OpKind::OpenWriter, 0, 0);
+        for j in 0..cfg.ops_per_rank as usize {
+            s.push(&cfg.arrival, OpKind::Write, offsets[r][j], sizes[r][j]);
+        }
+        s.push(&cfg.arrival, OpKind::Sync, 0, 0);
+        s.push(&cfg.arrival, OpKind::CloseWriter, 0, 0);
+    }
+    let t_read = finish_phase(ranks, &mut ops);
+
+    // Read-back: each rank re-reads its own records.
+    let mut ranks = streams(cfg, t_read);
+    for s in ranks.iter_mut() {
+        let r = s.rank as usize;
+        s.push(&cfg.arrival, OpKind::OpenReader, 0, 0);
+        for j in 0..cfg.ops_per_rank as usize {
+            s.push(&cfg.arrival, OpKind::Read, offsets[r][j], sizes[r][j]);
+        }
+        s.push(&cfg.arrival, OpKind::CloseReader, 0, 0);
+    }
+    finish_phase(ranks, &mut ops);
+    OpLog { file: "/ckpt-n1".into(), ranks: cfg.ranks, shape: Shape::N1, ops }
+}
+
+fn gen_nn(cfg: &GenConfig) -> OpLog {
+    let mut ops = Vec::new();
+    let mut ranks = streams(cfg, 0);
+    let mut extents = vec![0u64; cfg.ranks as usize];
+    for s in ranks.iter_mut() {
+        let r = s.rank as usize;
+        s.push(&cfg.arrival, OpKind::OpenWriter, 0, 0);
+        for _ in 0..cfg.ops_per_rank {
+            let len = cfg.size.sample(&mut s.rng);
+            s.push(&cfg.arrival, OpKind::Write, extents[r], len);
+            extents[r] += len;
+        }
+        s.push(&cfg.arrival, OpKind::CloseWriter, 0, 0);
+    }
+    let t_read = finish_phase(ranks, &mut ops);
+
+    // Each rank streams its whole file back in record-mean chunks.
+    let chunk = (cfg.size.mean().round() as u64).max(1);
+    let mut ranks = streams(cfg, t_read);
+    for s in ranks.iter_mut() {
+        let r = s.rank as usize;
+        s.push(&cfg.arrival, OpKind::OpenReader, 0, 0);
+        let mut off = 0u64;
+        while off < extents[r] {
+            let len = chunk.min(extents[r] - off);
+            s.push(&cfg.arrival, OpKind::Read, off, len);
+            off += len;
+        }
+        s.push(&cfg.arrival, OpKind::CloseReader, 0, 0);
+    }
+    finish_phase(ranks, &mut ops);
+    OpLog { file: "/ckpt-nn".into(), ranks: cfg.ranks, shape: Shape::NN, ops }
+}
+
+fn gen_restart(cfg: &GenConfig) -> OpLog {
+    let mut ops = Vec::new();
+    let mut ranks = streams(cfg, 0);
+    let sizes = size_grid(cfg, &mut ranks);
+
+    // Segmented N-1: rank r's records are contiguous at base[r].
+    let seg_total: Vec<u64> = sizes.iter().map(|v| v.iter().sum()).collect();
+    let mut bases = vec![0u64; cfg.ranks as usize];
+    for r in 1..cfg.ranks as usize {
+        bases[r] = bases[r - 1] + seg_total[r - 1];
+    }
+    let file_size: u64 = seg_total.iter().sum();
+
+    for s in ranks.iter_mut() {
+        let r = s.rank as usize;
+        s.push(&cfg.arrival, OpKind::OpenWriter, 0, 0);
+        let mut off = bases[r];
+        for &len in &sizes[r][..cfg.ops_per_rank as usize] {
+            s.push(&cfg.arrival, OpKind::Write, off, len);
+            off += len;
+        }
+        s.push(&cfg.arrival, OpKind::CloseWriter, 0, 0);
+    }
+    let t_read = finish_phase(ranks, &mut ops);
+
+    // Restart under a rotated decomposition: rank r replays rank
+    // (r+1) % N's segment, then issues 2× ops of random whole-file
+    // reads — 3× the write op count in total.
+    let mut ranks = streams(cfg, t_read);
+    for s in ranks.iter_mut() {
+        let r = s.rank as usize;
+        let donor = (r + 1) % cfg.ranks as usize;
+        s.push(&cfg.arrival, OpKind::OpenReader, 0, 0);
+        let mut off = bases[donor];
+        for &len in &sizes[donor][..cfg.ops_per_rank as usize] {
+            s.push(&cfg.arrival, OpKind::Read, off, len);
+            off += len;
+        }
+        for _ in 0..2 * cfg.ops_per_rank {
+            let len = cfg.size.sample(&mut s.rng).min(file_size.max(1));
+            let max_start = file_size.saturating_sub(len);
+            let off = if max_start == 0 { 0 } else { s.rng.range_inclusive(0, max_start) };
+            s.push(&cfg.arrival, OpKind::Read, off, len);
+        }
+        s.push(&cfg.arrival, OpKind::CloseReader, 0, 0);
+    }
+    finish_phase(ranks, &mut ops);
+    OpLog { file: "/ckpt-restart".into(), ranks: cfg.ranks, shape: Shape::N1, ops }
+}
+
+fn gen_mixed(cfg: &GenConfig) -> OpLog {
+    let mut ops = Vec::new();
+    let w1 = cfg.ops_per_rank.div_ceil(2);
+    let w2 = cfg.ops_per_rank - w1;
+
+    // Phase W1: segmented append.
+    let mut ranks = streams(cfg, 0);
+    let sizes = size_grid(cfg, &mut ranks);
+    let seg_total: Vec<u64> = sizes.iter().map(|v| v[..w1 as usize].iter().sum()).collect();
+    let mut bases = vec![0u64; cfg.ranks as usize];
+    for r in 1..cfg.ranks as usize {
+        bases[r] = bases[r - 1] + seg_total[r - 1];
+    }
+    let w1_size: u64 = seg_total.iter().sum();
+    for s in ranks.iter_mut() {
+        let r = s.rank as usize;
+        s.push(&cfg.arrival, OpKind::OpenWriter, 0, 0);
+        let mut off = bases[r];
+        for &len in &sizes[r][..w1 as usize] {
+            s.push(&cfg.arrival, OpKind::Write, off, len);
+            off += len;
+        }
+        s.push(&cfg.arrival, OpKind::Sync, 0, 0);
+        s.push(&cfg.arrival, OpKind::CloseWriter, 0, 0);
+    }
+    let t = finish_phase(ranks, &mut ops);
+
+    // Phase R1: random reads over the W1 extent.
+    let mut ranks = streams(cfg, t);
+    for s in ranks.iter_mut() {
+        s.push(&cfg.arrival, OpKind::OpenReader, 0, 0);
+        for _ in 0..w1 {
+            let len = cfg.size.sample(&mut s.rng).min(w1_size.max(1));
+            let max_start = w1_size.saturating_sub(len);
+            let off = if max_start == 0 { 0 } else { s.rng.range_inclusive(0, max_start) };
+            s.push(&cfg.arrival, OpKind::Read, off, len);
+        }
+        s.push(&cfg.arrival, OpKind::CloseReader, 0, 0);
+    }
+    let t = finish_phase(ranks, &mut ops);
+
+    // Phase W2: alternate overwrites of W1 ranges and fresh appends
+    // past the W1 extent — the overlap-resolution stressor.
+    let mut ranks = streams(cfg, t);
+    let mut append_off = w1_size;
+    let mut append_offsets = vec![Vec::new(); cfg.ranks as usize];
+    for s in ranks.iter_mut() {
+        let r = s.rank as usize;
+        for j in 0..w2 as usize {
+            let len = sizes[r][w1 as usize + j];
+            if j % 2 == 0 {
+                append_offsets[r].push((append_off, len, true));
+                append_off += len;
+            } else {
+                let max_start = w1_size.saturating_sub(len);
+                let off = if max_start == 0 { 0 } else { s.rng.range_inclusive(0, max_start) };
+                append_offsets[r].push((off, len, false));
+            }
+        }
+    }
+    for s in ranks.iter_mut() {
+        let r = s.rank as usize;
+        s.push(&cfg.arrival, OpKind::OpenWriter, 0, 0);
+        for &(off, len, _) in &append_offsets[r] {
+            s.push(&cfg.arrival, OpKind::Write, off, len);
+        }
+        s.push(&cfg.arrival, OpKind::CloseWriter, 0, 0);
+    }
+    let t = finish_phase(ranks, &mut ops);
+
+    // Phase R2: stat, then random reads over the full extent.
+    let full_size = append_off;
+    let mut ranks = streams(cfg, t);
+    for s in ranks.iter_mut() {
+        s.push(&cfg.arrival, OpKind::Stat, 0, 0);
+        s.push(&cfg.arrival, OpKind::OpenReader, 0, 0);
+        for _ in 0..cfg.ops_per_rank {
+            let len = cfg.size.sample(&mut s.rng).min(full_size.max(1));
+            let max_start = full_size.saturating_sub(len);
+            let off = if max_start == 0 { 0 } else { s.rng.range_inclusive(0, max_start) };
+            s.push(&cfg.arrival, OpKind::Read, off, len);
+        }
+        s.push(&cfg.arrival, OpKind::CloseReader, 0, 0);
+    }
+    finish_phase(ranks, &mut ops);
+    OpLog { file: "/ckpt-mixed".into(), ranks: cfg.ranks, shape: Shape::N1, ops }
+}
+
+fn gen_storm(cfg: &GenConfig) -> OpLog {
+    let mut ops = vec![OpRecord {
+        t_ns: 0,
+        rank: 0,
+        op: OpKind::Create,
+        offset: 0,
+        len: 0,
+        result: OpResult::Pending,
+    }];
+    // Each iteration: open, one tiny write, close, stat — the
+    // open/close churn dominating PDSI metadata-storm traces. Writes
+    // land segmented (by iteration count) so content stays verifiable.
+    let mut ranks = streams(cfg, 1);
+    let record = 512u64;
+    for s in ranks.iter_mut() {
+        let r = s.rank as u64;
+        for j in 0..cfg.ops_per_rank as u64 {
+            s.push(&cfg.arrival, OpKind::OpenWriter, 0, 0);
+            s.push(&cfg.arrival, OpKind::Write, (r * cfg.ops_per_rank as u64 + j) * record, record);
+            s.push(&cfg.arrival, OpKind::CloseWriter, 0, 0);
+            s.push(&cfg.arrival, OpKind::Stat, 0, 0);
+        }
+    }
+    let t = finish_phase(ranks, &mut ops);
+    // Final read-back of each rank's records.
+    let mut ranks = streams(cfg, t);
+    for s in ranks.iter_mut() {
+        let r = s.rank as u64;
+        s.push(&cfg.arrival, OpKind::OpenReader, 0, 0);
+        s.push(
+            &cfg.arrival,
+            OpKind::Read,
+            r * cfg.ops_per_rank as u64 * record,
+            cfg.ops_per_rank as u64 * record,
+        );
+        s.push(&cfg.arrival, OpKind::CloseReader, 0, 0);
+    }
+    finish_phase(ranks, &mut ops);
+    OpLog { file: "/ckpt-storm".into(), ranks: cfg.ranks, shape: Shape::N1, ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_scenarios() -> Vec<Scenario> {
+        SCENARIOS.iter().map(|(_, s)| *s).collect()
+    }
+
+    #[test]
+    fn every_scenario_emits_a_parseable_roundtrip_log() {
+        for sc in all_scenarios() {
+            let log = generate(sc, &GenConfig::default());
+            assert!(!log.ops.is_empty(), "{sc:?} generated nothing");
+            let reparsed = OpLog::parse(&log.to_text()).unwrap();
+            assert_eq!(reparsed, log, "{sc:?} text round trip");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig { seed: 7, ..GenConfig::default() };
+        for sc in all_scenarios() {
+            assert_eq!(generate(sc, &cfg), generate(sc, &cfg), "{sc:?}");
+        }
+    }
+
+    #[test]
+    fn write_stamps_are_unique_and_above_base() {
+        for sc in all_scenarios() {
+            let log = generate(sc, &GenConfig::default());
+            let mut stamps: Vec<u64> = log
+                .ops
+                .iter()
+                .filter_map(|o| match o.result {
+                    OpResult::Write { stamp } => Some(stamp),
+                    _ => None,
+                })
+                .collect();
+            assert!(!stamps.is_empty());
+            assert!(stamps.iter().all(|&s| s >= GEN_STAMP_BASE));
+            let n = stamps.len();
+            stamps.sort_unstable();
+            stamps.dedup();
+            assert_eq!(stamps.len(), n, "{sc:?} duplicate stamps");
+        }
+    }
+
+    #[test]
+    fn n1_strided_writes_tile_the_file_exactly() {
+        let log = generate(Scenario::N1Strided, &GenConfig::default());
+        let mut spans: Vec<(u64, u64)> =
+            log.ops.iter().filter(|o| o.op == OpKind::Write).map(|o| (o.offset, o.len)).collect();
+        spans.sort_unstable();
+        let mut expect = 0u64;
+        for (off, len) in spans {
+            assert_eq!(off, expect, "gap or overlap at {off}");
+            expect = off + len;
+        }
+        // Interleaved: consecutive rounds alternate ranks.
+        assert!(log.shape == Shape::N1);
+    }
+
+    #[test]
+    fn nn_is_per_rank_sequential() {
+        let log = generate(Scenario::NN, &GenConfig::default());
+        assert_eq!(log.shape, Shape::NN);
+        for r in 0..4u32 {
+            let mut expect = 0u64;
+            for o in log.ops.iter().filter(|o| o.rank == r && o.op == OpKind::Write) {
+                assert_eq!(o.offset, expect);
+                expect += o.len;
+            }
+            assert!(expect > 0, "rank {r} wrote nothing");
+        }
+    }
+
+    #[test]
+    fn restart_is_read_heavy() {
+        let log = generate(Scenario::ReadHeavyRestart, &GenConfig::default());
+        let writes = log.ops.iter().filter(|o| o.op == OpKind::Write).count();
+        let reads = log.ops.iter().filter(|o| o.op == OpKind::Read).count();
+        assert_eq!(reads, 3 * writes, "expected 3x read ops, got {reads}/{writes}");
+    }
+
+    #[test]
+    fn storm_is_metadata_bound() {
+        let log = generate(Scenario::MetadataStorm, &GenConfig::default());
+        let data_ops =
+            log.ops.iter().filter(|o| matches!(o.op, OpKind::Write | OpKind::Read)).count();
+        let meta_ops = log.ops.len() - data_ops;
+        assert!(meta_ops > 2 * data_ops, "storm not metadata-bound: {meta_ops}/{data_ops}");
+        assert!(log.ops.iter().any(|o| o.op == OpKind::Create));
+        assert!(log.ops.iter().any(|o| o.op == OpKind::Stat));
+    }
+
+    #[test]
+    fn mixed_overwrites_earlier_ranges() {
+        let log = generate(Scenario::Mixed, &GenConfig::default());
+        // Some write in the log starts below the highest preceding
+        // write end — an overwrite of already-written bytes.
+        let mut high = 0u64;
+        let mut saw_overwrite = false;
+        for o in log.ops.iter().filter(|o| o.op == OpKind::Write) {
+            if o.offset < high {
+                saw_overwrite = true;
+            }
+            high = high.max(o.offset + o.len);
+        }
+        assert!(saw_overwrite, "mixed scenario never overwrote");
+    }
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for (name, sc) in SCENARIOS {
+            assert_eq!(Scenario::by_name(name), Some(*sc));
+            assert_eq!(sc.name(), *name);
+        }
+        assert_eq!(Scenario::by_name("nope"), None);
+    }
+}

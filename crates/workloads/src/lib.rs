@@ -13,11 +13,31 @@
 //! - [`ninjat`]: the Ninjat write-pattern visualizer (Fig. 15),
 //!   rendered in ASCII, plus the interleave metric the pictures let
 //!   you eyeball.
+//!
+//! Capture & replay adds three more:
+//!
+//! - [`sample`]: the shared seeded size/arrival distribution module
+//!   (lognormal/uniform sizes, Poisson/burst arrivals) every workload
+//!   source draws from;
+//! - [`oplog`]: the versioned, replayable TSV op-log format — the
+//!   capture artifact, with typed parse errors and the delivered-bytes
+//!   digest replays are verified against;
+//! - [`gen`]: canned scenario builders (N-1 strided, N-N, read-heavy
+//!   restart, mixed, metadata storm) that emit op logs directly.
 
 pub mod apps;
+pub mod gen;
 pub mod ninjat;
+pub mod oplog;
+pub mod sample;
 pub mod trace;
 
 pub use apps::{AppProfile, IoShape, Pattern, APP_PROFILES};
+pub use gen::{generate, GenConfig, Scenario, GEN_STAMP_BASE, SCENARIOS};
 pub use ninjat::{interleave_factor, render};
+pub use oplog::{
+    fill_payload, fold_delivered, OpKind, OpLog, OpLogError, OpLogErrorKind, OpRecord, OpResult,
+    Shape, DELIVERED_HASH_SEED, OPLOG_MAGIC,
+};
+pub use sample::{uniform_aligned_offset, ArrivalDist, SizeDist};
 pub use trace::{Trace, TraceError, TraceOp};

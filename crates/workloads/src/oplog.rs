@@ -1,0 +1,714 @@
+//! The PLFS op log: a compact, versioned, replayable record of every
+//! operation a workload issued against one logical file.
+//!
+//! This is the capture half of workload capture & replay (the replay
+//! engine lives in `plfs::replay`). The format follows the s3-bench /
+//! LANL-trace lineage: one line per operation, tab-separated, greppable,
+//! with a versioned header so the format can evolve without silently
+//! misreading old logs.
+//!
+//! ```text
+//! # plfs-oplog v1
+//! # file: /ckpt ranks: 64 shape: n1
+//! # fields: t_ns rank op offset len result
+//! 1200<TAB>0<TAB>open<TAB>0<TAB>0<TAB>ok
+//! 1320<TAB>0<TAB>write<TAB>0<TAB>47104<TAB>ok:1099511627777
+//! 9400<TAB>3<TAB>read<TAB>141312<TAB>47104<TAB>ok:47104:9a0b1c2d
+//! ```
+//!
+//! Fields: timestamp (nanoseconds, nondecreasing in file order), rank,
+//! op, logical offset, length, result. The result column is what makes
+//! replays verifiable byte-for-byte instead of merely op-for-op:
+//!
+//! - writes record the index timestamp the write was stamped with
+//!   (`ok:<stamp>`), so a replay resolves cross-rank overlaps exactly
+//!   as the capture run did, in any replay mode;
+//! - reads record the delivered byte count and a CRC32 of the
+//!   delivered bytes (`ok:<got>:<crc32hex>`), so a replay can prove it
+//!   served the same bytes;
+//! - generated (not-yet-executed) ops carry `-`, and surfaced errors
+//!   carry `err:<kind>`.
+//!
+//! Parsing is strict and never panics: every malformed input yields a
+//! typed [`OpLogError`] naming the line and failure
+//! ([`OpLogErrorKind`]), including truncated lines, unknown ops,
+//! out-of-order timestamps, and version-mismatched headers.
+//!
+//! Write payloads are deliberately *not* stored. Replayable workloads
+//! use the canonical deterministic payload ([`fill_payload`]) — a pure
+//! function of `(rank, absolute offset)` — so any two replays of a log
+//! produce identical container bytes, and a capture that also used
+//! canonical payloads (every generator in [`crate::gen`] does) is
+//! byte-reproducible end to end.
+
+use crate::trace::{Trace, TraceOp};
+use simkit::rng::splitmix64;
+use std::fmt::Write as _;
+
+/// First header line of a v1 op log.
+pub const OPLOG_MAGIC: &str = "# plfs-oplog v1";
+
+/// The op-log format version this module reads and writes.
+pub const OPLOG_VERSION: u32 = 1;
+
+/// One operation kind. The write-side kinds mutate the container; the
+/// read-side kinds (`ropen`/`read`/`rclose`/`stat`) only observe it —
+/// the replay engine uses that split to place its barriers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Create the logical file (container).
+    Create,
+    /// Open a writer session for `rank`.
+    OpenWriter,
+    /// `write_at(offset, len)`.
+    Write,
+    /// Flush a writer's buffered data and index.
+    Sync,
+    /// Close the writer session.
+    CloseWriter,
+    /// Open a read handle (index merge).
+    OpenReader,
+    /// `read_at(offset, len)`.
+    Read,
+    /// Drop the read handle.
+    CloseReader,
+    /// `stat` the logical file.
+    Stat,
+    /// Remove the logical file.
+    Unlink,
+}
+
+impl OpKind {
+    /// The on-disk token.
+    pub fn token(self) -> &'static str {
+        match self {
+            OpKind::Create => "create",
+            OpKind::OpenWriter => "open",
+            OpKind::Write => "write",
+            OpKind::Sync => "sync",
+            OpKind::CloseWriter => "close",
+            OpKind::OpenReader => "ropen",
+            OpKind::Read => "read",
+            OpKind::CloseReader => "rclose",
+            OpKind::Stat => "stat",
+            OpKind::Unlink => "unlink",
+        }
+    }
+
+    fn from_token(tok: &str) -> Option<OpKind> {
+        Some(match tok {
+            "create" => OpKind::Create,
+            "open" => OpKind::OpenWriter,
+            "write" => OpKind::Write,
+            "sync" => OpKind::Sync,
+            "close" => OpKind::CloseWriter,
+            "ropen" => OpKind::OpenReader,
+            "read" => OpKind::Read,
+            "rclose" => OpKind::CloseReader,
+            "stat" => OpKind::Stat,
+            "unlink" => OpKind::Unlink,
+            _ => return None,
+        })
+    }
+
+    /// Read-side ops only observe container state; write-side ops
+    /// mutate it. The replay engine syncs writers and reopens readers
+    /// at every write→read transition.
+    pub fn is_read_side(self) -> bool {
+        matches!(self, OpKind::OpenReader | OpKind::Read | OpKind::CloseReader | OpKind::Stat)
+    }
+}
+
+/// The recorded outcome of one op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpResult {
+    /// Generated, not yet executed (`-`): replay fills in the outcome.
+    Pending,
+    /// Succeeded, nothing further recorded.
+    Ok,
+    /// A write stamped with this index timestamp — replays reuse it so
+    /// overlap resolution matches the capture exactly.
+    Write { stamp: u64 },
+    /// A read that delivered `got` bytes whose CRC32 was `crc`.
+    Read { got: u64, crc: u32 },
+    /// The op surfaced an error of this kind.
+    Err(String),
+}
+
+impl OpResult {
+    fn render(&self) -> String {
+        match self {
+            OpResult::Pending => "-".into(),
+            OpResult::Ok => "ok".into(),
+            OpResult::Write { stamp } => format!("ok:{stamp}"),
+            OpResult::Read { got, crc } => format!("ok:{got}:{crc:08x}"),
+            OpResult::Err(kind) => format!("err:{kind}"),
+        }
+    }
+}
+
+/// One op-log line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Nanoseconds since capture start (or synthetic generation time).
+    /// Nondecreasing in file order — enforced at parse.
+    pub t_ns: u64,
+    pub rank: u32,
+    pub op: OpKind,
+    pub offset: u64,
+    pub len: u64,
+    pub result: OpResult,
+}
+
+/// How ranks map to logical files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Shape {
+    /// All ranks share one logical file (N-1).
+    #[default]
+    N1,
+    /// Rank `r` owns `<file>.<r>` (N-N).
+    NN,
+}
+
+/// A parsed (or generated, or captured) op log.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OpLog {
+    /// Logical file path (N-N ranks append `.<rank>`).
+    pub file: String,
+    pub ranks: u32,
+    pub shape: Shape,
+    pub ops: Vec<OpRecord>,
+}
+
+/// What went wrong at which line. `line` is 1-based; 0 means the input
+/// as a whole (e.g. empty).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpLogError {
+    pub line: usize,
+    pub kind: OpLogErrorKind,
+}
+
+/// Typed parse failures — each malformed shape a fuzzer can produce
+/// maps to one of these; none of them panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpLogErrorKind {
+    /// No input at all.
+    Empty,
+    /// First line is not an op-log header.
+    BadMagic(String),
+    /// A well-formed header for a version this parser does not speak.
+    VersionMismatch { found: u32 },
+    /// Line ended before the named field.
+    Truncated { field: &'static str },
+    /// Unrecognized op token.
+    UnknownOp(String),
+    /// A field failed to parse as its type.
+    BadField { field: &'static str, value: String },
+    /// More fields than the schema has.
+    TrailingFields,
+    /// Timestamps must be nondecreasing in file order.
+    OutOfOrderTimestamp { prev: u64, found: u64 },
+    /// Malformed result column.
+    BadResult(String),
+}
+
+impl std::fmt::Display for OpLogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "op-log parse error at line {}: ", self.line)?;
+        match &self.kind {
+            OpLogErrorKind::Empty => write!(f, "empty input"),
+            OpLogErrorKind::BadMagic(got) => write!(f, "bad magic {got:?}"),
+            OpLogErrorKind::VersionMismatch { found } => {
+                write!(f, "op-log version {found} (this build reads v{OPLOG_VERSION})")
+            }
+            OpLogErrorKind::Truncated { field } => write!(f, "line truncated before {field}"),
+            OpLogErrorKind::UnknownOp(tok) => write!(f, "unknown op {tok:?}"),
+            OpLogErrorKind::BadField { field, value } => write!(f, "bad {field}: {value:?}"),
+            OpLogErrorKind::TrailingFields => write!(f, "trailing fields"),
+            OpLogErrorKind::OutOfOrderTimestamp { prev, found } => {
+                write!(f, "timestamp {found} goes backwards (previous {prev})")
+            }
+            OpLogErrorKind::BadResult(value) => write!(f, "bad result column {value:?}"),
+        }
+    }
+}
+
+impl std::error::Error for OpLogError {}
+
+impl OpLog {
+    /// Serialize to the versioned TSV text format.
+    pub fn to_text(&self) -> String {
+        let mut s = String::with_capacity(64 + self.ops.len() * 32);
+        s.push_str(OPLOG_MAGIC);
+        s.push('\n');
+        let shape = match self.shape {
+            Shape::N1 => "n1",
+            Shape::NN => "nn",
+        };
+        let _ = writeln!(s, "# file: {} ranks: {} shape: {}", self.file, self.ranks, shape);
+        s.push_str("# fields: t_ns rank op offset len result\n");
+        for op in &self.ops {
+            let _ = writeln!(
+                s,
+                "{}\t{}\t{}\t{}\t{}\t{}",
+                op.t_ns,
+                op.rank,
+                op.op.token(),
+                op.offset,
+                op.len,
+                op.result.render()
+            );
+        }
+        s
+    }
+
+    /// Parse the text format. Strict: every malformed line is a typed
+    /// [`OpLogError`]; timestamps must be nondecreasing in file order.
+    pub fn parse(text: &str) -> Result<OpLog, OpLogError> {
+        let mut lines = text.lines().enumerate();
+        let (_, first) = lines.next().ok_or(OpLogError { line: 0, kind: OpLogErrorKind::Empty })?;
+        let first = first.trim_end_matches('\r');
+        if first.trim() != OPLOG_MAGIC {
+            // A well-formed header for another version is a version
+            // mismatch, anything else is bad magic.
+            let kind = match first.trim().strip_prefix("# plfs-oplog v") {
+                Some(v) => match v.parse::<u32>() {
+                    Ok(found) => OpLogErrorKind::VersionMismatch { found },
+                    Err(_) => OpLogErrorKind::BadMagic(first.to_string()),
+                },
+                None => OpLogErrorKind::BadMagic(first.to_string()),
+            };
+            return Err(OpLogError { line: 1, kind });
+        }
+        let mut log = OpLog { file: String::new(), ranks: 0, shape: Shape::N1, ops: Vec::new() };
+        let mut prev_t = 0u64;
+        for (i, raw) in lines {
+            let lineno = i + 1;
+            let line = raw.trim_end_matches('\r');
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.trim_start().strip_prefix('#') {
+                // Header comment: "# file: PATH ranks: N shape: n1|nn".
+                let mut parts = rest.split_whitespace().peekable();
+                while let Some(key) = parts.next() {
+                    match key {
+                        "file:" => {
+                            log.file = parts
+                                .next()
+                                .ok_or(OpLogError {
+                                    line: lineno,
+                                    kind: OpLogErrorKind::Truncated { field: "file" },
+                                })?
+                                .to_string();
+                        }
+                        "ranks:" => {
+                            let v = parts.next().ok_or(OpLogError {
+                                line: lineno,
+                                kind: OpLogErrorKind::Truncated { field: "ranks" },
+                            })?;
+                            log.ranks = v.parse().map_err(|_| OpLogError {
+                                line: lineno,
+                                kind: OpLogErrorKind::BadField {
+                                    field: "ranks",
+                                    value: v.to_string(),
+                                },
+                            })?;
+                        }
+                        "shape:" => {
+                            let v = parts.next().ok_or(OpLogError {
+                                line: lineno,
+                                kind: OpLogErrorKind::Truncated { field: "shape" },
+                            })?;
+                            log.shape = match v {
+                                "n1" => Shape::N1,
+                                "nn" => Shape::NN,
+                                other => {
+                                    return Err(OpLogError {
+                                        line: lineno,
+                                        kind: OpLogErrorKind::BadField {
+                                            field: "shape",
+                                            value: other.to_string(),
+                                        },
+                                    })
+                                }
+                            };
+                        }
+                        _ => break, // free-form comment
+                    }
+                }
+                continue;
+            }
+            let rec = parse_record(line, lineno)?;
+            if rec.t_ns < prev_t {
+                return Err(OpLogError {
+                    line: lineno,
+                    kind: OpLogErrorKind::OutOfOrderTimestamp { prev: prev_t, found: rec.t_ns },
+                });
+            }
+            prev_t = rec.t_ns;
+            log.ops.push(rec);
+        }
+        let max_rank = log.ops.iter().map(|o| o.rank + 1).max().unwrap_or(0);
+        log.ranks = log.ranks.max(max_rank);
+        Ok(log)
+    }
+
+    /// Total logical bytes the write ops move.
+    pub fn write_bytes(&self) -> u64 {
+        self.ops.iter().filter(|o| o.op == OpKind::Write).map(|o| o.len).sum()
+    }
+
+    /// Total logical bytes the read ops request.
+    pub fn read_bytes(&self) -> u64 {
+        self.ops.iter().filter(|o| o.op == OpKind::Read).map(|o| o.len).sum()
+    }
+
+    /// Timestamp span from first to last op (the wall the capture took;
+    /// what a timing-faithful replay reproduces).
+    pub fn span_ns(&self) -> u64 {
+        match (self.ops.first(), self.ops.last()) {
+            (Some(a), Some(b)) => b.t_ns.saturating_sub(a.t_ns),
+            _ => 0,
+        }
+    }
+
+    /// Order-sensitive digest of the recorded read outcomes: fold every
+    /// `ok:<got>:<crc>` read result, in file order, into one u64. Two
+    /// runs delivered identical bytes to identical requests iff their
+    /// delivered hashes match. Reads still [`OpResult::Pending`] are
+    /// skipped (a generated log hashes to [`DELIVERED_HASH_SEED`]).
+    pub fn delivered_hash(&self) -> u64 {
+        let mut h = DELIVERED_HASH_SEED;
+        for op in &self.ops {
+            if let OpResult::Read { got, crc } = op.result {
+                h = fold_delivered(h, got, crc);
+            }
+        }
+        h
+    }
+
+    /// Project onto the legacy line-oriented trace format (reads and
+    /// writes only; timestamps and results are trace-invisible).
+    pub fn to_trace(&self) -> Trace {
+        let ops = self
+            .ops
+            .iter()
+            .filter(|o| matches!(o.op, OpKind::Write | OpKind::Read))
+            .map(|o| TraceOp {
+                rank: o.rank,
+                is_write: o.op == OpKind::Write,
+                offset: o.offset,
+                len: o.len,
+            })
+            .collect();
+        Trace { app: self.file.clone(), ranks: self.ranks, ops }
+    }
+
+    /// Lift a legacy trace into an op log, assigning timestamps from
+    /// `arrival` (one seeded stream per rank via [`simkit::Rng::fork`])
+    /// and bracketing each rank with open/close. The result is
+    /// replayable like any generated log.
+    pub fn from_trace(trace: &Trace, arrival: crate::sample::ArrivalDist, seed: u64) -> OpLog {
+        let mut root = simkit::Rng::new(seed);
+        let mut rngs: Vec<simkit::Rng> = (0..trace.ranks as u64).map(|r| root.fork(r)).collect();
+        let mut t = vec![0u64; trace.ranks as usize];
+        let mut issued = vec![0u64; trace.ranks as usize];
+        let mut ops: Vec<OpRecord> = Vec::with_capacity(trace.ops.len() + 2 * trace.ranks as usize);
+        let mut opened = vec![false; trace.ranks as usize];
+        for op in &trace.ops {
+            let r = op.rank as usize;
+            t[r] += arrival.next_gap(&mut rngs[r], issued[r]);
+            issued[r] += 1;
+            if op.is_write && !opened[r] {
+                opened[r] = true;
+                ops.push(OpRecord {
+                    t_ns: t[r],
+                    rank: op.rank,
+                    op: OpKind::OpenWriter,
+                    offset: 0,
+                    len: 0,
+                    result: OpResult::Pending,
+                });
+            }
+            ops.push(OpRecord {
+                t_ns: t[r],
+                rank: op.rank,
+                op: if op.is_write { OpKind::Write } else { OpKind::Read },
+                offset: op.offset,
+                len: op.len,
+                result: OpResult::Pending,
+            });
+        }
+        let t_close = t.iter().copied().max().unwrap_or(0) + 1;
+        for (r, was_opened) in opened.iter().enumerate() {
+            if *was_opened {
+                ops.push(OpRecord {
+                    t_ns: t_close,
+                    rank: r as u32,
+                    op: OpKind::CloseWriter,
+                    offset: 0,
+                    len: 0,
+                    result: OpResult::Pending,
+                });
+            }
+        }
+        ops.sort_by_key(|o| o.t_ns);
+        OpLog { file: trace.app.clone(), ranks: trace.ranks, shape: Shape::N1, ops }
+    }
+}
+
+fn parse_record(line: &str, lineno: usize) -> Result<OpRecord, OpLogError> {
+    let err = |kind| OpLogError { line: lineno, kind };
+    let mut f = line.split('\t');
+    let mut field = |name: &'static str| {
+        f.next()
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .ok_or(err(OpLogErrorKind::Truncated { field: name }))
+    };
+    let t_str = field("t_ns")?;
+    let rank_str = field("rank")?;
+    let op_str = field("op")?;
+    let off_str = field("offset")?;
+    let len_str = field("len")?;
+    let result_str = field("result")?;
+    if f.next().is_some() {
+        return Err(err(OpLogErrorKind::TrailingFields));
+    }
+    let int = |field: &'static str, v: &str| {
+        v.parse::<u64>().map_err(|_| err(OpLogErrorKind::BadField { field, value: v.to_string() }))
+    };
+    let t_ns = int("t_ns", t_str)?;
+    let rank = int("rank", rank_str)? as u32;
+    let op = OpKind::from_token(op_str)
+        .ok_or_else(|| err(OpLogErrorKind::UnknownOp(op_str.to_string())))?;
+    let offset = int("offset", off_str)?;
+    let len = int("len", len_str)?;
+    let result = parse_result(op, result_str)
+        .ok_or_else(|| err(OpLogErrorKind::BadResult(result_str.to_string())))?;
+    Ok(OpRecord { t_ns, rank, op, offset, len, result })
+}
+
+fn parse_result(op: OpKind, s: &str) -> Option<OpResult> {
+    if s == "-" {
+        return Some(OpResult::Pending);
+    }
+    if let Some(kind) = s.strip_prefix("err:") {
+        if kind.is_empty() {
+            return None;
+        }
+        return Some(OpResult::Err(kind.to_string()));
+    }
+    if s == "ok" {
+        // Bare ok is legal for everything except reads, whose whole
+        // point is the recorded outcome.
+        return if op == OpKind::Read { None } else { Some(OpResult::Ok) };
+    }
+    let rest = s.strip_prefix("ok:")?;
+    match op {
+        OpKind::Write => rest.parse::<u64>().ok().map(|stamp| OpResult::Write { stamp }),
+        OpKind::Read => {
+            let (got_s, crc_s) = rest.split_once(':')?;
+            let got = got_s.parse::<u64>().ok()?;
+            if crc_s.len() != 8 {
+                return None;
+            }
+            let crc = u32::from_str_radix(crc_s, 16).ok()?;
+            Some(OpResult::Read { got, crc })
+        }
+        _ => None,
+    }
+}
+
+/// Initial value of the delivered-bytes digest.
+pub const DELIVERED_HASH_SEED: u64 = 0x706c_6673_6f70_6c67; // "plfsoplg"
+
+/// Fold one read outcome into the delivered-bytes digest. Order
+/// matters: callers fold in op-log file order.
+pub fn fold_delivered(h: u64, got: u64, crc: u32) -> u64 {
+    let mut s = h ^ got.rotate_left(32) ^ crc as u64;
+    splitmix64(&mut s)
+}
+
+/// The canonical deterministic write payload: byte `offset + j` of
+/// rank `rank`'s logical stream is a pure function of `(rank, position)`.
+/// Every generator emits it and the replay engine regenerates it, so
+/// two replays of one log produce identical container bytes — and a
+/// replay of a capture that used it reproduces the capture's bytes.
+pub fn fill_payload(rank: u32, offset: u64, buf: &mut [u8]) {
+    let mut pos = offset;
+    let mut i = 0usize;
+    while i < buf.len() {
+        let word_idx = pos >> 3;
+        let mut s = word_idx ^ ((rank as u64) << 48) ^ 0x9E37_79B9_7F4A_7C15;
+        let word = splitmix64(&mut s);
+        let start_byte = (pos & 7) as usize;
+        let bytes = word.to_le_bytes();
+        let take = (8 - start_byte).min(buf.len() - i);
+        buf[i..i + take].copy_from_slice(&bytes[start_byte..start_byte + take]);
+        i += take;
+        pos += take as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::ArrivalDist;
+
+    fn sample_log() -> OpLog {
+        OpLog {
+            file: "/ckpt".into(),
+            ranks: 2,
+            shape: Shape::N1,
+            ops: vec![
+                OpRecord {
+                    t_ns: 10,
+                    rank: 0,
+                    op: OpKind::OpenWriter,
+                    offset: 0,
+                    len: 0,
+                    result: OpResult::Ok,
+                },
+                OpRecord {
+                    t_ns: 20,
+                    rank: 0,
+                    op: OpKind::Write,
+                    offset: 0,
+                    len: 4096,
+                    result: OpResult::Write { stamp: 77 },
+                },
+                OpRecord {
+                    t_ns: 20,
+                    rank: 1,
+                    op: OpKind::Write,
+                    offset: 4096,
+                    len: 4096,
+                    result: OpResult::Pending,
+                },
+                OpRecord {
+                    t_ns: 30,
+                    rank: 0,
+                    op: OpKind::CloseWriter,
+                    offset: 0,
+                    len: 0,
+                    result: OpResult::Ok,
+                },
+                OpRecord {
+                    t_ns: 40,
+                    rank: 0,
+                    op: OpKind::Read,
+                    offset: 0,
+                    len: 8192,
+                    result: OpResult::Read { got: 8192, crc: 0xdeadbeef },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_is_lossless() {
+        let log = sample_log();
+        let text = log.to_text();
+        let parsed = OpLog::parse(&text).unwrap();
+        assert_eq!(parsed, log);
+    }
+
+    #[test]
+    fn parse_rejects_bad_magic_and_other_versions() {
+        let err = OpLog::parse("hello\n").unwrap_err();
+        assert!(matches!(err.kind, OpLogErrorKind::BadMagic(_)), "{err}");
+        let err = OpLog::parse("").unwrap_err();
+        assert_eq!(err.kind, OpLogErrorKind::Empty);
+        let err = OpLog::parse("# plfs-oplog v2\n0\t0\twrite\t0\t1\t-\n").unwrap_err();
+        assert_eq!(err.kind, OpLogErrorKind::VersionMismatch { found: 2 });
+    }
+
+    #[test]
+    fn parse_rejects_truncated_unknown_and_out_of_order() {
+        let head = "# plfs-oplog v1\n";
+        let err = OpLog::parse(&format!("{head}5\t0\twrite\t0\n")).unwrap_err();
+        assert_eq!((err.line, err.kind), (2, OpLogErrorKind::Truncated { field: "len" }));
+        let err = OpLog::parse(&format!("{head}5\t0\tscribble\t0\t1\t-\n")).unwrap_err();
+        assert_eq!(err.kind, OpLogErrorKind::UnknownOp("scribble".into()));
+        let err = OpLog::parse(&format!("{head}5\t0\twrite\t0\t1\t-\n3\t0\twrite\t1\t1\t-\n"))
+            .unwrap_err();
+        assert_eq!(
+            (err.line, err.kind),
+            (3, OpLogErrorKind::OutOfOrderTimestamp { prev: 5, found: 3 })
+        );
+        let err = OpLog::parse(&format!("{head}5\t0\twrite\t0\t1\t-\textra\n")).unwrap_err();
+        assert_eq!(err.kind, OpLogErrorKind::TrailingFields);
+        let err = OpLog::parse(&format!("{head}5\tx\twrite\t0\t1\t-\n")).unwrap_err();
+        assert_eq!(err.kind, OpLogErrorKind::BadField { field: "rank", value: "x".into() });
+        let err = OpLog::parse(&format!("{head}5\t0\tread\t0\t1\tok\n")).unwrap_err();
+        assert_eq!(err.kind, OpLogErrorKind::BadResult("ok".into()));
+    }
+
+    #[test]
+    fn ranks_inferred_from_ops_when_header_low() {
+        let text = "# plfs-oplog v1\n0\t7\twrite\t0\t1\t-\n";
+        assert_eq!(OpLog::parse(text).unwrap().ranks, 8);
+    }
+
+    #[test]
+    fn delivered_hash_is_order_sensitive() {
+        let mut a = sample_log();
+        let h1 = a.delivered_hash();
+        a.ops.push(OpRecord {
+            t_ns: 50,
+            rank: 1,
+            op: OpKind::Read,
+            offset: 0,
+            len: 1,
+            result: OpResult::Read { got: 1, crc: 1 },
+        });
+        let h2 = a.delivered_hash();
+        assert_ne!(h1, h2);
+        // Pending reads don't contribute.
+        a.ops.push(OpRecord {
+            t_ns: 60,
+            rank: 1,
+            op: OpKind::Read,
+            offset: 0,
+            len: 1,
+            result: OpResult::Pending,
+        });
+        assert_eq!(a.delivered_hash(), h2);
+    }
+
+    #[test]
+    fn fill_payload_is_position_stable() {
+        // The same absolute range yields the same bytes regardless of
+        // how it is chunked — the property replay relies on.
+        let mut whole = vec![0u8; 1000];
+        fill_payload(3, 177, &mut whole);
+        for (start, len) in [(0usize, 100usize), (37, 500), (900, 100)] {
+            let mut part = vec![0u8; len];
+            fill_payload(3, 177 + start as u64, &mut part);
+            assert_eq!(part, whole[start..start + len], "chunk at {start}");
+        }
+        // Different ranks get different bytes.
+        let mut other = vec![0u8; 1000];
+        fill_payload(4, 177, &mut other);
+        assert_ne!(whole, other);
+    }
+
+    #[test]
+    fn trace_bridge_roundtrips_reads_and_writes() {
+        let log = sample_log();
+        let trace = log.to_trace();
+        assert_eq!(trace.ops.len(), 3); // 2 writes + 1 read
+        let lifted = OpLog::from_trace(&trace, ArrivalDist::Fixed(5), 11);
+        // Lifting brackets writers with open/close and keeps the I/O.
+        let io: Vec<_> =
+            lifted.ops.iter().filter(|o| matches!(o.op, OpKind::Write | OpKind::Read)).collect();
+        assert_eq!(io.len(), 3);
+        assert!(lifted.ops.iter().any(|o| o.op == OpKind::OpenWriter));
+        assert!(lifted.ops.iter().any(|o| o.op == OpKind::CloseWriter));
+        // Timestamps nondecreasing → parseable round trip.
+        let reparsed = OpLog::parse(&lifted.to_text()).unwrap();
+        assert_eq!(reparsed, lifted);
+    }
+}

@@ -1,0 +1,260 @@
+//! The shared seeded distribution module: request-size and arrival
+//! sampling used by every workload source in the repo.
+//!
+//! The PDSI studies fit lognormal request/file sizes (Dayal,
+//! CMU-PDL-08-109) and Poisson/bursty arrival processes to observed
+//! traffic; `simkit::dist` pins the underlying sampling algorithms.
+//! This module wraps them in the two shapes workload generation
+//! actually needs — a [`SizeDist`] in bytes and an [`ArrivalDist`] in
+//! nanosecond gaps — so the op-log generators ([`crate::gen`]), the
+//! trace tooling ([`crate::trace`]), and the bench experiments all
+//! draw from one implementation instead of growing ad-hoc samplers.
+//!
+//! Continuous distributions are rejection-sampled against their
+//! `min`/`max` bounds: a draw outside the bounds is discarded and
+//! retried, so the accepted distribution is the true conditional
+//! (not a clamped pile-up at the edges). A bounded retry budget keeps
+//! sampling total; after it is exhausted the draw is clamped, which for
+//! any sane parameterization is a never-taken escape hatch.
+
+use simkit::dist::{Distribution, Exponential, LogNormal};
+use simkit::Rng;
+
+/// Retries before a rejection sampler gives up and clamps.
+const REJECT_BUDGET: u32 = 64;
+
+/// A request-size distribution (bytes, always ≥ 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SizeDist {
+    /// Every request exactly `n` bytes.
+    Fixed(u64),
+    /// Uniform integer in `[min, max]` inclusive.
+    Uniform { min: u64, max: u64 },
+    /// Lognormal with the given median and log-space sigma,
+    /// rejection-sampled into `[min, max]` — the heavy-tailed
+    /// checkpoint-record shape the PDSI file-size studies observed.
+    LogNormal { median: u64, sigma: f64, min: u64, max: u64 },
+}
+
+impl SizeDist {
+    /// Draw one size. Never returns 0.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        match *self {
+            SizeDist::Fixed(n) => n.max(1),
+            SizeDist::Uniform { min, max } => {
+                assert!(min <= max, "SizeDist::Uniform min {min} > max {max}");
+                rng.range_inclusive(min, max).max(1)
+            }
+            SizeDist::LogNormal { median, sigma, min, max } => {
+                assert!(min <= max, "SizeDist::LogNormal min {min} > max {max}");
+                let d = LogNormal::from_median(median as f64, sigma);
+                for _ in 0..REJECT_BUDGET {
+                    let x = d.sample(rng);
+                    if x >= min as f64 && x <= max as f64 {
+                        return (x.round() as u64).clamp(min.max(1), max);
+                    }
+                }
+                (d.sample(rng).round() as u64).clamp(min.max(1), max)
+            }
+        }
+    }
+
+    /// Mean of the *unconditioned* distribution (scenario sizing).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            SizeDist::Fixed(n) => n as f64,
+            SizeDist::Uniform { min, max } => (min + max) as f64 / 2.0,
+            SizeDist::LogNormal { median, sigma, .. } => {
+                LogNormal::from_median(median as f64, sigma).mean()
+            }
+        }
+    }
+
+    /// Parse a CLI spec: `fixed:N`, `uniform:MIN:MAX`, or
+    /// `lognormal:MEDIAN:SIGMA:MIN:MAX`.
+    pub fn parse_spec(spec: &str) -> Result<SizeDist, String> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let int = |s: &str| s.parse::<u64>().map_err(|_| format!("bad integer {s:?} in {spec:?}"));
+        let float = |s: &str| s.parse::<f64>().map_err(|_| format!("bad float {s:?} in {spec:?}"));
+        match parts.as_slice() {
+            ["fixed", n] => Ok(SizeDist::Fixed(int(n)?)),
+            ["uniform", min, max] => Ok(SizeDist::Uniform { min: int(min)?, max: int(max)? }),
+            ["lognormal", median, sigma, min, max] => Ok(SizeDist::LogNormal {
+                median: int(median)?,
+                sigma: float(sigma)?,
+                min: int(min)?,
+                max: int(max)?,
+            }),
+            _ => Err(format!(
+                "unknown size spec {spec:?} (want fixed:N | uniform:MIN:MAX | \
+                 lognormal:MEDIAN:SIGMA:MIN:MAX)"
+            )),
+        }
+    }
+}
+
+/// Uniform `align`-aligned offset in `[0, span)`: the random-I/O probe
+/// shape the device experiments hammer flash/disk models with. Draws
+/// exactly one value from `rng`, so swapping an ad-hoc
+/// `rng.below(slots) * align` for this helper leaves the stream — and
+/// every number derived from it — bit-identical.
+pub fn uniform_aligned_offset(rng: &mut Rng, span: u64, align: u64) -> u64 {
+    let align = align.max(1);
+    rng.below((span / align).max(1)) * align
+}
+
+/// An inter-operation arrival process (gaps in nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalDist {
+    /// Back-to-back issue (gap 0): as fast as the store allows.
+    Immediate,
+    /// Fixed gap between consecutive ops.
+    Fixed(u64),
+    /// Poisson process: exponentially-distributed gaps with the given
+    /// mean — the memoryless arrival model the PDSI studies default to.
+    Poisson { mean_gap_ns: u64 },
+    /// Bursty AMR-style traffic: `burst` ops spaced `intra_gap_ns`
+    /// apart, then a Poisson-distributed quiet period with mean
+    /// `inter_gap_ns` before the next burst.
+    Burst { burst: u32, intra_gap_ns: u64, inter_gap_ns: u64 },
+}
+
+impl ArrivalDist {
+    /// Gap between op `i-1` and op `i` of one issuing stream (`i` is
+    /// 0-based; the gap before op 0 staggers stream start).
+    pub fn next_gap(&self, rng: &mut Rng, i: u64) -> u64 {
+        match *self {
+            ArrivalDist::Immediate => 0,
+            ArrivalDist::Fixed(gap) => gap,
+            ArrivalDist::Poisson { mean_gap_ns } => {
+                Exponential::with_mean(mean_gap_ns.max(1) as f64).sample(rng).round() as u64
+            }
+            ArrivalDist::Burst { burst, intra_gap_ns, inter_gap_ns } => {
+                if burst > 0 && i.is_multiple_of(burst as u64) {
+                    Exponential::with_mean(inter_gap_ns.max(1) as f64).sample(rng).round() as u64
+                } else {
+                    intra_gap_ns
+                }
+            }
+        }
+    }
+
+    /// Parse a CLI spec: `immediate`, `fixed:NS`, `poisson:MEAN_NS`, or
+    /// `burst:K:INTRA_NS:INTER_NS`.
+    pub fn parse_spec(spec: &str) -> Result<ArrivalDist, String> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let int = |s: &str| s.parse::<u64>().map_err(|_| format!("bad integer {s:?} in {spec:?}"));
+        match parts.as_slice() {
+            ["immediate"] => Ok(ArrivalDist::Immediate),
+            ["fixed", ns] => Ok(ArrivalDist::Fixed(int(ns)?)),
+            ["poisson", mean] => Ok(ArrivalDist::Poisson { mean_gap_ns: int(mean)? }),
+            ["burst", k, intra, inter] => Ok(ArrivalDist::Burst {
+                burst: int(k)? as u32,
+                intra_gap_ns: int(intra)?,
+                inter_gap_ns: int(inter)?,
+            }),
+            _ => Err(format!(
+                "unknown arrival spec {spec:?} (want immediate | fixed:NS | poisson:MEAN_NS | \
+                 burst:K:INTRA_NS:INTER_NS)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_and_uniform_respect_bounds() {
+        let mut rng = Rng::new(1);
+        assert_eq!(SizeDist::Fixed(4096).sample(&mut rng), 4096);
+        let d = SizeDist::Uniform { min: 100, max: 200 };
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((100..=200).contains(&x));
+        }
+    }
+
+    #[test]
+    fn lognormal_rejection_respects_min_max() {
+        let d = SizeDist::LogNormal { median: 4096, sigma: 2.0, min: 512, max: 1 << 20 };
+        let mut rng = Rng::new(2);
+        for _ in 0..50_000 {
+            let x = d.sample(&mut rng);
+            assert!((512..=(1 << 20)).contains(&x), "sample {x} escaped bounds");
+        }
+    }
+
+    #[test]
+    fn lognormal_median_roughly_preserved_inside_wide_bounds() {
+        let d = SizeDist::LogNormal { median: 8192, sigma: 1.0, min: 1, max: 1 << 40 };
+        let mut rng = Rng::new(3);
+        let mut xs: Vec<u64> = (0..20_001).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_unstable();
+        let med = xs[xs.len() / 2] as f64;
+        assert!((med / 8192.0 - 1.0).abs() < 0.1, "median {med}");
+    }
+
+    #[test]
+    fn poisson_gaps_have_the_requested_mean() {
+        let d = ArrivalDist::Poisson { mean_gap_ns: 1_000_000 };
+        let mut rng = Rng::new(4);
+        let n = 100_000u64;
+        let total: u64 = (0..n).map(|i| d.next_gap(&mut rng, i)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean / 1e6 - 1.0).abs() < 0.02, "mean gap {mean}");
+    }
+
+    #[test]
+    fn burst_shape_alternates_long_and_short_gaps() {
+        let d = ArrivalDist::Burst { burst: 4, intra_gap_ns: 10, inter_gap_ns: 1_000_000 };
+        let mut rng = Rng::new(5);
+        for i in 0..64u64 {
+            let gap = d.next_gap(&mut rng, i);
+            if i % 4 == 0 {
+                assert!(gap > 1000, "burst boundary gap {gap} too short at {i}");
+            } else {
+                assert_eq!(gap, 10);
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_offset_matches_the_adhoc_form_bit_for_bit() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        let pages = 16 * 1024u64;
+        for _ in 0..10_000 {
+            assert_eq!(uniform_aligned_offset(&mut a, pages * 4096, 4096), b.below(pages) * 4096);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = SizeDist::LogNormal { median: 4096, sigma: 1.5, min: 64, max: 1 << 24 };
+        let a: Vec<u64> = {
+            let mut rng = Rng::new(9);
+            (0..100).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = Rng::new(9);
+            (0..100).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn specs_parse_and_reject() {
+        assert_eq!(SizeDist::parse_spec("fixed:4096").unwrap(), SizeDist::Fixed(4096));
+        assert_eq!(
+            SizeDist::parse_spec("uniform:1:9").unwrap(),
+            SizeDist::Uniform { min: 1, max: 9 }
+        );
+        assert!(SizeDist::parse_spec("lognormal:4096:1.5:64:65536").is_ok());
+        assert!(SizeDist::parse_spec("nope:1").is_err());
+        assert!(ArrivalDist::parse_spec("poisson:1000").is_ok());
+        assert!(ArrivalDist::parse_spec("burst:4:10:1000").is_ok());
+        assert!(ArrivalDist::parse_spec("fixed").is_err());
+    }
+}
