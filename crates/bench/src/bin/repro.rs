@@ -230,6 +230,64 @@ fn run_replay_command(mut args: impl Iterator<Item = String>) -> ! {
     }
 }
 
+/// `repro monitor <scenario> [--out <path>] [--prom <path>]`: drive a
+/// monitoring scenario, print its per-frame dashboard and any fired
+/// alerts, and optionally write the flight-recorder timeline (JSONL)
+/// and the Prometheus text exposition of the last frame.
+fn run_monitor_command(mut args: impl Iterator<Item = String>) -> ! {
+    let die = |msg: String| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    let mut scenario: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut prom_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        let mut flag = |name: &str| -> String {
+            args.next().unwrap_or_else(|| die(format!("{name} needs an argument")))
+        };
+        match arg.as_str() {
+            "--out" => out_path = Some(flag("--out")),
+            "--prom" => prom_path = Some(flag("--prom")),
+            name if scenario.is_none() && !name.starts_with('-') => scenario = Some(arg),
+            other => die(format!("unknown monitor argument {other:?}")),
+        }
+    }
+    let Some(scenario) = scenario else {
+        eprintln!("usage: repro monitor <scenario> [--out <timeline.jsonl>] [--prom <path>]\n\nscenarios:");
+        for (id, desc) in pdsi_bench::MONITOR_SCENARIOS {
+            eprintln!("  {id:<14} {desc}");
+        }
+        std::process::exit(2);
+    };
+    let run = pdsi_bench::run_monitor(&scenario).unwrap_or_else(|e| die(e));
+    print!("{}", run.dashboard);
+    if run.alerts.is_empty() {
+        println!("no alerts fired");
+    } else {
+        print!("{}", obs::slo::render_alerts(&run.alerts));
+    }
+    println!("{}", run.summary);
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, &run.timeline) {
+            eprintln!("cannot write timeline to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("(flight-recorder timeline written to {path})");
+    }
+    if let Some(path) = prom_path {
+        let Some(prom) = run.prometheus else {
+            die(format!("scenario {scenario:?} has no Prometheus exposition"))
+        };
+        if let Err(e) = std::fs::write(&path, &prom) {
+            eprintln!("cannot write Prometheus text to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("(Prometheus exposition written to {path})");
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let mut metrics_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
@@ -242,6 +300,7 @@ fn main() {
         // the normal id path below); with any further argument it
         // becomes the log-driving subcommand.
         Some("replay") if argv.len() > 1 => run_replay_command(argv.into_iter().skip(1)),
+        Some("monitor") => run_monitor_command(argv.into_iter().skip(1)),
         _ => {}
     }
     let mut args = argv.into_iter();
@@ -267,7 +326,8 @@ fn main() {
             "usage: repro [--metrics <path>|-] <experiment-id>|all|golden\n       \
              repro trace <exp> [--out <path>]\n       \
              repro genlog <scenario> [--ranks N] [--ops N] [--size SPEC] [--arrival SPEC] [--out <path>]\n       \
-             repro replay <log> [--mode M] [--backend SPEC] [--out <path>]\n\nexperiments:"
+             repro replay <log> [--mode M] [--backend SPEC] [--out <path>]\n       \
+             repro monitor <scenario> [--out <timeline.jsonl>] [--prom <path>]\n\nexperiments:"
         );
         for (id, desc) in pdsi_bench::EXPERIMENTS {
             let _ = writeln!(out, "  {id:<10} {desc}");
@@ -398,6 +458,37 @@ fn main() {
         }
         if std::env::var_os("REPLAY_GATE").is_some() {
             match pdsi_bench::replay_gate(&summary) {
+                Ok(msg) => {
+                    let _ = writeln!(out, "({msg})");
+                }
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    // And for `repro monitorscale`: the continuous-telemetry grid.
+    // With MONITOR_GATE set (CI does), any alert on the clean run, a
+    // degraded run whose objectives fail to fire (or whose exemplar
+    // trace ids don't resolve in the Chrome export), a fault-injection
+    // spike landing in the wrong flight-recorder frame, or a crash
+    // frame without the surfaced errors fails the run.
+    if ids.iter().any(|a| a == "monitorscale" || a == "all") {
+        let summary = pdsi_bench::monitorscale_results();
+        let json = obs::json::pretty(&pdsi_bench::monitor_json_from(&summary));
+        match std::fs::write("BENCH_monitor.json", &json) {
+            Ok(()) => {
+                let _ = writeln!(out, "(monitor data written to BENCH_monitor.json)");
+            }
+            Err(e) => {
+                eprintln!("cannot write BENCH_monitor.json: {e}");
+                std::process::exit(1);
+            }
+        }
+        if std::env::var_os("MONITOR_GATE").is_some() {
+            match pdsi_bench::monitor_gate(&summary) {
                 Ok(msg) => {
                     let _ = writeln!(out, "({msg})");
                 }

@@ -9,10 +9,15 @@
 //! targets, recorded against the paper in `EXPERIMENTS.md`.
 
 pub mod experiments;
+pub mod monitor_experiments;
 pub mod replay_experiments;
 pub mod trace_experiments;
 
 pub use experiments::*;
+pub use monitor_experiments::{
+    monitor_gate, monitor_json, monitor_json_from, monitor_report, monitorscale_results,
+    run_monitor, FlakyMonitorCell, MonitorRun, MonitorSummary, SimMonitorCell, MONITOR_SCENARIOS,
+};
 pub use replay_experiments::{
     backend_from_spec, drive_log, replay_gate, replay_json, replay_json_from, replay_report,
     replay_results, DiffCell, ReplayModeCell, ReplaySummary,
@@ -42,6 +47,7 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("readscale", "restart read-back: parallel coalesced engine vs serial per-piece reads"),
     ("integrity", "end-to-end corruption detection: verify-on-read, bit-flip sweep, scrub"),
     ("replay", "workload capture & replay: 3-mode determinism + differential engine pairs"),
+    ("monitorscale", "continuous telemetry: flight recorder, SLO burn rates, tail-sampled traces"),
 ];
 
 /// Run one experiment by id, discarding its metrics.
@@ -78,6 +84,7 @@ pub fn run_observed(id: &str, reg: &obs::Registry) -> Option<String> {
         "readscale" => readscale_report(&local),
         "integrity" => integrity_report(&local),
         "replay" => replay_report(&local),
+        "monitorscale" => monitor_report(&local),
         _ => return None,
     };
     local.counter("bench.runs").inc();

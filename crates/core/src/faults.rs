@@ -27,6 +27,7 @@
 //!   workload exhaustively enumerates all power-loss states.
 
 use crate::backend::Backend;
+use obs::{Counter, Registry};
 use simkit::Rng;
 use std::io;
 use std::sync::Mutex;
@@ -116,12 +117,74 @@ pub struct FaultStats {
     pub injected_bit_flips: u64,
 }
 
+/// Live counter handles incremented *at the injection site*, so a
+/// flight-recorder frame taken mid-run shows the fault in the interval
+/// it actually happened (the end-of-run [`FaultyBackend::export_into`]
+/// dump can't). All series share the name `faults.injected`, split by a
+/// `kind` label — distinct from the `faults.injected_*` export names,
+/// so binding live counters and exporting at the end never double-books
+/// a series.
+#[derive(Debug, Clone)]
+pub struct FaultObs {
+    pub transient: Counter,
+    pub torn: Counter,
+    pub bit_flips: Counter,
+    pub crashes: Counter,
+    pub rejected: Counter,
+}
+
+impl FaultObs {
+    /// Counters registered in `reg` as `faults.injected{kind=...}`.
+    pub fn registered(reg: &Registry) -> Self {
+        let kind = |k| reg.counter_with("faults.injected", &[("kind", k)]);
+        FaultObs {
+            transient: kind("transient"),
+            torn: kind("torn"),
+            bit_flips: kind("bit_flip"),
+            crashes: kind("crash"),
+            rejected: kind("rejected"),
+        }
+    }
+}
+
 struct FaultState {
     rng: Rng,
     plan: FaultPlan,
     appended: u64,
     crashed: bool,
     stats: FaultStats,
+    obs: Option<FaultObs>,
+}
+
+impl FaultState {
+    fn note_transient(&mut self) {
+        self.stats.injected_transient += 1;
+        if let Some(o) = &self.obs {
+            o.transient.inc();
+        }
+    }
+
+    fn note_torn(&mut self) {
+        self.stats.injected_torn += 1;
+        if let Some(o) = &self.obs {
+            o.torn.inc();
+        }
+    }
+
+    fn note_crash(&mut self) {
+        self.crashed = true;
+        self.stats.crashes += 1;
+        if let Some(o) = &self.obs {
+            o.crashes.inc();
+        }
+    }
+
+    fn note_rejected(&mut self) {
+        self.stats.rejected_while_crashed += 1;
+        if let Some(o) = &self.obs {
+            o.rejected.inc();
+        }
+    }
 }
 
 /// A [`Backend`] wrapper injecting faults per a [`FaultPlan`].
@@ -150,6 +213,7 @@ impl<B: Backend> FaultyBackend<B> {
                 appended: 0,
                 crashed: false,
                 stats: FaultStats::default(),
+                obs: None,
             }),
         }
     }
@@ -188,6 +252,15 @@ impl<B: Backend> FaultyBackend<B> {
         reg.counter_with("faults.injected_bit_flips", labels).add(st.injected_bit_flips);
     }
 
+    /// Record every *future* injection live into `reg` as the
+    /// `faults.injected{kind=...}` series (see [`FaultObs`]). Unlike
+    /// [`Self::export_into`], which dumps totals once at the end,
+    /// live counters move at the moment of injection — which is what
+    /// lets a flight-recorder frame localize a fault burst in time.
+    pub fn bind_obs(&self, reg: &Registry) {
+        self.state.lock().unwrap().obs = Some(FaultObs::registered(reg));
+    }
+
     /// Has the crash-stop fired?
     pub fn is_crashed(&self) -> bool {
         self.state.lock().unwrap().crashed
@@ -197,8 +270,7 @@ impl<B: Backend> FaultyBackend<B> {
     pub fn crash_now(&self) {
         let mut st = self.state.lock().unwrap();
         if !st.crashed {
-            st.crashed = true;
-            st.stats.crashes += 1;
+            st.note_crash();
         }
     }
 
@@ -225,12 +297,12 @@ impl<B: Backend> FaultyBackend<B> {
         let mut st = self.state.lock().unwrap();
         st.stats.ops += 1;
         if st.crashed {
-            st.stats.rejected_while_crashed += 1;
+            st.note_rejected();
             return Err(crashed_error());
         }
         let p = st.plan.transient_error_rate;
         if p > 0.0 && st.rng.chance(p) {
-            st.stats.injected_transient += 1;
+            st.note_transient();
             return Err(transient_error(&mut st.rng));
         }
         Ok(())
@@ -289,7 +361,7 @@ impl<B: Backend> Backend for FaultyBackend<B> {
         let mut st = self.state.lock().unwrap();
         st.stats.ops += 1;
         if st.crashed {
-            st.stats.rejected_while_crashed += 1;
+            st.note_rejected();
             return Err(crashed_error());
         }
         // Crash budget: the append crossing it lands exactly up to the
@@ -301,8 +373,7 @@ impl<B: Backend> Backend for FaultyBackend<B> {
                     self.inner.append(path, &data[..room])?;
                     st.appended += room as u64;
                 }
-                st.crashed = true;
-                st.stats.crashes += 1;
+                st.note_crash();
                 return Err(crashed_error());
             }
         }
@@ -317,16 +388,16 @@ impl<B: Backend> Backend for FaultyBackend<B> {
                 let prefix = 1 + st.rng.below(data.len() as u64 - 1) as usize;
                 self.inner.append(path, &data[..prefix])?;
                 st.appended += prefix as u64;
-                st.stats.injected_torn += 1;
+                st.note_torn();
             } else {
-                st.stats.injected_transient += 1;
+                st.note_transient();
             }
             return Err(transient_error(&mut st.rng));
         }
         // Plain transient: nothing lands.
         let p = st.plan.transient_error_rate;
         if p > 0.0 && st.rng.chance(p) {
-            st.stats.injected_transient += 1;
+            st.note_transient();
             return Err(transient_error(&mut st.rng));
         }
         let off = self.inner.append(path, data)?;
@@ -371,7 +442,11 @@ impl<B: Backend> Backend for FaultyBackend<B> {
                 }
             }
             if flipped > 0 {
-                self.state.lock().unwrap().stats.injected_bit_flips += flipped;
+                let mut st = self.state.lock().unwrap();
+                st.stats.injected_bit_flips += flipped;
+                if let Some(o) = &st.obs {
+                    o.bit_flips.add(flipped);
+                }
             }
         }
         Ok(got)
@@ -557,6 +632,27 @@ mod tests {
         assert_eq!(data, want, "exactly byte 5 of the target flips");
         assert_eq!(b.read_all("/c/hostdir.0/index.3").unwrap(), vec![0u8; 16]);
         assert_eq!(b.stats().injected_bit_flips, 1);
+    }
+
+    #[test]
+    fn bound_obs_counts_injections_live() {
+        let b = FaultyBackend::new(
+            MemBackend::new(),
+            FaultPlan { transient_error_rate: 1.0, ..FaultPlan::none(7) },
+        );
+        let reg = obs::Registry::new();
+        b.bind_obs(&reg);
+        let live = reg.counter_with("faults.injected", &[("kind", "transient")]);
+        assert_eq!(live.get(), 0);
+        let _ = b.append("/f", b"xy");
+        assert_eq!(live.get(), 1, "live counter moves at the injection site");
+        b.crash_now();
+        let _ = b.list("/");
+        assert_eq!(reg.counter_with("faults.injected", &[("kind", "crash")]).get(), 1);
+        assert_eq!(reg.counter_with("faults.injected", &[("kind", "rejected")]).get(), 1);
+        // The end-of-run export still works and lands on distinct names.
+        b.export_into(&reg);
+        assert_eq!(reg.value("faults.injected_transient"), Some(1));
     }
 
     #[test]

@@ -16,6 +16,8 @@ use crate::read::Reader;
 use crate::record::{err_token, OpLogRecorder};
 use crate::retry::{append_at_reliable, RetriedBackend, RetryPolicy};
 use crate::write::{Writer, WriterConfig};
+use obs::recorder::Recorder;
+use obs::timeseries::WindowSpec;
 use obs::trace::TraceSink;
 use obs::{Clock, Registry};
 use std::io;
@@ -43,6 +45,20 @@ pub struct PlfsConfig {
     /// operation this instance performs on the recorder's logical file
     /// is appended to the recorder. Off by default.
     pub record: Option<Arc<OpLogRecorder>>,
+    /// Instance time source override. `None` (default) keeps the
+    /// classic logical clock starting at 1; pass `Some(Clock::wall())`
+    /// for live monitoring, where `plfs.*.lat_ns` and the windowed
+    /// meters should measure real time. Index ordering only needs
+    /// monotonicity, which both modes provide.
+    pub clock: Option<Clock>,
+    /// Flight-recorder probe shared by every handle (see
+    /// [`obs::recorder::Recorder`]); the hot paths poll it once per op.
+    /// Build it over this config's `metrics` registry (and the same
+    /// clock) so frames see the instance's series. Disabled by default.
+    pub flight: Recorder,
+    /// Window geometry for the live [`crate::metrics::PlfsMeters`];
+    /// `None` (default) disables windowed metering.
+    pub meters: Option<WindowSpec>,
 }
 
 impl Default for PlfsConfig {
@@ -54,6 +70,9 @@ impl Default for PlfsConfig {
             metrics: Registry::new(),
             trace: TraceSink::disabled(),
             record: None,
+            clock: None,
+            flight: Recorder::disabled(),
+            meters: None,
         }
     }
 }
@@ -83,13 +102,18 @@ impl Plfs {
         // surfaced / backoff counts land next to the plfs.* series.
         cfg.retry = cfg.retry.bound_to(&cfg.metrics);
         cfg.writer.retry = cfg.writer.retry.bound_to(&cfg.metrics);
-        // Index timestamps are sequence numbers, so the shared clock is
-        // logical; it starts at 1 so stamp 0 stays "never written".
-        let metrics = PlfsMetrics::new_full(
+        // Index timestamps are sequence numbers by default, so the
+        // shared clock is logical; it starts at 1 so stamp 0 stays
+        // "never written". A wall clock (monotone too) may be swapped in
+        // for live monitoring.
+        let clock = cfg.clock.clone().unwrap_or_else(|| Clock::logical_at(1));
+        let metrics = PlfsMetrics::new_configured(
             &cfg.metrics,
-            &Clock::logical_at(1),
+            &clock,
             cfg.trace.clone(),
             cfg.record.clone(),
+            cfg.flight.clone(),
+            cfg.meters,
         );
         Plfs { backend, cfg, metrics }
     }

@@ -76,14 +76,14 @@ pub use backend::{Backend, DirBackend, MemBackend};
 pub use canonical::CanonicalIndex;
 pub use checksum::{crc32, Crc32, VERIFY_BLOCK};
 pub use container::ContainerPaths;
-pub use faults::{FaultPlan, FaultStats, FaultyBackend};
+pub use faults::{FaultObs, FaultPlan, FaultStats, FaultyBackend};
 pub use filesystem::{FileStat, Plfs, PlfsConfig};
 pub use fsck::{
     fsck, repair, scrub, FsckError, FsckReport, RepairAction, RepairOptions, RepairReport,
     ScrubFinding, ScrubReport,
 };
 pub use index::{IndexEntry, IndexMap};
-pub use metrics::PlfsMetrics;
+pub use metrics::{PlfsMeters, PlfsMetrics};
 pub use mpiio::{segmented_n1_pattern, strided_n1_pattern, ParallelFile};
 pub use read::{QuarantinePolicy, Reader, DEFAULT_READAHEAD, READ_CHUNK};
 pub use record::OpLogRecorder;

@@ -12,11 +12,15 @@
 //! |---|---|---|
 //! | `plfs.write.ops` | counter | `write_at` calls |
 //! | `plfs.write.bytes` | counter | logical bytes written |
+//! | `plfs.write.errors` | counter | `write_at` calls that returned an error |
+//! | `plfs.write.lat_ns` | histogram | `write_at` wall/logical duration |
 //! | `plfs.write.data_appends` | counter | data-dropping appends issued |
 //! | `plfs.write.index_appends` | counter | index-dropping appends issued |
 //! | `plfs.write.index_bytes` | counter | encoded index bytes persisted |
 //! | `plfs.read.ops` | counter | `read_at` calls |
 //! | `plfs.read.bytes` | counter | logical bytes actually delivered (failed reads count nothing) |
+//! | `plfs.read.errors` | counter | `read_at` calls that returned an error |
+//! | `plfs.read.lat_ns` | histogram | `read_at` wall/logical duration |
 //! | `plfs.read.batches` | counter | coalesced per-dropping read batches issued |
 //! | `plfs.read.backend_ops` | counter | backend `read_at` calls the engine issued |
 //! | `plfs.read.coalesced_bytes` | counter | bytes served by batches that merged ≥ 2 extents |
@@ -43,9 +47,38 @@
 //! [`crate::faults::FaultyBackend::export_into`]).
 
 use crate::record::OpLogRecorder;
+use obs::recorder::Recorder;
+use obs::timeseries::{RateMeter, WindowHistogram, WindowSpec};
 use obs::trace::{TraceCtx, TraceSink};
 use obs::{Clock, Counter, Histogram, Registry, Timer};
 use std::sync::Arc;
+
+/// Windowed live meters for the hot paths: "how fast *right now*", as
+/// opposed to the cumulative registry series. One bundle per instance,
+/// shared by every handle; all four meters rotate on the instance
+/// clock, so in logical mode they window over logical ticks.
+#[derive(Debug, Clone)]
+pub struct PlfsMeters {
+    /// Write ops (events) and bytes (weight) per window.
+    pub write_rate: RateMeter,
+    /// Read ops (events) and delivered bytes (weight) per window.
+    pub read_rate: RateMeter,
+    /// Windowed `write_at` latency (p50/p95/p99/p999 over the window).
+    pub write_lat: WindowHistogram,
+    /// Windowed `read_at` latency.
+    pub read_lat: WindowHistogram,
+}
+
+impl PlfsMeters {
+    pub fn new(clock: &Clock, spec: WindowSpec) -> Arc<Self> {
+        Arc::new(PlfsMeters {
+            write_rate: RateMeter::new(clock, spec),
+            read_rate: RateMeter::new(clock, spec),
+            write_lat: WindowHistogram::new(clock, spec),
+            read_lat: WindowHistogram::new(clock, spec),
+        })
+    }
+}
 
 /// Counter/histogram handles for one PLFS instance.
 #[derive(Debug, Clone)]
@@ -62,6 +95,8 @@ pub struct PlfsMetrics {
     pub trace: TraceCtx,
     pub write_ops: Counter,
     pub write_bytes: Counter,
+    pub write_errors: Counter,
+    pub read_errors: Counter,
     pub data_appends: Counter,
     pub index_appends: Counter,
     pub index_bytes_written: Counter,
@@ -86,11 +121,22 @@ pub struct PlfsMetrics {
     pub merge_fanin: Histogram,
     pub decode_concurrency: Histogram,
     pub read_parallelism: Histogram,
+    pub write_lat: Histogram,
+    pub read_lat: Histogram,
     pub open_timer: Timer,
     /// Op-log capture hook (see [`crate::record`]); `None` = capture
     /// off, the default. Rides in the metrics bundle because writers
     /// and readers already receive exactly this bundle.
     pub recorder: Option<Arc<OpLogRecorder>>,
+    /// Flight-recorder probe (see [`obs::recorder`]): the hot paths
+    /// call `flight.maybe_sample()` once per op, which snapshots the
+    /// registry onto the recorder's ring whenever a cadence deadline
+    /// has passed. Disabled by default — the disabled probe is a single
+    /// branch on `None`.
+    pub flight: Recorder,
+    /// Windowed live meters ("ops/s over the last second"); `None` = off,
+    /// the default, costing one branch per op.
+    pub meters: Option<Arc<PlfsMeters>>,
 }
 
 impl PlfsMetrics {
@@ -112,12 +158,27 @@ impl PlfsMetrics {
         sink: TraceSink,
         recorder: Option<Arc<OpLogRecorder>>,
     ) -> Arc<Self> {
+        PlfsMetrics::new_configured(registry, clock, sink, recorder, Recorder::disabled(), None)
+    }
+
+    /// Everything: trace sink, op-log capture, flight recorder, and
+    /// optional windowed meters (rotating on `clock`).
+    pub fn new_configured(
+        registry: &Registry,
+        clock: &Clock,
+        sink: TraceSink,
+        recorder: Option<Arc<OpLogRecorder>>,
+        flight: Recorder,
+        meter_window: Option<WindowSpec>,
+    ) -> Arc<Self> {
         Arc::new(PlfsMetrics {
             registry: registry.clone(),
             clock: clock.clone(),
             trace: TraceCtx::new(sink, clock.clone()),
             write_ops: registry.counter("plfs.write.ops"),
             write_bytes: registry.counter("plfs.write.bytes"),
+            write_errors: registry.counter("plfs.write.errors"),
+            read_errors: registry.counter("plfs.read.errors"),
             data_appends: registry.counter("plfs.write.data_appends"),
             index_appends: registry.counter("plfs.write.index_appends"),
             index_bytes_written: registry.counter("plfs.write.index_bytes"),
@@ -142,8 +203,12 @@ impl PlfsMetrics {
             merge_fanin: registry.histogram("plfs.index.merge_fanin"),
             decode_concurrency: registry.histogram("plfs.index.decode_concurrency"),
             read_parallelism: registry.histogram("plfs.read.parallelism"),
+            write_lat: registry.histogram("plfs.write.lat_ns"),
+            read_lat: registry.histogram("plfs.read.lat_ns"),
             open_timer: registry.timer("plfs.read.open_ns", clock),
             recorder,
+            flight,
+            meters: meter_window.map(|spec| PlfsMeters::new(clock, spec)),
         })
     }
 

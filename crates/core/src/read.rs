@@ -517,6 +517,24 @@ impl Reader {
     /// into `buf`. `plfs.read.bytes` counts only bytes actually
     /// delivered: a failed read contributes nothing.
     pub fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        let t0 = self.metrics.clock.now_nanos();
+        let res = self.read_at_uninstrumented(offset, buf);
+        let dt = self.metrics.clock.now_nanos().saturating_sub(t0);
+        self.metrics.read_lat.observe(dt);
+        match &res {
+            Ok(n) => {
+                if let Some(m) = &self.metrics.meters {
+                    m.read_rate.mark(*n as u64);
+                    m.read_lat.observe(dt);
+                }
+            }
+            Err(_) => self.metrics.read_errors.inc(),
+        }
+        self.metrics.flight.maybe_sample();
+        res
+    }
+
+    fn read_at_uninstrumented(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
         let eof = self.map.eof();
         let requested = buf.len();
         self.metrics.read_ops.inc();

@@ -219,6 +219,11 @@ fn exec_op(
     idx: usize,
     opts: &ReplayOptions,
 ) -> OpResult {
+    // Flight-recorder probe: replayed control ops (open/sync/stat/...)
+    // never pass through the instrumented write/read hot paths, so the
+    // replay loop polls once per op to keep frame cadence under
+    // control-heavy logs. Free when the recorder is disabled.
+    fs.metrics().flight.maybe_sample();
     let path = path_for(log, op.rank);
     match op.op {
         OpKind::Create => ok_or_err(fs.create(&path)),

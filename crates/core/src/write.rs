@@ -264,7 +264,18 @@ impl Writer {
     }
 
     fn write_at_opt(&mut self, offset: u64, data: &[u8], ts: Option<u64>) -> io::Result<()> {
+        let t0 = self.metrics.clock.now_nanos();
         let res = self.write_at_inner(offset, data, ts);
+        let dt = self.metrics.clock.now_nanos().saturating_sub(t0);
+        self.metrics.write_lat.observe(dt);
+        if res.is_err() {
+            self.metrics.write_errors.inc();
+        }
+        if let Some(m) = &self.metrics.meters {
+            m.write_rate.mark(data.len() as u64);
+            m.write_lat.observe(dt);
+        }
+        self.metrics.flight.maybe_sample();
         if let Some(rec) = &self.metrics.recorder {
             let result = match &res {
                 Ok(used) => OpResult::Write { stamp: *used },

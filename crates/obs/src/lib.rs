@@ -26,6 +26,11 @@
 //! human table via [`Registry::render_table`].
 
 pub mod json;
+pub mod prom;
+pub mod recorder;
+pub mod slo;
+pub mod tail;
+pub mod timeseries;
 pub mod trace;
 
 use std::collections::BTreeMap;
@@ -38,7 +43,7 @@ use std::time::Instant;
 /// last which absorbs everything.
 pub const HIST_BUCKETS: usize = 65;
 
-fn bucket_index(v: u64) -> usize {
+pub(crate) fn bucket_index(v: u64) -> usize {
     if v == 0 {
         0
     } else {
@@ -47,11 +52,22 @@ fn bucket_index(v: u64) -> usize {
 }
 
 /// Inclusive-ish upper bound label for bucket `i` (values `< 2^i`).
-fn bucket_upper(i: usize) -> u64 {
+pub(crate) fn bucket_upper(i: usize) -> u64 {
     if i >= 64 {
         u64::MAX
     } else {
         1u64 << i
+    }
+}
+
+/// Lower bound of the bucket whose upper bound is `upper`: bucket
+/// `upper=1` holds only the value 0, bucket `upper=2^i` covers
+/// `[2^(i-1), 2^i)`, and the overflow bucket starts at `2^63`.
+pub(crate) fn bucket_lower(upper: u64) -> u64 {
+    match upper {
+        0 | 1 => 0,
+        u64::MAX => 1u64 << 63,
+        u => u / 2,
     }
 }
 
@@ -176,7 +192,14 @@ impl Histogram {
         }
     }
 
-    fn snapshot(&self) -> HistSnapshot {
+    /// Approximate quantile of everything observed so far; see
+    /// [`HistSnapshot::quantile`] for the estimator's semantics.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// Point-in-time copy of the bucket contents.
+    pub fn snapshot(&self) -> HistSnapshot {
         let buckets = (0..HIST_BUCKETS)
             .filter_map(|i| {
                 let c = self.core.buckets[i].load(Ordering::Relaxed);
@@ -247,6 +270,48 @@ impl HistSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Approximate quantile by linear interpolation inside the log2
+    /// bucket holding rank `q * count` — the shared estimator behind
+    /// both cumulative histograms and the windowed
+    /// [`timeseries::WindowHistogram`].
+    ///
+    /// Semantics (exact at bucket boundaries):
+    /// * an empty snapshot returns 0,
+    /// * `q = 0` returns the lower bound of the first non-empty bucket,
+    /// * a rank landing exactly on a bucket's cumulative count returns
+    ///   that bucket's upper bound,
+    /// * the tracked `max` clamps the estimate (so the last bucket
+    ///   interpolates toward the largest value actually observed, and
+    ///   `q = 1` returns it exactly).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0)) * self.count as f64;
+        let mut cum_before = 0u64;
+        for &(upper, c) in &self.buckets {
+            let cum = cum_before + c;
+            if (cum as f64) >= rank {
+                let lower = bucket_lower(upper);
+                if upper <= 1 {
+                    return 0.0; // the zero bucket holds only zeros
+                }
+                // Interpolate toward max inside the last non-empty
+                // bucket; toward the bucket edge everywhere else.
+                let hi = if upper == self.buckets.last().unwrap().0 {
+                    (self.max.max(lower)) as f64
+                } else {
+                    upper as f64
+                };
+                let f = ((rank - cum_before as f64) / c as f64).clamp(0.0, 1.0);
+                let est = lower as f64 + (hi - lower as f64) * f;
+                return est.min(self.max as f64);
+            }
+            cum_before = cum;
+        }
+        self.max as f64
     }
 }
 
@@ -445,7 +510,15 @@ pub fn render_table(series: &[Series]) -> String {
             SeriesValue::Gauge(v) => ("gauge", v.to_string()),
             SeriesValue::Histogram(h) => (
                 "histogram",
-                format!("count={} sum={} max={} mean={:.1}", h.count, h.sum, h.max, h.mean()),
+                format!(
+                    "count={} sum={} max={} mean={:.1} p50={:.0} p99={:.0}",
+                    h.count,
+                    h.sum,
+                    h.max,
+                    h.mean(),
+                    h.quantile(0.50),
+                    h.quantile(0.99)
+                ),
             ),
         };
         rows.push((id, ty.to_string(), val));
@@ -656,6 +729,57 @@ mod tests {
         let reg = Registry::new();
         reg.histogram("empty");
         assert!(reg.render_table().contains("mean=0.0"));
+    }
+
+    #[test]
+    fn quantile_is_exact_at_bucket_boundaries() {
+        // 50 samples of 2 (bucket [2,4)) and 50 of 1000 (bucket
+        // [512,1024), max 1000). Rank 50 lands exactly on the first
+        // bucket's cumulative count, so p50 is exactly its upper bound.
+        let h = Histogram::new();
+        for _ in 0..50 {
+            h.observe(2);
+            h.observe(1000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 4.0, "boundary rank returns the bucket's upper bound");
+        assert_eq!(s.quantile(0.0), 2.0, "q=0 returns the first bucket's lower bound");
+        assert_eq!(s.quantile(1.0), 1000.0, "q=1 returns the observed max exactly");
+        // Interior ranks interpolate linearly toward max inside the
+        // last bucket: rank 99 is 49/50 of the way through [512, 1000].
+        let p99 = s.quantile(0.99);
+        assert!((p99 - (512.0 + 488.0 * 49.0 / 50.0)).abs() < 1e-9, "p99={p99}");
+    }
+
+    #[test]
+    fn quantile_degenerate_cases() {
+        let empty = Histogram::new();
+        assert_eq!(empty.quantile(0.5), 0.0);
+        let zeros = Histogram::new();
+        zeros.observe(0);
+        zeros.observe(0);
+        assert_eq!(zeros.quantile(0.99), 0.0, "the zero bucket holds only zeros");
+        // All samples equal to a power of two: every quantile is that
+        // value, because max clamps the last-bucket interpolation.
+        let flat = Histogram::new();
+        for _ in 0..10 {
+            flat.observe(1024);
+        }
+        for q in [0.0, 0.5, 0.95, 0.99, 0.999, 1.0] {
+            assert_eq!(flat.quantile(q), 1024.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn table_shows_histogram_quantiles() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        for _ in 0..100 {
+            h.observe(1024);
+        }
+        let t = reg.render_table();
+        assert!(t.contains("p50=1024"), "table has a p50 column: {t}");
+        assert!(t.contains("p99=1024"), "table has a p99 column: {t}");
     }
 
     #[test]

@@ -1,0 +1,325 @@
+//! Prometheus text-exposition rendering of a [`Series`] snapshot, and a
+//! small line parser used to pin the exporter's conformance.
+//!
+//! The exporter follows the text format rules that matter for
+//! correctness rather than style:
+//!
+//! * metric names are sanitized to `[a-zA-Z_:][a-zA-Z0-9_:]*` and label
+//!   names to `[a-zA-Z_][a-zA-Z0-9_]*` (invalid characters become `_`,
+//!   so the workspace's dotted series names map to underscores);
+//! * label *values* keep every byte, escaped per the spec: `\` as
+//!   `\\`, `"` as `\"`, newline as `\n`;
+//! * histograms render cumulatively: `name_bucket{le="..."}` rows
+//!   ending in `le="+Inf"`, plus `name_sum` and `name_count`.
+//!
+//! [`parse`] inverts exactly this subset (comments skipped, escapes
+//! undone), which makes the round-trip test in this module an exact
+//! pin: render → parse must reproduce every sample and value.
+
+use crate::{Series, SeriesValue};
+use std::fmt::Write as _;
+
+/// Sanitize a metric name to `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    sanitize(name, true)
+}
+
+/// Sanitize a label name to `[a-zA-Z_][a-zA-Z0-9_]*`.
+pub fn sanitize_label_name(name: &str) -> String {
+    sanitize(name, false)
+}
+
+fn sanitize(name: &str, allow_colon: bool) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, ch) in name.chars().enumerate() {
+        let ok = ch.is_ascii_alphabetic()
+            || ch == '_'
+            || (allow_colon && ch == ':')
+            || (i > 0 && ch.is_ascii_digit());
+        out.push(if ok { ch } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a label value: `\` → `\\`, `"` → `\"`, newline → `\n`.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_label_value(v: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '\\' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            other => return Err(format!("bad escape \\{other:?} in label value {v:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_label_name(k), escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Render a snapshot in Prometheus text-exposition format.
+pub fn render(series: &[Series]) -> String {
+    let mut out = String::new();
+    let mut last_type_line = String::new();
+    for s in series {
+        let name = sanitize_metric_name(&s.name);
+        let kind = match s.value {
+            SeriesValue::Counter(_) => "counter",
+            SeriesValue::Gauge(_) => "gauge",
+            SeriesValue::Histogram(_) => "histogram",
+        };
+        let type_line = format!("# TYPE {name} {kind}\n");
+        if type_line != last_type_line {
+            out.push_str(&type_line);
+            last_type_line = type_line;
+        }
+        match &s.value {
+            SeriesValue::Counter(v) => {
+                let _ = writeln!(out, "{name}{} {v}", label_block(&s.labels, None));
+            }
+            SeriesValue::Gauge(v) => {
+                let _ = writeln!(out, "{name}{} {v}", label_block(&s.labels, None));
+            }
+            SeriesValue::Histogram(h) => {
+                let mut cum = 0u64;
+                for &(upper, c) in &h.buckets {
+                    cum += c;
+                    let le = if upper == u64::MAX { "+Inf".to_string() } else { upper.to_string() };
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{} {cum}",
+                        label_block(&s.labels, Some(("le", &le)))
+                    );
+                }
+                if h.buckets.last().map(|&(u, _)| u) != Some(u64::MAX) {
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{} {cum}",
+                        label_block(&s.labels, Some(("le", "+Inf")))
+                    );
+                }
+                let _ = writeln!(out, "{name}_sum{} {}", label_block(&s.labels, None), h.sum);
+                let _ = writeln!(out, "{name}_count{} {}", label_block(&s.labels, None), h.count);
+            }
+        }
+    }
+    out
+}
+
+/// One parsed exposition sample: `name{labels} value`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PromSample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+impl PromSample {
+    /// The value of the label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse the subset of the text format [`render`] emits: comment lines
+/// skipped, quoted label values with spec escapes, one float per line.
+pub fn parse(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |m: &str| format!("line {}: {m}: {raw:?}", lineno + 1);
+        let (name_part, rest) = match line.find('{') {
+            Some(b) => (&line[..b], &line[b..]),
+            None => match line.find(char::is_whitespace) {
+                Some(sp) => (&line[..sp], &line[sp..]),
+                None => return Err(err("no value")),
+            },
+        };
+        let mut labels = Vec::new();
+        let value_str;
+        if let Some(body) = rest.strip_prefix('{') {
+            let mut chars = body.char_indices().peekable();
+            let mut key = String::new();
+            let mut state_in_key = true;
+            let mut val = String::new();
+            let mut in_quotes = false;
+            let mut escaped_val = String::new();
+            let mut end = None;
+            while let Some((i, ch)) = chars.next() {
+                if in_quotes {
+                    if ch == '\\' {
+                        escaped_val.push(ch);
+                        if let Some((_, c2)) = chars.next() {
+                            escaped_val.push(c2);
+                        } else {
+                            return Err(err("dangling escape"));
+                        }
+                    } else if ch == '"' {
+                        in_quotes = false;
+                        val = unescape_label_value(&escaped_val)?;
+                    } else {
+                        escaped_val.push(ch);
+                    }
+                } else if state_in_key {
+                    match ch {
+                        '=' => {
+                            state_in_key = false;
+                            match chars.next() {
+                                Some((_, '"')) => {
+                                    in_quotes = true;
+                                    escaped_val.clear();
+                                }
+                                _ => return Err(err("label value not quoted")),
+                            }
+                        }
+                        '}' => {
+                            end = Some(i);
+                            break;
+                        }
+                        c if c.is_whitespace() => {}
+                        c => key.push(c),
+                    }
+                } else {
+                    match ch {
+                        ',' => {
+                            labels.push((std::mem::take(&mut key), std::mem::take(&mut val)));
+                            state_in_key = true;
+                        }
+                        '}' => {
+                            labels.push((std::mem::take(&mut key), std::mem::take(&mut val)));
+                            end = Some(i);
+                            break;
+                        }
+                        c if c.is_whitespace() => {}
+                        _ => return Err(err("junk after label value")),
+                    }
+                }
+            }
+            let end = end.ok_or_else(|| err("unterminated label block"))?;
+            value_str = body[end + 1..].trim();
+        } else {
+            value_str = rest.trim();
+        }
+        let value = if value_str == "+Inf" {
+            f64::INFINITY
+        } else if value_str == "-Inf" {
+            f64::NEG_INFINITY
+        } else {
+            value_str.parse::<f64>().map_err(|e| err(&format!("bad value ({e})")))?
+        };
+        out.push(PromSample { name: name_part.trim().to_string(), labels, value });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn names_and_labels_sanitize() {
+        assert_eq!(sanitize_metric_name("plfs.write.ops"), "plfs_write_ops");
+        assert_eq!(sanitize_metric_name("9lives"), "_lives");
+        assert_eq!(sanitize_metric_name("a:b_c9"), "a:b_c9");
+        assert_eq!(sanitize_label_name("exp-id"), "exp_id");
+        assert_eq!(sanitize_label_name(""), "_");
+    }
+
+    #[test]
+    fn label_values_escape_per_spec() {
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+        for nasty in ["a\\b", "say \"hi\"", "two\nlines", "mixed \\\" \n end"] {
+            assert_eq!(unescape_label_value(&escape_label_value(nasty)).unwrap(), nasty);
+        }
+    }
+
+    #[test]
+    fn exposition_roundtrips_through_the_parser() {
+        let reg = Registry::new();
+        reg.counter_with("plfs.write.ops", &[("exp", "open\\scale"), ("host", "a\"b")]).add(42);
+        reg.gauge_with("queue.depth", &[("note", "line1\nline2")]).set(-3);
+        let h = reg.histogram("plfs.write.lat_ns");
+        for v in [3u64, 9, 9, 1000] {
+            h.observe(v);
+        }
+        let text = render(&reg.snapshot());
+        let samples = parse(&text).expect("rendered exposition must parse");
+
+        let ops = samples.iter().find(|s| s.name == "plfs_write_ops").expect("counter sample");
+        assert_eq!(ops.value, 42.0);
+        assert_eq!(ops.label("exp"), Some("open\\scale"), "backslash survived the round trip");
+        assert_eq!(ops.label("host"), Some("a\"b"), "quote survived the round trip");
+
+        let depth = samples.iter().find(|s| s.name == "queue_depth").expect("gauge sample");
+        assert_eq!(depth.value, -3.0);
+        assert_eq!(depth.label("note"), Some("line1\nline2"), "newline survived");
+
+        // Histogram: cumulative buckets ending at +Inf, sum and count.
+        let buckets: Vec<&PromSample> =
+            samples.iter().filter(|s| s.name == "plfs_write_lat_ns_bucket").collect();
+        assert!(!buckets.is_empty());
+        let inf = buckets.iter().find(|s| s.label("le") == Some("+Inf")).expect("+Inf bucket");
+        assert_eq!(inf.value, 4.0, "cumulative +Inf bucket equals count");
+        let le16 = buckets.iter().find(|s| s.label("le") == Some("16")).expect("le=16");
+        assert_eq!(le16.value, 3.0, "3, 9, 9 are all <= 16 cumulatively");
+        let sum = samples.iter().find(|s| s.name == "plfs_write_lat_ns_sum").unwrap();
+        assert_eq!(sum.value, 1021.0);
+        let count = samples.iter().find(|s| s.name == "plfs_write_lat_ns_count").unwrap();
+        assert_eq!(count.value, 4.0);
+
+        // Every # TYPE line names a sanitized metric.
+        for line in text.lines().filter(|l| l.starts_with("# TYPE")) {
+            let name = line.split_whitespace().nth(2).unwrap();
+            assert_eq!(name, sanitize_metric_name(name));
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("name_only").is_err());
+        assert!(parse("m{a=\"unterminated} 1").is_err());
+        assert!(parse("m{a=bare} 1").is_err());
+        assert!(parse("m 1.2.3").is_err());
+        assert!(parse("# comment only\n").unwrap().is_empty());
+    }
+}

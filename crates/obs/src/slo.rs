@@ -1,0 +1,568 @@
+//! Service-level objectives evaluated over flight-recorder frames,
+//! with fast/slow multi-window burn rates.
+//!
+//! An objective declares a budget (error rate, fraction of ops over a
+//! latency threshold, a throughput floor) and two windows: the *fast*
+//! window catches an incident quickly, the *slow* window confirms it
+//! is sustained — the standard multi-window burn-rate alerting shape,
+//! which fires pages fast without flapping on single-sample noise.
+//! Both windows are measured from [`Frame`] deltas, so the engine
+//! needs no extra instrumentation beyond a running [`crate::recorder::Recorder`].
+//!
+//! Alerts are edge-triggered typed events; when an [`ExemplarStore`]
+//! is attached, each alert carries the slowest trace-id exemplars
+//! recorded for the offending series, linking straight to a
+//! Perfetto-openable trace.
+
+use crate::recorder::Frame;
+use crate::tail::{Exemplar, ExemplarStore};
+use crate::{bucket_lower, json, HistSnapshot};
+
+/// The two alerting windows and their burn thresholds. A burn rate of
+/// 1.0 consumes the budget exactly; classic SRE policy pages when the
+/// fast window burns several times faster *and* the slow window
+/// confirms it.
+#[derive(Clone, Copy, Debug)]
+pub struct BurnWindows {
+    pub fast_ns: u64,
+    pub slow_ns: u64,
+    /// Fire when the fast-window burn rate reaches this factor…
+    pub fast_burn: f64,
+    /// …and the slow-window burn rate reaches this one.
+    pub slow_burn: f64,
+}
+
+impl BurnWindows {
+    /// Default burn factors: 2x on the fast window, 1x sustained.
+    pub fn new(fast_ns: u64, slow_ns: u64) -> Self {
+        assert!(fast_ns > 0 && slow_ns >= fast_ns, "slow window must contain the fast one");
+        BurnWindows { fast_ns, slow_ns, fast_burn: 2.0, slow_burn: 1.0 }
+    }
+
+    pub fn with_burn(mut self, fast_burn: f64, slow_burn: f64) -> Self {
+        self.fast_burn = fast_burn;
+        self.slow_burn = slow_burn;
+        self
+    }
+}
+
+/// What kind of budget an alert burned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlertKind {
+    /// `errors/total` exceeded its budgeted rate.
+    ErrorBudget,
+    /// Too many histogram samples crossed the latency threshold.
+    LatencyBudget,
+    /// A windowed rate fell below its floor.
+    ThroughputFloor,
+}
+
+impl AlertKind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AlertKind::ErrorBudget => "error_budget",
+            AlertKind::LatencyBudget => "latency_budget",
+            AlertKind::ThroughputFloor => "throughput_floor",
+        }
+    }
+}
+
+/// A typed, edge-triggered alert event.
+#[derive(Clone, Debug)]
+pub struct Alert {
+    /// The objective's declared name.
+    pub objective: String,
+    pub kind: AlertKind,
+    /// The series the objective watches.
+    pub series: String,
+    /// Clock reading of the frame that tripped the alert.
+    pub at_ns: u64,
+    pub frame_seq: u64,
+    /// Fast-window measurement (rate, over-threshold fraction, or
+    /// per-second throughput, by kind).
+    pub value: f64,
+    /// The declared budget/floor the measurement is judged against.
+    pub threshold: f64,
+    pub burn_fast: f64,
+    pub burn_slow: f64,
+    /// Slow-op trace exemplars for the offending series (present when
+    /// the engine has an exemplar store and the objective a key).
+    pub exemplars: Vec<Exemplar>,
+}
+
+/// A declared objective. All windows/thresholds are in the clock's
+/// units (wall nanoseconds or logical ticks).
+#[derive(Clone, Debug)]
+pub enum Objective {
+    /// `errors/total` must stay below `budget`.
+    ErrorRate {
+        name: String,
+        /// Counter series of failures.
+        errors: String,
+        /// Counter series of attempts the failures are judged against.
+        total: String,
+        budget: f64,
+        windows: BurnWindows,
+        /// Exemplar-store key to attach slow-op traces from.
+        exemplar_key: Option<String>,
+    },
+    /// The fraction of `hist` samples above `threshold_ns` must stay
+    /// below `budget` (a "p99 < threshold" objective has budget 0.01).
+    LatencyBudget {
+        name: String,
+        hist: String,
+        threshold_ns: u64,
+        budget: f64,
+        windows: BurnWindows,
+        exemplar_key: Option<String>,
+    },
+    /// The windowed per-second rate of `counter` must stay at or above
+    /// `floor_per_sec` (an ingest-bandwidth floor). Burn rate is
+    /// `floor/rate`, so the fast/slow burn factors express how far
+    /// below the floor each window must fall.
+    RateFloor {
+        name: String,
+        counter: String,
+        floor_per_sec: f64,
+        windows: BurnWindows,
+        exemplar_key: Option<String>,
+    },
+}
+
+impl Objective {
+    pub fn name(&self) -> &str {
+        match self {
+            Objective::ErrorRate { name, .. }
+            | Objective::LatencyBudget { name, .. }
+            | Objective::RateFloor { name, .. } => name,
+        }
+    }
+
+    fn windows(&self) -> BurnWindows {
+        match self {
+            Objective::ErrorRate { windows, .. }
+            | Objective::LatencyBudget { windows, .. }
+            | Objective::RateFloor { windows, .. } => *windows,
+        }
+    }
+
+    fn exemplar_key(&self) -> Option<&str> {
+        match self {
+            Objective::ErrorRate { exemplar_key, .. }
+            | Objective::LatencyBudget { exemplar_key, .. }
+            | Objective::RateFloor { exemplar_key, .. } => exemplar_key.as_deref(),
+        }
+    }
+}
+
+/// Approximate number of samples in `delta` strictly above
+/// `threshold`, interpolating linearly inside the straddling bucket.
+fn count_over(delta: &HistSnapshot, threshold: u64) -> f64 {
+    let mut over = 0.0;
+    for &(upper, c) in &delta.buckets {
+        let lower = bucket_lower(upper);
+        if lower >= threshold {
+            over += c as f64;
+        } else if upper > threshold {
+            let span = (upper - lower) as f64;
+            over += c as f64 * ((upper - threshold) as f64 / span);
+        }
+    }
+    over
+}
+
+/// Index of the baseline frame for a window of `window_ns` ending at
+/// frame `i`: the newest frame at least `window_ns` older, or the
+/// oldest retained frame.
+fn baseline(frames: &[Frame], i: usize, window_ns: u64) -> usize {
+    let cutoff = frames[i].t_ns.saturating_sub(window_ns);
+    let mut j = 0;
+    for (k, f) in frames.iter().enumerate().take(i) {
+        if f.t_ns <= cutoff {
+            j = k;
+        } else {
+            break;
+        }
+    }
+    j
+}
+
+fn counter_at(f: &Frame, name: &str) -> u64 {
+    f.counter(name).unwrap_or(0)
+}
+
+/// One window's measurement for an objective: `(value, burn)`.
+fn measure(obj: &Objective, frames: &[Frame], i: usize, window_ns: u64) -> (f64, f64) {
+    let j = baseline(frames, i, window_ns);
+    if j >= i {
+        return (0.0, 0.0);
+    }
+    let (prev, cur) = (&frames[j], &frames[i]);
+    match obj {
+        Objective::ErrorRate { errors, total, budget, .. } => {
+            let e = counter_at(cur, errors).saturating_sub(counter_at(prev, errors)) as f64;
+            let t = counter_at(cur, total).saturating_sub(counter_at(prev, total)) as f64;
+            let rate = if t > 0.0 { e / t } else { 0.0 };
+            (rate, if *budget > 0.0 { rate / budget } else { 0.0 })
+        }
+        Objective::LatencyBudget { hist, threshold_ns, budget, .. } => {
+            let delta = crate::recorder::hist_delta(Some(prev), cur, hist);
+            if delta.count == 0 {
+                return (0.0, 0.0);
+            }
+            let frac = count_over(&delta, *threshold_ns) / delta.count as f64;
+            (frac, if *budget > 0.0 { frac / budget } else { 0.0 })
+        }
+        Objective::RateFloor { counter, floor_per_sec, .. } => {
+            let d = counter_at(cur, counter).saturating_sub(counter_at(prev, counter)) as f64;
+            let span = cur.t_ns.saturating_sub(prev.t_ns) as f64;
+            if span <= 0.0 {
+                return (0.0, 0.0);
+            }
+            let rate = d * 1e9 / span;
+            let burn = if rate > 0.0 { floor_per_sec / rate } else { f64::INFINITY };
+            (rate, burn)
+        }
+    }
+}
+
+/// The burn-rate engine: declared objectives plus an optional exemplar
+/// store to decorate alerts with slow-op trace ids.
+#[derive(Clone, Debug, Default)]
+pub struct SloEngine {
+    objectives: Vec<Objective>,
+    exemplars: Option<ExemplarStore>,
+}
+
+impl SloEngine {
+    pub fn new() -> Self {
+        SloEngine::default()
+    }
+
+    pub fn with_exemplars(mut self, store: ExemplarStore) -> Self {
+        self.exemplars = Some(store);
+        self
+    }
+
+    pub fn objective(mut self, obj: Objective) -> Self {
+        self.objectives.push(obj);
+        self
+    }
+
+    pub fn objectives(&self) -> &[Objective] {
+        &self.objectives
+    }
+
+    /// Evaluate every objective over the whole timeline, emitting one
+    /// edge-triggered alert per excursion (an objective re-fires only
+    /// after a frame where it stopped burning).
+    pub fn eval(&self, frames: &[Frame]) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        if frames.len() < 2 {
+            return alerts;
+        }
+        let t0 = frames[0].t_ns;
+        for obj in &self.objectives {
+            let w = obj.windows();
+            let mut active = false;
+            for i in 1..frames.len() {
+                // Not enough history for the fast window yet.
+                if frames[i].t_ns.saturating_sub(t0) < w.fast_ns {
+                    continue;
+                }
+                let (value, burn_fast) = measure(obj, frames, i, w.fast_ns);
+                let (_, burn_slow) = measure(obj, frames, i, w.slow_ns);
+                let firing = burn_fast >= w.fast_burn && burn_slow >= w.slow_burn;
+                if firing && !active {
+                    let (kind, series, threshold) = match obj {
+                        Objective::ErrorRate { errors, budget, .. } => {
+                            (AlertKind::ErrorBudget, errors.clone(), *budget)
+                        }
+                        Objective::LatencyBudget { hist, budget, .. } => {
+                            (AlertKind::LatencyBudget, hist.clone(), *budget)
+                        }
+                        Objective::RateFloor { counter, floor_per_sec, .. } => {
+                            (AlertKind::ThroughputFloor, counter.clone(), *floor_per_sec)
+                        }
+                    };
+                    let exemplars = match (&self.exemplars, obj.exemplar_key()) {
+                        (Some(store), Some(key)) => store.get(key),
+                        _ => Vec::new(),
+                    };
+                    alerts.push(Alert {
+                        objective: obj.name().to_string(),
+                        kind,
+                        series,
+                        at_ns: frames[i].t_ns,
+                        frame_seq: frames[i].seq,
+                        value,
+                        threshold,
+                        burn_fast,
+                        burn_slow,
+                        exemplars,
+                    });
+                }
+                active = firing;
+            }
+        }
+        alerts.sort_by_key(|a| (a.at_ns, a.frame_seq));
+        alerts
+    }
+}
+
+/// Alerts as a JSON array (the timeline artifact's `alerts` section).
+pub fn alerts_to_json(alerts: &[Alert]) -> json::Value {
+    use json::Value;
+    Value::Arr(
+        alerts
+            .iter()
+            .map(|a| {
+                Value::Obj(vec![
+                    ("objective".into(), Value::Str(a.objective.clone())),
+                    ("kind".into(), Value::Str(a.kind.as_str().into())),
+                    ("series".into(), Value::Str(a.series.clone())),
+                    ("at_ns".into(), Value::Int(a.at_ns as i64)),
+                    ("frame_seq".into(), Value::Int(a.frame_seq as i64)),
+                    ("value".into(), Value::Float(a.value)),
+                    ("threshold".into(), Value::Float(a.threshold)),
+                    ("burn_fast".into(), Value::Float(a.burn_fast)),
+                    ("burn_slow".into(), Value::Float(a.burn_slow)),
+                    (
+                        "exemplars".into(),
+                        Value::Arr(
+                            a.exemplars
+                                .iter()
+                                .map(|e| {
+                                    Value::Obj(vec![
+                                        ("trace_id".into(), Value::Int(e.trace_id as i64)),
+                                        ("value_ns".into(), Value::Int(e.value_ns as i64)),
+                                        ("at_ns".into(), Value::Int(e.at_ns as i64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Human-readable one-liner per alert.
+pub fn render_alerts(alerts: &[Alert]) -> String {
+    let mut out = String::new();
+    for a in alerts {
+        let ex = if a.exemplars.is_empty() {
+            String::new()
+        } else {
+            let ids: Vec<String> = a.exemplars.iter().map(|e| format!("#{}", e.trace_id)).collect();
+            format!("  traces {}", ids.join(" "))
+        };
+        out.push_str(&format!(
+            "ALERT {} [{}] on {} at t={}ns: value {:.4} vs {:.4} (burn fast {:.2}x / slow {:.2}x){}\n",
+            a.objective,
+            a.kind.as_str(),
+            a.series,
+            a.at_ns,
+            a.value,
+            a.threshold,
+            a.burn_fast,
+            a.burn_slow,
+            ex
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use crate::{Clock, Registry};
+
+    type Step<'a> = (u64, &'a dyn Fn(&Registry));
+
+    /// Build frames by driving a logical clock: `mark(t, f)` applies
+    /// `f` to the registry then samples at time `t`.
+    fn drive(steps: &[Step]) -> Vec<Frame> {
+        let reg = Registry::new();
+        let clock = Clock::logical();
+        let rec = Recorder::new(&reg, &clock, 1, 1024);
+        for (t, f) in steps {
+            f(&reg);
+            clock.advance_to(*t);
+            rec.sample_now();
+        }
+        rec.frames()
+    }
+
+    fn error_objective() -> Objective {
+        Objective::ErrorRate {
+            name: "write-errors".into(),
+            errors: "faults.injected_transient".into(),
+            total: "retry.attempts".into(),
+            budget: 0.01,
+            windows: BurnWindows::new(100, 300),
+            exemplar_key: None,
+        }
+    }
+
+    #[test]
+    fn clean_timeline_raises_no_alerts() {
+        let frames = drive(&[
+            (0, &|_| {}),
+            (100, &|r: &Registry| r.counter("retry.attempts").add(100)),
+            (200, &|r: &Registry| r.counter("retry.attempts").add(100)),
+            (300, &|r: &Registry| r.counter("retry.attempts").add(100)),
+            (400, &|r: &Registry| r.counter("retry.attempts").add(100)),
+        ]);
+        let engine = SloEngine::new().objective(error_objective());
+        assert!(engine.eval(&frames).is_empty());
+    }
+
+    #[test]
+    fn sustained_burn_fires_once_and_is_edge_triggered() {
+        let burn = |r: &Registry| {
+            r.counter("retry.attempts").add(100);
+            r.counter("faults.injected_transient").add(20);
+        };
+        let clean = |r: &Registry| r.counter("retry.attempts").add(100);
+        let frames = drive(&[
+            (0, &|_| {}),
+            (100, &clean),
+            (200, &burn),
+            (300, &burn),
+            (400, &burn),
+            (500, &clean),
+            (600, &clean),
+            (700, &clean),
+            (800, &burn),
+            (900, &burn),
+            (1000, &burn),
+        ]);
+        let engine = SloEngine::new().objective(error_objective());
+        let alerts = engine.eval(&frames);
+        assert_eq!(alerts.len(), 2, "one alert per excursion: {alerts:?}");
+        assert_eq!(alerts[0].kind, AlertKind::ErrorBudget);
+        assert!(alerts[0].burn_fast >= 2.0);
+        assert!(alerts[0].burn_slow >= 1.0);
+        assert!(alerts[1].at_ns > alerts[0].at_ns);
+    }
+
+    #[test]
+    fn short_blip_does_not_page() {
+        // One bad frame inside an otherwise clean slow window: the
+        // fast window burns but the slow window stays under 1x.
+        let frames = drive(&[
+            (0, &|_| {}),
+            (100, &|r: &Registry| r.counter("retry.attempts").add(1000)),
+            (200, &|r: &Registry| r.counter("retry.attempts").add(1000)),
+            (300, &|r: &Registry| {
+                r.counter("retry.attempts").add(1000);
+                r.counter("faults.injected_transient").add(25);
+            }),
+            (400, &|r: &Registry| r.counter("retry.attempts").add(1000)),
+        ]);
+        let engine = SloEngine::new().objective(Objective::ErrorRate {
+            name: "write-errors".into(),
+            errors: "faults.injected_transient".into(),
+            total: "retry.attempts".into(),
+            budget: 0.01,
+            windows: BurnWindows::new(100, 400).with_burn(2.0, 1.0),
+            exemplar_key: None,
+        });
+        let alerts = engine.eval(&frames);
+        assert!(
+            alerts.is_empty(),
+            "25/1000 in one frame is 2.5x fast burn but only 0.625x over the slow window: {alerts:?}"
+        );
+    }
+
+    #[test]
+    fn latency_budget_counts_samples_over_threshold() {
+        let frames = drive(&[
+            (0, &|_| {}),
+            (100, &|r: &Registry| {
+                for _ in 0..99 {
+                    r.histogram("plfs.write.lat_ns").observe(10);
+                }
+            }),
+            (200, &|r: &Registry| {
+                for _ in 0..50 {
+                    r.histogram("plfs.write.lat_ns").observe(10_000);
+                }
+            }),
+            (300, &|r: &Registry| {
+                for _ in 0..50 {
+                    r.histogram("plfs.write.lat_ns").observe(10_000);
+                }
+            }),
+        ]);
+        let engine = SloEngine::new().objective(Objective::LatencyBudget {
+            name: "p99-write".into(),
+            hist: "plfs.write.lat_ns".into(),
+            threshold_ns: 1000,
+            budget: 0.01,
+            windows: BurnWindows::new(100, 200),
+            exemplar_key: None,
+        });
+        let alerts = engine.eval(&frames);
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert_eq!(alerts[0].kind, AlertKind::LatencyBudget);
+        assert!(alerts[0].value > 0.9, "nearly all window samples breached: {}", alerts[0].value);
+    }
+
+    #[test]
+    fn rate_floor_fires_when_throughput_collapses() {
+        let frames = drive(&[
+            (0, &|_| {}),
+            (100, &|r: &Registry| r.counter("plfs.write.bytes").add(1000)),
+            (200, &|r: &Registry| r.counter("plfs.write.bytes").add(1000)),
+            (300, &|r: &Registry| r.counter("plfs.write.bytes").add(2)),
+            (400, &|r: &Registry| r.counter("plfs.write.bytes").add(2)),
+            (500, &|r: &Registry| r.counter("plfs.write.bytes").add(2)),
+        ]);
+        // Healthy rate: 1000 bytes / 100 ticks = 1e10/s; floor 1e9.
+        let engine = SloEngine::new().objective(Objective::RateFloor {
+            name: "ingest-floor".into(),
+            counter: "plfs.write.bytes".into(),
+            floor_per_sec: 1e9,
+            windows: BurnWindows::new(100, 300).with_burn(2.0, 1.0),
+            exemplar_key: None,
+        });
+        let alerts = engine.eval(&frames);
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert_eq!(alerts[0].kind, AlertKind::ThroughputFloor);
+        assert!(alerts[0].value < 1e9, "measured rate below floor: {}", alerts[0].value);
+    }
+
+    #[test]
+    fn alerts_carry_exemplars_and_serialize() {
+        let store = ExemplarStore::new(2);
+        store.note("pfs.write", Exemplar { trace_id: 42, value_ns: 9000, at_ns: 300 });
+        let burn = |r: &Registry| {
+            r.counter("retry.attempts").add(100);
+            r.counter("faults.injected_transient").add(50);
+        };
+        let frames = drive(&[(0, &|_| {}), (100, &burn), (200, &burn), (300, &burn), (400, &burn)]);
+        let engine = SloEngine::new().with_exemplars(store).objective(Objective::ErrorRate {
+            name: "write-errors".into(),
+            errors: "faults.injected_transient".into(),
+            total: "retry.attempts".into(),
+            budget: 0.01,
+            windows: BurnWindows::new(100, 300),
+            exemplar_key: Some("pfs.write".into()),
+        });
+        let alerts = engine.eval(&frames);
+        assert!(!alerts.is_empty());
+        assert_eq!(alerts[0].exemplars.len(), 1);
+        assert_eq!(alerts[0].exemplars[0].trace_id, 42);
+        let doc = alerts_to_json(&alerts).to_string();
+        let parsed = json::parse(&doc).unwrap();
+        let first = parsed.as_arr().unwrap().first().unwrap();
+        assert_eq!(first.get("kind").and_then(|v| v.as_str()), Some("error_budget"));
+        let ex = first.get("exemplars").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(ex[0].get("trace_id").and_then(|v| v.as_i64()), Some(42));
+        assert!(render_alerts(&alerts).contains("#42"));
+    }
+}

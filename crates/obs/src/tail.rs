@@ -1,0 +1,381 @@
+//! Tail-based trace sampling: keep the full span tree only for the
+//! operations that breached a latency threshold.
+//!
+//! Head sampling (keep 1-in-N) almost never catches the op you care
+//! about — the p99.9 straggler. The [`TailSampler`] instead drains a
+//! staging [`TraceSink`], reassembles complete span trees (children
+//! record before their root, so a tree is complete once its root
+//! appears), and keeps a tree only when its root duration crosses the
+//! threshold for that root's name. Sampled roots also land in the
+//! [`ExemplarStore`] as `(trace id, duration)` exemplars, which is the
+//! link an SLO alert carries so "p99 is burning" points at a concrete
+//! Perfetto-openable trace ([`crate::trace::to_chrome`]).
+
+use crate::trace::{SpanRecord, TraceSink};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// One slow-op exemplar: the root span's trace id and duration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Root span id — the `args.id` of the root event in the Chrome
+    /// export of the sampled spans.
+    pub trace_id: u64,
+    /// Root duration (clock units).
+    pub value_ns: u64,
+    /// When the op finished (clock units).
+    pub at_ns: u64,
+}
+
+/// Worst-K exemplars per series key (usually the root span name).
+/// `Clone` shares the store.
+#[derive(Clone, Debug)]
+pub struct ExemplarStore {
+    keep: usize,
+    inner: Arc<Mutex<BTreeMap<String, Vec<Exemplar>>>>,
+}
+
+impl ExemplarStore {
+    /// Keep the `keep` slowest exemplars per key.
+    pub fn new(keep: usize) -> Self {
+        assert!(keep > 0, "an exemplar store must keep at least one entry");
+        ExemplarStore { keep, inner: Arc::new(Mutex::new(BTreeMap::new())) }
+    }
+
+    /// Record an exemplar under `key`, evicting the fastest once more
+    /// than `keep` accumulate.
+    pub fn note(&self, key: &str, ex: Exemplar) {
+        let mut map = self.inner.lock().unwrap();
+        let v = map.entry(key.to_string()).or_default();
+        v.push(ex);
+        v.sort_by(|a, b| b.value_ns.cmp(&a.value_ns).then(a.trace_id.cmp(&b.trace_id)));
+        v.truncate(self.keep);
+    }
+
+    /// Exemplars for `key`, slowest first.
+    pub fn get(&self, key: &str) -> Vec<Exemplar> {
+        self.inner.lock().unwrap().get(key).cloned().unwrap_or_default()
+    }
+
+    pub fn keys(&self) -> Vec<String> {
+        self.inner.lock().unwrap().keys().cloned().collect()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().is_empty()
+    }
+}
+
+impl Default for ExemplarStore {
+    fn default() -> Self {
+        ExemplarStore::new(4)
+    }
+}
+
+#[derive(Debug, Default)]
+struct TailState {
+    /// Spans whose root has not been recorded yet.
+    pending: Vec<SpanRecord>,
+    /// Sampled trees, oldest first (each kept whole).
+    kept: Vec<Vec<SpanRecord>>,
+    kept_spans: usize,
+    sampled: u64,
+    discarded: u64,
+    dropped_trees: u64,
+    dropped_pending: u64,
+}
+
+#[derive(Debug)]
+struct TailShared {
+    source: TraceSink,
+    default_threshold_ns: u64,
+    /// `(root-name prefix, threshold)` overrides, first match wins.
+    thresholds: Vec<(String, u64)>,
+    cap_spans: usize,
+    exemplars: ExemplarStore,
+    state: Mutex<TailState>,
+}
+
+/// The threshold sampler. `Clone` shares state; feed it by letting
+/// instrumented code record into `source` and calling
+/// [`TailSampler::drain`] at convenient points.
+#[derive(Clone, Debug)]
+pub struct TailSampler {
+    shared: Arc<TailShared>,
+}
+
+impl TailSampler {
+    /// Sample trees whose root lasted at least `threshold_ns`, keeping
+    /// at most `cap_spans` spans of sampled trees (oldest trees evicted
+    /// whole). Exemplars for sampled roots land in `exemplars` under
+    /// the root span's name.
+    pub fn new(
+        source: TraceSink,
+        threshold_ns: u64,
+        cap_spans: usize,
+        exemplars: ExemplarStore,
+    ) -> Self {
+        assert!(cap_spans > 0, "tail sampler span budget must be nonzero");
+        TailSampler {
+            shared: Arc::new(TailShared {
+                source,
+                default_threshold_ns: threshold_ns,
+                thresholds: Vec::new(),
+                cap_spans,
+                exemplars,
+                state: Mutex::new(TailState::default()),
+            }),
+        }
+    }
+
+    /// Override the threshold for roots whose name starts with
+    /// `prefix` (builder-style, before the first drain).
+    pub fn with_threshold(mut self, prefix: &str, threshold_ns: u64) -> Self {
+        let shared = Arc::get_mut(&mut self.shared)
+            .expect("with_threshold must be called before the sampler is cloned");
+        shared.thresholds.push((prefix.to_string(), threshold_ns));
+        self
+    }
+
+    fn threshold_for(&self, name: &str) -> u64 {
+        self.shared
+            .thresholds
+            .iter()
+            .find(|(p, _)| name.starts_with(p.as_str()))
+            .map(|&(_, t)| t)
+            .unwrap_or(self.shared.default_threshold_ns)
+    }
+
+    /// Pull everything out of the staging sink, reassemble complete
+    /// trees, and keep the breaching ones. Returns how many trees were
+    /// sampled by this call.
+    pub fn drain(&self) -> u64 {
+        let fresh = self.shared.source.take();
+        let mut st = self.shared.state.lock().unwrap();
+        if fresh.is_empty() && st.pending.is_empty() {
+            return 0;
+        }
+        let mut spans: Vec<SpanRecord> = std::mem::take(&mut st.pending);
+        spans.extend(fresh);
+
+        // Resolve each span to its root (parent chains stay within the
+        // set once the root has been recorded — children finish first).
+        let index: BTreeMap<u64, usize> =
+            spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+        let mut root_of: BTreeMap<u64, Option<u64>> = BTreeMap::new();
+        for s in &spans {
+            let mut chain = Vec::new();
+            let mut cur = s.id;
+            let resolved = loop {
+                if let Some(&r) = root_of.get(&cur) {
+                    break r;
+                }
+                chain.push(cur);
+                let Some(&i) = index.get(&cur) else { break None };
+                if spans[i].parent == 0 {
+                    break Some(cur);
+                }
+                cur = spans[i].parent;
+            };
+            for id in chain {
+                root_of.insert(id, resolved);
+            }
+        }
+
+        let mut trees: BTreeMap<u64, Vec<SpanRecord>> = BTreeMap::new();
+        let mut pending = Vec::new();
+        for s in spans {
+            match root_of.get(&s.id).copied().flatten() {
+                Some(root) => trees.entry(root).or_default().push(s),
+                None => pending.push(s),
+            }
+        }
+        // Bound the orphan buffer: a span whose root never records
+        // (dropped by the staging ring) must not pin memory forever.
+        let pending_cap = self.shared.cap_spans.max(1024);
+        if pending.len() > pending_cap {
+            let excess = pending.len() - pending_cap;
+            pending.drain(..excess);
+            st.dropped_pending += excess as u64;
+        }
+        st.pending = pending;
+
+        let mut newly_sampled = 0u64;
+        for (root_id, mut tree) in trees {
+            let root = tree.iter().find(|s| s.id == root_id).expect("root is in its tree");
+            let dur = root.end.saturating_sub(root.begin);
+            if dur < self.threshold_for(&root.name) {
+                st.discarded += 1;
+                continue;
+            }
+            self.shared
+                .exemplars
+                .note(&root.name, Exemplar { trace_id: root_id, value_ns: dur, at_ns: root.end });
+            tree.sort_by_key(|s| (s.begin, s.id));
+            st.kept_spans += tree.len();
+            st.kept.push(tree);
+            st.sampled += 1;
+            newly_sampled += 1;
+            while st.kept_spans > self.shared.cap_spans && st.kept.len() > 1 {
+                let evicted = st.kept.remove(0);
+                st.kept_spans -= evicted.len();
+                st.dropped_trees += 1;
+            }
+        }
+        newly_sampled
+    }
+
+    /// Every span of every sampled tree, sorted by `(begin, id)` —
+    /// ready for [`crate::trace::to_chrome`] / validation.
+    pub fn kept(&self) -> Vec<SpanRecord> {
+        let st = self.shared.state.lock().unwrap();
+        let mut all: Vec<SpanRecord> = st.kept.iter().flatten().cloned().collect();
+        all.sort_by_key(|s| (s.begin, s.id));
+        all
+    }
+
+    /// The shared exemplar store.
+    pub fn exemplars(&self) -> ExemplarStore {
+        self.shared.exemplars.clone()
+    }
+
+    /// Trees kept so far (including later-evicted ones).
+    pub fn sampled(&self) -> u64 {
+        self.shared.state.lock().unwrap().sampled
+    }
+
+    /// Complete trees below threshold, thrown away.
+    pub fn discarded(&self) -> u64 {
+        self.shared.state.lock().unwrap().discarded
+    }
+
+    /// Sampled trees evicted by the span budget.
+    pub fn dropped_trees(&self) -> u64 {
+        self.shared.state.lock().unwrap().dropped_trees
+    }
+
+    /// Spans still waiting for their root.
+    pub fn pending(&self) -> usize {
+        self.shared.state.lock().unwrap().pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::trace::{to_chrome, validate, Phase};
+
+    fn record_tree(sink: &TraceSink, begin: u64, dur: u64, name: &str) -> u64 {
+        let root = sink.alloc();
+        // Children record before the root, like guard-based tracing.
+        sink.record("child.step", Phase::Queue, "t", begin, begin + dur / 2, root);
+        sink.push(SpanRecord {
+            id: root,
+            parent: 0,
+            name: name.to_string(),
+            phase: Phase::Compute,
+            track: "t".to_string(),
+            begin,
+            end: begin + dur,
+            labels: Vec::new(),
+        });
+        root
+    }
+
+    #[test]
+    fn keeps_only_breaching_trees_with_their_children() {
+        let sink = TraceSink::bounded(1024);
+        let fast = record_tree(&sink, 0, 10, "pfs.write");
+        let slow = record_tree(&sink, 100, 5000, "pfs.write");
+        let sampler = TailSampler::new(sink, 1000, 4096, ExemplarStore::new(4));
+        assert_eq!(sampler.drain(), 1);
+        assert_eq!(sampler.discarded(), 1);
+        let kept = sampler.kept();
+        assert_eq!(kept.len(), 2, "root plus child of the slow tree");
+        assert!(kept.iter().any(|s| s.id == slow));
+        assert!(kept.iter().all(|s| s.id != fast));
+        validate(&kept).expect("sampled spans form a valid tree");
+    }
+
+    #[test]
+    fn exemplars_link_alerts_to_chrome_traces() {
+        let sink = TraceSink::bounded(1024);
+        let slow = record_tree(&sink, 0, 9000, "pfs.write");
+        let sampler = TailSampler::new(sink, 1000, 4096, ExemplarStore::new(4));
+        sampler.drain();
+        let exemplars = sampler.exemplars().get("pfs.write");
+        assert_eq!(exemplars.len(), 1);
+        assert_eq!(exemplars[0].trace_id, slow);
+        assert_eq!(exemplars[0].value_ns, 9000);
+        // The exemplar's trace id resolves inside the Chrome export.
+        let doc = json::parse(&to_chrome(&sampler.kept()).to_string()).unwrap();
+        let events = doc.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+        let hit = events.iter().any(|e| {
+            e.get("args").and_then(|a| a.get("id")).and_then(|v| v.as_i64()) == Some(slow as i64)
+        });
+        assert!(hit, "exemplar trace id must resolve in the Chrome export");
+    }
+
+    #[test]
+    fn incomplete_trees_wait_for_their_root() {
+        let sink = TraceSink::bounded(1024);
+        let root = sink.alloc();
+        sink.record("child.early", Phase::Queue, "t", 0, 50, root);
+        let sampler = TailSampler::new(sink.clone(), 10, 4096, ExemplarStore::new(2));
+        assert_eq!(sampler.drain(), 0, "root not recorded yet");
+        assert_eq!(sampler.pending(), 1);
+        sink.push(SpanRecord {
+            id: root,
+            parent: 0,
+            name: "op".into(),
+            phase: Phase::Compute,
+            track: "t".into(),
+            begin: 0,
+            end: 100,
+            labels: Vec::new(),
+        });
+        assert_eq!(sampler.drain(), 1, "tree completes once the root lands");
+        assert_eq!(sampler.pending(), 0);
+        assert_eq!(sampler.kept().len(), 2);
+    }
+
+    #[test]
+    fn per_name_thresholds_override_the_default() {
+        let sink = TraceSink::bounded(1024);
+        record_tree(&sink, 0, 500, "pfs.read");
+        record_tree(&sink, 1000, 500, "pfs.write");
+        let sampler = TailSampler::new(sink, 10_000, 4096, ExemplarStore::new(2))
+            .with_threshold("pfs.read", 100);
+        sampler.drain();
+        assert_eq!(sampler.sampled(), 1, "only the read crossed its (lower) threshold");
+        assert!(sampler.exemplars().get("pfs.write").is_empty());
+        assert_eq!(sampler.exemplars().get("pfs.read").len(), 1);
+    }
+
+    #[test]
+    fn span_budget_evicts_oldest_trees_whole() {
+        let sink = TraceSink::bounded(4096);
+        for i in 0..10 {
+            record_tree(&sink, i * 100, 5000, "pfs.write");
+        }
+        let sampler = TailSampler::new(sink, 1000, 6, ExemplarStore::new(16));
+        sampler.drain();
+        assert_eq!(sampler.sampled(), 10);
+        assert!(sampler.dropped_trees() >= 7, "budget of 6 spans holds 3 two-span trees");
+        assert!(sampler.kept().len() <= 6);
+        validate(&sampler.kept()).expect("eviction never splits a tree");
+    }
+
+    #[test]
+    fn worst_k_exemplars_survive() {
+        let store = ExemplarStore::new(2);
+        for (id, v) in [(1u64, 100u64), (2, 900), (3, 500), (4, 700)] {
+            store.note("op", Exemplar { trace_id: id, value_ns: v, at_ns: v });
+        }
+        let kept = store.get("op");
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].trace_id, 2, "slowest first");
+        assert_eq!(kept[1].trace_id, 4);
+    }
+}

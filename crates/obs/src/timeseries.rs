@@ -1,0 +1,372 @@
+//! Windowed meters over rotating ring buckets.
+//!
+//! The cumulative instruments in the crate root answer "how much since
+//! the run started"; live monitoring needs "how much over the last
+//! second". Both meters here keep a ring of time slots driven by the
+//! shared [`Clock`] (wall or logical — instrumented code does not
+//! care), rotate lazily on access, and report over a sliding window:
+//!
+//! * [`RateMeter`] — events and a weight (usually bytes) per window,
+//!   exposed as per-second rates.
+//! * [`WindowHistogram`] — log2-bucketed samples per window, with the
+//!   approximate quantiles (p50/p95/p99/p999) coming from the same
+//!   estimator cumulative histograms use ([`HistSnapshot::quantile`]).
+//!
+//! Slots clear as the window slides past them, so a burst older than
+//! the window vanishes from the report without any background thread.
+
+use crate::{bucket_index, bucket_upper, Clock, HistSnapshot, HIST_BUCKETS};
+use std::sync::{Arc, Mutex};
+
+/// Window geometry: total span and slot count. The resolution is
+/// `window_ns / slots` — events land in the slot covering their stamp
+/// and expire together once the window slides past the whole slot.
+#[derive(Clone, Copy, Debug)]
+pub struct WindowSpec {
+    pub window_ns: u64,
+    pub slots: usize,
+}
+
+impl WindowSpec {
+    pub fn new(window_ns: u64, slots: usize) -> Self {
+        assert!(slots >= 1, "a window needs at least one slot");
+        assert!(window_ns >= slots as u64, "window too small for its slot count");
+        WindowSpec { window_ns, slots }
+    }
+
+    fn width(&self) -> u64 {
+        (self.window_ns / self.slots as u64).max(1)
+    }
+}
+
+impl Default for WindowSpec {
+    /// One second in ten 100 ms slots.
+    fn default() -> Self {
+        WindowSpec::new(1_000_000_000, 10)
+    }
+}
+
+/// Rotate the ring head to `epoch`, clearing every slot the window
+/// slid past (bounded by a full lap). Time never moves the head
+/// backwards — late stamps land in the current head slot.
+fn rotate(head: &mut u64, nslots: usize, epoch: u64, mut clear: impl FnMut(usize)) {
+    if epoch <= *head {
+        return;
+    }
+    let steps = (epoch - *head).min(nslots as u64);
+    for k in 1..=steps {
+        clear(((*head + k) % nslots as u64) as usize);
+    }
+    *head = epoch;
+}
+
+#[derive(Debug)]
+struct RateInner {
+    counts: Vec<u64>,
+    weights: Vec<u64>,
+    head: u64,
+    created_ns: u64,
+}
+
+/// Windowed throughput of everything the meter was shown.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RateSnapshot {
+    /// Events inside the window.
+    pub events: u64,
+    /// Summed weights (bytes, usually) inside the window.
+    pub weight: u64,
+    /// The effective window: shorter than the configured one while the
+    /// meter is younger than it, so early rates are not diluted.
+    pub window_ns: u64,
+}
+
+impl RateSnapshot {
+    /// Events per second (per 10^9 clock units in logical mode).
+    pub fn per_sec(&self) -> f64 {
+        if self.window_ns == 0 {
+            0.0
+        } else {
+            self.events as f64 * 1e9 / self.window_ns as f64
+        }
+    }
+
+    /// Weight per second — bytes/s when marks carry byte weights.
+    pub fn weight_per_sec(&self) -> f64 {
+        if self.window_ns == 0 {
+            0.0
+        } else {
+            self.weight as f64 * 1e9 / self.window_ns as f64
+        }
+    }
+}
+
+/// Events/bytes per sliding window. `Clone` shares the ring.
+#[derive(Clone, Debug)]
+pub struct RateMeter {
+    clock: Clock,
+    spec: WindowSpec,
+    inner: Arc<Mutex<RateInner>>,
+}
+
+impl RateMeter {
+    pub fn new(clock: &Clock, spec: WindowSpec) -> Self {
+        RateMeter {
+            clock: clock.clone(),
+            spec,
+            inner: Arc::new(Mutex::new(RateInner {
+                counts: vec![0; spec.slots],
+                weights: vec![0; spec.slots],
+                head: clock.now_nanos() / spec.width(),
+                created_ns: clock.now_nanos(),
+            })),
+        }
+    }
+
+    /// Record one event of `weight` at the clock's current time.
+    pub fn mark(&self, weight: u64) {
+        self.mark_n(1, weight);
+    }
+
+    /// Record `events` totalling `weight` at the clock's current time.
+    pub fn mark_n(&self, events: u64, weight: u64) {
+        let width = self.spec.width();
+        let epoch = self.clock.now_nanos() / width;
+        let mut g = self.inner.lock().unwrap();
+        let RateInner { counts, weights, head, .. } = &mut *g;
+        rotate(head, self.spec.slots, epoch, |i| {
+            counts[i] = 0;
+            weights[i] = 0;
+        });
+        let idx = (*head % self.spec.slots as u64) as usize;
+        counts[idx] += events;
+        weights[idx] += weight;
+    }
+
+    /// Totals over the window ending now.
+    pub fn snapshot(&self) -> RateSnapshot {
+        let width = self.spec.width();
+        let now = self.clock.now_nanos();
+        let mut g = self.inner.lock().unwrap();
+        let RateInner { counts, weights, head, created_ns } = &mut *g;
+        rotate(head, self.spec.slots, now / width, |i| {
+            counts[i] = 0;
+            weights[i] = 0;
+        });
+        let age = now.saturating_sub(*created_ns) + width;
+        RateSnapshot {
+            events: counts.iter().sum(),
+            weight: weights.iter().sum(),
+            window_ns: self.spec.window_ns.min(age),
+        }
+    }
+
+    pub fn per_sec(&self) -> f64 {
+        self.snapshot().per_sec()
+    }
+
+    pub fn weight_per_sec(&self) -> f64 {
+        self.snapshot().weight_per_sec()
+    }
+}
+
+#[derive(Debug)]
+struct WindowHistSlot {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl WindowHistSlot {
+    fn clear(&mut self) {
+        self.buckets = [0; HIST_BUCKETS];
+        self.count = 0;
+        self.sum = 0;
+        self.max = 0;
+    }
+}
+
+#[derive(Debug)]
+struct WindowHistInner {
+    slots: Vec<WindowHistSlot>,
+    head: u64,
+}
+
+/// A log2 histogram of the last window's samples. `Clone` shares the
+/// ring; quantiles come from [`HistSnapshot::quantile`], the estimator
+/// shared with cumulative histograms.
+#[derive(Clone, Debug)]
+pub struct WindowHistogram {
+    clock: Clock,
+    spec: WindowSpec,
+    inner: Arc<Mutex<WindowHistInner>>,
+}
+
+impl WindowHistogram {
+    pub fn new(clock: &Clock, spec: WindowSpec) -> Self {
+        WindowHistogram {
+            clock: clock.clone(),
+            spec,
+            inner: Arc::new(Mutex::new(WindowHistInner {
+                slots: (0..spec.slots)
+                    .map(|_| WindowHistSlot {
+                        buckets: [0; HIST_BUCKETS],
+                        count: 0,
+                        sum: 0,
+                        max: 0,
+                    })
+                    .collect(),
+                head: clock.now_nanos() / spec.width(),
+            })),
+        }
+    }
+
+    pub fn observe(&self, v: u64) {
+        let epoch = self.clock.now_nanos() / self.spec.width();
+        let mut g = self.inner.lock().unwrap();
+        let WindowHistInner { slots, head } = &mut *g;
+        rotate(head, self.spec.slots, epoch, |i| slots[i].clear());
+        let slot = &mut slots[(*head % self.spec.slots as u64) as usize];
+        slot.buckets[bucket_index(v)] += 1;
+        slot.count += 1;
+        slot.sum += v;
+        slot.max = slot.max.max(v);
+    }
+
+    /// Merged snapshot of every live slot — the window ending now.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let epoch = self.clock.now_nanos() / self.spec.width();
+        let mut g = self.inner.lock().unwrap();
+        let WindowHistInner { slots, head } = &mut *g;
+        rotate(head, self.spec.slots, epoch, |i| slots[i].clear());
+        let mut buckets = [0u64; HIST_BUCKETS];
+        let (mut count, mut sum, mut max) = (0u64, 0u64, 0u64);
+        for slot in slots.iter() {
+            for (i, c) in slot.buckets.iter().enumerate() {
+                buckets[i] += c;
+            }
+            count += slot.count;
+            sum += slot.sum;
+            max = max.max(slot.max);
+        }
+        HistSnapshot {
+            count,
+            sum,
+            max,
+            buckets: buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (bucket_upper(i), c))
+                .collect(),
+        }
+    }
+
+    /// Approximate quantile over the current window.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// `[p50, p95, p99, p999]` over the current window.
+    pub fn percentiles(&self) -> [f64; 4] {
+        let s = self.snapshot();
+        [s.quantile(0.50), s.quantile(0.95), s.quantile(0.99), s.quantile(0.999)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logical_meter(window: u64, slots: usize) -> (Clock, RateMeter) {
+        let clock = Clock::logical();
+        let meter = RateMeter::new(&clock, WindowSpec::new(window, slots));
+        (clock, meter)
+    }
+
+    #[test]
+    fn rate_meter_counts_inside_the_window() {
+        let (clock, meter) = logical_meter(100, 10);
+        for t in [5, 15, 25] {
+            clock.advance_to(t);
+            meter.mark(1000);
+        }
+        clock.advance_to(30);
+        let s = meter.snapshot();
+        assert_eq!(s.events, 3);
+        assert_eq!(s.weight, 3000);
+    }
+
+    #[test]
+    fn old_slots_expire_as_the_window_slides() {
+        let (clock, meter) = logical_meter(100, 10);
+        clock.advance_to(5);
+        meter.mark(64); // slot for t in [0,10)
+        clock.advance_to(95);
+        meter.mark(64);
+        // At t=150 the first mark's slot has slid out; the second is live.
+        clock.advance_to(150);
+        assert_eq!(meter.snapshot().events, 1);
+        // A full lap later everything is gone.
+        clock.advance_to(300);
+        assert_eq!(meter.snapshot().events, 0);
+        assert_eq!(meter.snapshot().weight, 0);
+    }
+
+    #[test]
+    fn young_meters_report_a_short_effective_window() {
+        let (clock, meter) = logical_meter(1_000_000_000, 10);
+        clock.advance_to(100_000_000); // 0.1s into a 1s window
+        meter.mark_n(50, 0);
+        let s = meter.snapshot();
+        assert!(s.window_ns < 1_000_000_000, "effective window shrinks: {}", s.window_ns);
+        // 50 events over ~0.2s (age + one slot) is ~250/s, not 50/s.
+        assert!(s.per_sec() > 200.0, "rate not diluted by the unseen window: {}", s.per_sec());
+    }
+
+    #[test]
+    fn window_histogram_tracks_only_recent_samples() {
+        let clock = Clock::logical();
+        let h = WindowHistogram::new(&clock, WindowSpec::new(100, 10));
+        clock.advance_to(5);
+        h.observe(1_000_000); // will expire
+        clock.advance_to(140);
+        for _ in 0..100 {
+            h.observe(1024);
+        }
+        clock.advance_to(150);
+        let s = h.snapshot();
+        assert_eq!(s.count, 100, "the early outlier slid out");
+        assert_eq!(s.max, 1024);
+        assert_eq!(s.quantile(0.99), 1024.0);
+        let [p50, p95, p99, p999] = h.percentiles();
+        assert_eq!([p50, p95, p99, p999], [1024.0; 4]);
+    }
+
+    #[test]
+    fn window_histogram_shares_the_cumulative_estimator() {
+        // Same samples, same window -> same quantiles as a cumulative
+        // histogram (nothing has expired yet).
+        let clock = Clock::logical();
+        let w = WindowHistogram::new(&clock, WindowSpec::default());
+        let c = crate::Histogram::new();
+        for v in [3u64, 9, 17, 100, 2000, 2000, 5] {
+            w.observe(v);
+            c.observe(v);
+        }
+        for q in [0.5, 0.95, 0.99, 0.999] {
+            assert_eq!(w.quantile(q), c.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn clones_share_the_ring() {
+        let (clock, meter) = logical_meter(1000, 10);
+        let other = meter.clone();
+        clock.advance_to(10);
+        meter.mark(1);
+        other.mark(2);
+        assert_eq!(meter.snapshot().events, 2);
+        assert_eq!(meter.snapshot().weight, 3);
+    }
+}

@@ -281,6 +281,17 @@ impl TraceSink {
         self.shared.as_ref().map_or(0, |s| s.state.lock().unwrap().dropped)
     }
 
+    /// Drain every retained span out of the ring in recorded order,
+    /// leaving the id sequence and dropped counter untouched. This is
+    /// the tail sampler's ingest path: spans move out of the bounded
+    /// ring before eviction can reach them.
+    pub fn take(&self) -> Vec<SpanRecord> {
+        match &self.shared {
+            None => Vec::new(),
+            Some(s) => s.state.lock().unwrap().spans.drain(..).collect(),
+        }
+    }
+
     /// Forget every retained span (the id sequence keeps advancing).
     pub fn clear(&self) {
         if let Some(s) = &self.shared {

@@ -105,6 +105,25 @@ pub struct QueueStats {
     pub downtime: SimDuration,
 }
 
+impl QueueStats {
+    /// Counters accumulated since `earlier` (a snapshot of the same
+    /// server at a previous wave boundary). This is what live
+    /// monitoring feeds to per-interval series: cumulative stats make
+    /// a stall invisible once enough history piles up, deltas localize
+    /// it to the wave where it happened. `peak_pending` is a
+    /// high-water mark, not a counter, so the delta carries the
+    /// current peak unchanged.
+    pub fn since(&self, earlier: &QueueStats) -> QueueStats {
+        QueueStats {
+            requests: self.requests.saturating_sub(earlier.requests),
+            queue_wait: SimDuration(self.queue_wait.0.saturating_sub(earlier.queue_wait.0)),
+            peak_pending: self.peak_pending,
+            crashes: self.crashes.saturating_sub(earlier.crashes),
+            downtime: SimDuration(self.downtime.0.saturating_sub(earlier.downtime.0)),
+        }
+    }
+}
+
 impl Server {
     pub fn new(cfg: ServerConfig, device: Box<dyn BlockDevice + Send>, stripe_size: u64) -> Self {
         Server {

@@ -1,0 +1,123 @@
+//! Acceptance for the continuous-telemetry stack (PR: flight recorder,
+//! SLO burn rates, tail-sampled traces):
+//!
+//! - a clean run of the monitored checkpoint workload produces zero
+//!   alerts and samples zero slow-op traces;
+//! - an injected OSD outage fires the matching objectives, and every
+//!   exemplar trace id attached to those alerts resolves to an event in
+//!   the Chrome-trace export of the tail-sampled trees;
+//! - live fault injection is visible in exactly the flight-recorder
+//!   frames where it was injected — both in the typed frame deltas and
+//!   in the exported JSONL timeline;
+//! - after an injected crash-stop, the final frames explain what the
+//!   system was doing (surfaced write errors + the crash marker).
+
+use pdsi_bench::{monitor_gate, monitorscale_results, run_monitor};
+
+#[test]
+fn telemetry_grid_passes_its_own_gate() {
+    let s = monitorscale_results();
+    let msg = monitor_gate(&s).expect("monitor gate failed");
+    assert!(msg.contains("ok"), "{msg}");
+}
+
+#[test]
+fn clean_run_is_silent_and_degraded_run_fires_with_exemplars() {
+    let s = monitorscale_results();
+
+    assert!(s.clean.alerts.is_empty(), "clean run fired alerts: {:?}", s.clean.alerts);
+    assert_eq!(s.clean.kept_spans, 0, "clean run tail-sampled spans");
+    assert_eq!(s.clean.frames, s.clean.waves + 1);
+
+    use obs::slo::AlertKind;
+    for kind in [AlertKind::LatencyBudget, AlertKind::ThroughputFloor] {
+        assert!(
+            s.degraded.alerts.iter().any(|a| a.kind == kind),
+            "degraded run missing a {} alert",
+            kind.as_str()
+        );
+    }
+    // Exemplar round-trip: every trace id an alert carries must appear
+    // as an event id in the Chrome-trace export of the kept trees.
+    assert!(!s.degraded.exemplar_ids.is_empty(), "alerts carry no exemplars");
+    for id in &s.degraded.exemplar_ids {
+        assert!(
+            s.degraded.chrome_ids.contains(id),
+            "exemplar trace id {id} absent from the Chrome export"
+        );
+    }
+    assert!(s.degraded.tail_sampled > 0);
+    // The degraded run moved the same data, slower: same bytes, later
+    // last frame.
+    assert_eq!(s.degraded.bytes_written, s.clean.bytes_written);
+    assert!(s.degraded.span_ns > s.clean.span_ns);
+}
+
+#[test]
+fn injected_fault_spike_lands_in_the_frame_where_it_was_injected() {
+    let s = monitorscale_results();
+    let f = &s.flaky;
+
+    // Frame 0 is the pre-run baseline; frame r+1 covers round r; the
+    // final frame covers the crash-stop. Hostile rounds are [3, 5).
+    for (i, &n) in f.injected_by_frame.iter().enumerate() {
+        let hostile = matches!(i.checked_sub(1), Some(r) if (3..5).contains(&r) && r < f.rounds);
+        if hostile {
+            assert!(n > 0, "hostile frame {i} shows no transient injections");
+        } else {
+            assert_eq!(n, 0, "frame {i} shows injections outside hostile rounds");
+        }
+    }
+    // The retry layer masked every injected transient.
+    assert_eq!(f.surfaced_before_crash, 0);
+    assert!(f.masked_transient > 0);
+    assert!(f.alerts.iter().any(|a| a.kind == obs::slo::AlertKind::ErrorBudget));
+
+    // The spike is also visible in the exported JSONL timeline: the
+    // hostile frames carry a `faults.injected{kind=transient}` delta.
+    let lines: Vec<&str> = f.timeline.lines().collect();
+    assert_eq!(lines.len(), f.frames, "one JSONL line per frame");
+    for (i, line) in lines.iter().enumerate() {
+        obs::json::parse(line).unwrap_or_else(|e| panic!("frame {i} is not valid JSON: {e}"));
+        let hostile = matches!(i.checked_sub(1), Some(r) if (3..5).contains(&r) && r < f.rounds);
+        assert_eq!(
+            line.contains("faults.injected{kind=transient}"),
+            hostile,
+            "frame {i} JSONL delta presence mismatch: {line}"
+        );
+    }
+}
+
+#[test]
+fn crash_stop_forensics_live_in_the_last_frame() {
+    let s = monitorscale_results();
+    let f = &s.flaky;
+    assert!(f.crash_frame_write_errors > 0, "last frame carries no surfaced write errors");
+    assert!(f.crash_injected > 0, "crash marker missing from faults.injected{{kind=crash}}");
+    // The final JSONL line (what a post-mortem reads) names the error
+    // series in its deltas.
+    let last = f.timeline.lines().last().expect("timeline");
+    assert!(last.contains("plfs.write.errors"), "crash frame deltas: {last}");
+}
+
+#[test]
+fn monitor_scenarios_drive_and_export() {
+    // The CLI path: each scenario renders a dashboard and a timeline.
+    for (name, _) in pdsi_bench::MONITOR_SCENARIOS {
+        let run = run_monitor(name).expect("scenario failed");
+        assert!(!run.dashboard.is_empty());
+        assert!(!run.timeline.is_empty());
+        for line in run.timeline.lines() {
+            obs::json::parse(line).expect("timeline line is JSON");
+        }
+        if let Some(prom) = &run.prometheus {
+            // The exposition must round-trip through the in-repo parser.
+            let samples = obs::prom::parse(prom).expect("prometheus text parses");
+            assert!(!samples.is_empty());
+        }
+        match *name {
+            "sim-clean" => assert!(run.alerts.is_empty()),
+            _ => assert!(!run.alerts.is_empty(), "{name} fired no alerts"),
+        }
+    }
+}
