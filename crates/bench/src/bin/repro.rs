@@ -500,6 +500,36 @@ fn main() {
         }
     }
 
+    // And for `repro ingestscale`: the sharded ingest service's
+    // shard-scaling grid under the 1000-client swarm. With INGEST_GATE
+    // set (CI does), a read-back mismatch, 8-shard bandwidth below 3x
+    // the 1-shard baseline, or group-commit fan-in under 8 logical
+    // writes per index fsync fails the run.
+    if ids.iter().any(|a| a == "ingestscale" || a == "all") {
+        let cells = pdsi_bench::ingest_results();
+        let json = obs::json::pretty(&pdsi_bench::ingest_json_from(&cells));
+        match std::fs::write("BENCH_ingest.json", &json) {
+            Ok(()) => {
+                let _ = writeln!(out, "(ingest data written to BENCH_ingest.json)");
+            }
+            Err(e) => {
+                eprintln!("cannot write BENCH_ingest.json: {e}");
+                std::process::exit(1);
+            }
+        }
+        if std::env::var_os("INGEST_GATE").is_some() {
+            match pdsi_bench::ingest_gate(&cells) {
+                Ok(msg) => {
+                    let _ = writeln!(out, "({msg})");
+                }
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
     if let Some(path) = metrics_path {
         let _ = writeln!(out, "\n== metrics ({} series) ==", reg.series_count());
         let _ = write!(out, "{}", reg.render_table());

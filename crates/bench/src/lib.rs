@@ -9,11 +9,16 @@
 //! targets, recorded against the paper in `EXPERIMENTS.md`.
 
 pub mod experiments;
+pub mod ingest_experiments;
 pub mod monitor_experiments;
 pub mod replay_experiments;
 pub mod trace_experiments;
 
 pub use experiments::*;
+pub use ingest_experiments::{
+    ingest_cell, ingest_gate, ingest_json, ingest_json_from, ingest_report, ingest_results,
+    ingest_swarm, IngestCell, PacedBackend,
+};
 pub use monitor_experiments::{
     monitor_gate, monitor_json, monitor_json_from, monitor_report, monitorscale_results,
     run_monitor, FlakyMonitorCell, MonitorRun, MonitorSummary, SimMonitorCell, MONITOR_SCENARIOS,
@@ -48,6 +53,7 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("integrity", "end-to-end corruption detection: verify-on-read, bit-flip sweep, scrub"),
     ("replay", "workload capture & replay: 3-mode determinism + differential engine pairs"),
     ("monitorscale", "continuous telemetry: flight recorder, SLO burn rates, tail-sampled traces"),
+    ("ingestscale", "sharded ingest service: shard scaling, group-commit fan-in, backpressure"),
 ];
 
 /// Run one experiment by id, discarding its metrics.
@@ -85,6 +91,7 @@ pub fn run_observed(id: &str, reg: &obs::Registry) -> Option<String> {
         "integrity" => integrity_report(&local),
         "replay" => replay_report(&local),
         "monitorscale" => monitor_report(&local),
+        "ingestscale" => ingest_report(&local),
         _ => return None,
     };
     local.counter("bench.runs").inc();

@@ -27,6 +27,23 @@ pub trait Backend: Send + Sync {
     /// Create an empty file (truncating any existing one).
     fn create(&self, path: &str) -> io::Result<()>;
 
+    /// Create an empty file *only if it does not already exist*;
+    /// `Err(AlreadyExists)` if it does. This is the one compare-and-swap
+    /// primitive PLFS asks of the store: concurrent openers race their
+    /// session reservations through it, so real implementations should
+    /// override the default with something genuinely atomic (`O_EXCL`
+    /// on a POSIX store). The default is a non-atomic exists-then-create
+    /// fallback, acceptable only for backends without racing clients.
+    fn create_new(&self, path: &str) -> io::Result<()> {
+        if self.exists(path) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("path already exists: {path}"),
+            ));
+        }
+        self.create(path)
+    }
+
     /// Append `data` to `path` (creating it if missing); returns the
     /// offset at which the data landed.
     fn append(&self, path: &str, data: &[u8]) -> io::Result<u64>;
@@ -143,6 +160,20 @@ impl Backend for MemBackend {
         Ok(())
     }
 
+    // Atomic: the single state mutex makes check-and-insert one step.
+    fn create_new(&self, path: &str) -> io::Result<()> {
+        let mut st = self.inner.lock().unwrap();
+        let p = norm(path);
+        if st.files.contains_key(&p) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("path already exists: {path}"),
+            ));
+        }
+        st.files.insert(p, Vec::new());
+        Ok(())
+    }
+
     fn append(&self, path: &str, data: &[u8]) -> io::Result<u64> {
         let mut st = self.inner.lock().unwrap();
         let f = st.files.entry(norm(path)).or_default();
@@ -246,6 +277,11 @@ impl Backend for DirBackend {
         fs::File::create(self.abs(path)).map(|_| ())
     }
 
+    // Atomic via O_EXCL: the kernel arbitrates racing creators.
+    fn create_new(&self, path: &str) -> io::Result<()> {
+        fs::OpenOptions::new().write(true).create_new(true).open(self.abs(path)).map(|_| ())
+    }
+
     fn append(&self, path: &str, data: &[u8]) -> io::Result<u64> {
         let _g = self.append_lock.lock().unwrap();
         let mut f = fs::OpenOptions::new().create(true).append(true).open(self.abs(path))?;
@@ -318,6 +354,14 @@ mod tests {
         assert_eq!(names, vec!["data.0".to_string(), "index.0".to_string()]);
         // Whole-file read.
         assert_eq!(b.read_all("/cp/hostdir.0/data.0").unwrap(), b"hello world");
+        // Exclusive create: first wins, second sees AlreadyExists.
+        b.create_new("/cp/hostdir.0/excl").unwrap();
+        let err = b.create_new("/cp/hostdir.0/excl").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        // Unlike `create`, it must never truncate existing content.
+        b.append("/cp/hostdir.0/excl", b"kept").unwrap();
+        assert!(b.create_new("/cp/hostdir.0/excl").is_err());
+        assert_eq!(b.read_all("/cp/hostdir.0/excl").unwrap(), b"kept");
         // Removal.
         b.remove("/cp/hostdir.0/index.0").unwrap();
         assert!(!b.exists("/cp/hostdir.0/index.0"));
@@ -396,6 +440,30 @@ mod tests {
         b.append("/d/y", b"2").unwrap();
         b.mkdir_all("/d/z").unwrap();
         assert_eq!(b.list("/d").unwrap(), vec!["x", "y", "z"]);
+    }
+
+    /// The CAS primitive under an actual race: of N threads calling
+    /// `create_new` on the same path, exactly one may win.
+    #[test]
+    fn create_new_is_won_by_exactly_one_thread() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let b = Arc::new(MemBackend::new());
+        let wins = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let b = Arc::clone(&b);
+            let wins = Arc::clone(&wins);
+            handles.push(std::thread::spawn(move || {
+                if b.create_new("/race/marker").is_ok() {
+                    wins.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(wins.load(Ordering::SeqCst), 1);
     }
 
     #[test]

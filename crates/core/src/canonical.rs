@@ -9,9 +9,13 @@
 //!
 //! Staleness is decided by two stamps taken when the merge ran:
 //!
-//! - the container's **session count** (`openhosts` + `meta` entries):
-//!   a new writer session changes it, and [`crate::write::Writer`]
-//!   additionally deletes the cache on open (belt and braces);
+//! - the container's **epoch watermark** (one past the highest session
+//!   ever reserved; see [`crate::container::epoch_watermark`]): a new
+//!   writer session advances it, and [`crate::write::Writer`]
+//!   additionally deletes the cache *before* its session becomes
+//!   visible (belt and braces — and the ordering matters: a reader
+//!   racing the open sees either no cache or a watermark mismatch,
+//!   never a stale cache with a matching stamp);
 //! - the **covered byte length of every index dropping**: a writer in
 //!   a still-open session appends without changing the session count,
 //!   so a grown dropping means "decode just the tail"; a shrunk or
@@ -23,7 +27,7 @@
 //! cache is an optimization, never a correctness dependency.
 
 use crate::backend::Backend;
-use crate::container::{discover_droppings, session_count, ContainerPaths};
+use crate::container::{discover_droppings, epoch_watermark, ContainerPaths};
 use crate::index::{self, GetLe, IndexEntry, PutLe};
 use std::io;
 
@@ -38,7 +42,8 @@ pub const CANONICAL_MAGIC: u64 = u64::from_le_bytes(*b"PLFSCAN2");
 /// A decoded flattened-index cache.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CanonicalIndex {
-    /// `session_count` of the container when the merge ran.
+    /// The container's epoch watermark when the merge ran (named for
+    /// the legacy stamp it generalizes; the wire format is unchanged).
     pub session_count: u64,
     /// `(rank, index dropping byte length)` covered by the merge.
     pub covered: Vec<(u32, u64)>,
@@ -129,7 +134,7 @@ pub fn freshness(
     paths: &ContainerPaths,
     canon: &CanonicalIndex,
 ) -> Result<Vec<Tail>, String> {
-    let session = session_count(backend, paths);
+    let session = epoch_watermark(backend, paths);
     if session != canon.session_count {
         return Err(format!("writer sessions advanced ({} -> {session})", canon.session_count));
     }

@@ -30,6 +30,12 @@ pub const CANONICAL: &str = "canonical.index";
 pub const OPENHOSTS: &str = "openhosts";
 /// Subdirectory holding close-time metadata droppings.
 pub const META: &str = "meta";
+/// Subdirectory holding session-reservation markers (see
+/// [`reserve_session`]). Markers are never removed — unlike
+/// `openhosts/` + `meta/` counts they form a *monotone* session ledger,
+/// and fsck/repair/scrub leave the directory untouched (it holds no
+/// data, so there is nothing to verify or clear).
+pub const EPOCHS: &str = "epochs";
 
 /// Static naming helpers for a container rooted at `base`.
 #[derive(Debug, Clone)]
@@ -62,6 +68,15 @@ impl ContainerPaths {
 
     pub fn meta_dir(&self) -> String {
         format!("{}/{META}", self.base)
+    }
+
+    pub fn epochs_dir(&self) -> String {
+        format!("{}/{EPOCHS}", self.base)
+    }
+
+    /// Reservation marker for session number `n`.
+    pub fn epoch_marker(&self, n: u64) -> String {
+        format!("{}/e.{n}", self.epochs_dir())
     }
 
     pub fn hostdir(&self, rank: u32) -> String {
@@ -133,6 +148,7 @@ pub fn create_container(backend: &dyn Backend, paths: &ContainerPaths) -> io::Re
     backend.mkdir_all(paths.base())?;
     backend.mkdir_all(&paths.openhosts_dir())?;
     backend.mkdir_all(&paths.meta_dir())?;
+    backend.mkdir_all(&paths.epochs_dir())?;
     for h in 0..paths.hostdir_count() {
         backend.mkdir_all(&format!("{}/hostdir.{h}", paths.base()))?;
     }
@@ -183,12 +199,69 @@ pub fn read_meta(backend: &dyn Backend, paths: &ContainerPaths) -> io::Result<Ve
     Ok(out)
 }
 
-/// Sessions recorded so far (open droppings + meta droppings): used to
-/// build monotonically increasing timestamp epochs across re-opens.
+/// Sessions recorded so far (open droppings + meta droppings).
+///
+/// **Not monotone** — a crashed-then-repaired container can report a
+/// lower count than it ever handed out (repair clears stale open
+/// droppings), and **not atomic** — two concurrent openers can read the
+/// same count. It survives only as the legacy fallback inside
+/// [`epoch_watermark`] for containers written before session markers
+/// existed; new-session allocation goes through [`reserve_session`].
 pub fn session_count(backend: &dyn Backend, paths: &ContainerPaths) -> u64 {
     let opens = backend.list(&paths.openhosts_dir()).map(|v| v.len()).unwrap_or(0);
     let metas = backend.list(&paths.meta_dir()).map(|v| v.len()).unwrap_or(0);
     (opens + metas) as u64
+}
+
+/// Highest session number ever reserved, or `None` for a container with
+/// no markers (pre-marker legacy, or never opened for write).
+fn max_reserved(backend: &dyn Backend, paths: &ContainerPaths) -> Option<u64> {
+    backend
+        .list(&paths.epochs_dir())
+        .ok()?
+        .iter()
+        .filter_map(|n| n.strip_prefix("e.").and_then(|s| s.parse::<u64>().ok()))
+        .max()
+}
+
+/// Atomically reserve the next session number via a CAS loop over
+/// persistent marker files (`epochs/e.<n>`, created with the backend's
+/// exclusive-create primitive). Of any number of concurrent callers,
+/// each gets a distinct session: the marker is reserved *before* the
+/// caller computes its stamp-epoch floor, which is what makes minted
+/// epochs disjoint — the bug the old read-then-compute
+/// `session_count` path allowed.
+///
+/// Markers are never removed, so the ledger is monotone across
+/// crash/repair cycles: a recovered container can never re-issue an
+/// epoch that older droppings already stamped.
+pub fn reserve_session(backend: &dyn Backend, paths: &ContainerPaths) -> io::Result<u64> {
+    // Start above both the marker ledger and the legacy count, so a
+    // container upgraded mid-life (droppings stamped under the old
+    // scheme) still gets a fresh epoch.
+    let mut next = epoch_watermark(backend, paths);
+    loop {
+        match backend.create_new(&paths.epoch_marker(next)) {
+            Ok(()) => return Ok(next),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                // Lost the race for `next`; someone reserved it first.
+                next += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One past the highest session ever reserved — the freshness stamp
+/// readers compare against (see [`crate::canonical`]). Monotone: unlike
+/// [`session_count`] it never moves backwards when sessions close or
+/// repair clears stale open droppings. Falls back to the legacy count
+/// for marker-less containers so pre-marker stores stay readable.
+pub fn epoch_watermark(backend: &dyn Backend, paths: &ContainerPaths) -> u64 {
+    match max_reserved(backend, paths) {
+        Some(hi) => (hi + 1).max(session_count(backend, paths)),
+        None => session_count(backend, paths),
+    }
 }
 
 #[cfg(test)]
@@ -251,5 +324,56 @@ mod tests {
         assert_eq!(session_count(&b, &p), 1);
         b.create(&p.meta_dropping(0, 10, 10, 5)).unwrap();
         assert_eq!(session_count(&b, &p), 2);
+    }
+
+    #[test]
+    fn reserve_session_is_sequential_and_monotone() {
+        let b = MemBackend::new();
+        let p = ContainerPaths::new("/f", 2);
+        create_container(&b, &p).unwrap();
+        assert_eq!(reserve_session(&b, &p).unwrap(), 0);
+        assert_eq!(reserve_session(&b, &p).unwrap(), 1);
+        assert_eq!(epoch_watermark(&b, &p), 2);
+        // The watermark survives what `session_count` cannot: clearing
+        // the open droppings (what fsck repair does after a crash).
+        b.create(&p.open_dropping(0, 0)).unwrap();
+        b.remove(&p.open_dropping(0, 0)).unwrap();
+        assert_eq!(session_count(&b, &p), 0, "the legacy count collapsed");
+        assert_eq!(epoch_watermark(&b, &p), 2, "the marker ledger did not");
+        assert_eq!(reserve_session(&b, &p).unwrap(), 2);
+    }
+
+    /// Upgrade path: a container whose sessions predate markers must
+    /// hand out epochs above everything the legacy count ever covered.
+    #[test]
+    fn reserve_session_starts_above_legacy_sessions() {
+        let b = MemBackend::new();
+        let p = ContainerPaths::new("/f", 2);
+        create_container(&b, &p).unwrap();
+        b.create(&p.meta_dropping(0, 10, 10, 5)).unwrap();
+        b.create(&p.meta_dropping(1, 10, 10, 5)).unwrap();
+        b.create(&p.open_dropping(2, 0)).unwrap();
+        assert_eq!(epoch_watermark(&b, &p), 3, "legacy fallback");
+        assert_eq!(reserve_session(&b, &p).unwrap(), 3);
+        assert_eq!(epoch_watermark(&b, &p), 4);
+    }
+
+    /// The CAS under a real race: concurrent reservations must come out
+    /// pairwise distinct.
+    #[test]
+    fn concurrent_reservations_are_disjoint() {
+        use std::sync::Arc;
+        let b = Arc::new(MemBackend::new());
+        let p = ContainerPaths::new("/f", 2);
+        create_container(b.as_ref(), &p).unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let b = Arc::clone(&b);
+            let p = p.clone();
+            handles.push(std::thread::spawn(move || reserve_session(b.as_ref(), &p).unwrap()));
+        }
+        let mut got: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..16).collect::<Vec<u64>>());
     }
 }

@@ -357,6 +357,11 @@ impl<B: Backend> Backend for FaultyBackend<B> {
         self.inner.create(path)
     }
 
+    fn create_new(&self, path: &str) -> io::Result<()> {
+        self.gate()?;
+        self.inner.create_new(path)
+    }
+
     fn append(&self, path: &str, data: &[u8]) -> io::Result<u64> {
         let mut st = self.state.lock().unwrap();
         st.stats.ops += 1;

@@ -8,7 +8,7 @@
 
 use crate::backend::Backend;
 use crate::container::{
-    create_container, discover_droppings, is_container, read_meta, session_count, ContainerPaths,
+    create_container, discover_droppings, is_container, read_meta, reserve_session, ContainerPaths,
 };
 use crate::fsck::{scrub, ScrubReport};
 use crate::metrics::PlfsMetrics;
@@ -190,19 +190,23 @@ impl Plfs {
         if !self.exists(logical) {
             create_container(&self.retried(), &paths)?;
         }
-        let session = session_count(&self.retried(), &paths);
+        // Atomically reserve this session *before* computing its epoch
+        // floor. The old read-then-compute over `session_count` let two
+        // concurrent opens read the same count and mint colliding stamp
+        // epochs, silently corrupting overwrite resolution; the CAS
+        // marker makes every reservation globally unique.
+        let session = reserve_session(&self.retried(), &paths)?;
         // A new session's stamps must exceed everything already stored:
         // reserve a fresh epoch in the high bits.
         let epoch_floor = (session + 1) << 40;
         self.metrics.clock.advance_to(epoch_floor);
-        let res = Writer::new(
-            self.backend.clone(),
-            paths,
-            self.cfg.writer.clone(),
-            rank,
-            self.metrics.clone(),
-            session,
-        );
+        // Decorrelate this writer's retry backoff from its siblings: a
+        // swarm stalled on the same group commit must not re-hit the
+        // backend in lockstep.
+        let mut wcfg = self.cfg.writer.clone();
+        wcfg.retry = wcfg.retry.with_jitter_seed(session + 1);
+        let res =
+            Writer::new(self.backend.clone(), paths, wcfg, rank, self.metrics.clone(), session);
         match &res {
             Ok(_) => self.record(logical, rank, OpKind::OpenWriter, 0, 0, OpResult::Ok),
             Err(e) => self.record(logical, rank, OpKind::OpenWriter, 0, 0, err_token(e)),

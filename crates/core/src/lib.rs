@@ -69,6 +69,7 @@ pub mod read;
 pub mod record;
 pub mod replay;
 pub mod retry;
+pub mod service;
 pub mod simadapter;
 pub mod write;
 
@@ -91,6 +92,7 @@ pub use replay::{
     content_hash, differential, replay, DiffOutcome, ReplayMode, ReplayOptions, ReplayOutcome,
 };
 pub use retry::{is_integrity, IntegrityError, RetryObs, RetryPolicy};
+pub use service::{IngestService, ServiceConfig, ServiceStats};
 pub use simadapter::{
     compare, compare_restart, run_direct, run_direct_restart, run_plfs, run_plfs_restart,
     PlfsSimOptions,

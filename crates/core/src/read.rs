@@ -30,7 +30,7 @@
 use crate::backend::Backend;
 use crate::canonical::{freshness, CanonicalIndex, Tail};
 use crate::checksum::{crc32, parse_chk};
-use crate::container::{discover_droppings, session_count, ContainerPaths};
+use crate::container::{discover_droppings, epoch_watermark, ContainerPaths};
 use crate::index::{decode, IndexEntry, IndexMap};
 use crate::metrics::PlfsMetrics;
 use crate::pool;
@@ -844,7 +844,10 @@ fn ingest(
     }
 
     // Cold path: fetch + decode + pre-merge every rank concurrently.
-    let session = session_count(retried, paths);
+    // Stamp with the epoch watermark *before* reading the droppings: a
+    // writer session that lands mid-merge advances the watermark, so
+    // the stale stamp invalidates whatever this merge saw.
+    let session = epoch_watermark(retried, paths);
     let cap = pool::available_parallelism();
     let results: Vec<io::Result<(Vec<IndexEntry>, usize, u64)>>;
     let peak;

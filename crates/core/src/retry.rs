@@ -157,12 +157,19 @@ pub struct RetryPolicy {
     /// Jitter: each delay is scaled by a deterministic factor in
     /// `[1 - jitter, 1]`. 0 disables.
     pub jitter_frac: f64,
+    /// Seed mixed into the jitter hash. Two policies with different
+    /// seeds sleep *differently* on the same attempt number — the
+    /// decorrelation that keeps a swarm of clients retrying after a
+    /// shared stall from thundering-herding the backend in lockstep.
+    /// Each policy remains individually deterministic.
+    pub jitter_seed: u64,
     /// Counter handles this policy records into.
     pub obs: RetryObs,
 }
 
-// Equality is over the numeric tuning only: two policies that sleep and
-// give up identically are equal regardless of where they record.
+// Equality is over the numeric tuning only: two policies with the same
+// budget and delay envelope are equal regardless of where they record
+// or which jitter seed decorrelates them.
 impl PartialEq for RetryPolicy {
     fn eq(&self, other: &Self) -> bool {
         self.max_retries == other.max_retries
@@ -180,6 +187,7 @@ impl Default for RetryPolicy {
             base_delay: Duration::from_millis(5),
             max_delay: Duration::from_millis(500),
             jitter_frac: 0.5,
+            jitter_seed: 0,
             obs: RetryObs::detached(),
         }
     }
@@ -195,6 +203,7 @@ impl RetryPolicy {
             base_delay: Duration::ZERO,
             max_delay: Duration::ZERO,
             jitter_frac: 0.0,
+            jitter_seed: 0,
             obs: RetryObs::detached(),
         }
     }
@@ -203,6 +212,15 @@ impl RetryPolicy {
     /// counters with every other policy bound to it).
     pub fn bound_to(mut self, reg: &Registry) -> Self {
         self.obs = RetryObs::registered(reg);
+        self
+    }
+
+    /// The same policy with its jitter decorrelated by `seed` (see
+    /// [`RetryPolicy::jitter_seed`]). [`crate::Plfs::open_writer`] seeds
+    /// each writer's policy with its reserved session so concurrent
+    /// clients spread their retries instead of colliding in lockstep.
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
         self
     }
 
@@ -215,13 +233,15 @@ impl RetryPolicy {
             base_delay: Duration::ZERO,
             max_delay: Duration::ZERO,
             jitter_frac: 0.0,
+            jitter_seed: 0,
             obs: RetryObs::detached(),
         }
     }
 
     /// Backoff before retry number `attempt` (1-based). Deterministic:
-    /// the jitter comes from a hash of the attempt number, not a global
-    /// RNG, so identical runs sleep identically.
+    /// the jitter comes from a hash of `(jitter_seed, attempt)`, not a
+    /// global RNG, so identical runs sleep identically — while policies
+    /// with different seeds (one per swarm client) sleep out of phase.
     pub fn backoff(&self, attempt: u32) -> Duration {
         if self.base_delay.is_zero() {
             return Duration::ZERO;
@@ -233,8 +253,10 @@ impl RetryPolicy {
         if self.jitter_frac <= 0.0 {
             return exp;
         }
-        // splitmix64 of the attempt number → factor in [1-jitter, 1].
-        let mut z = (attempt as u64).wrapping_add(0x9e3779b97f4a7c15);
+        // splitmix64 of (seed, attempt) → factor in [1-jitter, 1].
+        let mut z = (attempt as u64)
+            .wrapping_add(self.jitter_seed.wrapping_mul(0xd6e8_feb8_6659_fd93))
+            .wrapping_add(0x9e3779b97f4a7c15);
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
         let unit = ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64;
@@ -297,6 +319,21 @@ impl Backend for RetriedBackend<'_> {
 
     fn create(&self, path: &str) -> io::Result<()> {
         self.policy.run(|| self.inner.create(path))
+    }
+
+    fn create_new(&self, path: &str) -> io::Result<()> {
+        // `AlreadyExists` is the *expected* answer for the CAS loser,
+        // not a failure: smuggle it through `run` as a success so it is
+        // neither retried nor counted in `retry.surfaced` (which must
+        // stay zero on a healthy store even while openers race).
+        match self.policy.run(|| match self.inner.create_new(path) {
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => Ok(Some(e)),
+            Err(e) => Err(e),
+            Ok(()) => Ok(None),
+        })? {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     fn append(&self, path: &str, data: &[u8]) -> io::Result<u64> {
@@ -591,6 +628,7 @@ mod tests {
             base_delay: Duration::from_millis(10),
             max_delay: Duration::from_millis(100),
             jitter_frac: 0.5,
+            jitter_seed: 0,
             obs: RetryObs::detached(),
         };
         for a in 1..=10 {
@@ -600,6 +638,60 @@ mod tests {
             assert!(d >= Duration::from_millis(5), "attempt {a}: {d:?}");
         }
         assert!(p.backoff(4) > p.backoff(1));
+    }
+
+    /// The anti-thundering-herd property: policies seeded differently
+    /// must sleep different amounts on the same attempt (while each
+    /// stays within the `[exp·(1-jitter), exp]` envelope and remains
+    /// individually deterministic).
+    #[test]
+    fn jitter_seed_decorrelates_backoff_across_clients() {
+        let base = RetryPolicy {
+            max_retries: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+            jitter_frac: 0.5,
+            jitter_seed: 0,
+            obs: RetryObs::detached(),
+        };
+        for attempt in 1..=4u32 {
+            let sleeps: std::collections::HashSet<Duration> = (0..64u64)
+                .map(|seed| base.clone().with_jitter_seed(seed).backoff(attempt))
+                .collect();
+            assert!(
+                sleeps.len() >= 48,
+                "attempt {attempt}: only {} distinct backoffs across 64 seeds — \
+                 a swarm would herd",
+                sleeps.len()
+            );
+        }
+        // Seeding must not break the envelope or per-policy determinism.
+        for seed in [1u64, 7, 1000] {
+            let p = base.clone().with_jitter_seed(seed);
+            for a in 1..=4 {
+                let d = p.backoff(a);
+                assert_eq!(d, p.backoff(a));
+                assert!(d <= Duration::from_millis(100));
+                assert!(d >= Duration::from_millis(5));
+            }
+        }
+    }
+
+    /// A lost `create_new` race through the retried view is a normal
+    /// outcome: the `AlreadyExists` must surface to the caller but never
+    /// count as `retry.surfaced` or trigger a retry.
+    #[test]
+    fn retried_create_new_does_not_count_cas_losses() {
+        let reg = Registry::new();
+        let policy = RetryPolicy::fast_test().bound_to(&reg);
+        let b = MemBackend::new();
+        let retried = RetriedBackend::new(&b, &policy);
+        retried.create_new("/m").unwrap();
+        let err = retried.create_new("/m").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        assert_eq!(reg.value("retry.surfaced"), Some(0), "a CAS loss is not a failure");
+        assert_eq!(reg.value("retry.masked_transient"), Some(0));
+        assert_eq!(reg.value("retry.attempts"), Some(2), "one attempt each, no retries");
     }
 
     #[test]

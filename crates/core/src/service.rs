@@ -1,0 +1,685 @@
+//! The concurrent checkpoint ingest service.
+//!
+//! Everything below this module is a *library*: one caller, one
+//! [`Writer`] per rank, every `write_at` paying its own backend trip.
+//! The paper's workload is the opposite shape — thousands of clients
+//! checkpointing into one shared file at once — and the production
+//! answer (ParaLog/iFast-style host-side logging) is a service that
+//! absorbs parallel traffic into queues and drains them asynchronously.
+//!
+//! [`IngestService`] is that layer:
+//!
+//! - **Sharding.** Clients hash onto `shards` independent shards, each
+//!   owning its own [`Writer`] (rank = shard id, its own atomically
+//!   reserved session) behind its own mutex — no global lock on the
+//!   ingest path. A mutex-sharded session table tracks per-client
+//!   op/byte counts without serializing unrelated clients.
+//! - **Group commit.** Queued writes drain in batches: one
+//!   `write_at_stamped` per logical write, then **one** `sync()` (the
+//!   index append + flush) amortized across the whole batch. The
+//!   fan-in — logical writes per index fsync — is the service's whole
+//!   economic argument, exported as `svc.commit.fanin`.
+//! - **Bounded backpressure.** Per-shard queues cap both ops and
+//!   bytes; a full queue blocks the producer (recorded as
+//!   `svc.queue.stalls` / `svc.queue.stall_ns`) instead of growing
+//!   without bound.
+//! - **External consistency.** Index stamps are taken from the shared
+//!   instance clock at *enqueue* time, not drain time, so cross-shard
+//!   overwrite resolution follows the order clients issued their
+//!   writes regardless of which shard drains first.
+//!
+//! Durability contract (see `DESIGN.md`): a returned [`write`] is an
+//! *accepted* write — queued, stamped, owed to the store. Only a
+//! returned [`sync`] (or [`close`]) is a durability barrier: every
+//! write accepted before it has been group-committed. After a
+//! crash-stop, `fsck::repair` recovers every barriered byte; writes
+//! accepted but not yet barriered may be lost (that is what the
+//! barrier is *for*).
+//!
+//! [`write`]: IngestService::write
+//! [`sync`]: IngestService::sync
+//! [`close`]: IngestService::close
+
+use crate::filesystem::Plfs;
+use crate::metrics::PlfsMetrics;
+use crate::pool;
+use crate::write::Writer;
+use obs::trace::Phase;
+use obs::{Counter, Gauge, Histogram};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning for one [`IngestService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Independent shards (one writer session each). Aggregate ingest
+    /// bandwidth scales with this as long as the backend does.
+    pub shards: usize,
+    /// Per-shard queue cap in ops; a full queue blocks producers.
+    pub queue_ops: usize,
+    /// Per-shard queue cap in bytes.
+    pub queue_bytes: usize,
+    /// Drain a shard as soon as this many ops are queued (the
+    /// batch-size half of the group-commit policy).
+    pub batch_ops: usize,
+    /// Drain whatever is queued at least this often (the
+    /// flush-interval half; stragglers never wait longer than this).
+    pub flush_interval: Duration,
+    /// Worker cap for concurrent shard drains (on [`pool::run_bounded`]).
+    pub drain_workers: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 4,
+            queue_ops: 1024,
+            queue_bytes: 8 << 20,
+            batch_ops: 64,
+            flush_interval: Duration::from_millis(2),
+            drain_workers: pool::available_parallelism(),
+        }
+    }
+}
+
+/// Cumulative service-level counters, returned by [`IngestService::close`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Writes accepted into a queue.
+    pub enqueued_ops: u64,
+    pub enqueued_bytes: u64,
+    /// Writes made durable by a group commit.
+    pub committed_ops: u64,
+    /// Group commits issued (index fsyncs). Fan-in =
+    /// `committed_ops / group_commits`.
+    pub group_commits: u64,
+    /// Producer blocks on a full queue.
+    pub backpressure_stalls: u64,
+    /// Total time producers spent blocked, nanoseconds.
+    pub backpressure_stall_ns: u64,
+    /// Distinct clients seen by the session table.
+    pub clients: u64,
+}
+
+impl ServiceStats {
+    /// Mean logical writes per index fsync.
+    pub fn fanin(&self) -> f64 {
+        if self.group_commits == 0 {
+            0.0
+        } else {
+            self.committed_ops as f64 / self.group_commits as f64
+        }
+    }
+}
+
+/// One write waiting in a shard queue.
+struct QueuedWrite {
+    offset: u64,
+    data: Vec<u8>,
+    /// Index stamp, taken from the instance clock at enqueue time.
+    stamp: u64,
+    /// Per-shard acceptance sequence number (1-based).
+    seq: u64,
+}
+
+/// Sticky failure: the first surfaced drain/backpressure error poisons
+/// its shard. `io::Error` is not `Clone`, so the kind + message are
+/// kept and re-minted for every subsequent caller.
+type ShardFailure = (io::ErrorKind, String);
+
+#[derive(Default)]
+struct ShardQueue {
+    queue: VecDeque<QueuedWrite>,
+    bytes: usize,
+    /// Sequence of the last accepted write.
+    enqueued_seq: u64,
+    /// Sequence of the last write made durable by a group commit.
+    committed_seq: u64,
+    failed: Option<ShardFailure>,
+}
+
+struct Shard {
+    state: Mutex<ShardQueue>,
+    /// Producers blocked on a full queue wait here.
+    space: Condvar,
+    /// Barrier waiters ([`IngestService::sync`]) wait here.
+    done: Condvar,
+    /// `None` once [`IngestService::close`] has consumed it.
+    writer: Mutex<Option<Writer>>,
+    depth: Gauge,
+    depth_bytes: Gauge,
+    stalls: Counter,
+    commits: Counter,
+    committed_ops: Counter,
+}
+
+/// Supervisor wake state: a generation counter so kicks are never lost
+/// between a producer's notify and the supervisor's wait.
+#[derive(Default)]
+struct WorkState {
+    kicks: u64,
+    shutdown: bool,
+}
+
+struct Inner {
+    shards: Vec<Shard>,
+    work: Mutex<WorkState>,
+    work_cv: Condvar,
+    metrics: Arc<PlfsMetrics>,
+    cfg: ServiceConfig,
+    /// Mutex-sharded session table: client id → (ops, bytes). Sharded
+    /// so unrelated clients never contend on registration.
+    sessions: Vec<Mutex<HashMap<u32, (u64, u64)>>>,
+    enqueued_ops: Counter,
+    enqueued_bytes: Counter,
+    stall_ns: Counter,
+    barriers: Counter,
+    fanin: Histogram,
+}
+
+const SESSION_TABLE_SHARDS: usize = 16;
+
+impl Inner {
+    fn kick(&self) {
+        self.work.lock().unwrap().kicks += 1;
+        self.work_cv.notify_one();
+    }
+
+    fn shard_err(failure: &ShardFailure) -> io::Error {
+        io::Error::new(failure.0, failure.1.clone())
+    }
+
+    /// Drain one shard: take the whole queue (freeing producers
+    /// immediately — the batch is already bounded by the queue caps),
+    /// apply every write with its enqueue-time stamp, then issue ONE
+    /// sync. That single index append + flush amortized over the batch
+    /// is the group commit.
+    fn drain(&self, idx: usize) {
+        let shard = &self.shards[idx];
+        let batch: Vec<QueuedWrite> = {
+            let mut st = shard.state.lock().unwrap();
+            if st.queue.is_empty() || st.failed.is_some() {
+                return;
+            }
+            st.bytes = 0;
+            shard.depth.set(0);
+            shard.depth_bytes.set(0);
+            let batch = std::mem::take(&mut st.queue).into();
+            shard.space.notify_all();
+            batch
+        };
+        let span = self.metrics.trace.start("svc.group_commit", Phase::Transfer, "svc", 0);
+        let last_seq = batch.last().map(|q| q.seq).unwrap_or(0);
+        let res = (|| -> io::Result<()> {
+            let mut guard = shard.writer.lock().unwrap();
+            let w = guard.as_mut().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::BrokenPipe, "ingest service closed")
+            })?;
+            for q in &batch {
+                w.write_at_stamped(q.offset, &q.data, q.stamp)?;
+            }
+            w.sync()
+        })();
+        span.end();
+        let mut st = shard.state.lock().unwrap();
+        match res {
+            Ok(()) => {
+                st.committed_seq = st.committed_seq.max(last_seq);
+                shard.commits.inc();
+                shard.committed_ops.add(batch.len() as u64);
+                self.fanin.observe(batch.len() as u64);
+            }
+            Err(e) => {
+                // Sticky: the shard's writer state is unknown past the
+                // failure point, so everything after it must surface.
+                st.failed = Some((e.kind(), e.to_string()));
+                shard.space.notify_all();
+            }
+        }
+        shard.done.notify_all();
+    }
+
+    /// Shards with work queued (or a failure barrier waiters must see).
+    fn ready_shards(&self) -> Vec<usize> {
+        (0..self.shards.len())
+            .filter(|&i| {
+                let st = self.shards[i].state.lock().unwrap();
+                !st.queue.is_empty() && st.failed.is_none()
+            })
+            .collect()
+    }
+
+    fn supervise(self: &Arc<Self>) {
+        let mut seen_kicks = 0u64;
+        loop {
+            {
+                let mut ws = self.work.lock().unwrap();
+                while ws.kicks == seen_kicks && !ws.shutdown {
+                    let (next, timeout) =
+                        self.work_cv.wait_timeout(ws, self.cfg.flush_interval).unwrap();
+                    ws = next;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+                seen_kicks = ws.kicks;
+                if ws.shutdown {
+                    // Final pass below, then exit.
+                    drop(ws);
+                    let ready = self.ready_shards();
+                    let cap = self.cfg.drain_workers.min(ready.len().max(1));
+                    pool::run_bounded(ready.len(), cap, |i| self.drain(ready[i]));
+                    return;
+                }
+            }
+            let ready = self.ready_shards();
+            if ready.is_empty() {
+                continue;
+            }
+            let cap = self.cfg.drain_workers.min(ready.len());
+            pool::run_bounded(ready.len(), cap, |i| self.drain(ready[i]));
+        }
+    }
+}
+
+/// A running sharded ingest service over one logical file. See the
+/// module docs for the architecture and the durability contract.
+pub struct IngestService {
+    inner: Arc<Inner>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl IngestService {
+    /// Open `shards` writers on `logical` (creating the container if
+    /// needed) and start the drain supervisor.
+    pub fn start(fs: &Plfs, logical: &str, cfg: ServiceConfig) -> io::Result<IngestService> {
+        assert!(cfg.shards > 0, "need at least one shard");
+        assert!(cfg.queue_ops > 0 && cfg.queue_bytes > 0, "queue caps must be positive");
+        assert!(cfg.batch_ops > 0 && cfg.drain_workers > 0, "batch/worker knobs must be positive");
+        let metrics = fs.metrics().clone();
+        let reg = metrics.registry.clone();
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for s in 0..cfg.shards {
+            let writer = fs.open_writer(logical, s as u32)?;
+            let sl = s.to_string();
+            let labels: &[(&str, &str)] = &[("shard", &sl)];
+            shards.push(Shard {
+                state: Mutex::new(ShardQueue::default()),
+                space: Condvar::new(),
+                done: Condvar::new(),
+                writer: Mutex::new(Some(writer)),
+                depth: reg.gauge_with("svc.queue.depth", labels),
+                depth_bytes: reg.gauge_with("svc.queue.depth_bytes", labels),
+                stalls: reg.counter_with("svc.queue.stalls", labels),
+                commits: reg.counter_with("svc.commits", labels),
+                committed_ops: reg.counter_with("svc.committed_ops", labels),
+            });
+        }
+        let inner = Arc::new(Inner {
+            shards,
+            work: Mutex::new(WorkState::default()),
+            work_cv: Condvar::new(),
+            metrics,
+            sessions: (0..SESSION_TABLE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            enqueued_ops: reg.counter("svc.enqueued_ops"),
+            enqueued_bytes: reg.counter("svc.enqueued_bytes"),
+            stall_ns: reg.counter("svc.queue.stall_ns"),
+            barriers: reg.counter("svc.sync.barriers"),
+            fanin: reg.histogram("svc.commit.fanin"),
+            cfg,
+        });
+        let sup = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("plfs-ingest-supervisor".into())
+                .spawn(move || inner.supervise())
+                .map_err(|e| io::Error::other(format!("spawning supervisor: {e}")))?
+        };
+        Ok(IngestService { inner, supervisor: Some(sup) })
+    }
+
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.cfg
+    }
+
+    fn shard_of(&self, client: u32) -> usize {
+        client as usize % self.inner.cfg.shards
+    }
+
+    /// Accept one write from `client`. Returns once the write is queued
+    /// and stamped (a *queued ack*, not a durability guarantee — see
+    /// the module docs); blocks while the client's shard queue is full.
+    pub fn write(&self, client: u32, offset: u64, data: &[u8]) -> io::Result<()> {
+        let inner = &self.inner;
+        let shard = &inner.shards[self.shard_of(client)];
+        let cfg = &inner.cfg;
+        let mut st = shard.state.lock().unwrap();
+        if st.failed.is_none()
+            && (st.queue.len() >= cfg.queue_ops || st.bytes + data.len() > cfg.queue_bytes)
+        {
+            // Backpressure: block rather than buffer without bound. The
+            // periodic re-kick guards against a supervisor that went to
+            // sleep between our check and its last scan.
+            shard.stalls.inc();
+            let t0 = Instant::now();
+            while st.failed.is_none()
+                && (st.queue.len() >= cfg.queue_ops || st.bytes + data.len() > cfg.queue_bytes)
+            {
+                inner.kick();
+                let (next, _) = shard.space.wait_timeout(st, cfg.flush_interval).unwrap();
+                st = next;
+            }
+            inner.stall_ns.add(t0.elapsed().as_nanos() as u64);
+        }
+        if let Some(f) = &st.failed {
+            return Err(Inner::shard_err(f));
+        }
+        // Stamp at enqueue: overwrite order across shards follows the
+        // order clients issued writes, not the order shards drain.
+        let stamp = inner.metrics.clock.stamp();
+        st.enqueued_seq += 1;
+        let seq = st.enqueued_seq;
+        st.bytes += data.len();
+        st.queue.push_back(QueuedWrite { offset, data: data.to_vec(), stamp, seq });
+        let (depth, bytes) = (st.queue.len(), st.bytes);
+        let ready = depth >= cfg.batch_ops;
+        drop(st);
+        shard.depth.set(depth as i64);
+        shard.depth_bytes.set(bytes as i64);
+        inner.enqueued_ops.inc();
+        inner.enqueued_bytes.add(data.len() as u64);
+        {
+            let mut table = inner.sessions[client as usize % SESSION_TABLE_SHARDS].lock().unwrap();
+            let entry = table.entry(client).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += data.len() as u64;
+        }
+        if ready {
+            inner.kick();
+        }
+        Ok(())
+    }
+
+    /// Durability barrier: returns once every write accepted before
+    /// this call has been group-committed. An error means at least one
+    /// shard failed — its un-committed accepted writes are lost.
+    pub fn sync(&self) -> io::Result<()> {
+        let inner = &self.inner;
+        inner.barriers.inc();
+        let span = inner.metrics.trace.start("svc.sync", Phase::Compute, "svc", 0);
+        let targets: Vec<u64> =
+            inner.shards.iter().map(|s| s.state.lock().unwrap().enqueued_seq).collect();
+        inner.kick();
+        let mut res = Ok(());
+        for (shard, &target) in inner.shards.iter().zip(&targets) {
+            let mut st = shard.state.lock().unwrap();
+            while st.committed_seq < target && st.failed.is_none() {
+                // Re-kick on every timeout: a kick is cheap, a missed
+                // wakeup would hang the barrier.
+                inner.kick();
+                let (next, _) = shard.done.wait_timeout(st, inner.cfg.flush_interval).unwrap();
+                st = next;
+            }
+            if let (Ok(()), Some(f)) = (&res, &st.failed) {
+                res = Err(Inner::shard_err(f));
+            }
+        }
+        span.end();
+        res
+    }
+
+    /// Per-client `(ops, bytes)` from the session table.
+    pub fn client_stats(&self, client: u32) -> Option<(u64, u64)> {
+        self.inner.sessions[client as usize % SESSION_TABLE_SHARDS]
+            .lock()
+            .unwrap()
+            .get(&client)
+            .copied()
+    }
+
+    /// Cumulative counters so far.
+    pub fn stats(&self) -> ServiceStats {
+        let inner = &self.inner;
+        let mut commits = 0;
+        let mut committed = 0;
+        let mut stalls = 0;
+        for s in &inner.shards {
+            commits += s.commits.get();
+            committed += s.committed_ops.get();
+            stalls += s.stalls.get();
+        }
+        ServiceStats {
+            enqueued_ops: inner.enqueued_ops.get(),
+            enqueued_bytes: inner.enqueued_bytes.get(),
+            committed_ops: committed,
+            group_commits: commits,
+            backpressure_stalls: stalls,
+            backpressure_stall_ns: inner.stall_ns.get(),
+            clients: inner.sessions.iter().map(|m| m.lock().unwrap().len() as u64).sum(),
+        }
+    }
+
+    /// Final barrier, then shut down: stop the supervisor and close
+    /// every shard writer (leaving meta droppings). Returns the final
+    /// stats; the first barrier/close error surfaces after shutdown
+    /// completes either way.
+    pub fn close(mut self) -> io::Result<ServiceStats> {
+        let mut res = self.sync();
+        self.shutdown();
+        for shard in &self.inner.shards {
+            if let Some(w) = shard.writer.lock().unwrap().take() {
+                let r = w.close();
+                if res.is_ok() {
+                    if let Err(e) = r {
+                        res = Err(e);
+                    }
+                }
+            }
+        }
+        res.map(|()| self.stats())
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(h) = self.supervisor.take() {
+            {
+                let mut ws = self.inner.work.lock().unwrap();
+                ws.shutdown = true;
+                ws.kicks += 1;
+            }
+            self.inner.work_cv.notify_one();
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for IngestService {
+    fn drop(&mut self) {
+        // Best-effort: stop the supervisor; writers flush on their own
+        // Drop. Errors surface only on explicit sync/close.
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Backend, MemBackend};
+    use crate::filesystem::{Plfs, PlfsConfig};
+    use obs::Registry;
+
+    fn service_fs(reg: &Registry) -> Plfs {
+        Plfs::new(
+            Arc::new(MemBackend::new()) as Arc<dyn Backend>,
+            PlfsConfig { hostdirs: 4, metrics: reg.clone(), ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn roundtrip_through_service() {
+        let reg = Registry::new();
+        let fs = service_fs(&reg);
+        let svc =
+            IngestService::start(&fs, "/ckpt", ServiceConfig { shards: 4, ..Default::default() })
+                .unwrap();
+        // 64 clients, rank-segmented N-1: client c owns [c*512, c*512+512).
+        for c in 0..64u32 {
+            svc.write(c, c as u64 * 512, &[c as u8; 512]).unwrap();
+        }
+        let stats = svc.close().unwrap();
+        assert_eq!(stats.enqueued_ops, 64);
+        assert_eq!(stats.committed_ops, 64);
+        assert_eq!(stats.clients, 64);
+        assert!(stats.group_commits >= 1);
+        let data = fs.open_reader("/ckpt").unwrap().read_all().unwrap();
+        assert_eq!(data.len(), 64 * 512);
+        for c in 0..64usize {
+            assert!(data[c * 512..(c + 1) * 512].iter().all(|&x| x == c as u8), "client {c}");
+        }
+    }
+
+    #[test]
+    fn later_enqueue_wins_across_shards() {
+        // Two clients on different shards overwrite the same range; the
+        // enqueue-time stamp, not the drain order, must decide.
+        let reg = Registry::new();
+        let fs = service_fs(&reg);
+        let svc =
+            IngestService::start(&fs, "/ow", ServiceConfig { shards: 2, ..Default::default() })
+                .unwrap();
+        svc.write(0, 0, &[b'a'; 64]).unwrap(); // shard 0
+        svc.write(1, 16, &[b'b'; 16]).unwrap(); // shard 1, later stamp
+        svc.close().unwrap();
+        let data = fs.open_reader("/ow").unwrap().read_all().unwrap();
+        assert_eq!(&data[..16], &[b'a'; 16][..]);
+        assert_eq!(&data[16..32], &[b'b'; 16][..]);
+        assert_eq!(&data[32..], &[b'a'; 32][..]);
+    }
+
+    #[test]
+    fn group_commit_amortizes_index_syncs() {
+        let reg = Registry::new();
+        let fs = service_fs(&reg);
+        let svc = IngestService::start(
+            &fs,
+            "/gc",
+            ServiceConfig {
+                shards: 1,
+                batch_ops: 1 << 30, // only the barrier drains
+                flush_interval: Duration::from_secs(3600),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..256u64 {
+            svc.write(0, i * 128, &[1u8; 128]).unwrap();
+        }
+        svc.sync().unwrap();
+        let stats = svc.close().unwrap();
+        assert_eq!(stats.committed_ops, 256);
+        assert_eq!(stats.group_commits, 1, "one barrier, one fsync");
+        assert!(stats.fanin() >= 256.0);
+    }
+
+    #[test]
+    fn backpressure_blocks_instead_of_growing() {
+        let reg = Registry::new();
+        let fs = service_fs(&reg);
+        let svc = IngestService::start(
+            &fs,
+            "/bp",
+            ServiceConfig { shards: 1, queue_ops: 8, batch_ops: 8, ..Default::default() },
+        )
+        .unwrap();
+        // Far more writes than the queue holds: every one must be
+        // accepted (blocking, not erroring), and the stall counter must
+        // show the queue actually filled.
+        for i in 0..512u64 {
+            svc.write(0, i * 64, &[2u8; 64]).unwrap();
+        }
+        let stats = svc.close().unwrap();
+        assert_eq!(stats.committed_ops, 512);
+        assert!(stats.backpressure_stalls > 0, "queue of 8 never filled under 512 writes");
+        assert_eq!(fs.open_reader("/bp").unwrap().read_all().unwrap().len(), 512 * 64);
+    }
+
+    #[test]
+    fn sync_is_a_durability_barrier() {
+        let reg = Registry::new();
+        let fs = service_fs(&reg);
+        let svc = IngestService::start(
+            &fs,
+            "/bar",
+            ServiceConfig {
+                shards: 2,
+                batch_ops: 1 << 30,
+                flush_interval: Duration::from_secs(3600),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for c in 0..8u32 {
+            svc.write(c, c as u64 * 256, &[3u8; 256]).unwrap();
+        }
+        svc.sync().unwrap();
+        // Everything accepted before the barrier is now readable even
+        // though the service is still open.
+        let data = fs.open_reader("/bar").unwrap().read_all().unwrap();
+        assert_eq!(data.len(), 8 * 256);
+        svc.close().unwrap();
+    }
+
+    #[test]
+    fn shard_failure_is_sticky_and_surfaces() {
+        use crate::faults::{FaultPlan, FaultyBackend};
+        use crate::retry::RetryPolicy;
+        let reg = Registry::new();
+        let faulty = Arc::new(FaultyBackend::new(MemBackend::new(), FaultPlan::none(7)));
+        let mut cfg = PlfsConfig { hostdirs: 4, metrics: reg.clone(), ..Default::default() };
+        cfg.retry = RetryPolicy::none();
+        cfg.writer.retry = RetryPolicy::none();
+        let fs = Plfs::new(faulty.clone() as Arc<dyn Backend>, cfg);
+        let svc =
+            IngestService::start(&fs, "/crash", ServiceConfig { shards: 1, ..Default::default() })
+                .unwrap();
+        svc.write(0, 0, &[4u8; 128]).unwrap();
+        svc.sync().unwrap();
+        faulty.crash_now();
+        svc.write(0, 128, &[4u8; 128]).unwrap(); // accepted into the queue
+        assert!(svc.sync().is_err(), "barrier must surface the crash");
+        // Sticky: later writes fail fast instead of queueing forever.
+        let mut failed = false;
+        for i in 2..64u64 {
+            if svc.write(0, i * 128, &[4u8; 128]).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "shard failure must eventually surface on write");
+        assert!(svc.close().is_err());
+    }
+
+    #[test]
+    fn service_emits_per_shard_metrics() {
+        let reg = Registry::new();
+        let fs = service_fs(&reg);
+        let svc =
+            IngestService::start(&fs, "/m", ServiceConfig { shards: 2, ..Default::default() })
+                .unwrap();
+        for c in 0..32u32 {
+            svc.write(c, c as u64 * 64, &[5u8; 64]).unwrap();
+        }
+        svc.close().unwrap();
+        assert_eq!(reg.value("svc.enqueued_ops"), Some(32));
+        assert_eq!(reg.value("svc.enqueued_bytes"), Some(32 * 64));
+        let committed: u64 = (0..2)
+            .map(|s| {
+                reg.value_with("svc.committed_ops", &[("shard", &s.to_string())])
+                    .unwrap_or_else(|| panic!("missing per-shard committed_ops for shard {s}"))
+            })
+            .sum();
+        assert_eq!(committed, 32);
+        assert!(reg.histogram("svc.commit.fanin").count() >= 1);
+    }
+}

@@ -149,19 +149,21 @@ impl Writer {
         metrics: Arc<PlfsMetrics>,
         session: u64,
     ) -> io::Result<Self> {
+        // A new writer session invalidates any flattened-index cache a
+        // previous reader left behind (see `crate::canonical`), and the
+        // removal must come *before* the session becomes visible (the
+        // open dropping below): a reader racing this open must see
+        // either no cache or a stamp mismatch, never a stale cache
+        // whose stamp still matches. Unconditional (no `exists` gate —
+        // an exists/remove pair reintroduces the window); a concurrent
+        // delete racing us is fine (NotFound == done).
+        let canonical = paths.canonical_index();
+        cfg.retry.run(|| match backend.remove(&canonical) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            r => r,
+        })?;
         let open_dropping = paths.open_dropping(rank, session);
         cfg.retry.run(|| backend.create(&open_dropping))?;
-        // A new writer session invalidates any flattened-index cache a
-        // previous reader left behind (see `crate::canonical`). The
-        // `exists` gate keeps this free for the common no-cache case;
-        // a concurrent delete racing us is fine (NotFound == done).
-        let canonical = paths.canonical_index();
-        if backend.exists(&canonical) {
-            cfg.retry.run(|| match backend.remove(&canonical) {
-                Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
-                r => r,
-            })?;
-        }
         // Appending to an existing dropping resumes at its tail. The
         // length queries are retried: silently treating a transient
         // failure as "empty" would restart the cursor at 0 and corrupt

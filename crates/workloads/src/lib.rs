@@ -30,6 +30,7 @@ pub mod gen;
 pub mod ninjat;
 pub mod oplog;
 pub mod sample;
+pub mod swarm;
 pub mod trace;
 
 pub use apps::{AppProfile, IoShape, Pattern, APP_PROFILES};
@@ -40,4 +41,5 @@ pub use oplog::{
     Shape, DELIVERED_HASH_SEED, OPLOG_MAGIC,
 };
 pub use sample::{uniform_aligned_offset, ArrivalDist, SizeDist};
+pub use swarm::{plan as swarm_plan, SwarmConfig, SwarmOp, SwarmPlan};
 pub use trace::{Trace, TraceError, TraceOp};

@@ -1,0 +1,216 @@
+//! Checkpoint client swarms: the 1000-client ingest workload.
+//!
+//! The PDSI characterization's defining load is not four tidy ranks —
+//! it is *thousands* of compute clients dumping checkpoint state at
+//! once. This module builds that load as a deterministic **plan**: a
+//! segmented N-1 layout where client `c` owns one contiguous segment of
+//! the shared file and writes it as a run of seeded variable-size
+//! records. The plan is pure data (no threads, no I/O), so the same
+//! spec can drive the concurrent ingest service, a single-writer
+//! reference run, and a replay — and all three are comparable
+//! byte-for-byte because payloads come from the canonical
+//! [`fill_payload`] function of `(client, absolute offset)`.
+//!
+//! Determinism contract: [`plan`] is a pure function of its
+//! [`SwarmConfig`]. Record sizes come from per-client `fork`ed
+//! [`simkit::Rng`] streams, segment bases are the exclusive prefix sum
+//! of segment totals, and the issue order ([`SwarmPlan::issue_order`])
+//! is a seeded interleave — so any two runs of the same config issue
+//! the same ops with the same bytes.
+
+use crate::oplog::{fill_payload, OpKind, OpLog, OpRecord, OpResult, Shape};
+use crate::sample::SizeDist;
+use simkit::Rng;
+
+/// Knobs for one swarm.
+#[derive(Debug, Clone, Copy)]
+pub struct SwarmConfig {
+    /// Concurrent checkpoint clients.
+    pub clients: u32,
+    /// Records each client writes into its segment.
+    pub ops_per_client: u32,
+    /// Record size distribution (sampled per record, per client).
+    pub size: SizeDist,
+    pub seed: u64,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> Self {
+        SwarmConfig {
+            clients: 64,
+            ops_per_client: 4,
+            size: SizeDist::Uniform { min: 1024, max: 8192 },
+            seed: 1009,
+        }
+    }
+}
+
+/// One planned write: `client` writes `len` bytes at absolute `offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwarmOp {
+    pub client: u32,
+    pub offset: u64,
+    pub len: u64,
+}
+
+impl SwarmOp {
+    /// The canonical payload for this op — a pure function of
+    /// `(client, offset)`, chunking-stable, so the service run, the
+    /// reference run, and any replay write identical bytes.
+    pub fn payload(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; self.len as usize];
+        fill_payload(self.client, self.offset, &mut buf);
+        buf
+    }
+}
+
+/// A fully materialized swarm: every client's ops, the global layout,
+/// and a seeded cross-client issue order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwarmPlan {
+    pub cfg_clients: u32,
+    /// `per_client[c]` = client `c`'s ops, in segment order.
+    pub per_client: Vec<Vec<SwarmOp>>,
+    /// Exclusive file size: segments tile `[0, file_size)` exactly.
+    pub file_size: u64,
+}
+
+/// Build the swarm plan. Pure in `cfg`.
+pub fn plan(cfg: &SwarmConfig) -> SwarmPlan {
+    assert!(cfg.clients > 0, "need at least one client");
+    let mut root = Rng::new(cfg.seed);
+    let mut rngs: Vec<Rng> = (0..cfg.clients as u64).map(|c| root.fork(c)).collect();
+    // Sample every client's record sizes first: segment bases need the
+    // full grid before any offset is known.
+    let sizes: Vec<Vec<u64>> = rngs
+        .iter_mut()
+        .map(|rng| (0..cfg.ops_per_client).map(|_| cfg.size.sample(rng).max(1)).collect())
+        .collect();
+    let mut per_client = Vec::with_capacity(cfg.clients as usize);
+    let mut base = 0u64;
+    for (c, client_sizes) in sizes.iter().enumerate() {
+        let mut ops = Vec::with_capacity(client_sizes.len());
+        let mut off = base;
+        for &len in client_sizes {
+            ops.push(SwarmOp { client: c as u32, offset: off, len });
+            off += len;
+        }
+        base = off;
+        per_client.push(ops);
+    }
+    SwarmPlan { cfg_clients: cfg.clients, per_client, file_size: base }
+}
+
+impl SwarmPlan {
+    pub fn total_ops(&self) -> u64 {
+        self.per_client.iter().map(|v| v.len() as u64).sum()
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.file_size
+    }
+
+    /// Every op in a seeded cross-client interleave: the deterministic
+    /// order a single-threaded driver issues in. Fisher–Yates over the
+    /// concatenated op list, seeded by `seed`, so two reference runs
+    /// interleave identically.
+    pub fn issue_order(&self, seed: u64) -> Vec<SwarmOp> {
+        let mut ops: Vec<SwarmOp> = self.per_client.iter().flatten().copied().collect();
+        let mut rng = Rng::new(seed ^ 0x7377_6172_6d21); // "swarm!"
+        for i in (1..ops.len()).rev() {
+            let j = rng.range_inclusive(0, i as u64) as usize;
+            ops.swap(i, j);
+        }
+        ops
+    }
+
+    /// The bytes the shared file must hold after every client's segment
+    /// lands (segments are disjoint, so order is irrelevant).
+    pub fn expected_contents(&self) -> Vec<u8> {
+        let mut file = vec![0u8; self.file_size as usize];
+        for op in self.per_client.iter().flatten() {
+            let lo = op.offset as usize;
+            fill_payload(op.client, op.offset, &mut file[lo..lo + op.len as usize]);
+        }
+        file
+    }
+
+    /// Project the plan onto an op log (rank = client, results pending)
+    /// for the trace/visualization tooling.
+    pub fn to_oplog(&self, file: &str) -> OpLog {
+        let mut ops: Vec<OpRecord> = Vec::with_capacity(self.total_ops() as usize);
+        for (t, op) in self.per_client.iter().flatten().enumerate() {
+            ops.push(OpRecord {
+                t_ns: t as u64,
+                rank: op.client,
+                op: OpKind::Write,
+                offset: op.offset,
+                len: op.len,
+                result: OpResult::Pending,
+            });
+        }
+        OpLog { file: file.to_string(), ranks: self.cfg_clients, shape: Shape::N1, ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_deterministic() {
+        let cfg = SwarmConfig { clients: 37, seed: 5, ..Default::default() };
+        assert_eq!(plan(&cfg), plan(&cfg));
+        let other = plan(&SwarmConfig { seed: 6, ..cfg });
+        assert_ne!(plan(&cfg), other, "seed must matter");
+    }
+
+    #[test]
+    fn segments_tile_the_file_exactly() {
+        let p = plan(&SwarmConfig { clients: 100, ops_per_client: 3, ..Default::default() });
+        let mut spans: Vec<(u64, u64)> =
+            p.per_client.iter().flatten().map(|o| (o.offset, o.len)).collect();
+        spans.sort_unstable();
+        let mut expect = 0u64;
+        for (off, len) in spans {
+            assert_eq!(off, expect, "gap or overlap at {off}");
+            expect = off + len;
+        }
+        assert_eq!(expect, p.file_size);
+        assert_eq!(p.total_ops(), 300);
+    }
+
+    #[test]
+    fn payloads_match_expected_contents() {
+        let p = plan(&SwarmConfig { clients: 9, ops_per_client: 2, ..Default::default() });
+        let file = p.expected_contents();
+        for op in p.per_client.iter().flatten() {
+            let lo = op.offset as usize;
+            assert_eq!(op.payload(), &file[lo..lo + op.len as usize]);
+        }
+    }
+
+    #[test]
+    fn issue_order_is_a_seeded_permutation() {
+        let p = plan(&SwarmConfig { clients: 20, ops_per_client: 5, ..Default::default() });
+        let a = p.issue_order(1);
+        assert_eq!(a, p.issue_order(1), "same seed, same order");
+        assert_ne!(a, p.issue_order(2), "different seed, different order");
+        assert_eq!(a.len() as u64, p.total_ops());
+        let mut sorted: Vec<u64> = a.iter().map(|o| o.offset).collect();
+        sorted.sort_unstable();
+        let mut planned: Vec<u64> = p.per_client.iter().flatten().map(|o| o.offset).collect();
+        planned.sort_unstable();
+        assert_eq!(sorted, planned, "permutation, not resample");
+    }
+
+    #[test]
+    fn oplog_projection_parses_back() {
+        let p = plan(&SwarmConfig { clients: 8, ops_per_client: 2, ..Default::default() });
+        let log = p.to_oplog("/swarm");
+        assert_eq!(log.ranks, 8);
+        assert_eq!(log.ops.len() as u64, p.total_ops());
+        let reparsed = OpLog::parse(&log.to_text()).unwrap();
+        assert_eq!(reparsed, log);
+    }
+}
